@@ -1,0 +1,420 @@
+//! Few-pixel attacks: the general `k`-pixel form of Sparse-RS.
+//!
+//! The paper evaluates the one-pixel special case, but Sparse-RS (Croce
+//! et al., AAAI 2022) is a *few*-pixel framework: the attacker perturbs a
+//! set `U` of `k` pixels, each to an RGB-cube corner. This module
+//! implements that general form as an extension — random search over
+//! `(location, corner)` sets, resampling a decaying fraction of the set
+//! each step and keeping the candidate whenever the margin loss does not
+//! worsen.
+//!
+//! Multi-pixel success is a different shape from the one-pixel
+//! [`AttackOutcome`](crate::AttackOutcome) (there are `k` winning pixels),
+//! so this module has its own outcome type rather than widening the
+//! one-pixel interface.
+
+use oppsla_core::goal::AttackGoal;
+use oppsla_core::image::Image;
+use oppsla_core::oracle::{argmax, Oracle};
+use oppsla_core::pair::{Corner, Location, Pixel};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::RngCore;
+use std::fmt;
+
+/// Result of a few-pixel attack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MultiAttackOutcome {
+    /// A successful `k`-pixel perturbation.
+    Success {
+        /// The perturbed pixels (all `k` of them, even if fewer would do).
+        pixels: Vec<(Location, Pixel)>,
+        /// Queries spent by this run.
+        queries: u64,
+    },
+    /// Budget or iteration limit reached.
+    Failure {
+        /// Queries spent by this run.
+        queries: u64,
+    },
+    /// The clean image was already misclassified.
+    AlreadyMisclassified {
+        /// Queries spent (the baseline query).
+        queries: u64,
+    },
+}
+
+impl MultiAttackOutcome {
+    /// Queries spent, regardless of outcome.
+    pub fn queries(&self) -> u64 {
+        match self {
+            MultiAttackOutcome::Success { queries, .. }
+            | MultiAttackOutcome::Failure { queries }
+            | MultiAttackOutcome::AlreadyMisclassified { queries } => *queries,
+        }
+    }
+
+    /// True for [`MultiAttackOutcome::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, MultiAttackOutcome::Success { .. })
+    }
+}
+
+impl fmt::Display for MultiAttackOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiAttackOutcome::Success { pixels, queries } => {
+                write!(f, "success with {} pixels after {queries} queries", pixels.len())
+            }
+            MultiAttackOutcome::Failure { queries } => write!(f, "failure after {queries} queries"),
+            MultiAttackOutcome::AlreadyMisclassified { queries } => {
+                write!(f, "already misclassified ({queries} queries)")
+            }
+        }
+    }
+}
+
+/// Configuration of the `k`-pixel Sparse-RS attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseRsMultiConfig {
+    /// Number of perturbed pixels `k`.
+    pub k: usize,
+    /// Maximum proposals (one query each).
+    pub max_iterations: u64,
+    /// Initial fraction of the pixel set resampled per step (decays
+    /// linearly to `min_resample_frac`, Sparse-RS's α-schedule).
+    pub initial_resample_frac: f64,
+    /// Final resample fraction (at least one pixel always moves).
+    pub min_resample_frac: f64,
+}
+
+impl Default for SparseRsMultiConfig {
+    fn default() -> Self {
+        SparseRsMultiConfig {
+            k: 3,
+            max_iterations: 10_000,
+            initial_resample_frac: 0.8,
+            min_resample_frac: 0.1,
+        }
+    }
+}
+
+/// The `k`-pixel Sparse-RS random-search attack.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseRsMulti {
+    config: SparseRsMultiConfig,
+    goal: AttackGoal,
+}
+
+/// The current candidate: `k` distinct locations with corner colours.
+#[derive(Debug, Clone, PartialEq)]
+struct Candidate {
+    pixels: Vec<(Location, Corner)>,
+}
+
+impl Candidate {
+    fn apply(&self, image: &Image) -> Image {
+        let mut out = image.clone();
+        for &(loc, corner) in &self.pixels {
+            out.set_pixel(loc, corner.as_pixel());
+        }
+        out
+    }
+
+    fn as_success_pixels(&self) -> Vec<(Location, Pixel)> {
+        self.pixels
+            .iter()
+            .map(|&(loc, corner)| (loc, corner.as_pixel()))
+            .collect()
+    }
+}
+
+impl SparseRsMulti {
+    /// Creates the attack with `config` (untargeted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or the resample fractions are not in `(0, 1]`.
+    pub fn new(config: SparseRsMultiConfig) -> Self {
+        assert!(config.k > 0, "k must be at least 1");
+        assert!(
+            config.initial_resample_frac > 0.0 && config.initial_resample_frac <= 1.0,
+            "initial_resample_frac must be in (0, 1]"
+        );
+        assert!(
+            config.min_resample_frac > 0.0 && config.min_resample_frac <= 1.0,
+            "min_resample_frac must be in (0, 1]"
+        );
+        SparseRsMulti {
+            config,
+            goal: AttackGoal::Untargeted,
+        }
+    }
+
+    /// Sets the attack goal (untargeted by default).
+    pub fn with_goal(mut self, goal: AttackGoal) -> Self {
+        self.goal = goal;
+        self
+    }
+
+    /// Pixels resampled at `iteration`: `max(1, ⌈α_i · k⌉)`.
+    fn resample_count(&self, iteration: u64) -> usize {
+        let t = (iteration as f64 / self.config.max_iterations as f64).min(1.0);
+        let frac = self.config.initial_resample_frac
+            + (self.config.min_resample_frac - self.config.initial_resample_frac) * t;
+        ((frac * self.config.k as f64).ceil() as usize).clamp(1, self.config.k)
+    }
+
+    fn random_candidate(&self, rng: &mut dyn RngCore, h: usize, w: usize) -> Candidate {
+        let k = self.config.k.min(h * w);
+        let mut all: Vec<Location> = (0..h as u16)
+            .flat_map(|row| (0..w as u16).map(move |col| Location::new(row, col)))
+            .collect();
+        all.shuffle(rng);
+        Candidate {
+            pixels: all[..k]
+                .iter()
+                .map(|&loc| (loc, Corner::new(rng.gen_range(0..8u8))))
+                .collect(),
+        }
+    }
+
+    /// Runs the attack. Returns a [`MultiAttackOutcome`] (few-pixel
+    /// successes carry all `k` pixels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the goal is unsatisfiable for the oracle's class count.
+    pub fn attack(
+        &self,
+        oracle: &mut Oracle<'_>,
+        image: &Image,
+        true_class: usize,
+        rng: &mut dyn RngCore,
+    ) -> MultiAttackOutcome {
+        let start = oracle.queries();
+        let spent = |oracle: &Oracle<'_>| oracle.queries() - start;
+        let (h, w) = (image.height(), image.width());
+
+        let clean = match oracle.query(image) {
+            Ok(s) => s,
+            Err(_) => {
+                return MultiAttackOutcome::Failure {
+                    queries: spent(oracle),
+                }
+            }
+        };
+        self.goal.validate(oracle.num_classes(), true_class);
+        if argmax(&clean) != true_class {
+            return MultiAttackOutcome::AlreadyMisclassified {
+                queries: spent(oracle),
+            };
+        }
+
+        let mut current = self.random_candidate(rng, h, w);
+        let mut best_margin = f32::INFINITY;
+
+        for iteration in 0..self.config.max_iterations {
+            let candidate = if iteration == 0 {
+                current.clone()
+            } else {
+                let mut next = current.clone();
+                let moves = self.resample_count(iteration);
+                // Resample `moves` entries: fresh locations (unused by the
+                // rest of the set) and fresh corners.
+                let mut indices: Vec<usize> = (0..next.pixels.len()).collect();
+                indices.shuffle(rng);
+                for &i in indices.iter().take(moves) {
+                    if rng.gen_bool(0.5) {
+                        // Move the pixel somewhere not already perturbed.
+                        loop {
+                            let loc = Location::new(
+                                rng.gen_range(0..h as u16),
+                                rng.gen_range(0..w as u16),
+                            );
+                            if next.pixels.iter().all(|&(l, _)| l != loc) {
+                                next.pixels[i].0 = loc;
+                                break;
+                            }
+                        }
+                    } else {
+                        next.pixels[i].1 = Corner::new(rng.gen_range(0..8u8));
+                    }
+                }
+                next
+            };
+            let scores = match oracle.query(&candidate.apply(image)) {
+                Ok(s) => s,
+                Err(_) => {
+                    return MultiAttackOutcome::Failure {
+                        queries: spent(oracle),
+                    }
+                }
+            };
+            if self.goal.is_adversarial(&scores, true_class) {
+                return MultiAttackOutcome::Success {
+                    pixels: candidate.as_success_pixels(),
+                    queries: spent(oracle),
+                };
+            }
+            let m = self.goal.margin(&scores, true_class);
+            if m <= best_margin {
+                best_margin = m;
+                current = candidate;
+            }
+        }
+        MultiAttackOutcome::Failure {
+            queries: spent(oracle),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oppsla_core::oracle::FnClassifier;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Flips only when at least `needed` pixels are pure white; the margin
+    /// shrinks with the white count, guiding the search.
+    fn count_classifier(needed: usize) -> FnClassifier<impl Fn(&Image) -> Vec<f32>> {
+        FnClassifier::new(2, move |img: &Image| {
+            let mut whites = 0usize;
+            for row in 0..img.height() as u16 {
+                for col in 0..img.width() as u16 {
+                    if img.pixel(Location::new(row, col)) == Pixel([1.0, 1.0, 1.0]) {
+                        whites += 1;
+                    }
+                }
+            }
+            if whites >= needed {
+                vec![0.1, 0.9]
+            } else {
+                let conf = 0.9 - 0.1 * whites as f32;
+                vec![conf, 1.0 - conf]
+            }
+        })
+    }
+
+    #[test]
+    fn three_pixel_attack_beats_a_three_white_threshold() {
+        // A one-pixel attack cannot flip this classifier; k=3 can.
+        let clf = count_classifier(3);
+        let img = Image::filled(8, 8, Pixel([0.4, 0.4, 0.4]));
+        let attack = SparseRsMulti::new(SparseRsMultiConfig {
+            k: 3,
+            max_iterations: 20_000,
+            ..SparseRsMultiConfig::default()
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut oracle = Oracle::new(&clf);
+        let outcome = attack.attack(&mut oracle, &img, 0, &mut rng);
+        match outcome {
+            MultiAttackOutcome::Success { pixels, .. } => {
+                assert_eq!(pixels.len(), 3);
+                let whites = pixels
+                    .iter()
+                    .filter(|(_, p)| *p == Pixel([1.0, 1.0, 1.0]))
+                    .count();
+                assert_eq!(whites, 3, "all three pixels must be white");
+                // Locations are distinct.
+                let mut locs: Vec<Location> = pixels.iter().map(|(l, _)| *l).collect();
+                locs.sort();
+                locs.dedup();
+                assert_eq!(locs.len(), 3);
+            }
+            other => panic!("expected success, got {other}"),
+        }
+    }
+
+    #[test]
+    fn one_pixel_special_case_works() {
+        let clf = count_classifier(1);
+        let img = Image::filled(6, 6, Pixel([0.4, 0.4, 0.4]));
+        let attack = SparseRsMulti::new(SparseRsMultiConfig {
+            k: 1,
+            max_iterations: 5_000,
+            ..SparseRsMultiConfig::default()
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut oracle = Oracle::new(&clf);
+        assert!(attack.attack(&mut oracle, &img, 0, &mut rng).is_success());
+    }
+
+    #[test]
+    fn respects_budget_and_iteration_limits() {
+        let clf = FnClassifier::new(2, |_: &Image| vec![0.9, 0.1]);
+        let img = Image::filled(6, 6, Pixel([0.4, 0.4, 0.4]));
+        let attack = SparseRsMulti::new(SparseRsMultiConfig {
+            k: 2,
+            max_iterations: 30,
+            ..SparseRsMultiConfig::default()
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut oracle = Oracle::new(&clf);
+        let outcome = attack.attack(&mut oracle, &img, 0, &mut rng);
+        assert_eq!(outcome, MultiAttackOutcome::Failure { queries: 31 });
+
+        let mut oracle = Oracle::with_budget(&clf, 7);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let outcome = attack.attack(&mut oracle, &img, 0, &mut rng);
+        assert_eq!(outcome, MultiAttackOutcome::Failure { queries: 7 });
+    }
+
+    #[test]
+    fn resample_count_decays_but_never_hits_zero() {
+        let attack = SparseRsMulti::new(SparseRsMultiConfig {
+            k: 10,
+            max_iterations: 1000,
+            ..SparseRsMultiConfig::default()
+        });
+        assert!(attack.resample_count(0) >= attack.resample_count(999));
+        assert!(attack.resample_count(999) >= 1);
+        assert!(attack.resample_count(0) <= 10);
+    }
+
+    #[test]
+    fn k_larger_than_image_is_clamped() {
+        let clf = count_classifier(1);
+        let img = Image::filled(2, 2, Pixel([0.4, 0.4, 0.4]));
+        let attack = SparseRsMulti::new(SparseRsMultiConfig {
+            k: 100,
+            max_iterations: 100,
+            ..SparseRsMultiConfig::default()
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut oracle = Oracle::new(&clf);
+        // Must not panic; 4 pixels max on a 2x2 image.
+        let outcome = attack.attack(&mut oracle, &img, 0, &mut rng);
+        if let MultiAttackOutcome::Success { pixels, .. } = outcome {
+            assert!(pixels.len() <= 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn rejects_zero_k() {
+        SparseRsMulti::new(SparseRsMultiConfig {
+            k: 0,
+            ..SparseRsMultiConfig::default()
+        });
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let clf = count_classifier(2);
+        let img = Image::filled(6, 6, Pixel([0.4, 0.4, 0.4]));
+        let attack = SparseRsMulti::new(SparseRsMultiConfig {
+            k: 2,
+            max_iterations: 3_000,
+            ..SparseRsMultiConfig::default()
+        });
+        let run = || {
+            let mut rng = ChaCha8Rng::seed_from_u64(21);
+            let mut oracle = Oracle::new(&clf);
+            attack.attack(&mut oracle, &img, 0, &mut rng)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,147 @@
+//! Adapter exposing a synthesized (or baseline) sketch program as an
+//! [`Attack`].
+
+use crate::traits::{Attack, AttackOutcome};
+use oppsla_core::dsl::Program;
+use oppsla_core::goal::AttackGoal;
+use oppsla_core::image::Image;
+use oppsla_core::oracle::Oracle;
+use oppsla_core::sketch::{run_sketch_with_goal, SketchOutcome};
+use rand::RngCore;
+
+/// An adversarial program run through the one-pixel sketch.
+///
+/// This is OPPSLA's output object: deterministic (the `rng` argument is
+/// ignored), guaranteed to succeed whenever a corner one-pixel attack
+/// exists, and differing from other instantiations only in query count.
+///
+/// # Examples
+///
+/// ```
+/// use oppsla_attacks::{Attack, SketchProgramAttack};
+/// use oppsla_core::dsl::Program;
+/// use oppsla_core::image::Image;
+/// use oppsla_core::oracle::{FnClassifier, Oracle};
+/// use oppsla_core::pair::{Location, Pixel};
+/// use rand::SeedableRng;
+///
+/// let clf = FnClassifier::new(2, |img: &Image| {
+///     if img.pixel(Location::new(0, 0)).0[0] > 0.9 { vec![0.1, 0.9] } else { vec![0.9, 0.1] }
+/// });
+/// let attack = SketchProgramAttack::new(Program::paper_example());
+/// let mut oracle = Oracle::new(&clf);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let img = Image::filled(3, 3, Pixel([0.2, 0.2, 0.2]));
+/// assert!(attack.attack(&mut oracle, &img, 0, &mut rng).is_success());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchProgramAttack {
+    program: Program,
+    name: &'static str,
+    goal: AttackGoal,
+}
+
+impl SketchProgramAttack {
+    /// Wraps `program` as an untargeted attack named `"oppsla-program"`.
+    pub fn new(program: Program) -> Self {
+        SketchProgramAttack {
+            program,
+            name: "oppsla-program",
+            goal: AttackGoal::Untargeted,
+        }
+    }
+
+    /// Wraps `program` under a custom report name (e.g. `"sketch+false"`).
+    pub fn named(program: Program, name: &'static str) -> Self {
+        SketchProgramAttack {
+            program,
+            name,
+            goal: AttackGoal::Untargeted,
+        }
+    }
+
+    /// Sets the attack goal (untargeted by default).
+    pub fn with_goal(mut self, goal: AttackGoal) -> Self {
+        self.goal = goal;
+        self
+    }
+
+    /// The wrapped program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+impl Attack for SketchProgramAttack {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn attack(
+        &self,
+        oracle: &mut Oracle<'_>,
+        image: &Image,
+        true_class: usize,
+        _rng: &mut dyn RngCore,
+    ) -> AttackOutcome {
+        match run_sketch_with_goal(&self.program, oracle, image, true_class, self.goal) {
+            SketchOutcome::Success { pair, queries } => AttackOutcome::Success {
+                location: pair.location,
+                pixel: pair.corner.as_pixel(),
+                queries,
+            },
+            SketchOutcome::Exhausted { queries } | SketchOutcome::OutOfBudget { queries } => {
+                AttackOutcome::Failure { queries }
+            }
+            SketchOutcome::AlreadyMisclassified { queries } => {
+                AttackOutcome::AlreadyMisclassified { queries }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oppsla_core::oracle::FnClassifier;
+    use oppsla_core::pair::{Location, Pixel};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn success_maps_pair_to_location_and_pixel() {
+        let target = Location::new(2, 1);
+        let clf = FnClassifier::new(2, move |img: &Image| {
+            if img.pixel(target) == Pixel([0.0, 0.0, 0.0]) {
+                vec![0.1, 0.9]
+            } else {
+                vec![0.9, 0.1]
+            }
+        });
+        let attack = SketchProgramAttack::new(Program::constant(false));
+        let mut oracle = Oracle::new(&clf);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let img = Image::filled(4, 4, Pixel([0.6, 0.6, 0.6]));
+        match attack.attack(&mut oracle, &img, 0, &mut rng) {
+            AttackOutcome::Success {
+                location, pixel, ..
+            } => {
+                assert_eq!(location, target);
+                assert_eq!(pixel, Pixel([0.0, 0.0, 0.0]));
+            }
+            other => panic!("expected success, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhaustion_maps_to_failure() {
+        let clf = FnClassifier::new(2, |_: &Image| vec![0.9, 0.1]);
+        let attack = SketchProgramAttack::named(Program::constant(false), "sketch+false");
+        assert_eq!(attack.name(), "sketch+false");
+        let mut oracle = Oracle::new(&clf);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let img = Image::filled(3, 3, Pixel([0.5, 0.5, 0.5]));
+        let outcome = attack.attack(&mut oracle, &img, 0, &mut rng);
+        assert_eq!(outcome, AttackOutcome::Failure { queries: 73 });
+    }
+}

@@ -1,0 +1,133 @@
+//! The common attack interface all one-pixel attacks implement.
+
+use oppsla_core::image::Image;
+use oppsla_core::oracle::Oracle;
+use oppsla_core::pair::{Location, Pixel};
+use rand::RngCore;
+use std::fmt;
+
+/// Result of attacking one image.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackOutcome {
+    /// A perturbation that flips the classifier was found.
+    Success {
+        /// Perturbed location.
+        location: Location,
+        /// The adversarial pixel value.
+        pixel: Pixel,
+        /// Queries spent by this attack run.
+        queries: u64,
+    },
+    /// The attack gave up (budget exhausted or search space exhausted).
+    Failure {
+        /// Queries spent by this attack run.
+        queries: u64,
+    },
+    /// The clean image was already misclassified; nothing to do.
+    AlreadyMisclassified {
+        /// Queries spent (typically the single baseline query).
+        queries: u64,
+    },
+}
+
+impl AttackOutcome {
+    /// Queries spent, regardless of outcome.
+    pub fn queries(&self) -> u64 {
+        match self {
+            AttackOutcome::Success { queries, .. }
+            | AttackOutcome::Failure { queries }
+            | AttackOutcome::AlreadyMisclassified { queries } => *queries,
+        }
+    }
+
+    /// True for [`AttackOutcome::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, AttackOutcome::Success { .. })
+    }
+}
+
+impl fmt::Display for AttackOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackOutcome::Success {
+                location,
+                pixel,
+                queries,
+            } => write!(f, "success at {location} ← {pixel} after {queries} queries"),
+            AttackOutcome::Failure { queries } => write!(f, "failure after {queries} queries"),
+            AttackOutcome::AlreadyMisclassified { queries } => {
+                write!(f, "already misclassified ({queries} queries)")
+            }
+        }
+    }
+}
+
+/// A black-box one-pixel attack.
+///
+/// Attacks receive a query-counting [`Oracle`] (which may carry a budget)
+/// and a random source; deterministic attacks ignore the latter. All
+/// randomness must come from `rng` so experiments are reproducible.
+pub trait Attack {
+    /// A short stable name for reports (e.g. `"sparse-rs"`).
+    fn name(&self) -> &'static str;
+
+    /// Attacks `image` (true class `true_class`) through `oracle`.
+    fn attack(
+        &self,
+        oracle: &mut Oracle<'_>,
+        image: &Image,
+        true_class: usize,
+        rng: &mut dyn RngCore,
+    ) -> AttackOutcome;
+}
+
+/// The margin loss used by the query-efficient baselines:
+/// `scores[c] − max_{j≠c} scores[j]`. Negative iff the classifier's
+/// decision is not `c`.
+///
+/// # Panics
+///
+/// Panics if `scores` has fewer than two entries or `true_class` is out of
+/// range.
+pub fn margin(scores: &[f32], true_class: usize) -> f32 {
+    assert!(scores.len() >= 2, "margin needs at least two classes");
+    assert!(true_class < scores.len(), "true class out of range");
+    let mut best_other = f32::NEG_INFINITY;
+    for (j, &s) in scores.iter().enumerate() {
+        if j != true_class && s > best_other {
+            best_other = s;
+        }
+    }
+    scores[true_class] - best_other
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn margin_sign_tracks_decision() {
+        assert!(margin(&[0.7, 0.2, 0.1], 0) > 0.0);
+        assert!(margin(&[0.2, 0.7, 0.1], 0) < 0.0);
+        assert_eq!(margin(&[0.5, 0.5], 0), 0.0);
+    }
+
+    #[test]
+    fn margin_uses_best_other_class() {
+        let m = margin(&[0.5, 0.1, 0.4], 0);
+        assert!((m - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn outcome_queries_accessor() {
+        let o = AttackOutcome::Failure { queries: 42 };
+        assert_eq!(o.queries(), 42);
+        assert!(!o.is_success());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn margin_rejects_bad_class() {
+        margin(&[0.5, 0.5], 3);
+    }
+}

@@ -1,0 +1,60 @@
+//! Criterion bench: whole-attack cost per image against a synthetic
+//! black-box classifier with a planted weakness — compares the sketch
+//! (fixed and condition-guided) with Sparse-RS end to end, isolating
+//! bookkeeping overhead from network cost (the classifier here is a cheap
+//! closure, so queue and DSL overhead dominate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oppsla_attacks::{Attack, SketchProgramAttack, SparseRs, SparseRsConfig};
+use oppsla_core::dsl::Program;
+use oppsla_core::image::Image;
+use oppsla_core::oracle::{FnClassifier, Oracle};
+use oppsla_core::pair::{Location, Pixel};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_attacks(c: &mut Criterion) {
+    // Weakness off-centre so the fixed prioritization has real work to do.
+    let clf = FnClassifier::new(2, |img: &Image| {
+        if img.pixel(Location::new(25, 6)) == Pixel([1.0, 1.0, 1.0]) {
+            vec![0.1, 0.9]
+        } else {
+            vec![0.9, 0.1]
+        }
+    });
+    let image = Image::filled(32, 32, Pixel([0.3, 0.4, 0.5]));
+
+    let mut group = c.benchmark_group("attack_per_image");
+    group.sample_size(20);
+
+    for (name, program) in [
+        ("sketch_false", Program::constant(false)),
+        ("sketch_paper_example", Program::paper_example()),
+    ] {
+        let attack = SketchProgramAttack::new(program);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut oracle = Oracle::new(&clf);
+                let mut rng = ChaCha8Rng::seed_from_u64(0);
+                black_box(attack.attack(&mut oracle, black_box(&image), 0, &mut rng))
+            });
+        });
+    }
+
+    let sparse = SparseRs::new(SparseRsConfig {
+        max_iterations: 8192,
+        ..SparseRsConfig::default()
+    });
+    group.bench_function("sparse_rs", |b| {
+        b.iter(|| {
+            let mut oracle = Oracle::new(&clf);
+            let mut rng = ChaCha8Rng::seed_from_u64(0);
+            black_box(sparse.attack(&mut oracle, black_box(&image), 0, &mut rng))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

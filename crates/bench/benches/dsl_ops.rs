@@ -1,0 +1,59 @@
+//! Criterion bench: condition-language operations — parsing,
+//! pretty-printing, typed mutation and condition evaluation. These run
+//! once per popped pair inside the sketch's hot loop (eval) and once per
+//! MH iteration (mutate), so their costs bound synthesis throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oppsla_core::dsl::{mutate, parse_program, random_program, CondCtx, ImageDims, Program};
+use oppsla_core::image::Image;
+use oppsla_core::pair::{Location, Pixel};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_dsl(c: &mut Criterion) {
+    let program = Program::paper_example();
+    let text = program.to_string();
+
+    c.bench_function("dsl/parse_program", |b| {
+        b.iter(|| parse_program(black_box(&text)).unwrap());
+    });
+
+    c.bench_function("dsl/display_program", |b| {
+        b.iter(|| black_box(&program).to_string());
+    });
+
+    let dims = ImageDims::new(32, 32);
+    c.bench_function("dsl/mutate", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut current = random_program(&mut rng, dims);
+        b.iter(|| {
+            current = mutate(&mut rng, &current, dims);
+            black_box(current.is_paper_grammar())
+        });
+    });
+
+    let image = Image::filled(32, 32, Pixel([0.3, 0.5, 0.7]));
+    let orig = vec![0.8f32, 0.05, 0.15];
+    let pert = vec![0.6f32, 0.2, 0.2];
+    let ctx = CondCtx {
+        image: &image,
+        location: Location::new(10, 20),
+        perturbation: Pixel([1.0, 0.0, 1.0]),
+        orig_scores: &orig,
+        pert_scores: &pert,
+        true_class: 0,
+    };
+    c.bench_function("dsl/eval_four_conditions", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for i in 1..=4 {
+                hits += black_box(&program).condition(i, black_box(&ctx)) as u32;
+            }
+            black_box(hits)
+        });
+    });
+}
+
+criterion_group!(benches, bench_dsl);
+criterion_main!(benches);

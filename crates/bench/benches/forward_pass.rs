@@ -1,0 +1,43 @@
+//! Criterion bench: classifier query latency (single-image forward pass)
+//! for every zoo architecture — the unit cost behind every query count in
+//! the paper's tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oppsla_nn::models::{Arch, ConvNet, InputSpec};
+use oppsla_tensor::Tensor;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_pass_32x32");
+    let image = Tensor::from_fn([3, 32, 32], |i| (i % 97) as f32 / 97.0);
+    for arch in [
+        Arch::VggSmall,
+        Arch::ResNetSmall,
+        Arch::GoogLeNetSmall,
+        Arch::DenseNetSmall,
+        Arch::Mlp,
+    ] {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let net = ConvNet::build(arch, InputSpec::RGB32, 10, &mut rng);
+        group.bench_function(arch.id(), |b| {
+            b.iter(|| black_box(net.scores(black_box(&image))));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("forward_pass_64x64");
+    let image = Tensor::from_fn([3, 64, 64], |i| (i % 97) as f32 / 97.0);
+    for arch in [Arch::ResNetSmall, Arch::DenseNetSmall] {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let net = ConvNet::build(arch, InputSpec::RGB64, 20, &mut rng);
+        group.bench_function(arch.id(), |b| {
+            b.iter(|| black_box(net.scores(black_box(&image))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion bench: the sketch's pair-queue operations, including the
+//! DESIGN.md ablation against a naive `VecDeque` + linear-scan
+//! implementation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oppsla_core::image::Image;
+use oppsla_core::pair::{Corner, Location, Pair, Pixel};
+use oppsla_core::queue::PairQueue;
+use std::collections::VecDeque;
+use std::hint::black_box;
+
+/// The naive reference used as the ablation baseline.
+struct NaiveQueue(VecDeque<Pair>);
+
+impl NaiveQueue {
+    fn from_real(real: &PairQueue) -> Self {
+        NaiveQueue(real.iter().collect())
+    }
+    fn pop(&mut self) -> Option<Pair> {
+        self.0.pop_front()
+    }
+    fn remove(&mut self, pair: Pair) -> bool {
+        match self.0.iter().position(|&p| p == pair) {
+            Some(i) => {
+                self.0.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+    fn push_back(&mut self, pair: Pair) -> bool {
+        if self.remove(pair) {
+            self.0.push_back(pair);
+            true
+        } else {
+            false
+        }
+    }
+    fn next_at_location(&self, loc: Location) -> Option<Pair> {
+        self.0.iter().find(|p| p.location == loc).copied()
+    }
+}
+
+fn workload_pairs(image: &Image) -> Vec<Pair> {
+    // A deterministic mixed workload touching the whole grid.
+    let (h, w) = (image.height() as u16, image.width() as u16);
+    (0..200u32)
+        .map(|i| {
+            Pair::new(
+                Location::new((i * 7 % h as u32) as u16, (i * 13 % w as u32) as u16),
+                Corner::new((i % 8) as u8),
+            )
+        })
+        .collect()
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let image = Image::filled(32, 32, Pixel([0.3, 0.5, 0.7]));
+    let pairs = workload_pairs(&image);
+
+    c.bench_function("queue/init_32x32", |b| {
+        b.iter(|| black_box(PairQueue::for_image(black_box(&image))));
+    });
+
+    let template = PairQueue::for_image(&image);
+    c.bench_function("queue/mixed_ops/arena", |b| {
+        b.iter_with_setup(
+            || template.clone(),
+            |mut q| {
+                for &p in &pairs {
+                    q.push_back(p);
+                    q.remove(p);
+                    black_box(q.next_at_location(p.location));
+                    black_box(q.pop());
+                }
+                black_box(q.len())
+            },
+        );
+    });
+
+    c.bench_function("queue/mixed_ops/naive_vecdeque", |b| {
+        b.iter_with_setup(
+            || NaiveQueue::from_real(&template),
+            |mut q| {
+                for &p in &pairs {
+                    q.push_back(p);
+                    q.remove(p);
+                    black_box(q.next_at_location(p.location));
+                    black_box(q.pop());
+                }
+                black_box(q.0.len())
+            },
+        );
+    });
+
+    c.bench_function("queue/drain_32x32", |b| {
+        b.iter_with_setup(
+            || template.clone(),
+            |mut q| {
+                while let Some(p) = q.pop() {
+                    black_box(p);
+                }
+            },
+        );
+    });
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Table 1 reproduction: transferability of synthesized programs across
+//! the CIFAR-scale classifiers (GoogLeNet / ResNet18 / VGG-16-BN stand-ins).
+//!
+//! ```text
+//! cargo run --release -p oppsla-bench --bin table1 -- \
+//!     [--test-per-class N]   (default 2)
+//!     [--budget B]           (default 8192)
+//!     [--synth-train N]      (default 3)
+//!     [--synth-iters N]      (default 40)
+//!     [--synth-budget B]     (default 1500)
+//!     [--no-prefilter]       (keep unattackable training images)
+//!     [--seed S]             (default 0)
+//!     [--fresh]
+//! ```
+
+use oppsla_bench::cli::Args;
+use oppsla_bench::{cifar_archs, reports_dir, suites_dir};
+use oppsla_core::oracle::Classifier;
+use oppsla_core::dsl::GrammarConfig;
+use oppsla_core::synth::SynthConfig;
+use oppsla_eval::suite::{synthesize_suite_cached, ProgramSuite};
+use oppsla_eval::transfer::{run_transfer, transfer_table};
+use oppsla_eval::zoo::{attack_test_set, train_or_load, Scale, ZooConfig};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let test_per_class = args.get_usize("test-per-class", 2);
+    let budget = args.get_u64("budget", 8192);
+    let synth = SynthConfig {
+        max_iterations: args.get_usize("synth-iters", 40),
+        beta: 0.01,
+        seed: args.get_u64("seed", 0),
+        per_image_budget: Some(args.get_u64("synth-budget", 1500)),
+        prefilter: !args.has("no-prefilter"),
+        grammar: GrammarConfig::paper(),
+    };
+    let synth_train_per_class = args.get_usize("synth-train", 3);
+    let seed = args.get_u64("seed", 0);
+
+    let scale = Scale::Cifar;
+    let mut labels = Vec::new();
+    let mut models = Vec::new();
+    let mut suites: Vec<ProgramSuite> = Vec::new();
+    for arch in cifar_archs() {
+        let t0 = Instant::now();
+        let model = train_or_load(arch, scale, &ZooConfig::default());
+        eprintln!(
+            "[{arch}] model ready in {:.1?} (test acc {:.3})",
+            t0.elapsed(),
+            model.test_accuracy
+        );
+        let train = attack_test_set(scale, synth_train_per_class, seed.wrapping_add(10));
+        let cache = (!args.has("fresh")).then(|| {
+            suites_dir().join(format!(
+                "{}-{}-i{}-t{}-s{}.json",
+                arch.id(),
+                scale.id(),
+                synth.max_iterations,
+                synth_train_per_class,
+                synth.seed
+            ))
+        });
+        let t1 = Instant::now();
+        let (suite, reports) = synthesize_suite_cached(
+            &model,
+            &train,
+            model.num_classes(),
+            &synth,
+            cache.as_deref(),
+        );
+        eprintln!(
+            "[{arch}] suite {} in {:.1?}",
+            if reports.is_some() { "synthesized" } else { "loaded from cache" },
+            t1.elapsed()
+        );
+        labels.push(arch.id().to_owned());
+        models.push(model);
+        suites.push(suite);
+    }
+
+    let classifiers: Vec<&dyn Classifier> = models
+        .iter()
+        .map(|m| m as &dyn Classifier)
+        .collect();
+    let test = attack_test_set(scale, test_per_class, seed.wrapping_add(999));
+    let t2 = Instant::now();
+    let result = run_transfer(&labels, &classifiers, &suites, &test, budget, seed);
+    eprintln!("transfer matrix computed in {:.1?}", t2.elapsed());
+
+    let table = transfer_table(&result);
+    println!("{table}");
+
+    // Success rates are reported separately (the paper notes they are
+    // independent of which classifier a program was synthesized for).
+    let mut rates = oppsla_eval::report::Table::new(
+        "Transfer success rates (valid images, within budget)",
+        {
+            let mut h = vec!["Target \\ Synthesized for".to_owned()];
+            h.extend(labels.iter().cloned());
+            h
+        },
+    );
+    for (target, label) in labels.iter().enumerate() {
+        let mut row = vec![label.clone()];
+        row.extend(
+            result.success_rate[target]
+                .iter()
+                .map(|&r| oppsla_eval::report::fmt_rate(r)),
+        );
+        rates.push_row(row);
+    }
+    println!("{rates}");
+
+    let path = reports_dir().join("table1.csv");
+    match table.write_csv(&path) {
+        Ok(()) => println!("table written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

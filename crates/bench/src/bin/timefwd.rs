@@ -1,0 +1,20 @@
+//! Micro-timing helper: single-image forward-pass latency per zoo family
+//! (used to calibrate experiment defaults; criterion benches give the
+//! precise numbers).
+use oppsla_nn::models::{Arch, ConvNet, InputSpec};
+use oppsla_tensor::Tensor;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+fn main() {
+    let img = Tensor::from_fn([3, 32, 32], |i| (i % 97) as f32 / 97.0);
+    for arch in [Arch::VggSmall, Arch::ResNetSmall, Arch::GoogLeNetSmall, Arch::DenseNetSmall] {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let net = ConvNet::build(arch, InputSpec::RGB32, 10, &mut rng);
+        let t = Instant::now();
+        let n = 300;
+        for _ in 0..n { std::hint::black_box(net.scores(&img)); }
+        println!("{arch}: {:?}/query", t.elapsed() / n);
+    }
+}

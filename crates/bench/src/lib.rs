@@ -1,0 +1,31 @@
+//! Shared plumbing for the OPPSLA experiment binaries: a tiny `--key
+//! value` argument parser and the architecture rosters of the paper's two
+//! evaluation scales.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+use oppsla_nn::models::Arch;
+use std::path::PathBuf;
+
+/// The CIFAR-scale classifier roster (paper: VGG-16-BN, ResNet18,
+/// GoogLeNet).
+pub fn cifar_archs() -> [Arch; 3] {
+    [Arch::VggSmall, Arch::ResNetSmall, Arch::GoogLeNetSmall]
+}
+
+/// The ImageNet-scale classifier roster (paper: DenseNet121, ResNet50).
+pub fn imagenet_archs() -> [Arch; 2] {
+    [Arch::DenseNetSmall, Arch::ResNetSmall]
+}
+
+/// Directory where experiment binaries drop CSV outputs.
+pub fn reports_dir() -> PathBuf {
+    PathBuf::from("target/oppsla-reports")
+}
+
+/// Directory where synthesized program suites are cached.
+pub fn suites_dir() -> PathBuf {
+    PathBuf::from("target/oppsla-programs")
+}

@@ -1,0 +1,242 @@
+//! Evaluation of conditions against the black-box-observable state.
+
+use super::ast::{Cmp, Condition, Func, PixelStat, Program};
+use crate::image::Image;
+use crate::pair::{Location, Pixel};
+
+/// Everything a condition may read when the sketch evaluates it for a
+/// failed pair `(l, p)`: the attacked image, the pair, both score vectors
+/// and the true class. This is exactly the information available in the
+/// black-box setting — nothing else exists to condition on.
+#[derive(Debug, Clone, Copy)]
+pub struct CondCtx<'a> {
+    /// The attacked image `x`.
+    pub image: &'a Image,
+    /// The popped pair's location `l`.
+    pub location: Location,
+    /// The popped pair's perturbation `p`.
+    pub perturbation: Pixel,
+    /// `N(x)` — scores of the unperturbed image.
+    pub orig_scores: &'a [f32],
+    /// `N(x[l←p])` — scores of the (failed) perturbed image.
+    pub pert_scores: &'a [f32],
+    /// The true class `c_x`.
+    pub true_class: usize,
+}
+
+impl Func {
+    /// Evaluates the function in `ctx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx.true_class` is out of range for the score vectors.
+    pub fn eval(self, ctx: &CondCtx<'_>) -> f64 {
+        match self {
+            Func::Pixel(stat) => {
+                let pixel = ctx.image.pixel(ctx.location);
+                let v = match stat {
+                    PixelStat::Max => pixel.max_channel(),
+                    PixelStat::Min => pixel.min_channel(),
+                    PixelStat::Avg => pixel.avg_channel(),
+                };
+                v as f64
+            }
+            Func::ScoreDiff => {
+                let c = ctx.true_class;
+                assert!(
+                    c < ctx.orig_scores.len() && c < ctx.pert_scores.len(),
+                    "true class {c} out of range for the score vectors"
+                );
+                (ctx.orig_scores[c] - ctx.pert_scores[c]) as f64
+            }
+            Func::Center => ctx.image.center_distance(ctx.location),
+        }
+    }
+
+    /// The closed interval of meaningful thresholds for this function,
+    /// given the image extents. Used by the typed sampler and mutator.
+    pub fn threshold_range(self, height: usize, width: usize) -> (f64, f64) {
+        match self {
+            Func::Pixel(_) => (0.0, 1.0),
+            Func::ScoreDiff => (-1.0, 1.0),
+            Func::Center => {
+                // Maximum L∞ distance from the centre.
+                let max = ((height.max(width)) as f64 - 1.0) / 2.0;
+                (0.0, max.max(1.0))
+            }
+        }
+    }
+}
+
+impl Condition {
+    /// Evaluates the condition in `ctx`.
+    pub fn eval(&self, ctx: &CondCtx<'_>) -> bool {
+        match self {
+            Condition::Compare {
+                func,
+                cmp,
+                threshold,
+            } => {
+                let v = func.eval(ctx);
+                match cmp {
+                    Cmp::Lt => v < *threshold,
+                    Cmp::Gt => v > *threshold,
+                }
+            }
+            Condition::Const(b) => *b,
+            Condition::Not(inner) => !inner.eval(ctx),
+            Condition::And(a, b) => a.eval(ctx) && b.eval(ctx),
+            Condition::Or(a, b) => a.eval(ctx) || b.eval(ctx),
+        }
+    }
+}
+
+impl Program {
+    /// Evaluates condition `Bᵢ` (1-indexed as in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not in `1..=4`.
+    pub fn condition(&self, i: usize, ctx: &CondCtx<'_>) -> bool {
+        assert!((1..=4).contains(&i), "conditions are B1..B4, got B{i}");
+        self.conditions[i - 1].eval(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_image() -> Image {
+        let mut img = Image::filled(5, 5, Pixel([0.4, 0.4, 0.4]));
+        img.set_pixel(Location::new(1, 2), Pixel([0.1, 0.5, 0.9]));
+        img
+    }
+
+    fn ctx<'a>(img: &'a Image, orig: &'a [f32], pert: &'a [f32]) -> CondCtx<'a> {
+        CondCtx {
+            image: img,
+            location: Location::new(1, 2),
+            perturbation: Pixel([1.0, 1.0, 1.0]),
+            orig_scores: orig,
+            pert_scores: pert,
+            true_class: 0,
+        }
+    }
+
+    #[test]
+    fn pixel_stats_read_the_original_pixel() {
+        let img = test_image();
+        let orig = [0.8, 0.2];
+        let pert = [0.6, 0.4];
+        let c = ctx(&img, &orig, &pert);
+        assert_eq!(Func::Pixel(PixelStat::Max).eval(&c), 0.9f32 as f64);
+        assert_eq!(Func::Pixel(PixelStat::Min).eval(&c), 0.1f32 as f64);
+        assert!((Func::Pixel(PixelStat::Avg).eval(&c) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn score_diff_is_true_class_drop() {
+        let img = test_image();
+        let orig = [0.8, 0.2];
+        let pert = [0.6, 0.4];
+        let c = ctx(&img, &orig, &pert);
+        let v = Func::ScoreDiff.eval(&c);
+        assert!((v - 0.2).abs() < 1e-6, "score_diff = 0.8 - 0.6, got {v}");
+    }
+
+    #[test]
+    fn center_matches_image_center_distance() {
+        let img = test_image();
+        let orig = [0.5, 0.5];
+        let c = ctx(&img, &orig, &orig);
+        assert_eq!(Func::Center.eval(&c), 1.0); // (1,2) vs centre (2,2)
+    }
+
+    #[test]
+    fn comparisons_are_strict() {
+        let img = test_image();
+        let orig = [0.5, 0.5];
+        let c = ctx(&img, &orig, &orig);
+        let eq = Condition::Compare {
+            func: Func::Center,
+            cmp: Cmp::Lt,
+            threshold: 1.0,
+        };
+        assert!(!eq.eval(&c), "1.0 < 1.0 is false (strict)");
+        let gt = Condition::Compare {
+            func: Func::Center,
+            cmp: Cmp::Gt,
+            threshold: 0.5,
+        };
+        assert!(gt.eval(&c));
+    }
+
+    #[test]
+    fn const_conditions_ignore_context() {
+        let img = test_image();
+        let orig = [0.5, 0.5];
+        let c = ctx(&img, &orig, &orig);
+        assert!(Condition::TRUE.eval(&c));
+        assert!(!Condition::FALSE.eval(&c));
+    }
+
+    #[test]
+    fn program_condition_is_one_indexed() {
+        let p = Program::new([
+            Condition::TRUE,
+            Condition::FALSE,
+            Condition::TRUE,
+            Condition::FALSE,
+        ]);
+        let img = test_image();
+        let orig = [0.5, 0.5];
+        let c = ctx(&img, &orig, &orig);
+        assert!(p.condition(1, &c));
+        assert!(!p.condition(2, &c));
+        assert!(p.condition(3, &c));
+        assert!(!p.condition(4, &c));
+    }
+
+    #[test]
+    #[should_panic(expected = "B1..B4")]
+    fn condition_zero_rejected() {
+        let p = Program::constant(false);
+        let img = test_image();
+        let orig = [0.5, 0.5];
+        let c = ctx(&img, &orig, &orig);
+        p.condition(0, &c);
+    }
+
+    #[test]
+    fn threshold_ranges_are_typed() {
+        assert_eq!(Func::Pixel(PixelStat::Max).threshold_range(32, 32), (0.0, 1.0));
+        assert_eq!(Func::ScoreDiff.threshold_range(32, 32), (-1.0, 1.0));
+        assert_eq!(Func::Center.threshold_range(32, 32), (0.0, 15.5));
+        assert_eq!(Func::Center.threshold_range(5, 9), (0.0, 4.0));
+    }
+
+    #[test]
+    fn paper_example_fires_as_described() {
+        // The paper's B4: center(l) < 8 — a pair close to the centre.
+        let img = Image::filled(32, 32, Pixel([0.3, 0.3, 0.3]));
+        let orig = [0.9, 0.1];
+        let pert = [0.6, 0.4];
+        let c = CondCtx {
+            image: &img,
+            location: Location::new(16, 16),
+            perturbation: Pixel([0.0, 0.0, 0.0]),
+            orig_scores: &orig,
+            pert_scores: &pert,
+            true_class: 0,
+        };
+        let p = Program::paper_example();
+        // score_diff = 0.3: not < 0.21 (B1 false), > 0.25 (B3 true)
+        assert!(!p.condition(1, &c));
+        assert!(p.condition(3, &c));
+        // max(x_l) = 0.3 > 0.19 (B2 true)
+        assert!(p.condition(2, &c));
+        // center((16,16)) = 0.5 < 8 (B4 true)
+        assert!(p.condition(4, &c));
+    }
+}

@@ -1,0 +1,18 @@
+//! The condition language: abstract syntax ([`Program`], [`Condition`]),
+//! semantics ([`CondCtx`] evaluation), the typed proposal distribution
+//! used by the synthesizer ([`random_program`], [`mutate`],
+//! [`GrammarConfig`]), and a concrete-syntax parser/pretty-printer
+//! ([`parse_program`]).
+
+mod ast;
+mod eval;
+mod parse;
+mod sample;
+
+pub use ast::{Cmp, Condition, Func, PixelStat, Program};
+pub use eval::CondCtx;
+pub use parse::{parse_condition, parse_program, ParseError};
+pub use sample::{
+    is_well_typed, mutate, mutate_in, random_condition, random_condition_in, random_program,
+    random_program_in, GrammarConfig, ImageDims,
+};

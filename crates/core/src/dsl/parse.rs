@@ -1,0 +1,639 @@
+//! Concrete syntax for adversarial programs: a lexer and recursive-descent
+//! parser that round-trips with the `Display` implementation.
+//!
+//! The grammar mirrors Figure 1 of the paper, extended with the boolean
+//! combinators of this reproduction's richer search space (standard
+//! precedence: `!` over `&&` over `||`; parentheses group):
+//!
+//! ```text
+//! program   := labeled (';' labeled)*        (exactly four conditions)
+//! labeled   := ('B' digit ':')? condition
+//! condition := or
+//! or        := and ('||' and)*
+//! and       := unary ('&&' unary)*
+//! unary     := '!' unary | atom
+//! atom      := 'true' | 'false' | '(' condition ')' | func cmp number
+//! func      := ('max' | 'min' | 'avg') '(' 'x_l' ')'
+//!            | 'score_diff' '(' 'N' '(' 'x' ')' ','
+//!                              'N' '(' 'x' '[' 'l' '<-' 'p' ']' ')' ','
+//!                              'c_x' ')'
+//!            | 'center' '(' 'l' ')'
+//! cmp       := '<' | '>'
+//! ```
+
+use super::ast::{Cmp, Condition, Func, PixelStat, Program};
+use std::fmt;
+
+/// A parse failure, with the byte offset where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(f64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Lt,
+    Gt,
+    /// The substitution arrow `<-` in `x[l<-p]`.
+    Arrow,
+    /// Negation `!` (extended grammar).
+    Bang,
+    /// Conjunction `&&` (extended grammar).
+    AndAnd,
+    /// Disjunction `||` (extended grammar).
+    OrOr,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn tokens(mut self) -> Result<Vec<(usize, Token)>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            while matches!(self.peek_byte(), Some(b) if b.is_ascii_whitespace()) {
+                self.pos += 1;
+            }
+            let start = self.pos;
+            let Some(b) = self.peek_byte() else {
+                return Ok(out);
+            };
+            let token = match b {
+                b'(' => {
+                    self.pos += 1;
+                    Token::LParen
+                }
+                b')' => {
+                    self.pos += 1;
+                    Token::RParen
+                }
+                b'[' => {
+                    self.pos += 1;
+                    Token::LBracket
+                }
+                b']' => {
+                    self.pos += 1;
+                    Token::RBracket
+                }
+                b',' => {
+                    self.pos += 1;
+                    Token::Comma
+                }
+                b';' => {
+                    self.pos += 1;
+                    Token::Semi
+                }
+                b':' => {
+                    self.pos += 1;
+                    Token::Colon
+                }
+                b'>' => {
+                    self.pos += 1;
+                    Token::Gt
+                }
+                b'!' => {
+                    self.pos += 1;
+                    Token::Bang
+                }
+                b'&' => {
+                    if self.src.get(self.pos + 1) == Some(&b'&') {
+                        self.pos += 2;
+                        Token::AndAnd
+                    } else {
+                        return Err(self.error("expected `&&`"));
+                    }
+                }
+                b'|' => {
+                    if self.src.get(self.pos + 1) == Some(&b'|') {
+                        self.pos += 2;
+                        Token::OrOr
+                    } else {
+                        return Err(self.error("expected `||`"));
+                    }
+                }
+                b'<' => {
+                    // `<-p` is the substitution arrow; `< -0.5` is a
+                    // comparison with a negative number.
+                    let next = self.src.get(self.pos + 1).copied();
+                    let after = self.src.get(self.pos + 2).copied();
+                    if next == Some(b'-')
+                        && !matches!(after, Some(d) if d.is_ascii_digit() || d == b'.')
+                    {
+                        self.pos += 2;
+                        Token::Arrow
+                    } else {
+                        self.pos += 1;
+                        Token::Lt
+                    }
+                }
+                b'-' | b'0'..=b'9' | b'.' => self.lex_number()?,
+                b if b.is_ascii_alphabetic() || b == b'_' => self.lex_ident(),
+                other => {
+                    return Err(self.error(format!("unexpected character {:?}", other as char)))
+                }
+            };
+            out.push((start, token));
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Token, ParseError> {
+        let start = self.pos;
+        if self.peek_byte() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut saw_digit = false;
+        while matches!(self.peek_byte(), Some(b) if b.is_ascii_digit() || b == b'.') {
+            saw_digit |= self.src[self.pos].is_ascii_digit();
+            self.pos += 1;
+        }
+        if matches!(self.peek_byte(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek_byte(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek_byte(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if !saw_digit {
+            self.pos = start;
+            return Err(self.error("expected a number"));
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii slice");
+        text.parse::<f64>()
+            .map(Token::Number)
+            .map_err(|e| ParseError {
+                offset: start,
+                message: format!("bad number {text:?}: {e}"),
+            })
+    }
+
+    fn lex_ident(&mut self) -> Token {
+        let start = self.pos;
+        while matches!(self.peek_byte(), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii slice");
+        Token::Ident(text.to_owned())
+    }
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error_at(&self, message: impl Into<String>) -> ParseError {
+        let offset = self
+            .tokens
+            .get(self.pos)
+            .map(|(o, _)| *o)
+            .unwrap_or_else(|| self.tokens.last().map(|(o, _)| *o + 1).unwrap_or(0));
+        ParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.error_at(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self, want: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) if s == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.error_at(format!("expected `{want}`, found {other:?}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut conditions = Vec::with_capacity(4);
+        loop {
+            conditions.push(self.labeled_condition()?);
+            match self.peek() {
+                Some(Token::Semi) => {
+                    self.pos += 1;
+                }
+                None => break,
+                other => {
+                    return Err(self.error_at(format!(
+                        "expected `;` between conditions, found {other:?}"
+                    )))
+                }
+            }
+        }
+        let n = conditions.len();
+        let conditions: [Condition; 4] = conditions.try_into().map_err(|_| ParseError {
+            offset: 0,
+            message: format!("a program has exactly four conditions, found {n}"),
+        })?;
+        Ok(Program::new(conditions))
+    }
+
+    fn labeled_condition(&mut self) -> Result<Condition, ParseError> {
+        // Optional "B<k>:" label.
+        if let Some(Token::Ident(s)) = self.peek() {
+            let is_label = s.len() >= 2
+                && s.starts_with('B')
+                && s[1..].chars().all(|c| c.is_ascii_digit())
+                && matches!(self.tokens.get(self.pos + 1).map(|(_, t)| t), Some(Token::Colon));
+            if is_label {
+                self.pos += 2;
+            }
+        }
+        self.condition()
+    }
+
+    fn condition(&mut self) -> Result<Condition, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Condition, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.peek() == Some(&Token::OrOr) {
+            self.pos += 1;
+            let right = self.and_expr()?;
+            left = Condition::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Condition, ParseError> {
+        let mut left = self.unary()?;
+        while self.peek() == Some(&Token::AndAnd) {
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Condition::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Condition, ParseError> {
+        if self.peek() == Some(&Token::Bang) {
+            self.pos += 1;
+            return Ok(Condition::Not(Box::new(self.unary()?)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Condition, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) if s == "true" => {
+                self.pos += 1;
+                Ok(Condition::Const(true))
+            }
+            Some(Token::Ident(s)) if s == "false" => {
+                self.pos += 1;
+                Ok(Condition::Const(false))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let inner = self.condition()?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(inner)
+            }
+            _ => {
+                let func = self.func()?;
+                let cmp = match self.advance() {
+                    Some(Token::Lt) => Cmp::Lt,
+                    Some(Token::Gt) => Cmp::Gt,
+                    other => {
+                        self.pos = self.pos.saturating_sub(1);
+                        return Err(self.error_at(format!(
+                            "expected `<` or `>`, found {other:?}"
+                        )));
+                    }
+                };
+                let threshold = match self.advance() {
+                    Some(Token::Number(n)) => n,
+                    other => {
+                        self.pos = self.pos.saturating_sub(1);
+                        return Err(
+                            self.error_at(format!("expected a threshold, found {other:?}"))
+                        );
+                    }
+                };
+                Ok(Condition::Compare {
+                    func,
+                    cmp,
+                    threshold,
+                })
+            }
+        }
+    }
+
+    fn func(&mut self) -> Result<Func, ParseError> {
+        let name = match self.advance() {
+            Some(Token::Ident(s)) => s,
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.error_at(format!("expected a function, found {other:?}")));
+            }
+        };
+        match name.as_str() {
+            "max" | "min" | "avg" => {
+                self.expect(&Token::LParen, "`(`")?;
+                self.expect_ident("x_l")?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(Func::Pixel(match name.as_str() {
+                    "max" => PixelStat::Max,
+                    "min" => PixelStat::Min,
+                    _ => PixelStat::Avg,
+                }))
+            }
+            "score_diff" => {
+                self.expect(&Token::LParen, "`(`")?;
+                self.expect_ident("N")?;
+                self.expect(&Token::LParen, "`(`")?;
+                self.expect_ident("x")?;
+                self.expect(&Token::RParen, "`)`")?;
+                self.expect(&Token::Comma, "`,`")?;
+                self.expect_ident("N")?;
+                self.expect(&Token::LParen, "`(`")?;
+                self.expect_ident("x")?;
+                self.expect(&Token::LBracket, "`[`")?;
+                self.expect_ident("l")?;
+                self.expect(&Token::Arrow, "`<-`")?;
+                self.expect_ident("p")?;
+                self.expect(&Token::RBracket, "`]`")?;
+                self.expect(&Token::RParen, "`)`")?;
+                self.expect(&Token::Comma, "`,`")?;
+                self.expect_ident("c_x")?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(Func::ScoreDiff)
+            }
+            "center" => {
+                self.expect(&Token::LParen, "`(`")?;
+                self.expect_ident("l")?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(Func::Center)
+            }
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error_at(format!("unknown function `{other}`")))
+            }
+        }
+    }
+}
+
+/// Parses a program from its concrete syntax.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] describing the offset and cause on malformed
+/// input.
+///
+/// # Examples
+///
+/// ```
+/// use oppsla_core::dsl::{parse_program, Program};
+///
+/// let p = Program::paper_example();
+/// let round_tripped = parse_program(&p.to_string())?;
+/// assert_eq!(p, round_tripped);
+/// # Ok::<(), oppsla_core::dsl::ParseError>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = Lexer::new(src).tokens()?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let program = parser.program()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(parser.error_at("trailing input after the fourth condition"));
+    }
+    Ok(program)
+}
+
+/// Parses a single condition (convenience for tests and tools).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input.
+pub fn parse_condition(src: &str) -> Result<Condition, ParseError> {
+    let tokens = Lexer::new(src).tokens()?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let cond = parser.labeled_condition()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(parser.error_at("trailing input after the condition"));
+    }
+    Ok(cond)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example_round_trip() {
+        let p = Program::paper_example();
+        assert_eq!(parse_program(&p.to_string()).unwrap(), p);
+    }
+
+    #[test]
+    fn parses_constant_program() {
+        let p = parse_program("B1: false; B2: true; B3: false; B4: false").unwrap();
+        assert_eq!(p.conditions[0], Condition::Const(false));
+        assert_eq!(p.conditions[1], Condition::Const(true));
+    }
+
+    #[test]
+    fn labels_are_optional() {
+        let with = parse_program("B1: center(l) < 3; B2: true; B3: false; B4: max(x_l) > 0.5");
+        let without = parse_program("center(l) < 3; true; false; max(x_l) > 0.5");
+        assert_eq!(with.unwrap(), without.unwrap());
+    }
+
+    #[test]
+    fn negative_thresholds_disambiguate_from_arrow() {
+        let c = parse_condition("score_diff(N(x), N(x[l<-p]), c_x) < -0.25").unwrap();
+        assert_eq!(
+            c,
+            Condition::Compare {
+                func: Func::ScoreDiff,
+                cmp: Cmp::Lt,
+                threshold: -0.25
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_three_conditions() {
+        let err = parse_program("true; true; true").unwrap_err();
+        assert!(err.message.contains("four conditions"), "{err}");
+    }
+
+    #[test]
+    fn rejects_five_conditions() {
+        let err = parse_program("true; true; true; true; true").unwrap_err();
+        assert!(err.message.contains("four conditions"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_function() {
+        let err = parse_condition("median(x_l) > 0.5").unwrap_err();
+        assert!(err.message.contains("unknown function"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_threshold() {
+        assert!(parse_condition("center(l) <").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = parse_condition("center(l) < 3 extra").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_score_diff_args() {
+        assert!(parse_condition("score_diff(N(x), N(x), c_x) > 0.1").is_err());
+    }
+
+    #[test]
+    fn error_offsets_point_into_the_input() {
+        let src = "center(l) ? 3; true; true; true";
+        let err = parse_program(src).unwrap_err();
+        assert_eq!(err.offset, src.find('?').unwrap());
+    }
+
+    #[test]
+    fn scientific_notation_thresholds() {
+        let c = parse_condition("avg(x_l) > 1.5e-2").unwrap();
+        assert_eq!(
+            c,
+            Condition::Compare {
+                func: Func::Pixel(PixelStat::Avg),
+                cmp: Cmp::Gt,
+                threshold: 0.015
+            }
+        );
+    }
+
+    #[test]
+    fn boolean_combinators_parse_with_precedence() {
+        // a || b && !c groups as a || (b && (!c)).
+        let c = parse_condition("true || false && !center(l) < 3").unwrap();
+        match c {
+            Condition::Or(a, b) => {
+                assert_eq!(*a, Condition::Const(true));
+                match *b {
+                    Condition::And(x, y) => {
+                        assert_eq!(*x, Condition::Const(false));
+                        assert!(matches!(*y, Condition::Not(_)));
+                    }
+                    other => panic!("expected And, got {other:?}"),
+                }
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let grouped = parse_condition("(true || false) && true").unwrap();
+        assert!(matches!(grouped, Condition::And(..)));
+        let flat = parse_condition("true || false && true").unwrap();
+        assert!(matches!(flat, Condition::Or(..)));
+    }
+
+    #[test]
+    fn nested_negation_parses() {
+        let c = parse_condition("!!max(x_l) > 0.5").unwrap();
+        match c {
+            Condition::Not(inner) => assert!(matches!(*inner, Condition::Not(_))),
+            other => panic!("expected Not, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extended_conditions_round_trip() {
+        for src in [
+            "!center(l) < 3",
+            "max(x_l) > 0.5 && min(x_l) < 0.2",
+            "(avg(x_l) > 0.3 || center(l) < 2) && !false",
+        ] {
+            let parsed = parse_condition(src).unwrap();
+            let reparsed = parse_condition(&parsed.to_string()).unwrap();
+            assert_eq!(parsed, reparsed, "{src} failed to round-trip");
+        }
+    }
+
+    #[test]
+    fn rejects_single_ampersand() {
+        assert!(parse_condition("true & false").is_err());
+    }
+
+    #[test]
+    fn rejects_unclosed_paren() {
+        assert!(parse_condition("(true || false").is_err());
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        let a = parse_condition("max(x_l)>0.5").unwrap();
+        let b = parse_condition("  max ( x_l )  >  0.5 ").unwrap();
+        assert_eq!(a, b);
+    }
+}

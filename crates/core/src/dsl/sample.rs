@@ -1,0 +1,448 @@
+//! Typed random generation and mutation of programs — the proposal
+//! distribution of the Metropolis–Hastings search (Section 4).
+//!
+//! A program is represented as the abstract syntax tree of Figure 2: a
+//! root with four condition children, each condition holding a function
+//! child and a constant child. A mutation uniformly selects one of the 13
+//! nodes (1 root + 4 conditions + 4 functions + 4 constants) and resamples
+//! its entire subtree *by the corresponding grammar rule*, so every mutant
+//! is well-typed by construction — in particular, thresholds are always
+//! drawn from (or re-drawn into) the selected function's typed range.
+
+use super::ast::{Cmp, Condition, Func, Program};
+use rand::Rng;
+
+/// Image extents, which type the `center(l)` threshold range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImageDims {
+    /// Image height (`d₁`).
+    pub height: usize,
+    /// Image width (`d₂`).
+    pub width: usize,
+}
+
+impl ImageDims {
+    /// Creates dims.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either extent is zero.
+    pub fn new(height: usize, width: usize) -> Self {
+        assert!(height > 0 && width > 0, "image extents must be positive");
+        ImageDims { height, width }
+    }
+}
+
+fn sample_func(rng: &mut impl Rng) -> Func {
+    Func::ALL[rng.gen_range(0..Func::ALL.len())]
+}
+
+fn sample_cmp(rng: &mut impl Rng) -> Cmp {
+    if rng.gen_bool(0.5) {
+        Cmp::Lt
+    } else {
+        Cmp::Gt
+    }
+}
+
+fn sample_threshold(rng: &mut impl Rng, func: Func, dims: ImageDims) -> f64 {
+    let (lo, hi) = func.threshold_range(dims.height, dims.width);
+    rng.gen_range(lo..=hi)
+}
+
+/// Which grammar the sampler and mutator draw from.
+///
+/// [`GrammarConfig::paper`] is the faithful Figure 1 grammar (atomic
+/// comparisons only). [`GrammarConfig::extended`] additionally generates
+/// boolean combinators (`!`, `&&`, `||`) up to a depth bound — this
+/// reproduction's richer search space extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrammarConfig {
+    /// Allow `!`, `&&`, `||` nodes.
+    pub boolean_ops: bool,
+    /// Maximum condition depth when `boolean_ops` is on (1 = atoms only).
+    pub max_depth: usize,
+}
+
+impl GrammarConfig {
+    /// The paper's grammar (Figure 1).
+    pub fn paper() -> Self {
+        GrammarConfig {
+            boolean_ops: false,
+            max_depth: 1,
+        }
+    }
+
+    /// The extended grammar with boolean combinators up to `max_depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_depth` is zero.
+    pub fn extended(max_depth: usize) -> Self {
+        assert!(max_depth > 0, "max_depth must be at least 1");
+        GrammarConfig {
+            boolean_ops: true,
+            max_depth,
+        }
+    }
+}
+
+impl Default for GrammarConfig {
+    fn default() -> Self {
+        GrammarConfig::paper()
+    }
+}
+
+fn sample_atom(rng: &mut impl Rng, dims: ImageDims) -> Condition {
+    let func = sample_func(rng);
+    Condition::Compare {
+        func,
+        cmp: sample_cmp(rng),
+        threshold: sample_threshold(rng, func, dims),
+    }
+}
+
+fn sample_condition_at_depth(
+    rng: &mut impl Rng,
+    dims: ImageDims,
+    grammar: GrammarConfig,
+    depth_left: usize,
+) -> Condition {
+    if !grammar.boolean_ops || depth_left <= 1 || rng.gen_bool(0.6) {
+        return sample_atom(rng, dims);
+    }
+    match rng.gen_range(0..3u8) {
+        0 => Condition::Not(Box::new(sample_condition_at_depth(
+            rng,
+            dims,
+            grammar,
+            depth_left - 1,
+        ))),
+        1 => Condition::And(
+            Box::new(sample_condition_at_depth(rng, dims, grammar, depth_left - 1)),
+            Box::new(sample_condition_at_depth(rng, dims, grammar, depth_left - 1)),
+        ),
+        _ => Condition::Or(
+            Box::new(sample_condition_at_depth(rng, dims, grammar, depth_left - 1)),
+            Box::new(sample_condition_at_depth(rng, dims, grammar, depth_left - 1)),
+        ),
+    }
+}
+
+/// Samples a random well-typed condition from the paper's grammar.
+pub fn random_condition(rng: &mut impl Rng, dims: ImageDims) -> Condition {
+    sample_atom(rng, dims)
+}
+
+/// Samples a random well-typed condition from `grammar`.
+pub fn random_condition_in(
+    rng: &mut impl Rng,
+    dims: ImageDims,
+    grammar: GrammarConfig,
+) -> Condition {
+    sample_condition_at_depth(rng, dims, grammar, grammar.max_depth)
+}
+
+/// Samples a random well-typed program from the paper's grammar (the
+/// synthesizer's starting point).
+pub fn random_program(rng: &mut impl Rng, dims: ImageDims) -> Program {
+    random_program_in(rng, dims, GrammarConfig::paper())
+}
+
+/// Samples a random well-typed program from `grammar`.
+pub fn random_program_in(rng: &mut impl Rng, dims: ImageDims, grammar: GrammarConfig) -> Program {
+    Program::new([
+        random_condition_in(rng, dims, grammar),
+        random_condition_in(rng, dims, grammar),
+        random_condition_in(rng, dims, grammar),
+        random_condition_in(rng, dims, grammar),
+    ])
+}
+
+/// The node selected for mutation in the program AST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MutationSite {
+    /// The root: all four conditions are resampled.
+    Root,
+    /// Condition `i` (0-based): its whole subtree is resampled.
+    Condition(usize),
+    /// The function child of condition `i`: the function is resampled; the
+    /// threshold is re-drawn only if it falls outside the new function's
+    /// typed range (keeping the mutation local while preserving typing).
+    Func(usize),
+    /// The constant child of condition `i`: the threshold is resampled
+    /// from the current function's range.
+    Threshold(usize),
+}
+
+fn sample_site(rng: &mut impl Rng) -> MutationSite {
+    match rng.gen_range(0..13u32) {
+        0 => MutationSite::Root,
+        n @ 1..=4 => MutationSite::Condition((n - 1) as usize),
+        n @ 5..=8 => MutationSite::Func((n - 5) as usize),
+        n => MutationSite::Threshold((n - 9) as usize),
+    }
+}
+
+/// Mutates `program` by uniformly picking an AST node and resampling its
+/// subtree per the paper's grammar. Always returns a well-typed program.
+///
+/// A `Const` condition (possible only if the caller seeded the search with
+/// a baseline program) is replaced by a fresh grammar condition whenever
+/// its node or a child of it is selected.
+pub fn mutate(rng: &mut impl Rng, program: &Program, dims: ImageDims) -> Program {
+    mutate_in(rng, program, dims, GrammarConfig::paper())
+}
+
+/// Mutates `program` within `grammar`. With the paper grammar, function
+/// and threshold children can be mutated individually (the Figure 2 tree);
+/// with the extended grammar, selecting a condition resamples a whole
+/// (possibly nested) condition, and leaf-level sites rewrite the first
+/// atom found in the condition's leftmost spine, keeping mutations local.
+pub fn mutate_in(
+    rng: &mut impl Rng,
+    program: &Program,
+    dims: ImageDims,
+    grammar: GrammarConfig,
+) -> Program {
+    let mut out = program.clone();
+    match sample_site(rng) {
+        MutationSite::Root => {
+            out = random_program_in(rng, dims, grammar);
+        }
+        MutationSite::Condition(i) => {
+            out.conditions[i] = random_condition_in(rng, dims, grammar);
+        }
+        MutationSite::Func(i) => {
+            mutate_first_atom(rng, &mut out.conditions[i], dims, grammar, AtomSite::Func);
+        }
+        MutationSite::Threshold(i) => {
+            mutate_first_atom(rng, &mut out.conditions[i], dims, grammar, AtomSite::Threshold);
+        }
+    }
+    out
+}
+
+#[derive(Clone, Copy)]
+enum AtomSite {
+    Func,
+    Threshold,
+}
+
+/// Rewrites the leftmost atomic comparison inside `cond` at the given
+/// site; `Const` leaves are replaced by fresh conditions.
+fn mutate_first_atom(
+    rng: &mut impl Rng,
+    cond: &mut Condition,
+    dims: ImageDims,
+    grammar: GrammarConfig,
+    site: AtomSite,
+) {
+    match cond {
+        Condition::Compare {
+            func,
+            cmp: _,
+            threshold,
+        } => match site {
+            AtomSite::Func => {
+                let new_func = sample_func(rng);
+                let (lo, hi) = new_func.threshold_range(dims.height, dims.width);
+                if !(lo..=hi).contains(threshold) {
+                    *threshold = sample_threshold(rng, new_func, dims);
+                }
+                *func = new_func;
+            }
+            AtomSite::Threshold => {
+                *threshold = sample_threshold(rng, *func, dims);
+            }
+        },
+        Condition::Const(_) => {
+            *cond = random_condition_in(rng, dims, grammar);
+        }
+        Condition::Not(inner) => mutate_first_atom(rng, inner, dims, grammar, site),
+        Condition::And(a, _) | Condition::Or(a, _) => {
+            mutate_first_atom(rng, a, dims, grammar, site)
+        }
+    }
+}
+
+/// True when every condition of `program` is well-typed for `dims`:
+/// atomic comparisons carry thresholds inside their function's range
+/// (constants are vacuously well-typed; combinators recurse).
+pub fn is_well_typed(program: &Program, dims: ImageDims) -> bool {
+    fn check(cond: &Condition, dims: ImageDims) -> bool {
+        match cond {
+            Condition::Compare {
+                func, threshold, ..
+            } => {
+                let (lo, hi) = func.threshold_range(dims.height, dims.width);
+                (lo..=hi).contains(threshold) && threshold.is_finite()
+            }
+            Condition::Const(_) => true,
+            Condition::Not(inner) => check(inner, dims),
+            Condition::And(a, b) | Condition::Or(a, b) => check(a, dims) && check(b, dims),
+        }
+    }
+    program.conditions.iter().all(|cond| check(cond, dims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    const DIMS: ImageDims = ImageDims {
+        height: 32,
+        width: 32,
+    };
+
+    #[test]
+    fn random_programs_are_well_typed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..200 {
+            let p = random_program(&mut rng, DIMS);
+            assert!(is_well_typed(&p, DIMS), "{p}");
+        }
+    }
+
+    #[test]
+    fn mutants_are_well_typed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut p = random_program(&mut rng, DIMS);
+        for _ in 0..500 {
+            p = mutate(&mut rng, &p, DIMS);
+            assert!(is_well_typed(&p, DIMS), "{p}");
+        }
+    }
+
+    #[test]
+    fn mutation_changes_at_most_all_and_usually_something() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let p = random_program(&mut rng, DIMS);
+        let mut changed = 0;
+        for _ in 0..100 {
+            let q = mutate(&mut rng, &p, DIMS);
+            if q != p {
+                changed += 1;
+            }
+        }
+        // Resampling can reproduce the same value occasionally, but the
+        // overwhelming majority of mutations must differ.
+        assert!(changed > 80, "only {changed}/100 mutations changed anything");
+    }
+
+    #[test]
+    fn mutation_reaches_every_site() {
+        // Over many mutations of a fixed program, each of the four
+        // conditions must change at least once, in each of the ways.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let p = random_program(&mut rng, DIMS);
+        let mut cond_changed = [false; 4];
+        for _ in 0..400 {
+            let q = mutate(&mut rng, &p, DIMS);
+            for (changed, (new, old)) in cond_changed
+                .iter_mut()
+                .zip(q.conditions.iter().zip(p.conditions.iter()))
+            {
+                *changed |= new != old;
+            }
+        }
+        assert_eq!(cond_changed, [true; 4], "some condition never mutated");
+    }
+
+    #[test]
+    fn mutating_const_program_escapes_constants() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut p = Program::constant(false);
+        let mut escaped = false;
+        for _ in 0..50 {
+            p = mutate(&mut rng, &p, DIMS);
+            if p.conditions
+                .iter()
+                .any(|c| matches!(c, Condition::Compare { .. }))
+            {
+                escaped = true;
+                break;
+            }
+        }
+        assert!(escaped, "mutation never left the constant program");
+    }
+
+    #[test]
+    fn mutation_is_deterministic_under_seed() {
+        let base = {
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            random_program(&mut rng, DIMS)
+        };
+        let run = || {
+            let mut rng = ChaCha8Rng::seed_from_u64(6);
+            let mut p = base.clone();
+            for _ in 0..20 {
+                p = mutate(&mut rng, &p, DIMS);
+            }
+            p
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn extended_grammar_produces_combinators() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let grammar = GrammarConfig::extended(3);
+        let mut saw_combinator = false;
+        for _ in 0..50 {
+            let p = random_program_in(&mut rng, DIMS, grammar);
+            assert!(is_well_typed(&p, DIMS), "{p}");
+            if !p.is_paper_grammar() {
+                saw_combinator = true;
+            }
+        }
+        assert!(saw_combinator, "extended sampler never used a combinator");
+    }
+
+    #[test]
+    fn extended_grammar_respects_depth_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let grammar = GrammarConfig::extended(3);
+        for _ in 0..200 {
+            let p = random_program_in(&mut rng, DIMS, grammar);
+            for cond in &p.conditions {
+                assert!(cond.depth() <= 3, "depth {} > 3: {cond}", cond.depth());
+            }
+        }
+    }
+
+    #[test]
+    fn paper_grammar_sampler_never_produces_combinators() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        for _ in 0..200 {
+            let p = random_program(&mut rng, DIMS);
+            assert!(p.is_paper_grammar(), "{p}");
+        }
+    }
+
+    #[test]
+    fn extended_mutation_stays_well_typed_and_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let grammar = GrammarConfig::extended(3);
+        let mut p = random_program_in(&mut rng, DIMS, grammar);
+        for _ in 0..300 {
+            p = mutate_in(&mut rng, &p, DIMS, grammar);
+            assert!(is_well_typed(&p, DIMS), "{p}");
+            for cond in &p.conditions {
+                assert!(cond.depth() <= 3, "{cond}");
+            }
+        }
+    }
+
+    #[test]
+    fn center_thresholds_respect_small_images() {
+        let dims = ImageDims::new(3, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            let p = random_program(&mut rng, dims);
+            assert!(is_well_typed(&p, dims));
+        }
+    }
+}

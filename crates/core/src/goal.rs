@@ -1,0 +1,185 @@
+//! Attack goals: untargeted (the paper's setting) and targeted
+//! misclassification.
+//!
+//! The paper's attacks are untargeted — success means
+//! `argmax(N(x+δ)) ≠ c_x`. Targeted attacks (force a *specific* wrong
+//! class) are a natural extension supported throughout this reproduction:
+//! the sketch, the baselines and the synthesizer are all goal-generic,
+//! because each of them only needs a success predicate and a margin.
+
+use crate::oracle::argmax;
+use std::fmt;
+
+/// What counts as a successful adversarial example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AttackGoal {
+    /// Any misclassification: `argmax(N(x')) ≠ c_x` (the paper's setting).
+    Untargeted,
+    /// Force the classifier's decision to a specific class.
+    Targeted(usize),
+}
+
+impl Default for AttackGoal {
+    fn default() -> Self {
+        AttackGoal::Untargeted
+    }
+}
+
+impl AttackGoal {
+    /// True when `scores` constitute a successful attack against an image
+    /// whose true class is `true_class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores` is empty, or if a targeted goal's class is out
+    /// of range.
+    pub fn is_adversarial(&self, scores: &[f32], true_class: usize) -> bool {
+        match self {
+            AttackGoal::Untargeted => argmax(scores) != true_class,
+            AttackGoal::Targeted(target) => {
+                assert!(*target < scores.len(), "target class out of range");
+                argmax(scores) == *target
+            }
+        }
+    }
+
+    /// A margin that is negative iff the attack succeeds:
+    ///
+    /// * untargeted — `scores[c_x] − max_{j≠c_x} scores[j]`;
+    /// * targeted — `max_{j≠t} scores[j] − scores[t]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores` has fewer than two entries, `true_class` is out
+    /// of range, or a targeted goal's class is out of range.
+    pub fn margin(&self, scores: &[f32], true_class: usize) -> f32 {
+        assert!(scores.len() >= 2, "margin needs at least two classes");
+        assert!(true_class < scores.len(), "true class out of range");
+        let best_other = |excluded: usize| {
+            let mut best = f32::NEG_INFINITY;
+            for (j, &s) in scores.iter().enumerate() {
+                if j != excluded && s > best {
+                    best = s;
+                }
+            }
+            best
+        };
+        match self {
+            AttackGoal::Untargeted => scores[true_class] - best_other(true_class),
+            AttackGoal::Targeted(target) => {
+                assert!(*target < scores.len(), "target class out of range");
+                best_other(*target) - scores[*target]
+            }
+        }
+    }
+
+    /// The fitness the differential-evolution baseline minimizes: the true
+    /// class's score for untargeted attacks, the target's negated score
+    /// for targeted ones.
+    pub fn fitness(&self, scores: &[f32], true_class: usize) -> f32 {
+        match self {
+            AttackGoal::Untargeted => scores[true_class],
+            AttackGoal::Targeted(target) => -scores[*target],
+        }
+    }
+
+    /// Checks the goal is satisfiable against a classifier with
+    /// `num_classes` classes and the given true class: a targeted goal
+    /// must name an in-range class different from `true_class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the goal is unsatisfiable (these are caller bugs, not
+    /// runtime conditions).
+    pub fn validate(&self, num_classes: usize, true_class: usize) {
+        if let AttackGoal::Targeted(target) = self {
+            assert!(
+                *target < num_classes,
+                "target class {target} out of range ({num_classes} classes)"
+            );
+            assert_ne!(
+                *target, true_class,
+                "targeted goal names the true class — the attack is vacuous"
+            );
+        }
+    }
+}
+
+impl fmt::Display for AttackGoal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackGoal::Untargeted => f.write_str("untargeted"),
+            AttackGoal::Targeted(t) => write!(f, "targeted({t})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCORES: [f32; 4] = [0.5, 0.3, 0.15, 0.05];
+
+    #[test]
+    fn untargeted_success_is_any_flip() {
+        let goal = AttackGoal::Untargeted;
+        assert!(!goal.is_adversarial(&SCORES, 0));
+        assert!(goal.is_adversarial(&SCORES, 1));
+    }
+
+    #[test]
+    fn targeted_success_requires_the_target() {
+        let goal = AttackGoal::Targeted(1);
+        // argmax is 0, not the target: failure even though class 2 is the
+        // true class.
+        assert!(!goal.is_adversarial(&SCORES, 2));
+        let flipped = [0.2f32, 0.6, 0.1, 0.1];
+        assert!(goal.is_adversarial(&flipped, 2));
+    }
+
+    #[test]
+    fn margins_are_negative_exactly_on_success() {
+        for goal in [AttackGoal::Untargeted, AttackGoal::Targeted(1), AttackGoal::Targeted(3)] {
+            for true_class in 0..4 {
+                if let AttackGoal::Targeted(t) = goal {
+                    if t == true_class {
+                        continue;
+                    }
+                }
+                let success = goal.is_adversarial(&SCORES, true_class);
+                let margin = goal.margin(&SCORES, true_class);
+                assert_eq!(
+                    success,
+                    margin < 0.0,
+                    "{goal} true={true_class}: success {success} vs margin {margin}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn targeted_margin_decreases_as_target_score_rises() {
+        let goal = AttackGoal::Targeted(2);
+        let low = goal.margin(&[0.5, 0.3, 0.1, 0.1], 0);
+        let high = goal.margin(&[0.45, 0.3, 0.2, 0.05], 0);
+        assert!(high < low);
+    }
+
+    #[test]
+    fn fitness_directions() {
+        assert_eq!(AttackGoal::Untargeted.fitness(&SCORES, 0), 0.5);
+        assert_eq!(AttackGoal::Targeted(2).fitness(&SCORES, 0), -0.15);
+    }
+
+    #[test]
+    #[should_panic(expected = "vacuous")]
+    fn validate_rejects_target_equal_true_class() {
+        AttackGoal::Targeted(1).validate(4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn validate_rejects_out_of_range_target() {
+        AttackGoal::Targeted(9).validate(4, 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! The black-box classifier interface and query accounting.
+//!
+//! The attack setting is strictly black-box: the attacker can only submit
+//! images and observe score vectors. Every attack and the synthesizer go
+//! through an [`Oracle`], which counts queries and enforces an optional
+//! budget — the paper's central cost metric.
+
+use crate::image::Image;
+use std::fmt;
+
+/// A black-box image classifier: maps an image to one score per class.
+///
+/// The attack only ever calls [`Classifier::scores`] — no gradients, no
+/// weights, matching the paper's threat model.
+pub trait Classifier {
+    /// The number of classes `c`.
+    fn num_classes(&self) -> usize;
+
+    /// The score vector `N(x)` (length [`Classifier::num_classes`]).
+    fn scores(&self, image: &Image) -> Vec<f32>;
+
+    /// The classifier's decision: `argmax(N(x))`.
+    fn classify(&self, image: &Image) -> usize {
+        let scores = self.scores(image);
+        argmax(&scores)
+    }
+}
+
+/// Index of the maximum score (first on ties).
+///
+/// # Panics
+///
+/// Panics if `scores` is empty.
+pub fn argmax(scores: &[f32]) -> usize {
+    assert!(!scores.is_empty(), "argmax of empty score vector");
+    let mut best = 0;
+    for (i, &v) in scores.iter().enumerate() {
+        if v > scores[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// A classifier built from a closure, for tests and synthetic oracles.
+///
+/// # Examples
+///
+/// ```
+/// use oppsla_core::image::Image;
+/// use oppsla_core::oracle::{Classifier, FnClassifier};
+/// use oppsla_core::pair::Pixel;
+///
+/// // "Bright" vs "dark" classifier.
+/// let clf = FnClassifier::new(2, |img: &Image| {
+///     let mean: f32 = img.data().iter().sum::<f32>() / img.data().len() as f32;
+///     vec![mean, 1.0 - mean]
+/// });
+/// let bright = Image::filled(2, 2, Pixel([0.9, 0.9, 0.9]));
+/// assert_eq!(clf.classify(&bright), 0);
+/// ```
+pub struct FnClassifier<F> {
+    num_classes: usize,
+    f: F,
+}
+
+impl<F: Fn(&Image) -> Vec<f32>> FnClassifier<F> {
+    /// Wraps `f` as a classifier with `num_classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes < 2`.
+    pub fn new(num_classes: usize, f: F) -> Self {
+        assert!(num_classes >= 2, "a classifier needs at least two classes");
+        FnClassifier { num_classes, f }
+    }
+}
+
+impl<F: Fn(&Image) -> Vec<f32>> Classifier for FnClassifier<F> {
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn scores(&self, image: &Image) -> Vec<f32> {
+        let scores = (self.f)(image);
+        debug_assert_eq!(scores.len(), self.num_classes, "score vector length");
+        scores
+    }
+}
+
+impl<F> fmt::Debug for FnClassifier<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FnClassifier({} classes)", self.num_classes)
+    }
+}
+
+/// Error returned when an [`Oracle`]'s query budget is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExhausted {
+    /// The budget that was in force.
+    pub budget: u64,
+}
+
+impl fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query budget of {} exhausted", self.budget)
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
+
+/// A query-counting, budget-enforcing wrapper around a [`Classifier`].
+///
+/// # Examples
+///
+/// ```
+/// use oppsla_core::image::Image;
+/// use oppsla_core::oracle::{FnClassifier, Oracle};
+/// use oppsla_core::pair::Pixel;
+///
+/// let clf = FnClassifier::new(2, |_: &Image| vec![1.0, 0.0]);
+/// let mut oracle = Oracle::with_budget(&clf, 1);
+/// let img = Image::filled(2, 2, Pixel([0.0; 3]));
+/// assert!(oracle.query(&img).is_ok());
+/// assert!(oracle.query(&img).is_err()); // budget spent
+/// assert_eq!(oracle.queries(), 1);
+/// ```
+pub struct Oracle<'a> {
+    classifier: &'a dyn Classifier,
+    queries: u64,
+    budget: Option<u64>,
+}
+
+impl<'a> Oracle<'a> {
+    /// Creates an unbounded oracle.
+    pub fn new(classifier: &'a dyn Classifier) -> Self {
+        Oracle {
+            classifier,
+            queries: 0,
+            budget: None,
+        }
+    }
+
+    /// Creates an oracle that refuses queries beyond `budget`.
+    pub fn with_budget(classifier: &'a dyn Classifier, budget: u64) -> Self {
+        Oracle {
+            classifier,
+            queries: 0,
+            budget: Some(budget),
+        }
+    }
+
+    /// Submits an image, counting one query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when the budget has been spent; the
+    /// failed attempt is *not* counted and the classifier is not invoked.
+    pub fn query(&mut self, image: &Image) -> Result<Vec<f32>, BudgetExhausted> {
+        if let Some(budget) = self.budget {
+            if self.queries >= budget {
+                return Err(BudgetExhausted { budget });
+            }
+        }
+        self.queries += 1;
+        Ok(self.classifier.scores(image))
+    }
+
+    /// The number of queries issued so far.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// The remaining budget, if one is set.
+    pub fn remaining(&self) -> Option<u64> {
+        self.budget.map(|b| b.saturating_sub(self.queries))
+    }
+
+    /// The number of classes of the wrapped classifier.
+    pub fn num_classes(&self) -> usize {
+        self.classifier.num_classes()
+    }
+}
+
+impl fmt::Debug for Oracle<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Oracle")
+            .field("queries", &self.queries)
+            .field("budget", &self.budget)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::Pixel;
+
+    fn constant_classifier() -> FnClassifier<impl Fn(&Image) -> Vec<f32>> {
+        FnClassifier::new(3, |_: &Image| vec![0.1, 0.7, 0.2])
+    }
+
+    #[test]
+    fn oracle_counts_queries() {
+        let clf = constant_classifier();
+        let mut oracle = Oracle::new(&clf);
+        let img = Image::filled(2, 2, Pixel([0.0; 3]));
+        for expected in 1..=5 {
+            oracle.query(&img).unwrap();
+            assert_eq!(oracle.queries(), expected);
+        }
+        assert_eq!(oracle.remaining(), None);
+    }
+
+    #[test]
+    fn budget_is_enforced_exactly() {
+        let clf = constant_classifier();
+        let mut oracle = Oracle::with_budget(&clf, 3);
+        let img = Image::filled(2, 2, Pixel([0.0; 3]));
+        assert_eq!(oracle.remaining(), Some(3));
+        for _ in 0..3 {
+            oracle.query(&img).unwrap();
+        }
+        let err = oracle.query(&img).unwrap_err();
+        assert_eq!(err, BudgetExhausted { budget: 3 });
+        assert_eq!(oracle.queries(), 3, "failed attempt not counted");
+        assert_eq!(oracle.remaining(), Some(0));
+    }
+
+    #[test]
+    fn classify_is_argmax_of_scores() {
+        let clf = constant_classifier();
+        let img = Image::filled(2, 2, Pixel([0.0; 3]));
+        assert_eq!(clf.classify(&img), 1);
+    }
+
+    #[test]
+    fn argmax_prefers_first_on_ties() {
+        assert_eq!(argmax(&[0.5, 0.5, 0.1]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn fn_classifier_rejects_single_class() {
+        let _ = FnClassifier::new(1, |_: &Image| vec![1.0]);
+    }
+}

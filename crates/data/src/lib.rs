@@ -1,0 +1,30 @@
+//! Seeded synthetic image datasets for the OPPSLA reproduction.
+//!
+//! The paper evaluates on CIFAR-10 and ImageNet, which are unavailable in
+//! this offline environment. This crate substitutes parametric shape
+//! datasets whose samples carry the statistics the attack's condition
+//! language reads — centered objects, dark/bright regions, class-correlated
+//! colours — at two scales:
+//!
+//! * [`DatasetSpec::shapes32`] — 32×32×3, 10 classes (CIFAR-10 scale;
+//!   8·32·32 = 8,192 one-pixel candidates).
+//! * [`DatasetSpec::shapes64`] — 64×64×3, 20 classes (ImageNet stand-in;
+//!   8·64·64 = 32,768 candidates).
+//!
+//! # Examples
+//!
+//! ```
+//! use oppsla_data::{Dataset, DatasetSpec};
+//!
+//! let spec = DatasetSpec::shapes32();
+//! let data = Dataset::generate(&spec, 2, 42);
+//! assert_eq!(data.len(), 20);
+//! assert_eq!(data.images[0].shape().dims(), &[3, 32, 32]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataset;
+pub mod render;
+
+pub use dataset::{ClassSpec, Dataset, DatasetSpec};

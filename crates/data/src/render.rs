@@ -1,0 +1,322 @@
+//! Shape rasterizers for the synthetic datasets.
+//!
+//! Each renderer draws a parametric object onto an RGB canvas. The
+//! renderers deliberately produce the visual statistics the OPPSLA
+//! condition language reads: centered objects (the `center(l)` condition),
+//! dark and bright regions (`min`/`max`/`avg` pixel conditions), and
+//! class-correlated colour distributions.
+
+use oppsla_tensor::Tensor;
+
+/// An RGB canvas in CHW layout with values in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct Canvas {
+    height: usize,
+    width: usize,
+    data: Vec<f32>,
+}
+
+impl Canvas {
+    /// Creates a canvas filled with a solid colour.
+    pub fn filled(height: usize, width: usize, color: [f32; 3]) -> Self {
+        let mut data = Vec::with_capacity(3 * height * width);
+        for c in color {
+            data.extend(std::iter::repeat_n(c, height * width));
+        }
+        Canvas {
+            height,
+            width,
+            data,
+        }
+    }
+
+    /// Canvas height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Canvas width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sets the pixel at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, color: [f32; 3]) {
+        assert!(row < self.height && col < self.width, "pixel out of bounds");
+        let area = self.height * self.width;
+        for (ch, c) in color.into_iter().enumerate() {
+            self.data[ch * area + row * self.width + col] = c;
+        }
+    }
+
+    /// The pixel at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> [f32; 3] {
+        assert!(row < self.height && col < self.width, "pixel out of bounds");
+        let area = self.height * self.width;
+        let off = row * self.width + col;
+        [
+            self.data[off],
+            self.data[area + off],
+            self.data[2 * area + off],
+        ]
+    }
+
+    /// Adds `noise(row, col, channel)` to every sample and clamps to `[0,1]`.
+    pub fn perturb(&mut self, mut noise: impl FnMut(usize, usize, usize) -> f32) {
+        let area = self.height * self.width;
+        for ch in 0..3 {
+            for row in 0..self.height {
+                for col in 0..self.width {
+                    let v = &mut self.data[ch * area + row * self.width + col];
+                    *v = (*v + noise(row, col, ch)).clamp(0.0, 1.0);
+                }
+            }
+        }
+    }
+
+    /// Converts the canvas into a `[3, h, w]` tensor.
+    pub fn into_tensor(self) -> Tensor {
+        Tensor::from_vec([3, self.height, self.width], self.data)
+    }
+}
+
+/// The shape kinds the synthetic classes are built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShapeKind {
+    /// A filled disc.
+    Disc,
+    /// A hollow ring.
+    Ring,
+    /// A filled axis-aligned square.
+    Square,
+    /// A square outline.
+    SquareOutline,
+    /// A plus-shaped cross.
+    Cross,
+    /// Horizontal stripes over the whole canvas.
+    HorizontalStripes,
+    /// Vertical stripes over the whole canvas.
+    VerticalStripes,
+    /// Diagonal stripes over the whole canvas.
+    DiagonalStripes,
+    /// A checkerboard over the whole canvas.
+    Checkerboard,
+    /// A soft radial blob (Gaussian falloff).
+    Blob,
+}
+
+impl ShapeKind {
+    /// The ten kinds, in class order.
+    pub const ALL: [ShapeKind; 10] = [
+        ShapeKind::Disc,
+        ShapeKind::Ring,
+        ShapeKind::Square,
+        ShapeKind::SquareOutline,
+        ShapeKind::Cross,
+        ShapeKind::HorizontalStripes,
+        ShapeKind::VerticalStripes,
+        ShapeKind::DiagonalStripes,
+        ShapeKind::Checkerboard,
+        ShapeKind::Blob,
+    ];
+}
+
+/// Placement and size of a rendered object.
+#[derive(Debug, Clone, Copy)]
+pub struct Placement {
+    /// Object centre row.
+    pub center_row: f32,
+    /// Object centre column.
+    pub center_col: f32,
+    /// Characteristic radius / half-extent in pixels.
+    pub radius: f32,
+    /// Stripe or checker period in pixels (texture kinds only).
+    pub period: usize,
+}
+
+/// Draws `kind` in `color` at `placement` on `canvas`.
+///
+/// Texture kinds (stripes, checkerboard) cover the whole canvas and ignore
+/// the centre; object kinds are local.
+pub fn draw(canvas: &mut Canvas, kind: ShapeKind, color: [f32; 3], placement: Placement) {
+    let (h, w) = (canvas.height(), canvas.width());
+    let (cr, cc, r) = (
+        placement.center_row,
+        placement.center_col,
+        placement.radius.max(1.0),
+    );
+    let period = placement.period.max(2);
+    for row in 0..h {
+        for col in 0..w {
+            let dy = row as f32 - cr;
+            let dx = col as f32 - cc;
+            let dist = (dy * dy + dx * dx).sqrt();
+            let inside = match kind {
+                ShapeKind::Disc => dist <= r,
+                ShapeKind::Ring => dist <= r && dist >= r * 0.6,
+                ShapeKind::Square => dy.abs() <= r && dx.abs() <= r,
+                ShapeKind::SquareOutline => {
+                    let m = dy.abs().max(dx.abs());
+                    m <= r && m >= r * 0.6
+                }
+                ShapeKind::Cross => {
+                    (dy.abs() <= r * 0.35 && dx.abs() <= r)
+                        || (dx.abs() <= r * 0.35 && dy.abs() <= r)
+                }
+                ShapeKind::HorizontalStripes => (row / period).is_multiple_of(2),
+                ShapeKind::VerticalStripes => (col / period).is_multiple_of(2),
+                ShapeKind::DiagonalStripes => ((row + col) / period).is_multiple_of(2),
+                ShapeKind::Checkerboard => ((row / period) + (col / period)).is_multiple_of(2),
+                ShapeKind::Blob => false, // handled below with soft blending
+            };
+            if inside {
+                canvas.set(row, col, color);
+            } else if kind == ShapeKind::Blob {
+                let weight = (-dist * dist / (2.0 * r * r)).exp();
+                if weight > 0.05 {
+                    let bg = canvas.get(row, col);
+                    canvas.set(
+                        row,
+                        col,
+                        [
+                            bg[0] + (color[0] - bg[0]) * weight,
+                            bg[1] + (color[1] - bg[1]) * weight,
+                            bg[2] + (color[2] - bg[2]) * weight,
+                        ],
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_colored(canvas: &Canvas, color: [f32; 3]) -> usize {
+        let mut n = 0;
+        for row in 0..canvas.height() {
+            for col in 0..canvas.width() {
+                if canvas.get(row, col) == color {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    const RED: [f32; 3] = [1.0, 0.0, 0.0];
+    const BLACK: [f32; 3] = [0.0, 0.0, 0.0];
+
+    fn centered() -> Placement {
+        Placement {
+            center_row: 8.0,
+            center_col: 8.0,
+            radius: 4.0,
+            period: 4,
+        }
+    }
+
+    #[test]
+    fn canvas_round_trips_pixels() {
+        let mut c = Canvas::filled(4, 4, BLACK);
+        c.set(1, 2, RED);
+        assert_eq!(c.get(1, 2), RED);
+        assert_eq!(c.get(0, 0), BLACK);
+        let t = c.into_tensor();
+        assert_eq!(t.shape().dims(), &[3, 4, 4]);
+        assert_eq!(t.at(&[0, 1, 2]), 1.0);
+    }
+
+    #[test]
+    fn disc_is_centered_and_bounded() {
+        let mut c = Canvas::filled(16, 16, BLACK);
+        draw(&mut c, ShapeKind::Disc, RED, centered());
+        assert_eq!(c.get(8, 8), RED, "centre belongs to the disc");
+        assert_eq!(c.get(0, 0), BLACK, "corner stays background");
+        let area = count_colored(&c, RED) as f32;
+        let expected = std::f32::consts::PI * 16.0;
+        assert!((area - expected).abs() < 16.0, "disc area {area} vs {expected}");
+    }
+
+    #[test]
+    fn ring_has_a_hole() {
+        let mut c = Canvas::filled(16, 16, BLACK);
+        draw(&mut c, ShapeKind::Ring, RED, centered());
+        assert_eq!(c.get(8, 8), BLACK, "ring centre is hollow");
+        assert_eq!(c.get(8, 11), RED, "ring band is drawn");
+    }
+
+    #[test]
+    fn square_outline_is_hollow() {
+        let mut c = Canvas::filled(16, 16, BLACK);
+        draw(&mut c, ShapeKind::SquareOutline, RED, centered());
+        assert_eq!(c.get(8, 8), BLACK);
+        assert_eq!(c.get(4, 8), RED);
+    }
+
+    #[test]
+    fn stripes_alternate() {
+        let mut c = Canvas::filled(16, 16, BLACK);
+        draw(&mut c, ShapeKind::HorizontalStripes, RED, centered());
+        assert_eq!(c.get(0, 0), RED);
+        assert_eq!(c.get(4, 0), BLACK);
+        assert_eq!(c.get(8, 3), RED);
+    }
+
+    #[test]
+    fn checkerboard_alternates_both_axes() {
+        let mut c = Canvas::filled(16, 16, BLACK);
+        draw(&mut c, ShapeKind::Checkerboard, RED, centered());
+        assert_eq!(c.get(0, 0), RED);
+        assert_eq!(c.get(0, 4), BLACK);
+        assert_eq!(c.get(4, 4), RED);
+    }
+
+    #[test]
+    fn blob_fades_with_distance() {
+        let mut c = Canvas::filled(16, 16, BLACK);
+        draw(&mut c, ShapeKind::Blob, RED, centered());
+        let center = c.get(8, 8)[0];
+        let mid = c.get(8, 11)[0];
+        let far = c.get(0, 0)[0];
+        assert!(center > mid, "blob fades: centre {center} vs mid {mid}");
+        assert!(mid > far, "blob fades: mid {mid} vs far {far}");
+    }
+
+    #[test]
+    fn perturb_clamps_to_unit_interval() {
+        let mut c = Canvas::filled(4, 4, [0.9, 0.9, 0.9]);
+        c.perturb(|_, _, _| 0.5);
+        for row in 0..4 {
+            for col in 0..4 {
+                assert_eq!(c.get(row, col), [1.0, 1.0, 1.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_kinds_render_without_panicking() {
+        for kind in ShapeKind::ALL {
+            let mut c = Canvas::filled(32, 32, [0.2, 0.2, 0.2]);
+            draw(&mut c, kind, [0.8, 0.5, 0.1], Placement {
+                center_row: 16.0,
+                center_col: 16.0,
+                radius: 8.0,
+                period: 5,
+            });
+            let t = c.into_tensor();
+            assert!(t.is_finite());
+            assert!(t.max() <= 1.0 && t.min() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the synthetic dataset generators.
+
+use oppsla_data::{Dataset, DatasetSpec};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every rendered sample is a valid [0,1] image of the right shape.
+    #[test]
+    fn samples_are_valid_for_any_seed_and_class(seed in any::<u64>(), class in 0usize..10) {
+        let spec = DatasetSpec::shapes32();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let img = spec.render_sample(class, &mut rng);
+        prop_assert_eq!(img.shape().dims(), &[3, 32, 32]);
+        prop_assert!(img.is_finite());
+        prop_assert!(img.min() >= 0.0 && img.max() <= 1.0);
+    }
+
+    /// Rendering is a pure function of (class, rng state).
+    #[test]
+    fn rendering_is_deterministic(seed in any::<u64>(), class in 0usize..10) {
+        let spec = DatasetSpec::shapes32();
+        let a = spec.render_sample(class, &mut ChaCha8Rng::seed_from_u64(seed));
+        let b = spec.render_sample(class, &mut ChaCha8Rng::seed_from_u64(seed));
+        prop_assert_eq!(a.data(), b.data());
+    }
+
+    /// Noise actually varies samples of the same class.
+    #[test]
+    fn same_class_samples_differ(seed in any::<u64>(), class in 0usize..10) {
+        let spec = DatasetSpec::shapes32();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = spec.render_sample(class, &mut rng);
+        let b = spec.render_sample(class, &mut rng);
+        prop_assert_ne!(a.data(), b.data());
+    }
+
+    /// Dataset generation yields exactly per_class×classes balanced labels.
+    #[test]
+    fn generation_is_balanced(per_class in 1usize..5, seed in any::<u64>()) {
+        let spec = DatasetSpec::shapes32();
+        let d = Dataset::generate(&spec, per_class, seed);
+        prop_assert_eq!(d.len(), per_class * 10);
+        for class in 0..10 {
+            prop_assert_eq!(d.of_class(class).len(), per_class);
+        }
+    }
+
+    /// shapes64 renders at its own scale for all 20 classes.
+    #[test]
+    fn shapes64_classes_render(seed in any::<u64>(), class in 0usize..20) {
+        let spec = DatasetSpec::shapes64();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let img = spec.render_sample(class, &mut rng);
+        prop_assert_eq!(img.shape().dims(), &[3, 64, 64]);
+        prop_assert!(img.min() >= 0.0 && img.max() <= 1.0);
+    }
+}
+
+/// The renderers must leave enough signal for a classifier: mean images of
+/// different classes differ markedly for *every* pair of classes.
+#[test]
+fn all_class_pairs_are_distinguishable_in_expectation() {
+    let spec = DatasetSpec::shapes32();
+    let per_class = 6;
+    let d = Dataset::generate(&spec, per_class, 31);
+    let means: Vec<Vec<f32>> = (0..10)
+        .map(|class| {
+            let imgs = d.of_class(class);
+            let mut acc = vec![0.0f32; 3 * 32 * 32];
+            for img in &imgs {
+                for (a, &v) in acc.iter_mut().zip(img.data()) {
+                    *a += v / per_class as f32;
+                }
+            }
+            acc
+        })
+        .collect();
+    for i in 0..10 {
+        for j in (i + 1)..10 {
+            let diff: f32 = means[i]
+                .iter()
+                .zip(&means[j])
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f32>()
+                / (3.0 * 32.0 * 32.0);
+            assert!(
+                diff > 0.01,
+                "classes {i} and {j} are nearly identical in expectation ({diff})"
+            );
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Conversions between the attack core's [`Image`] and the network
+//! substrate's [`Tensor`] (both CHW, so conversions are plain copies).
+
+use oppsla_core::image::Image;
+use oppsla_tensor::Tensor;
+
+/// Converts a `[3, h, w]` tensor into an attack-core image.
+///
+/// Out-of-range values (possible only from buggy upstream code — dataset
+/// renderers clamp) are clamped to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the tensor is not `[3, h, w]`.
+pub fn tensor_to_image(tensor: &Tensor) -> Image {
+    let dims = tensor.shape().dims();
+    assert_eq!(dims.len(), 3, "expected a [3, h, w] tensor");
+    assert_eq!(dims[0], 3, "expected 3 channels");
+    let data = tensor.data().iter().map(|v| v.clamp(0.0, 1.0)).collect();
+    Image::new(dims[1], dims[2], data)
+}
+
+/// Converts an attack-core image back into a `[3, h, w]` tensor.
+pub fn image_to_tensor(image: &Image) -> Tensor {
+    Tensor::from_vec(
+        [3, image.height(), image.width()],
+        image.data().to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oppsla_core::pair::{Location, Pixel};
+
+    #[test]
+    fn round_trip_preserves_data() {
+        let t = Tensor::from_fn([3, 4, 5], |i| (i % 10) as f32 / 10.0);
+        let img = tensor_to_image(&t);
+        let back = image_to_tensor(&img);
+        assert_eq!(t.data(), back.data());
+        assert_eq!(back.shape().dims(), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn pixel_access_agrees_across_the_conversion() {
+        let mut t = Tensor::zeros([3, 3, 3]);
+        // Set (row=1, col=2) to (0.1, 0.2, 0.3) in CHW layout.
+        *t.at_mut(&[0, 1, 2]) = 0.1;
+        *t.at_mut(&[1, 1, 2]) = 0.2;
+        *t.at_mut(&[2, 1, 2]) = 0.3;
+        let img = tensor_to_image(&t);
+        assert_eq!(img.pixel(Location::new(1, 2)), Pixel([0.1, 0.2, 0.3]));
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let mut t = Tensor::zeros([3, 2, 2]);
+        t.data_mut()[0] = 1.5;
+        t.data_mut()[1] = -0.5;
+        let img = tensor_to_image(&t);
+        assert_eq!(img.data()[0], 1.0);
+        assert_eq!(img.data()[1], 0.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Terminal line charts for the figure reproductions.
+//!
+//! The paper's Figures 3 and 4 are line plots; this module renders their
+//! data as fixed-width ASCII charts so the experiment binaries can show
+//! the *shape* of a result (who wins, where curves cross) without any
+//! plotting dependency. CSV exports remain the precise record.
+
+use std::fmt::Write as _;
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points in ascending-x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series, sorting points by x.
+    pub fn new(label: impl Into<String>, mut points: Vec<(f64, f64)>) -> Self {
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Configuration of an ASCII chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChartConfig {
+    /// Plot-area width in characters.
+    pub width: usize,
+    /// Plot-area height in characters.
+    pub height: usize,
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Plot x on a log₁₀ scale (the paper's Figure 3 x-axis is log).
+    pub log_x: bool,
+}
+
+impl Default for ChartConfig {
+    fn default() -> Self {
+        ChartConfig {
+            width: 64,
+            height: 16,
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            log_x: false,
+        }
+    }
+}
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: [char; 6] = ['o', '*', '+', 'x', '#', '@'];
+
+/// Renders `series` as a multi-line ASCII chart.
+///
+/// Later series draw over earlier ones where cells collide. Returns an
+/// explanatory placeholder when there is nothing to plot.
+///
+/// # Panics
+///
+/// Panics if the configured plot area is degenerate (width or height < 2).
+pub fn render_chart(series: &[Series], config: &ChartConfig) -> String {
+    assert!(
+        config.width >= 2 && config.height >= 2,
+        "plot area must be at least 2x2"
+    );
+    let all_points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite() && (!config.log_x || *x > 0.0))
+        .collect();
+    if all_points.is_empty() {
+        return format!("{} (no data)\n", config.title);
+    }
+
+    let tx = |x: f64| if config.log_x { x.log10() } else { x };
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all_points {
+        x_min = x_min.min(tx(x));
+        x_max = x_max.max(tx(x));
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if x_max == x_min {
+        x_max = x_min + 1.0;
+    }
+    if y_max == y_min {
+        y_max = y_min + 1.0;
+    }
+
+    let (w, h) = (config.width, config.height);
+    let mut grid = vec![vec![' '; w]; h];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            if !x.is_finite() || !y.is_finite() || (config.log_x && x <= 0.0) {
+                continue;
+            }
+            let col = (((tx(x) - x_min) / (x_max - x_min)) * (w - 1) as f64).round() as usize;
+            let row = (((y - y_min) / (y_max - y_min)) * (h - 1) as f64).round() as usize;
+            grid[h - 1 - row][col.min(w - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    if !config.title.is_empty() {
+        let _ = writeln!(out, "{}", config.title);
+    }
+    let y_top = format!("{y_max:.2}");
+    let y_bot = format!("{y_min:.2}");
+    let margin = y_top.len().max(y_bot.len());
+    for (i, line) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            &y_top
+        } else if i == h - 1 {
+            &y_bot
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "{label:>margin$} |{}", line.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{:margin$} +{}", "", "-".repeat(w));
+    let x_lo = if config.log_x {
+        format!("10^{x_min:.1}")
+    } else {
+        format!("{x_min:.0}")
+    };
+    let x_hi = if config.log_x {
+        format!("10^{x_max:.1}")
+    } else {
+        format!("{x_max:.0}")
+    };
+    let _ = writeln!(
+        out,
+        "{:margin$}  {x_lo}{:>pad$}",
+        "",
+        x_hi,
+        pad = w.saturating_sub(x_lo.len())
+    );
+    if !config.x_label.is_empty() || !config.y_label.is_empty() {
+        let _ = writeln!(out, "{:margin$}  x: {}  y: {}", "", config.x_label, config.y_label);
+    }
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "{:margin$}  {} {}", "", GLYPHS[si % GLYPHS.len()], s.label);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ChartConfig {
+        ChartConfig {
+            width: 20,
+            height: 6,
+            title: "t".into(),
+            x_label: "q".into(),
+            y_label: "rate".into(),
+            log_x: false,
+        }
+    }
+
+    #[test]
+    fn renders_single_series_with_legend() {
+        let s = Series::new("oppsla", vec![(0.0, 0.0), (5.0, 0.5), (10.0, 1.0)]);
+        let chart = render_chart(&[s], &cfg());
+        assert!(chart.contains("o oppsla"), "{chart}");
+        assert!(chart.contains("1.00"), "{chart}");
+        assert!(chart.contains("0.00"), "{chart}");
+        // Rising series: the top row contains a glyph at the right edge.
+        let top = chart.lines().nth(1).unwrap();
+        assert!(top.trim_end().ends_with('o'), "{chart}");
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_glyphs() {
+        let a = Series::new("a", vec![(0.0, 0.0), (10.0, 1.0)]);
+        let b = Series::new("b", vec![(0.0, 1.0), (10.0, 0.0)]);
+        let chart = render_chart(&[a, b], &cfg());
+        assert!(chart.contains("o a"), "{chart}");
+        assert!(chart.contains("* b"), "{chart}");
+        assert!(chart.contains('o') && chart.contains('*'));
+    }
+
+    #[test]
+    fn empty_series_produces_placeholder() {
+        let chart = render_chart(&[], &cfg());
+        assert!(chart.contains("no data"), "{chart}");
+    }
+
+    #[test]
+    fn log_axis_skips_nonpositive_and_labels_powers() {
+        let s = Series::new("s", vec![(0.0, 0.5), (10.0, 0.5), (1000.0, 1.0)]);
+        let mut c = cfg();
+        c.log_x = true;
+        let chart = render_chart(&[s], &c);
+        assert!(chart.contains("10^1.0"), "{chart}");
+        assert!(chart.contains("10^3.0"), "{chart}");
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = Series::new("flat", vec![(1.0, 0.5), (2.0, 0.5)]);
+        let chart = render_chart(&[s], &cfg());
+        assert!(chart.contains("flat"), "{chart}");
+    }
+
+    #[test]
+    fn nan_and_infinite_points_are_skipped() {
+        let s = Series::new(
+            "s",
+            vec![(1.0, f64::NAN), (2.0, 0.3), (f64::INFINITY, 0.9)],
+        );
+        let chart = render_chart(&[s], &cfg());
+        assert!(chart.contains("s"), "{chart}");
+    }
+
+    #[test]
+    fn series_constructor_sorts_points() {
+        let s = Series::new("s", vec![(5.0, 1.0), (1.0, 0.0)]);
+        assert_eq!(s.points[0].0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn rejects_degenerate_area() {
+        let mut c = cfg();
+        c.height = 1;
+        render_chart(&[], &c);
+    }
+}

@@ -1,0 +1,180 @@
+//! The synthesis-cost experiment (Figure 4): how the quality of the
+//! incumbent program improves with synthesis queries and iterations.
+//!
+//! OPPSLA runs once per (classifier, training set); the paper records
+//! every accepted intermediate program, re-evaluates it on a held-out test
+//! set, and plots the resulting average query count against (a) the
+//! synthesis queries spent up to its acceptance and (b) the iteration
+//! index — with the fixed-prioritization program (conditions = false) as
+//! the zero-synthesis-queries comparison line.
+
+use crate::curves::evaluate_attack;
+use crate::report::{fmt_stat, Table};
+use oppsla_attacks::SketchProgramAttack;
+use oppsla_core::dsl::Program;
+use oppsla_core::image::Image;
+use oppsla_core::oracle::Classifier;
+use oppsla_core::synth::{synthesize, SynthConfig, SynthReport};
+
+/// One point of the Figure 4 series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryPoint {
+    /// MH iteration at which this program became the incumbent (0 = the
+    /// initial random program).
+    pub iteration: usize,
+    /// Synthesis queries spent up to that acceptance.
+    pub synthesis_queries: u64,
+    /// The accepted program.
+    pub program: Program,
+    /// Its average query count on the held-out test set.
+    pub test_avg_queries: f64,
+    /// Its success rate on the held-out test set.
+    pub test_success_rate: f64,
+}
+
+/// The full Figure 4 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryResult {
+    /// One point per accepted program, in acceptance order.
+    pub points: Vec<TrajectoryPoint>,
+    /// The fixed-prioritization baseline's average queries on the same
+    /// test set (the paper's comparison line; costs zero synthesis
+    /// queries).
+    pub fixed_baseline_avg: f64,
+    /// The underlying synthesis report.
+    pub report: SynthReport,
+}
+
+/// Runs the Figure 4 experiment: synthesizes on `train`, then evaluates
+/// every accepted intermediate program and the Sketch+False baseline on
+/// `test`.
+pub fn run_trajectory(
+    classifier: &dyn Classifier,
+    train: &[(Image, usize)],
+    test: &[(Image, usize)],
+    synth_config: &SynthConfig,
+    eval_budget: u64,
+    eval_seed: u64,
+) -> TrajectoryResult {
+    let report = synthesize(classifier, train, synth_config);
+    let evaluate = |program: Program| {
+        let attack = SketchProgramAttack::new(program);
+        let eval = evaluate_attack(&attack, classifier, test, eval_budget, eval_seed);
+        (eval.avg_queries(), eval.success_rate())
+    };
+
+    let points = report
+        .accepted_trajectory()
+        .into_iter()
+        .map(|(iteration, synthesis_queries, program)| {
+            let (test_avg_queries, test_success_rate) = evaluate(program.clone());
+            TrajectoryPoint {
+                iteration,
+                synthesis_queries,
+                program,
+                test_avg_queries,
+                test_success_rate,
+            }
+        })
+        .collect();
+
+    let (fixed_baseline_avg, _) = evaluate(Program::constant(false));
+
+    TrajectoryResult {
+        points,
+        fixed_baseline_avg,
+        report,
+    }
+}
+
+/// Renders the trajectory as a two-axis table (the data behind both panels
+/// of Figure 4).
+pub fn trajectory_table(result: &TrajectoryResult) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Figure 4: avg #queries vs synthesis cost (Sketch+False baseline: {})",
+            fmt_stat(result.fixed_baseline_avg)
+        ),
+        vec![
+            "Iteration".into(),
+            "Synthesis #Queries".into(),
+            "Avg #Queries (test)".into(),
+            "Success rate".into(),
+            "Program".into(),
+        ],
+    );
+    for p in &result.points {
+        table.push_row(vec![
+            p.iteration.to_string(),
+            p.synthesis_queries.to_string(),
+            fmt_stat(p.test_avg_queries),
+            crate::report::fmt_rate(p.test_success_rate),
+            p.program.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oppsla_core::oracle::FnClassifier;
+    use oppsla_core::pair::{Location, Pixel};
+
+    fn weak_clf() -> FnClassifier<impl Fn(&Image) -> Vec<f32>> {
+        FnClassifier::new(2, |img: &Image| {
+            for row in 2..5u16 {
+                for col in 2..5u16 {
+                    if img.pixel(Location::new(row, col)) == Pixel([1.0, 1.0, 1.0]) {
+                        return vec![0.2, 0.8];
+                    }
+                }
+            }
+            vec![0.8, 0.2]
+        })
+    }
+
+    #[test]
+    fn trajectory_points_are_ordered_and_evaluated() {
+        let clf = weak_clf();
+        let mk = |v: f32| (Image::filled(7, 7, Pixel([v, v, v])), 0usize);
+        let train = vec![mk(0.3), mk(0.4)];
+        let test = vec![mk(0.35), mk(0.45)];
+        let config = SynthConfig {
+            max_iterations: 6,
+            seed: 5,
+            ..SynthConfig::default()
+        };
+        let result = run_trajectory(&clf, &train, &test, &config, 10_000, 0);
+        assert!(!result.points.is_empty(), "initial program is always a point");
+        assert_eq!(result.points[0].iteration, 0);
+        for w in result.points.windows(2) {
+            assert!(w[0].iteration < w[1].iteration);
+            assert!(w[0].synthesis_queries <= w[1].synthesis_queries);
+        }
+        for p in &result.points {
+            assert_eq!(p.test_success_rate, 1.0, "sketch is exhaustive");
+            assert!(p.test_avg_queries.is_finite());
+        }
+        assert!(result.fixed_baseline_avg.is_finite());
+    }
+
+    #[test]
+    fn table_contains_the_baseline_in_the_title() {
+        let clf = weak_clf();
+        let mk = |v: f32| (Image::filled(7, 7, Pixel([v, v, v])), 0usize);
+        let result = run_trajectory(
+            &clf,
+            &[mk(0.3)],
+            &[mk(0.4)],
+            &SynthConfig {
+                max_iterations: 2,
+                ..SynthConfig::default()
+            },
+            10_000,
+            0,
+        );
+        let s = trajectory_table(&result).to_string();
+        assert!(s.contains("Sketch+False baseline:"), "{s}");
+    }
+}

@@ -1,0 +1,293 @@
+//! The trained classifier zoo: builds, trains, caches and serves the
+//! models the experiments attack.
+//!
+//! Experiment binaries call [`train_or_load`]; weights are cached under a
+//! configurable directory (default `target/oppsla-models`) so repeated
+//! runs skip training.
+
+use crate::convert::image_to_tensor;
+use oppsla_core::image::Image;
+use oppsla_core::oracle::Classifier;
+use oppsla_data::{Dataset, DatasetSpec};
+use oppsla_nn::models::{Arch, ConvNet, InputSpec};
+use oppsla_nn::serialize::{load_weights, save_weights};
+use oppsla_nn::trainer::{evaluate_accuracy, fit, TrainConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+use std::path::PathBuf;
+
+/// The two evaluation scales of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// CIFAR-10 stand-in: `shapes32` (32×32, 10 classes).
+    Cifar,
+    /// ImageNet stand-in: `shapes64` (64×64, 20 classes).
+    ImageNetLike,
+}
+
+impl Scale {
+    /// The dataset specification of this scale.
+    pub fn dataset_spec(&self) -> DatasetSpec {
+        match self {
+            Scale::Cifar => DatasetSpec::shapes32(),
+            Scale::ImageNetLike => DatasetSpec::shapes64(),
+        }
+    }
+
+    /// The network input geometry of this scale.
+    pub fn input_spec(&self) -> InputSpec {
+        match self {
+            Scale::Cifar => InputSpec::RGB32,
+            Scale::ImageNetLike => InputSpec::RGB64,
+        }
+    }
+
+    /// A short identifier for cache file names.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Scale::Cifar => "shapes32",
+            Scale::ImageNetLike => "shapes64",
+        }
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Training/caching configuration for the zoo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZooConfig {
+    /// Training images generated per class.
+    pub train_per_class: usize,
+    /// Epochs of Adam training; `None` picks a per-architecture default
+    /// calibrated so every family lands at moderate accuracy with a
+    /// realistic one-pixel-vulnerable population (see DESIGN.md).
+    pub epochs: Option<usize>,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Seed for data generation, weight init and shuffling.
+    pub seed: u64,
+    /// Weight-cache directory; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ZooConfig {
+    fn default() -> Self {
+        ZooConfig {
+            train_per_class: 40,
+            epochs: None,
+            learning_rate: 1e-3,
+            seed: 0xA77AC4,
+            cache_dir: Some(PathBuf::from("target/oppsla-models")),
+        }
+    }
+}
+
+/// Per-architecture default epochs: calibrated (by a margin-sensitivity
+/// sweep) so each family trains to moderate accuracy while keeping a
+/// sizeable population of one-pixel-vulnerable test images.
+fn default_epochs(arch: Arch) -> usize {
+    match arch {
+        Arch::VggSmall => 2,
+        Arch::ResNetSmall => 4,
+        Arch::GoogLeNetSmall => 4,
+        Arch::DenseNetSmall => 3,
+        Arch::Mlp => 4,
+    }
+}
+
+/// A trained classifier from the zoo.
+pub struct ZooModel {
+    net: ConvNet,
+    scale: Scale,
+    /// Accuracy on a held-out generated test set.
+    pub test_accuracy: f32,
+}
+
+impl fmt::Debug for ZooModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ZooModel")
+            .field("arch", &self.net.arch())
+            .field("scale", &self.scale)
+            .field("test_accuracy", &self.test_accuracy)
+            .finish()
+    }
+}
+
+impl ZooModel {
+    /// The architecture family.
+    pub fn arch(&self) -> Arch {
+        self.net.arch()
+    }
+
+    /// The evaluation scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The wrapped network (e.g. for further training or inspection).
+    pub fn network(&self) -> &ConvNet {
+        &self.net
+    }
+}
+
+impl Classifier for ZooModel {
+    fn num_classes(&self) -> usize {
+        self.net.num_classes()
+    }
+
+    fn scores(&self, image: &Image) -> Vec<f32> {
+        self.net.scores(&image_to_tensor(image))
+    }
+}
+
+/// Trains (or loads from cache) a zoo model of `arch` at `scale`.
+///
+/// The model is trained on a freshly generated dataset and its accuracy is
+/// measured on a held-out split. A cache hit skips training but still
+/// regenerates the held-out split to recompute the accuracy (cheap).
+pub fn train_or_load(arch: Arch, scale: Scale, config: &ZooConfig) -> ZooModel {
+    let spec = scale.dataset_spec();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ arch_seed(arch));
+    let net = ConvNet::build(arch, scale.input_spec(), spec.num_classes(), &mut rng);
+
+    let epochs = config.epochs.unwrap_or_else(|| default_epochs(arch));
+    let cache_path = config.cache_dir.as_ref().map(|dir| {
+        dir.join(format!(
+            "{}-{}-s{}-t{}-e{}.json",
+            arch.id(),
+            scale.id(),
+            config.seed,
+            config.train_per_class,
+            epochs
+        ))
+    });
+
+    let test = Dataset::generate(&spec, test_per_class(scale), config.seed.wrapping_add(1));
+
+    if let Some(path) = &cache_path {
+        if load_weights(&net, path).is_ok() {
+            let test_accuracy = evaluate_accuracy(&net, &test.images, &test.labels);
+            return ZooModel {
+                net,
+                scale,
+                test_accuracy,
+            };
+        }
+    }
+
+    let train = Dataset::generate(&spec, config.train_per_class, config.seed);
+    fit(
+        &net,
+        &train.images,
+        &train.labels,
+        &TrainConfig {
+            epochs,
+            batch_size: 32,
+            learning_rate: config.learning_rate,
+            seed: config.seed,
+        },
+    );
+    let test_accuracy = evaluate_accuracy(&net, &test.images, &test.labels);
+
+    if let Some(path) = &cache_path {
+        // Cache failures are non-fatal: the model is still usable.
+        if let Err(e) = save_weights(&net, path) {
+            eprintln!("warning: failed to cache weights at {}: {e}", path.display());
+        }
+    }
+    ZooModel {
+        net,
+        scale,
+        test_accuracy,
+    }
+}
+
+/// Generates a labelled test set at `scale` as attack-core images,
+/// `per_class` samples per class.
+pub fn attack_test_set(scale: Scale, per_class: usize, seed: u64) -> Vec<(Image, usize)> {
+    let spec = scale.dataset_spec();
+    let data = Dataset::generate(&spec, per_class, seed);
+    data.images
+        .iter()
+        .zip(&data.labels)
+        .map(|(t, &l)| (crate::convert::tensor_to_image(t), l))
+        .collect()
+}
+
+fn test_per_class(scale: Scale) -> usize {
+    match scale {
+        Scale::Cifar => 20,
+        Scale::ImageNetLike => 10,
+    }
+}
+
+fn arch_seed(arch: Arch) -> u64 {
+    match arch {
+        Arch::VggSmall => 0x1,
+        Arch::ResNetSmall => 0x2,
+        Arch::GoogLeNetSmall => 0x3,
+        Arch::DenseNetSmall => 0x4,
+        Arch::Mlp => 0x5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config(cache: bool) -> ZooConfig {
+        ZooConfig {
+            train_per_class: 8,
+            epochs: Some(2),
+            learning_rate: 2e-3,
+            seed: 1,
+            cache_dir: cache.then(|| {
+                std::env::temp_dir().join(format!("oppsla-zoo-test-{}", std::process::id()))
+            }),
+        }
+    }
+
+    #[test]
+    fn trains_an_mlp_and_serves_scores() {
+        let model = train_or_load(Arch::Mlp, Scale::Cifar, &fast_config(false));
+        assert_eq!(model.num_classes(), 10);
+        let test = attack_test_set(Scale::Cifar, 1, 2);
+        let scores = model.scores(&test[0].0);
+        assert_eq!(scores.len(), 10);
+        let sum: f32 = scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "scores are a distribution: {sum}");
+    }
+
+    #[test]
+    fn cache_round_trip_gives_identical_scores() {
+        let config = fast_config(true);
+        let a = train_or_load(Arch::Mlp, Scale::Cifar, &config);
+        let b = train_or_load(Arch::Mlp, Scale::Cifar, &config); // cache hit
+        let test = attack_test_set(Scale::Cifar, 1, 3);
+        for (img, _) in &test {
+            assert_eq!(a.scores(img), b.scores(img));
+        }
+        assert_eq!(a.test_accuracy, b.test_accuracy);
+    }
+
+    #[test]
+    fn attack_test_set_is_labeled_and_sized() {
+        let set = attack_test_set(Scale::Cifar, 2, 0);
+        assert_eq!(set.len(), 20);
+        assert!(set.iter().all(|(img, _)| img.height() == 32));
+        assert!(set.iter().all(|(_, l)| *l < 10));
+    }
+
+    #[test]
+    fn scales_expose_consistent_specs() {
+        assert_eq!(Scale::Cifar.dataset_spec().size, 32);
+        assert_eq!(Scale::Cifar.input_spec().height, 32);
+        assert_eq!(Scale::ImageNetLike.dataset_spec().size, 64);
+        assert_eq!(Scale::ImageNetLike.dataset_spec().num_classes(), 20);
+    }
+}

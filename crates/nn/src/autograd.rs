@@ -1,0 +1,844 @@
+//! Define-by-run tape autograd over [`oppsla_tensor::Tensor`].
+//!
+//! Each training step builds a fresh [`Tape`]; operations eagerly compute
+//! values and record the state needed for the reverse sweep. Parameters live
+//! outside the tape in shared [`Param`] cells so gradients accumulate across
+//! batch items and the optimizer can update them in place.
+//!
+//! For inference (the classifier queries issued by the attacks), a tape can
+//! be opened with [`Tape::no_grad`], which skips recording backward state.
+
+use oppsla_tensor::ops::{self, Conv2dGeometry};
+use oppsla_tensor::{Shape, Tensor};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A trainable parameter: a value tensor plus an accumulated gradient,
+/// shared between the layer that owns it and the tapes that use it.
+///
+/// Cloning a `Param` clones the handle, not the storage.
+#[derive(Clone)]
+pub struct Param {
+    inner: Rc<RefCell<ParamData>>,
+}
+
+struct ParamData {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+impl Param {
+    /// Creates a named parameter with zero gradient.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        Param {
+            inner: Rc::new(RefCell::new(ParamData {
+                name: name.into(),
+                value,
+                grad,
+            })),
+        }
+    }
+
+    /// The parameter's diagnostic name.
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// A snapshot of the current value.
+    pub fn value(&self) -> Tensor {
+        self.inner.borrow().value.clone()
+    }
+
+    /// A snapshot of the accumulated gradient.
+    pub fn grad(&self) -> Tensor {
+        self.inner.borrow().grad.clone()
+    }
+
+    /// Replaces the value tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new value has a different shape.
+    pub fn set_value(&self, value: Tensor) {
+        let mut d = self.inner.borrow_mut();
+        assert_eq!(
+            d.value.shape(),
+            value.shape(),
+            "parameter {} value shape changed",
+            d.name
+        );
+        d.value = value;
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&self) {
+        let mut d = self.inner.borrow_mut();
+        let shape = d.value.shape().clone();
+        d.grad = Tensor::zeros(shape);
+    }
+
+    /// Applies `value += grad * scale` (used by optimizers) without exposing
+    /// the cell borrow to callers.
+    pub fn apply_update(&self, f: impl FnOnce(&mut Tensor, &Tensor)) {
+        let mut d = self.inner.borrow_mut();
+        let ParamData { value, grad, .. } = &mut *d;
+        f(value, grad);
+    }
+
+    /// The number of scalar weights in this parameter.
+    pub fn numel(&self) -> usize {
+        self.inner.borrow().value.numel()
+    }
+
+    fn accumulate_grad(&self, g: &Tensor) {
+        self.inner.borrow_mut().grad.add_scaled_inplace(g, 1.0);
+    }
+
+}
+
+impl fmt::Debug for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.inner.borrow();
+        write!(f, "Param({:?}, {})", d.name, d.value.shape())
+    }
+}
+
+/// A handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var {
+    id: usize,
+}
+
+enum Step {
+    /// Input or (in no-grad mode) any node: no backward propagation.
+    Leaf,
+    /// A parameter leaf: gradient is routed into the shared cell.
+    ParamLeaf { param: Param },
+    Relu { x: usize },
+    Conv2d {
+        x: usize,
+        w: usize,
+        b: usize,
+        geom: Conv2dGeometry,
+        /// im2col matrices, one per batch item, saved from the forward pass.
+        cols: Vec<Tensor>,
+    },
+    Linear { x: usize, w: usize, b: usize },
+    MaxPool {
+        x: usize,
+        argmax: Vec<usize>,
+    },
+    GlobalAvgPool { x: usize },
+    Add { x: usize, y: usize },
+    ConcatChannels {
+        inputs: Vec<usize>,
+        channels: Vec<usize>,
+    },
+    Reshape { x: usize },
+    SoftmaxCrossEntropy {
+        logits: usize,
+        probs: Tensor,
+        labels: Vec<usize>,
+    },
+}
+
+struct Node {
+    value: Tensor,
+    step: Step,
+}
+
+/// A define-by-run computation tape.
+///
+/// # Examples
+///
+/// ```
+/// use oppsla_nn::autograd::{Param, Tape};
+/// use oppsla_tensor::Tensor;
+///
+/// let w = Param::new("w", Tensor::from_vec([1, 2], vec![1.0, -1.0]));
+/// let b = Param::new("b", Tensor::zeros([1]));
+/// let mut tape = Tape::new();
+/// let x = tape.input(Tensor::from_vec([1, 2], vec![3.0, 2.0]));
+/// let wv = tape.param(&w);
+/// let bv = tape.param(&b);
+/// let y = tape.linear(x, wv, bv);
+/// assert_eq!(tape.value(y).data(), &[1.0]);
+/// ```
+pub struct Tape {
+    nodes: Vec<Node>,
+    grad_enabled: bool,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    /// Creates a tape that records backward state.
+    pub fn new() -> Self {
+        Tape {
+            nodes: Vec::new(),
+            grad_enabled: true,
+        }
+    }
+
+    /// Creates an inference-only tape: forward values are computed but no
+    /// backward state is saved, and [`Tape::backward`] will panic.
+    pub fn no_grad() -> Self {
+        Tape {
+            nodes: Vec::new(),
+            grad_enabled: false,
+        }
+    }
+
+    /// The value computed at `var`.
+    pub fn value(&self, var: Var) -> &Tensor {
+        &self.nodes[var.id].value
+    }
+
+    /// The number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, step: Step) -> Var {
+        let step = if self.grad_enabled { step } else { Step::Leaf };
+        self.nodes.push(Node { value, step });
+        Var {
+            id: self.nodes.len() - 1,
+        }
+    }
+
+    /// Records a constant input (no gradient flows into it).
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(value, Step::Leaf)
+    }
+
+    /// Records a parameter leaf; its gradient accumulates into `param`.
+    pub fn param(&mut self, param: &Param) -> Var {
+        let value = param.value();
+        self.push(
+            value,
+            Step::ParamLeaf {
+                param: param.clone(),
+            },
+        )
+    }
+
+    /// Elementwise rectified linear unit.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let value = self.value(x).map(|v| v.max(0.0));
+        self.push(value, Step::Relu { x: x.id })
+    }
+
+    /// Elementwise sum of two same-shaped vars (residual connections).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&mut self, x: Var, y: Var) -> Var {
+        let value = self.value(x).add(self.value(y));
+        self.push(value, Step::Add { x: x.id, y: y.id })
+    }
+
+    /// Batched 2-D convolution.
+    ///
+    /// `x` is `[n, c, h, w]`, `w` is the flattened kernel bank
+    /// `[out_c, c·kh·kw]`, `b` is `[out_c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree with `geom`.
+    pub fn conv2d(&mut self, x: Var, w: Var, b: Var, geom: Conv2dGeometry) -> Var {
+        let xt = self.value(x).clone();
+        let wt = self.value(w).clone();
+        let bt = self.value(b).clone();
+        assert_eq!(xt.shape().rank(), 4, "conv2d input must be [n,c,h,w]");
+        let n = xt.shape().dim(0);
+        let out_c = wt.shape().dim(0);
+        assert_eq!(
+            wt.shape().dim(1),
+            geom.in_channels * geom.kernel_h * geom.kernel_w,
+            "conv2d weight columns disagree with geometry"
+        );
+        assert_eq!(bt.shape().dims(), &[out_c], "conv2d bias must be [out_c]");
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let chw = geom.in_channels * geom.in_h * geom.in_w;
+        let mut out = Vec::with_capacity(n * out_c * oh * ow);
+        let mut cols_saved = Vec::with_capacity(if self.grad_enabled { n } else { 0 });
+        for img in 0..n {
+            let slice = Tensor::from_vec(
+                [geom.in_channels, geom.in_h, geom.in_w],
+                xt.data()[img * chw..(img + 1) * chw].to_vec(),
+            );
+            let cols = ops::im2col(&slice, &geom);
+            let mut prod = ops::matmul(&wt, &cols);
+            // Broadcast-add the per-channel bias across spatial positions.
+            {
+                let area = oh * ow;
+                let pd = prod.data_mut();
+                for oc in 0..out_c {
+                    let bias = bt.data()[oc];
+                    for v in &mut pd[oc * area..(oc + 1) * area] {
+                        *v += bias;
+                    }
+                }
+            }
+            out.extend_from_slice(prod.data());
+            if self.grad_enabled {
+                cols_saved.push(cols);
+            }
+        }
+        let value = Tensor::from_vec([n, out_c, oh, ow], out);
+        self.push(
+            value,
+            Step::Conv2d {
+                x: x.id,
+                w: w.id,
+                b: b.id,
+                geom,
+                cols: cols_saved,
+            },
+        )
+    }
+
+    /// Fully connected layer: `x · wᵀ + b` for `x: [n, in]`, `w: [out, in]`,
+    /// `b: [out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn linear(&mut self, x: Var, w: Var, b: Var) -> Var {
+        let xt = self.value(x);
+        let wt = self.value(w);
+        let bt = self.value(b);
+        let n = xt.shape().dim(0);
+        let out = wt.shape().dim(0);
+        assert_eq!(
+            xt.shape().dim(1),
+            wt.shape().dim(1),
+            "linear input width disagrees with weight"
+        );
+        assert_eq!(bt.shape().dims(), &[out], "linear bias must be [out]");
+        let mut value = ops::matmul_nt(xt, wt);
+        {
+            let vd = value.data_mut();
+            for row in 0..n {
+                for (o, &bv) in vd[row * out..(row + 1) * out].iter_mut().zip(bt.data()) {
+                    *o += bv;
+                }
+            }
+        }
+        self.push(
+            value,
+            Step::Linear {
+                x: x.id,
+                w: w.id,
+                b: b.id,
+            },
+        )
+    }
+
+    /// Square max pooling with stride equal to the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not divide the spatial extents.
+    pub fn max_pool2d(&mut self, x: Var, window: usize) -> Var {
+        let pooled = ops::max_pool2d(self.value(x), window);
+        self.push(
+            pooled.output,
+            Step::MaxPool {
+                x: x.id,
+                argmax: pooled.argmax,
+            },
+        )
+    }
+
+    /// Global average pooling `[n, c, h, w] → [n, c]`.
+    pub fn global_avg_pool(&mut self, x: Var) -> Var {
+        let value = ops::global_avg_pool(self.value(x));
+        self.push(value, Step::GlobalAvgPool { x: x.id })
+    }
+
+    /// Concatenates vars along the channel axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are not rank 4 with matching batch and spatial dims,
+    /// or if `inputs` is empty.
+    pub fn concat_channels(&mut self, inputs: &[Var]) -> Var {
+        assert!(!inputs.is_empty(), "concat_channels needs at least one input");
+        let first = self.value(inputs[0]).shape().clone();
+        assert_eq!(first.rank(), 4, "concat_channels expects [n,c,h,w] inputs");
+        let (n, h, w) = (first.dim(0), first.dim(2), first.dim(3));
+        let mut channels = Vec::with_capacity(inputs.len());
+        for &v in inputs {
+            let s = self.value(v).shape();
+            assert_eq!(
+                (s.dim(0), s.dim(2), s.dim(3)),
+                (n, h, w),
+                "concat_channels inputs disagree on batch/spatial dims"
+            );
+            channels.push(s.dim(1));
+        }
+        let total_c: usize = channels.iter().sum();
+        let mut out = vec![0.0f32; n * total_c * h * w];
+        let area = h * w;
+        for img in 0..n {
+            let mut c_off = 0;
+            for (&v, &c) in inputs.iter().zip(channels.iter()) {
+                let src = self.value(v).data();
+                let src_base = img * c * area;
+                let dst_base = (img * total_c + c_off) * area;
+                out[dst_base..dst_base + c * area]
+                    .copy_from_slice(&src[src_base..src_base + c * area]);
+                c_off += c;
+            }
+        }
+        let value = Tensor::from_vec([n, total_c, h, w], out);
+        self.push(
+            value,
+            Step::ConcatChannels {
+                inputs: inputs.iter().map(|v| v.id).collect(),
+                channels,
+            },
+        )
+    }
+
+    /// Reshapes a var (e.g. flatten `[n,c,h,w] → [n, c·h·w]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&mut self, x: Var, shape: impl Into<Shape>) -> Var {
+        let value = self.value(x).reshape(shape.into());
+        self.push(value, Step::Reshape { x: x.id })
+    }
+
+    /// Flattens all non-batch dimensions: `[n, …] → [n, rest]`.
+    pub fn flatten(&mut self, x: Var) -> Var {
+        let s = self.value(x).shape();
+        let n = s.dim(0);
+        let rest = s.numel() / n;
+        self.reshape(x, [n, rest])
+    }
+
+    /// Fused softmax + mean cross-entropy loss over a batch of logits.
+    ///
+    /// Returns a scalar var. Probabilities are computed with the max-shift
+    /// trick for stability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is not `[n, classes]`, a label is out of range, or
+    /// `labels.len() != n`.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Var {
+        let lt = self.value(logits);
+        assert_eq!(lt.shape().rank(), 2, "loss expects [n, classes] logits");
+        let n = lt.shape().dim(0);
+        let classes = lt.shape().dim(1);
+        assert_eq!(labels.len(), n, "one label per batch row required");
+        let probs = softmax_rows(lt);
+        let mut loss = 0.0f32;
+        for (row, &label) in labels.iter().enumerate() {
+            assert!(label < classes, "label {label} out of range ({classes} classes)");
+            let p = probs.data()[row * classes + label].max(1e-12);
+            loss -= p.ln();
+        }
+        loss /= n as f32;
+        self.push(
+            Tensor::scalar(loss),
+            Step::SoftmaxCrossEntropy {
+                logits: logits.id,
+                probs,
+                labels: labels.to_vec(),
+            },
+        )
+    }
+
+    /// Runs the reverse sweep from scalar `loss`, accumulating parameter
+    /// gradients into their shared [`Param`] cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tape was opened with [`Tape::no_grad`] or `loss` is not
+    /// a scalar.
+    pub fn backward(&mut self, loss: Var) {
+        assert!(self.grad_enabled, "backward() on a no-grad tape");
+        assert_eq!(
+            self.nodes[loss.id].value.numel(),
+            1,
+            "backward() must start from a scalar"
+        );
+        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.id] = Some(Tensor::scalar(1.0));
+        for id in (0..=loss.id).rev() {
+            let Some(grad) = grads[id].take() else {
+                continue;
+            };
+            match &self.nodes[id].step {
+                Step::Leaf => {}
+                Step::ParamLeaf { param } => param.accumulate_grad(&grad),
+                Step::Relu { x } => {
+                    let gi = self.nodes[*x].value.zip(&grad, |xv, g| if xv > 0.0 { g } else { 0.0 });
+                    accumulate(&mut grads, *x, gi);
+                }
+                Step::Add { x, y } => {
+                    let (x, y) = (*x, *y);
+                    accumulate(&mut grads, x, grad.clone());
+                    accumulate(&mut grads, y, grad);
+                }
+                Step::Conv2d { x, w, b, geom, cols } => {
+                    let (x, w, b, geom) = (*x, *w, *b, *geom);
+                    let cols = cols.clone();
+                    let (gx, gw, gb) = self.conv2d_backward(&grad, x, w, &geom, &cols);
+                    accumulate(&mut grads, x, gx);
+                    accumulate(&mut grads, w, gw);
+                    accumulate(&mut grads, b, gb);
+                }
+                Step::Linear { x, w, b } => {
+                    let (x, w, b) = (*x, *w, *b);
+                    // grad: [n, out]; x: [n, in]; w: [out, in]
+                    let gx = ops::matmul(&grad, &self.nodes[w].value);
+                    let gw = ops::matmul_tn(&grad, &self.nodes[x].value);
+                    let out = grad.shape().dim(1);
+                    let n = grad.shape().dim(0);
+                    let mut gb = vec![0.0f32; out];
+                    for row in 0..n {
+                        for (s, &g) in gb.iter_mut().zip(&grad.data()[row * out..(row + 1) * out]) {
+                            *s += g;
+                        }
+                    }
+                    accumulate(&mut grads, x, gx);
+                    accumulate(&mut grads, w, gw);
+                    accumulate(&mut grads, b, Tensor::from_vec([out], gb));
+                }
+                Step::MaxPool { x, argmax } => {
+                    let x = *x;
+                    let gi =
+                        ops::max_pool2d_backward(&grad, argmax, self.nodes[x].value.shape());
+                    accumulate(&mut grads, x, gi);
+                }
+                Step::GlobalAvgPool { x } => {
+                    let x = *x;
+                    let gi = ops::global_avg_pool_backward(&grad, self.nodes[x].value.shape());
+                    accumulate(&mut grads, x, gi);
+                }
+                Step::ConcatChannels { inputs, channels } => {
+                    let inputs = inputs.clone();
+                    let channels = channels.clone();
+                    let s = grad.shape();
+                    let (n, total_c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
+                    let area = h * w;
+                    let mut c_off = 0;
+                    for (inp, c) in inputs.iter().zip(channels.iter()) {
+                        let mut gi = vec![0.0f32; n * c * area];
+                        for img in 0..n {
+                            let src_base = (img * total_c + c_off) * area;
+                            let dst_base = img * c * area;
+                            gi[dst_base..dst_base + c * area]
+                                .copy_from_slice(&grad.data()[src_base..src_base + c * area]);
+                        }
+                        accumulate(&mut grads, *inp, Tensor::from_vec([n, *c, h, w], gi));
+                        c_off += c;
+                    }
+                }
+                Step::Reshape { x } => {
+                    let x = *x;
+                    let gi = grad.reshape(self.nodes[x].value.shape().clone());
+                    accumulate(&mut grads, x, gi);
+                }
+                Step::SoftmaxCrossEntropy { logits, probs, labels } => {
+                    let logits = *logits;
+                    let n = labels.len();
+                    let classes = probs.shape().dim(1);
+                    let scale = grad.item() / n as f32;
+                    let mut gi = probs.clone();
+                    {
+                        let gd = gi.data_mut();
+                        for (row, &label) in labels.iter().enumerate() {
+                            gd[row * classes + label] -= 1.0;
+                        }
+                        for v in gd.iter_mut() {
+                            *v *= scale;
+                        }
+                    }
+                    accumulate(&mut grads, logits, gi);
+                }
+            }
+        }
+    }
+
+    fn conv2d_backward(
+        &self,
+        grad: &Tensor,
+        x: usize,
+        w: usize,
+        geom: &Conv2dGeometry,
+        cols: &[Tensor],
+    ) -> (Tensor, Tensor, Tensor) {
+        let xt = &self.nodes[x].value;
+        let wt = &self.nodes[w].value;
+        let n = xt.shape().dim(0);
+        let out_c = wt.shape().dim(0);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let area = oh * ow;
+        let chw = geom.in_channels * geom.in_h * geom.in_w;
+        let mut gx = vec![0.0f32; xt.numel()];
+        let mut gw = Tensor::zeros(wt.shape().clone());
+        let mut gb = vec![0.0f32; out_c];
+        for img in 0..n {
+            let gout = Tensor::from_vec(
+                [out_c, area],
+                grad.data()[img * out_c * area..(img + 1) * out_c * area].to_vec(),
+            );
+            // dW += gout · colsᵀ
+            gw.add_scaled_inplace(&ops::matmul_nt(&gout, &cols[img]), 1.0);
+            // db += row sums of gout
+            for (oc, slot) in gb.iter_mut().enumerate() {
+                *slot += gout.data()[oc * area..(oc + 1) * area].iter().sum::<f32>();
+            }
+            // dx = col2im(wᵀ · gout)
+            let gcols = ops::matmul_tn(wt, &gout);
+            let gimg = ops::col2im(&gcols, geom);
+            gx[img * chw..(img + 1) * chw].copy_from_slice(gimg.data());
+        }
+        (
+            Tensor::from_vec(xt.shape().clone(), gx),
+            gw,
+            Tensor::from_vec([out_c], gb),
+        )
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], id: usize, g: Tensor) {
+    match &mut grads[id] {
+        Some(existing) => existing.add_scaled_inplace(&g, 1.0),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+/// Row-wise softmax of a `[n, classes]` tensor with max-shift stabilization.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().rank(), 2, "softmax_rows expects [n, classes]");
+    let n = logits.shape().dim(0);
+    let classes = logits.shape().dim(1);
+    let mut out = vec![0.0f32; n * classes];
+    for row in 0..n {
+        let src = &logits.data()[row * classes..(row + 1) * classes];
+        let m = src.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for (o, &v) in out[row * classes..(row + 1) * classes].iter_mut().zip(src) {
+            *o = (v - m).exp();
+            sum += *o;
+        }
+        for o in &mut out[row * classes..(row + 1) * classes] {
+            *o /= sum;
+        }
+    }
+    Tensor::from_vec([n, classes], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(
+        params: &[Param],
+        mut f: impl FnMut() -> f32,
+        mut run_backward: impl FnMut(),
+        tol: f32,
+    ) {
+        for p in params {
+            p.zero_grad();
+        }
+        run_backward();
+        for p in params {
+            let analytic = p.grad();
+            let base = p.value();
+            for i in 0..base.numel() {
+                let eps = 1e-2;
+                let mut plus = base.clone();
+                plus.data_mut()[i] += eps;
+                p.set_value(plus);
+                let fp = f();
+                let mut minus = base.clone();
+                minus.data_mut()[i] -= eps;
+                p.set_value(minus);
+                let fm = f();
+                p.set_value(base.clone());
+                let numeric = (fp - fm) / (2.0 * eps);
+                let a = analytic.data()[i];
+                assert!(
+                    (a - numeric).abs() < tol * (1.0 + numeric.abs()),
+                    "param {} index {i}: analytic {a} vs numeric {numeric}",
+                    p.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linear_gradients_match_finite_differences() {
+        let w = Param::new("w", Tensor::from_vec([2, 3], vec![0.1, -0.2, 0.3, 0.5, 0.4, -0.1]));
+        let b = Param::new("b", Tensor::from_vec([2], vec![0.05, -0.07]));
+        let x = Tensor::from_vec([2, 3], vec![1.0, 2.0, -1.0, 0.5, -0.5, 2.0]);
+        let labels = [0usize, 1];
+        let eval = |w: &Param, b: &Param| {
+            let mut tape = Tape::new();
+            let xv = tape.input(x.clone());
+            let (wv, bv) = (tape.param(w), tape.param(b));
+            let y = tape.linear(xv, wv, bv);
+            let loss = tape.softmax_cross_entropy(y, &labels);
+            (tape, loss)
+        };
+        let (wc, bc) = (w.clone(), b.clone());
+        finite_diff_check(
+            &[w.clone(), b.clone()],
+            move || {
+                let (tape, loss) = eval(&wc, &bc);
+                tape.value(loss).item()
+            },
+            || {
+                let (mut tape, loss) = eval(&w, &b);
+                tape.backward(loss);
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let geom = Conv2dGeometry {
+            in_channels: 2,
+            in_h: 4,
+            in_w: 4,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let w = Param::new(
+            "w",
+            Tensor::from_fn([2, 2 * 9], |i| ((i as f32) * 0.7).sin() * 0.3),
+        );
+        let b = Param::new("b", Tensor::from_vec([2], vec![0.1, -0.1]));
+        let x = Tensor::from_fn([1, 2, 4, 4], |i| ((i as f32) * 0.3).cos());
+        let labels = [1usize];
+        let eval = |w: &Param, b: &Param| {
+            let mut tape = Tape::new();
+            let xv = tape.input(x.clone());
+            let (wv, bv) = (tape.param(w), tape.param(b));
+            let y = tape.conv2d(xv, wv, bv, geom);
+            let y = tape.relu(y);
+            let y = tape.global_avg_pool(y);
+            let loss = tape.softmax_cross_entropy(y, &labels);
+            (tape, loss)
+        };
+        let (wc, bc) = (w.clone(), b.clone());
+        finite_diff_check(
+            &[w.clone(), b.clone()],
+            move || {
+                let (tape, loss) = eval(&wc, &bc);
+                tape.value(loss).item()
+            },
+            || {
+                let (mut tape, loss) = eval(&w, &b);
+                tape.backward(loss);
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn residual_add_and_concat_gradients_flow() {
+        let w = Param::new("w", Tensor::from_vec([2, 2], vec![0.3, -0.1, 0.2, 0.4]));
+        let b = Param::new("b", Tensor::zeros([2]));
+        let x = Tensor::from_vec([1, 2], vec![1.0, -2.0]);
+        let labels = [0usize];
+        let mut tape = Tape::new();
+        let xv = tape.input(x);
+        let (wv, bv) = (tape.param(&w), tape.param(&b));
+        let y = tape.linear(xv, wv, bv);
+        let z = tape.add(y, xv); // residual
+        let loss = tape.softmax_cross_entropy(z, &labels);
+        tape.backward(loss);
+        assert!(w.grad().data().iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn concat_channels_forward_and_backward_round_trip() {
+        let a = Tensor::from_fn([1, 1, 2, 2], |i| i as f32);
+        let bt = Tensor::from_fn([1, 2, 2, 2], |i| 10.0 + i as f32);
+        let mut tape = Tape::new();
+        let av = tape.input(a.clone());
+        let bv = tape.input(bt.clone());
+        let c = tape.concat_channels(&[av, bv]);
+        let v = tape.value(c);
+        assert_eq!(v.shape().dims(), &[1, 3, 2, 2]);
+        assert_eq!(&v.data()[0..4], a.data());
+        assert_eq!(&v.data()[4..12], bt.data());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]);
+        let p = softmax_rows(&t);
+        for row in 0..2 {
+            let s: f32 = p.data()[row * 3..(row + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert!(p.data().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn max_pool_backward_through_tape() {
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 4.0, 3.0]);
+        let w = Param::new("w", Tensor::from_vec([2, 1], vec![1.0, -1.0]));
+        let b = Param::new("b", Tensor::zeros([2]));
+        let mut tape = Tape::new();
+        let xv = tape.input(x);
+        let p = tape.max_pool2d(xv, 2);
+        let f = tape.flatten(p);
+        let (wv, bv) = (tape.param(&w), tape.param(&b));
+        let y = tape.linear(f, wv, bv);
+        let loss = tape.softmax_cross_entropy(y, &[0]);
+        tape.backward(loss);
+        // Max value is 4.0 → gradient flows; w grad is ±4·(p-1)/… but nonzero.
+        assert!(w.grad().data().iter().any(|&g| g.abs() > 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "no-grad tape")]
+    fn backward_panics_without_grad() {
+        let mut tape = Tape::no_grad();
+        let x = tape.input(Tensor::scalar(1.0));
+        tape.backward(x);
+    }
+
+    #[test]
+    fn no_grad_tape_computes_same_forward_values() {
+        let w = Param::new("w", Tensor::from_vec([2, 2], vec![0.3, -0.1, 0.2, 0.4]));
+        let b = Param::new("b", Tensor::from_vec([2], vec![0.5, -0.5]));
+        let x = Tensor::from_vec([1, 2], vec![1.0, 2.0]);
+        let run = |mut tape: Tape| {
+            let xv = tape.input(x.clone());
+            let (wv, bv) = (tape.param(&w), tape.param(&b));
+            let y = tape.linear(xv, wv, bv);
+            let y = tape.relu(y);
+            tape.value(y).clone()
+        };
+        assert_eq!(run(Tape::new()).data(), run(Tape::no_grad()).data());
+    }
+}

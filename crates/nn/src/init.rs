@@ -1,0 +1,56 @@
+//! Weight initialization schemes.
+
+use oppsla_tensor::{Shape, Tensor};
+use rand::Rng;
+
+/// Kaiming/He uniform initialization for a weight tensor whose rows each see
+/// `fan_in` inputs: samples from `U(-√(6/fan_in), √(6/fan_in))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in` is zero.
+pub fn kaiming_uniform(rng: &mut impl Rng, shape: impl Into<Shape>, fan_in: usize) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let bound = (6.0f32 / fan_in as f32).sqrt();
+    let shape = shape.into();
+    Tensor::from_fn(shape, |_| rng.gen_range(-bound..bound))
+}
+
+/// Uniform initialization in `[-bound, bound]` (used for biases).
+pub fn uniform(rng: &mut impl Rng, shape: impl Into<Shape>, bound: f32) -> Tensor {
+    if bound == 0.0 {
+        return Tensor::zeros(shape);
+    }
+    Tensor::from_fn(shape.into(), |_| rng.gen_range(-bound..bound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn kaiming_respects_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = kaiming_uniform(&mut rng, [16, 27], 27);
+        let bound = (6.0f32 / 27.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= bound));
+        // Not all identical (sanity).
+        assert!(t.max() != t.min());
+    }
+
+    #[test]
+    fn uniform_zero_bound_is_zeros() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let t = uniform(&mut rng, [4], 0.0);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = kaiming_uniform(&mut ChaCha8Rng::seed_from_u64(7), [3, 3], 3);
+        let b = kaiming_uniform(&mut ChaCha8Rng::seed_from_u64(7), [3, 3], 3);
+        assert_eq!(a.data(), b.data());
+    }
+}

@@ -1,0 +1,421 @@
+//! Composable network layers over the autograd [`Tape`].
+//!
+//! Layers own [`Param`] cells and know how to extend a tape; containers
+//! ([`Sequential`], [`Residual`], [`ParallelConcat`]) give the branching
+//! structure needed for the ResNet-, GoogLeNet- and DenseNet-style members
+//! of the model zoo.
+
+use crate::autograd::{Param, Tape, Var};
+use crate::init;
+use oppsla_tensor::ops::Conv2dGeometry;
+use rand::Rng;
+use std::fmt;
+
+/// A network layer: extends a [`Tape`] with its computation and exposes its
+/// trainable parameters.
+///
+/// The trait is object-safe so heterogeneous stacks can be boxed into a
+/// [`Sequential`].
+pub trait Layer: fmt::Debug {
+    /// Appends this layer's computation to the tape.
+    fn forward(&self, tape: &mut Tape, x: Var) -> Var;
+
+    /// All trainable parameters, in a stable order.
+    fn params(&self) -> Vec<Param>;
+}
+
+/// 2-D convolution with square kernels, symmetric padding and stride 1.
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    padding: usize,
+    stride: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Kaiming-uniform weights.
+    pub fn new(
+        rng: &mut impl Rng,
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        padding: usize,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let weight = Param::new(
+            format!("{name}.weight"),
+            init::kaiming_uniform(rng, [out_channels, fan_in], fan_in),
+        );
+        let bias = Param::new(
+            format!("{name}.bias"),
+            init::uniform(rng, [out_channels], 1.0 / (fan_in as f32).sqrt()),
+        );
+        Conv2d {
+            weight,
+            bias,
+            in_channels,
+            out_channels,
+            kernel,
+            padding,
+            stride: 1,
+        }
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let s = tape.value(x).shape();
+        assert_eq!(
+            s.dim(1),
+            self.in_channels,
+            "conv {} expected {} input channels, got {}",
+            self.weight.name(),
+            self.in_channels,
+            s.dim(1)
+        );
+        let geom = Conv2dGeometry {
+            in_channels: self.in_channels,
+            in_h: s.dim(2),
+            in_w: s.dim(3),
+            kernel_h: self.kernel,
+            kernel_w: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+        };
+        let w = tape.param(&self.weight);
+        let b = tape.param(&self.bias);
+        tape.conv2d(x, w, b, geom)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+/// Fully connected layer.
+#[derive(Debug)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-uniform weights.
+    pub fn new(rng: &mut impl Rng, name: &str, in_features: usize, out_features: usize) -> Self {
+        Linear {
+            weight: Param::new(
+                format!("{name}.weight"),
+                init::kaiming_uniform(rng, [out_features, in_features], in_features),
+            ),
+            bias: Param::new(
+                format!("{name}.bias"),
+                init::uniform(rng, [out_features], 1.0 / (in_features as f32).sqrt()),
+            ),
+        }
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let w = tape.param(&self.weight);
+        let b = tape.param(&self.bias);
+        tape.linear(x, w, b)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+/// Elementwise ReLU activation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Relu;
+
+impl Layer for Relu {
+    fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        tape.relu(x)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        Vec::new()
+    }
+}
+
+/// Square max pooling with stride equal to the window size.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxPool {
+    window: usize,
+}
+
+impl MaxPool {
+    /// Creates a pooling layer with the given square window.
+    pub fn new(window: usize) -> Self {
+        MaxPool { window }
+    }
+}
+
+impl Layer for MaxPool {
+    fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        tape.max_pool2d(x, self.window)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        Vec::new()
+    }
+}
+
+/// Global average pooling `[n,c,h,w] → [n,c]`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GlobalAvgPool;
+
+impl Layer for GlobalAvgPool {
+    fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        tape.global_avg_pool(x)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        Vec::new()
+    }
+}
+
+/// Flattens all non-batch dimensions.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Flatten;
+
+impl Layer for Flatten {
+    fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        tape.flatten(x)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        Vec::new()
+    }
+}
+
+/// An ordered stack of layers.
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer, returning `self` for chaining.
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// The number of layers in the stack.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the stack has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        self.layers.iter().fold(x, |v, layer| layer.forward(tape, v))
+    }
+
+    fn params(&self) -> Vec<Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+}
+
+/// A residual block: `relu(body(x) + shortcut(x))` where the shortcut is the
+/// identity or a 1×1 projection when channel counts differ.
+#[derive(Debug)]
+pub struct Residual {
+    body: Sequential,
+    projection: Option<Conv2d>,
+}
+
+impl Residual {
+    /// Creates a residual block with an identity shortcut.
+    pub fn identity(body: Sequential) -> Self {
+        Residual {
+            body,
+            projection: None,
+        }
+    }
+
+    /// Creates a residual block whose shortcut is a 1×1 projection.
+    pub fn projected(body: Sequential, projection: Conv2d) -> Self {
+        Residual {
+            body,
+            projection: Some(projection),
+        }
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let branch = self.body.forward(tape, x);
+        let shortcut = match &self.projection {
+            Some(p) => p.forward(tape, x),
+            None => x,
+        };
+        let sum = tape.add(branch, shortcut);
+        tape.relu(sum)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.body.params();
+        if let Some(proj) = &self.projection {
+            p.extend(proj.params());
+        }
+        p
+    }
+}
+
+/// Runs branches in parallel on the same input and concatenates their
+/// outputs along the channel axis (GoogLeNet-style inception blocks,
+/// DenseNet-style growth).
+#[derive(Debug)]
+pub struct ParallelConcat {
+    branches: Vec<Sequential>,
+    /// When true, the input itself is concatenated alongside the branch
+    /// outputs (DenseNet-style dense connectivity).
+    include_input: bool,
+}
+
+impl ParallelConcat {
+    /// Creates an inception-style block (branch outputs only).
+    pub fn new(branches: Vec<Sequential>) -> Self {
+        assert!(!branches.is_empty(), "ParallelConcat needs at least one branch");
+        ParallelConcat {
+            branches,
+            include_input: false,
+        }
+    }
+
+    /// Creates a dense-connectivity block that also passes the input
+    /// through to the concatenation.
+    pub fn with_input(branches: Vec<Sequential>) -> Self {
+        assert!(!branches.is_empty(), "ParallelConcat needs at least one branch");
+        ParallelConcat {
+            branches,
+            include_input: true,
+        }
+    }
+}
+
+impl Layer for ParallelConcat {
+    fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let mut outs = Vec::with_capacity(self.branches.len() + 1);
+        if self.include_input {
+            outs.push(x);
+        }
+        for branch in &self.branches {
+            outs.push(branch.forward(tape, x));
+        }
+        tape.concat_channels(&outs)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        self.branches.iter().flat_map(|b| b.params()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oppsla_tensor::Tensor;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn run(layer: &dyn Layer, input: Tensor) -> Tensor {
+        let mut tape = Tape::no_grad();
+        let x = tape.input(input);
+        let y = layer.forward(&mut tape, x);
+        tape.value(y).clone()
+    }
+
+    #[test]
+    fn conv_preserves_spatial_dims_with_same_padding() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let conv = Conv2d::new(&mut rng, "c", 3, 8, 3, 1);
+        let out = run(&conv, Tensor::zeros([2, 3, 8, 8]));
+        assert_eq!(out.shape().dims(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn sequential_chains_shapes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let net = Sequential::new()
+            .push(Conv2d::new(&mut rng, "c1", 3, 4, 3, 1))
+            .push(Relu)
+            .push(MaxPool::new(2))
+            .push(Flatten)
+            .push(Linear::new(&mut rng, "fc", 4 * 4 * 4, 10));
+        let out = run(&net, Tensor::zeros([1, 3, 8, 8]));
+        assert_eq!(out.shape().dims(), &[1, 10]);
+        assert_eq!(net.params().len(), 4);
+    }
+
+    #[test]
+    fn residual_identity_requires_matching_channels() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let body = Sequential::new()
+            .push(Conv2d::new(&mut rng, "b1", 4, 4, 3, 1))
+            .push(Relu)
+            .push(Conv2d::new(&mut rng, "b2", 4, 4, 3, 1));
+        let block = Residual::identity(body);
+        let out = run(&block, Tensor::zeros([1, 4, 6, 6]));
+        assert_eq!(out.shape().dims(), &[1, 4, 6, 6]);
+    }
+
+    #[test]
+    fn residual_projection_changes_channels() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let body = Sequential::new().push(Conv2d::new(&mut rng, "b", 4, 8, 3, 1));
+        let proj = Conv2d::new(&mut rng, "p", 4, 8, 1, 0);
+        let block = Residual::projected(body, proj);
+        let out = run(&block, Tensor::zeros([1, 4, 6, 6]));
+        assert_eq!(out.shape().dims(), &[1, 8, 6, 6]);
+    }
+
+    #[test]
+    fn parallel_concat_sums_channels() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let b1 = Sequential::new().push(Conv2d::new(&mut rng, "b1", 3, 4, 1, 0));
+        let b2 = Sequential::new().push(Conv2d::new(&mut rng, "b2", 3, 6, 3, 1));
+        let block = ParallelConcat::new(vec![b1, b2]);
+        let out = run(&block, Tensor::zeros([1, 3, 5, 5]));
+        assert_eq!(out.shape().dims(), &[1, 10, 5, 5]);
+    }
+
+    #[test]
+    fn dense_concat_includes_input() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let b = Sequential::new().push(Conv2d::new(&mut rng, "g", 3, 2, 3, 1));
+        let block = ParallelConcat::with_input(vec![b]);
+        let out = run(&block, Tensor::zeros([1, 3, 5, 5]));
+        assert_eq!(out.shape().dims(), &[1, 5, 5, 5]);
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        let out = run(&Relu, Tensor::from_vec([1, 2], vec![-3.0, 2.0]));
+        assert_eq!(out.data(), &[0.0, 2.0]);
+    }
+}

@@ -1,0 +1,447 @@
+//! The model zoo: small CNN architectures standing in for the paper's
+//! pre-trained classifiers.
+//!
+//! The paper attacks VGG-16-BN, ResNet18 and GoogLeNet on CIFAR-10 and
+//! DenseNet121 / ResNet50 on ImageNet. We reproduce each architectural
+//! *family* at laptop scale: plain convolutional stacks with fully
+//! connected heads (VGG-style), residual blocks with projections
+//! (ResNet-style), multi-branch concatenations (GoogLeNet-style) and dense
+//! connectivity (DenseNet-style). The one-pixel attack is black-box, so
+//! only the learned decision surface matters, not parameter counts.
+
+use crate::autograd::{softmax_rows, Param, Tape, Var};
+use crate::layers::{
+    Conv2d, Flatten, Layer, Linear, MaxPool, ParallelConcat, Relu, Residual, Sequential,
+};
+use oppsla_tensor::Tensor;
+use rand::Rng;
+use std::fmt;
+
+/// Architectural family of a zoo model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Arch {
+    /// Plain convolutional stack with a fully connected head (VGG-style).
+    VggSmall,
+    /// Residual blocks with projection shortcuts (ResNet-style).
+    ResNetSmall,
+    /// Multi-branch inception blocks (GoogLeNet-style).
+    GoogLeNetSmall,
+    /// Densely connected growth blocks (DenseNet-style).
+    DenseNetSmall,
+    /// A multilayer perceptron, used as a cheap test double.
+    Mlp,
+}
+
+impl Arch {
+    /// All convolutional members of the zoo (excludes the MLP test double).
+    pub const CNN_FAMILIES: [Arch; 4] = [
+        Arch::VggSmall,
+        Arch::ResNetSmall,
+        Arch::GoogLeNetSmall,
+        Arch::DenseNetSmall,
+    ];
+
+    /// A short stable identifier, used in weight-cache file names.
+    pub fn id(self) -> &'static str {
+        match self {
+            Arch::VggSmall => "vgg-small",
+            Arch::ResNetSmall => "resnet-small",
+            Arch::GoogLeNetSmall => "googlenet-small",
+            Arch::DenseNetSmall => "densenet-small",
+            Arch::Mlp => "mlp",
+        }
+    }
+
+    /// The paper classifier this family stands in for.
+    pub fn paper_counterpart(self) -> &'static str {
+        match self {
+            Arch::VggSmall => "VGG-16-BN",
+            Arch::ResNetSmall => "ResNet18/ResNet50",
+            Arch::GoogLeNetSmall => "GoogLeNet",
+            Arch::DenseNetSmall => "DenseNet121",
+            Arch::Mlp => "(test double)",
+        }
+    }
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Expected input geometry of a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct InputSpec {
+    /// Channel count (always 3 in this reproduction).
+    pub channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+}
+
+impl InputSpec {
+    /// 32×32 RGB, the CIFAR-10-scale input.
+    pub const RGB32: InputSpec = InputSpec {
+        channels: 3,
+        height: 32,
+        width: 32,
+    };
+
+    /// 64×64 RGB, the ImageNet-scale stand-in input.
+    pub const RGB64: InputSpec = InputSpec {
+        channels: 3,
+        height: 64,
+        width: 64,
+    };
+
+    /// Elements per image.
+    pub fn numel(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+}
+
+/// A classification network from the zoo: a layer stack plus metadata.
+pub struct ConvNet {
+    arch: Arch,
+    input: InputSpec,
+    num_classes: usize,
+    stack: Sequential,
+}
+
+impl fmt::Debug for ConvNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConvNet")
+            .field("arch", &self.arch)
+            .field("input", &self.input)
+            .field("num_classes", &self.num_classes)
+            .field("num_params", &self.num_params())
+            .finish()
+    }
+}
+
+impl ConvNet {
+    /// Builds a randomly initialized network of the given family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input spec's spatial extents are not divisible by the
+    /// architecture's pooling factor (all families pool by 4; `RGB32` and
+    /// `RGB64` both qualify).
+    pub fn build(arch: Arch, input: InputSpec, num_classes: usize, rng: &mut impl Rng) -> Self {
+        assert!(num_classes >= 2, "a classifier needs at least two classes");
+        let stack = match arch {
+            Arch::VggSmall => build_vgg(input, num_classes, rng),
+            Arch::ResNetSmall => build_resnet(input, num_classes, rng),
+            Arch::GoogLeNetSmall => build_googlenet(input, num_classes, rng),
+            Arch::DenseNetSmall => build_densenet(input, num_classes, rng),
+            Arch::Mlp => build_mlp(input, num_classes, rng),
+        };
+        ConvNet {
+            arch,
+            input,
+            num_classes,
+            stack,
+        }
+    }
+
+    /// The architecture family.
+    pub fn arch(&self) -> Arch {
+        self.arch
+    }
+
+    /// Expected input geometry.
+    pub fn input_spec(&self) -> InputSpec {
+        self.input
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// All trainable parameters in a stable order.
+    pub fn params(&self) -> Vec<Param> {
+        self.stack.params()
+    }
+
+    /// Total scalar weight count.
+    pub fn num_params(&self) -> usize {
+        self.params().iter().map(Param::numel).sum()
+    }
+
+    /// Extends `tape` with the network body; `x` must be `[n, c, h, w]`.
+    pub fn logits_on_tape(&self, tape: &mut Tape, x: Var) -> Var {
+        self.stack.forward(tape, x)
+    }
+
+    /// Computes logits for a batch without recording gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is not `[n, c, h, w]` matching the input spec.
+    pub fn logits(&self, batch: &Tensor) -> Tensor {
+        assert_eq!(batch.shape().rank(), 4, "logits expects an [n,c,h,w] batch");
+        assert_eq!(
+            (batch.shape().dim(1), batch.shape().dim(2), batch.shape().dim(3)),
+            (self.input.channels, self.input.height, self.input.width),
+            "batch geometry disagrees with network input spec"
+        );
+        let mut tape = Tape::no_grad();
+        let x = tape.input(batch.clone());
+        let y = self.logits_on_tape(&mut tape, x);
+        tape.value(y).clone()
+    }
+
+    /// Computes the softmax score vector for a single `[c, h, w]` image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image geometry disagrees with the input spec.
+    pub fn scores(&self, image: &Tensor) -> Vec<f32> {
+        assert_eq!(image.shape().rank(), 3, "scores expects a [c,h,w] image");
+        let batch = image.reshape([
+            1,
+            self.input.channels,
+            self.input.height,
+            self.input.width,
+        ]);
+        let logits = self.logits(&batch);
+        softmax_rows(&logits).into_vec()
+    }
+
+    /// Predicted class indices for a batch.
+    pub fn predict(&self, batch: &Tensor) -> Vec<usize> {
+        let logits = self.logits(batch);
+        let classes = self.num_classes;
+        (0..logits.shape().dim(0))
+            .map(|row| {
+                let slice = &logits.data()[row * classes..(row + 1) * classes];
+                argmax_slice(slice)
+            })
+            .collect()
+    }
+}
+
+/// Index of the maximum element (first on ties).
+///
+/// # Panics
+///
+/// Panics if `slice` is empty.
+pub fn argmax_slice(slice: &[f32]) -> usize {
+    assert!(!slice.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in slice.iter().enumerate() {
+        if v > slice[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn conv_relu(rng: &mut impl Rng, name: &str, in_c: usize, out_c: usize) -> Sequential {
+    Sequential::new()
+        .push(Conv2d::new(rng, name, in_c, out_c, 3, 1))
+        .push(Relu)
+}
+
+fn build_vgg(input: InputSpec, classes: usize, rng: &mut impl Rng) -> Sequential {
+    let (h, w) = (input.height / 4, input.width / 4);
+    Sequential::new()
+        .push(Conv2d::new(rng, "vgg.c1", input.channels, 12, 3, 1))
+        .push(Relu)
+        .push(Conv2d::new(rng, "vgg.c2", 12, 12, 3, 1))
+        .push(Relu)
+        .push(MaxPool::new(2))
+        .push(Conv2d::new(rng, "vgg.c3", 12, 24, 3, 1))
+        .push(Relu)
+        .push(MaxPool::new(2))
+        .push(Flatten)
+        .push(Linear::new(rng, "vgg.fc1", 24 * h * w, 48))
+        .push(Relu)
+        .push(Linear::new(rng, "vgg.fc2", 48, classes))
+}
+
+fn head(rng: &mut impl Rng, name: &str, channels: usize, input: InputSpec, classes: usize) -> Sequential {
+    // Pool once more, then flatten into a fully connected head. The real
+    // architectures end in global average pooling, but at this reproduction's
+    // scale (tens of channels instead of hundreds) GAP averages a single
+    // pixel's influence away and makes one-pixel attacks vacuously hard; a
+    // small FC head preserves the local sensitivity the paper's full-size
+    // networks get from their depth (see DESIGN.md).
+    let (h, w) = (input.height / 8, input.width / 8);
+    Sequential::new()
+        .push(MaxPool::new(2))
+        .push(Flatten)
+        .push(Linear::new(rng, name, channels * h * w, classes))
+}
+
+fn build_resnet(input: InputSpec, classes: usize, rng: &mut impl Rng) -> Sequential {
+    let block1 = Residual::identity(
+        Sequential::new()
+            .push(Conv2d::new(rng, "res.b1.c1", 12, 12, 3, 1))
+            .push(Relu)
+            .push(Conv2d::new(rng, "res.b1.c2", 12, 12, 3, 1)),
+    );
+    let block2 = Residual::projected(
+        Sequential::new()
+            .push(Conv2d::new(rng, "res.b2.c1", 12, 24, 3, 1))
+            .push(Relu)
+            .push(Conv2d::new(rng, "res.b2.c2", 24, 24, 3, 1)),
+        Conv2d::new(rng, "res.b2.proj", 12, 24, 1, 0),
+    );
+    Sequential::new()
+        .push(Conv2d::new(rng, "res.stem", input.channels, 12, 3, 1))
+        .push(Relu)
+        .push(block1)
+        .push(MaxPool::new(2))
+        .push(block2)
+        .push(MaxPool::new(2))
+        .push(head(rng, "res.fc", 24, input, classes))
+}
+
+fn inception(rng: &mut impl Rng, name: &str, in_c: usize, per_branch: usize) -> ParallelConcat {
+    let b1 = Sequential::new()
+        .push(Conv2d::new(rng, &format!("{name}.b1x1"), in_c, per_branch, 1, 0))
+        .push(Relu);
+    let b3 = Sequential::new()
+        .push(Conv2d::new(rng, &format!("{name}.b3r"), in_c, per_branch, 1, 0))
+        .push(Relu)
+        .push(Conv2d::new(rng, &format!("{name}.b3x3"), per_branch, per_branch, 3, 1))
+        .push(Relu);
+    let b5 = Sequential::new()
+        .push(Conv2d::new(rng, &format!("{name}.b5r"), in_c, per_branch, 1, 0))
+        .push(Relu)
+        .push(Conv2d::new(rng, &format!("{name}.b5x5"), per_branch, per_branch, 5, 2))
+        .push(Relu);
+    ParallelConcat::new(vec![b1, b3, b5])
+}
+
+fn build_googlenet(input: InputSpec, classes: usize, rng: &mut impl Rng) -> Sequential {
+    Sequential::new()
+        .push(Conv2d::new(rng, "goog.stem", input.channels, 12, 3, 1))
+        .push(Relu)
+        .push(MaxPool::new(2))
+        .push(inception(rng, "goog.inc1", 12, 6)) // -> 18 channels
+        .push(MaxPool::new(2))
+        .push(inception(rng, "goog.inc2", 18, 8)) // -> 24 channels
+        .push(head(rng, "goog.fc", 24, input, classes))
+}
+
+fn build_densenet(input: InputSpec, classes: usize, rng: &mut impl Rng) -> Sequential {
+    // Two dense growth steps: channels 12 -> 12+8 -> 20+8.
+    let growth = 8;
+    let grow1 = ParallelConcat::with_input(vec![conv_relu(rng, "dense.g1", 12, growth)]);
+    let grow2 = ParallelConcat::with_input(vec![conv_relu(rng, "dense.g2", 12 + growth, growth)]);
+    Sequential::new()
+        .push(Conv2d::new(rng, "dense.stem", input.channels, 12, 3, 1))
+        .push(Relu)
+        .push(MaxPool::new(2))
+        .push(grow1)
+        .push(MaxPool::new(2))
+        .push(grow2)
+        .push(head(rng, "dense.fc", 12 + 2 * growth, input, classes))
+}
+
+fn build_mlp(input: InputSpec, classes: usize, rng: &mut impl Rng) -> Sequential {
+    Sequential::new()
+        .push(Flatten)
+        .push(Linear::new(rng, "mlp.fc1", input.numel(), 32))
+        .push(Relu)
+        .push(Linear::new(rng, "mlp.fc2", 32, classes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn check_arch(arch: Arch) {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let net = ConvNet::build(arch, InputSpec::RGB32, 10, &mut rng);
+        let batch = Tensor::zeros([2, 3, 32, 32]);
+        let logits = net.logits(&batch);
+        assert_eq!(logits.shape().dims(), &[2, 10], "{arch} logits shape");
+        assert!(logits.is_finite(), "{arch} produced non-finite logits");
+        assert!(net.num_params() > 0);
+    }
+
+    #[test]
+    fn every_family_produces_logits() {
+        for arch in [
+            Arch::VggSmall,
+            Arch::ResNetSmall,
+            Arch::GoogLeNetSmall,
+            Arch::DenseNetSmall,
+            Arch::Mlp,
+        ] {
+            check_arch(arch);
+        }
+    }
+
+    #[test]
+    fn families_also_run_at_64x64() {
+        for arch in [Arch::ResNetSmall, Arch::DenseNetSmall] {
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            let net = ConvNet::build(arch, InputSpec::RGB64, 20, &mut rng);
+            let logits = net.logits(&Tensor::zeros([1, 3, 64, 64]));
+            assert_eq!(logits.shape().dims(), &[1, 20]);
+        }
+    }
+
+    #[test]
+    fn scores_are_a_probability_vector() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let net = ConvNet::build(Arch::Mlp, InputSpec::RGB32, 10, &mut rng);
+        let img = Tensor::from_fn([3, 32, 32], |i| (i % 7) as f32 / 7.0);
+        let scores = net.scores(&img);
+        assert_eq!(scores.len(), 10);
+        let sum: f32 = scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert!(scores.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn predict_matches_argmax_of_logits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let net = ConvNet::build(Arch::VggSmall, InputSpec::RGB32, 10, &mut rng);
+        let batch = Tensor::from_fn([3, 3, 32, 32], |i| ((i as f32) * 0.01).sin().abs());
+        let preds = net.predict(&batch);
+        let logits = net.logits(&batch);
+        for (row, &p) in preds.iter().enumerate() {
+            assert_eq!(p, argmax_slice(&logits.data()[row * 10..(row + 1) * 10]));
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic_under_seed() {
+        let a = ConvNet::build(
+            Arch::VggSmall,
+            InputSpec::RGB32,
+            10,
+            &mut ChaCha8Rng::seed_from_u64(9),
+        );
+        let b = ConvNet::build(
+            Arch::VggSmall,
+            InputSpec::RGB32,
+            10,
+            &mut ChaCha8Rng::seed_from_u64(9),
+        );
+        let img = Tensor::from_fn([3, 32, 32], |i| (i % 11) as f32 / 11.0);
+        assert_eq!(a.scores(&img), b.scores(&img));
+    }
+
+    #[test]
+    fn argmax_slice_prefers_first_on_ties() {
+        assert_eq!(argmax_slice(&[1.0, 3.0, 3.0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn rejects_single_class() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        ConvNet::build(Arch::Mlp, InputSpec::RGB32, 1, &mut rng);
+    }
+}

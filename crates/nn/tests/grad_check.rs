@@ -1,0 +1,156 @@
+//! Finite-difference gradient checks for every zoo architecture.
+//!
+//! The unit tests in `autograd.rs` verify individual ops; this suite
+//! verifies the *composition* — residual adds, channel concats, pooling
+//! and the FC heads all backpropagating correctly through whole networks.
+//!
+//! Coordinate-wise differencing is unreliable here: ReLU and max-pool
+//! introduce kinks that a single coordinate step can cross. Instead we
+//! check the *directional derivative along the gradient itself*:
+//! `(f(θ + ε·ĝ) − f(θ − ε·ĝ)) / 2ε ≈ ‖g‖`, which averages away isolated
+//! kinks while still failing loudly if any op's backward rule is wrong.
+
+use oppsla_nn::autograd::Tape;
+use oppsla_nn::models::{Arch, ConvNet, InputSpec};
+use oppsla_tensor::Tensor;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn loss_of(net: &ConvNet, batch: &Tensor, labels: &[usize]) -> f32 {
+    let mut tape = Tape::new();
+    let x = tape.input(batch.clone());
+    let logits = net.logits_on_tape(&mut tape, x);
+    let loss = tape.softmax_cross_entropy(logits, labels);
+    tape.value(loss).item()
+}
+
+fn check_arch(arch: Arch, tolerance: f32) {
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let net = ConvNet::build(arch, InputSpec::RGB32, 4, &mut rng);
+    let batch = Tensor::from_fn([2, 3, 32, 32], |i| ((i as f32) * 0.13).sin() * 0.5 + 0.5);
+    let labels = [1usize, 3];
+
+    // Analytic gradients.
+    for p in net.params() {
+        p.zero_grad();
+    }
+    let mut tape = Tape::new();
+    let x = tape.input(batch.clone());
+    let logits = net.logits_on_tape(&mut tape, x);
+    let loss = tape.softmax_cross_entropy(logits, &labels);
+    tape.backward(loss);
+
+    // ‖g‖ over all parameters.
+    let params = net.params();
+    let grads: Vec<Tensor> = params.iter().map(|p| p.grad()).collect();
+    let norm: f32 = grads
+        .iter()
+        .flat_map(|g| g.data().iter().map(|v| v * v))
+        .sum::<f32>()
+        .sqrt();
+    assert!(norm > 1e-4, "{arch:?}: gradient vanished entirely ({norm})");
+
+    // Step all parameters along ±ε·ĝ and compare the directional
+    // derivative to ‖g‖.
+    let eps = 1e-3f32;
+    let bases: Vec<Tensor> = params.iter().map(|p| p.value()).collect();
+    let stepped = |sign: f32| {
+        for ((p, base), g) in params.iter().zip(&bases).zip(&grads) {
+            let mut v = base.clone();
+            v.add_scaled_inplace(g, sign * eps / norm);
+            p.set_value(v);
+        }
+        let f = loss_of(&net, &batch, &labels);
+        for (p, base) in params.iter().zip(&bases) {
+            p.set_value(base.clone());
+        }
+        f
+    };
+    let f_plus = stepped(1.0);
+    let f_minus = stepped(-1.0);
+    let numeric = (f_plus - f_minus) / (2.0 * eps);
+    assert!(
+        (numeric - norm).abs() <= tolerance * norm,
+        "{arch:?}: directional derivative {numeric} vs gradient norm {norm}"
+    );
+}
+
+#[test]
+fn vgg_gradients_match_finite_differences() {
+    check_arch(Arch::VggSmall, 0.05);
+}
+
+#[test]
+fn resnet_gradients_match_finite_differences() {
+    check_arch(Arch::ResNetSmall, 0.05);
+}
+
+#[test]
+fn googlenet_gradients_match_finite_differences() {
+    check_arch(Arch::GoogLeNetSmall, 0.05);
+}
+
+#[test]
+fn densenet_gradients_match_finite_differences() {
+    check_arch(Arch::DenseNetSmall, 0.05);
+}
+
+#[test]
+fn mlp_gradients_match_finite_differences() {
+    check_arch(Arch::Mlp, 0.05);
+}
+
+#[test]
+fn gradient_of_wrong_direction_fails_the_check() {
+    // Meta-test: the directional check actually discriminates. Stepping
+    // along a *random* direction must not reproduce the norm.
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let net = ConvNet::build(Arch::Mlp, InputSpec::RGB32, 4, &mut rng);
+    let batch = Tensor::from_fn([2, 3, 32, 32], |i| ((i as f32) * 0.29).cos() * 0.5 + 0.5);
+    let labels = [0usize, 2];
+    for p in net.params() {
+        p.zero_grad();
+    }
+    let mut tape = Tape::new();
+    let x = tape.input(batch.clone());
+    let logits = net.logits_on_tape(&mut tape, x);
+    let loss = tape.softmax_cross_entropy(logits, &labels);
+    tape.backward(loss);
+    let params = net.params();
+    let norm: f32 = params
+        .iter()
+        .flat_map(|p| p.grad().into_vec())
+        .map(|v| v * v)
+        .sum::<f32>()
+        .sqrt();
+    // A fixed arbitrary direction (alternating signs) is essentially
+    // orthogonal to the gradient in this high-dimensional space.
+    let eps = 1e-3f32;
+    let bases: Vec<Tensor> = params.iter().map(|p| p.value()).collect();
+    let dim: usize = bases.iter().map(|b| b.numel()).sum();
+    let unit = 1.0 / (dim as f32).sqrt();
+    let stepped = |sign: f32| {
+        for (p, base) in params.iter().zip(&bases) {
+            let dir = Tensor::from_fn(base.shape().clone(), |i| {
+                if i % 2 == 0 {
+                    unit
+                } else {
+                    -unit
+                }
+            });
+            let mut v = base.clone();
+            v.add_scaled_inplace(&dir, sign * eps);
+            p.set_value(v);
+        }
+        let f = loss_of(&net, &batch, &labels);
+        for (p, base) in params.iter().zip(&bases) {
+            p.set_value(base.clone());
+        }
+        f
+    };
+    let numeric = (stepped(1.0) - stepped(-1.0)) / (2.0 * eps);
+    assert!(
+        (numeric - norm).abs() > 0.05 * norm,
+        "random direction reproduced the norm: {numeric} vs {norm}"
+    );
+}

@@ -1,0 +1,28 @@
+//! Dense `f32` tensor substrate for the OPPSLA reproduction.
+//!
+//! The paper queries pre-trained PyTorch CNNs; this workspace has no GPU or
+//! external ML runtime, so the classifier substrate is built from scratch.
+//! This crate provides the numeric foundation: a contiguous row-major
+//! [`Tensor`], [`Shape`] arithmetic, and the kernels ([`ops`]) needed to run
+//! and train small convolutional networks (matrix products, im2col/col2im
+//! convolution lowering, pooling).
+//!
+//! # Examples
+//!
+//! ```
+//! use oppsla_tensor::{ops, Tensor};
+//!
+//! let a = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+//! let b = Tensor::from_vec([2, 2], vec![3.0, 4.0, 5.0, 6.0]);
+//! assert_eq!(ops::matmul(&a, &b).data(), b.data());
+//! ```
+
+#![warn(missing_docs)]
+
+mod shape;
+mod tensor;
+
+pub mod ops;
+
+pub use shape::Shape;
+pub use tensor::Tensor;

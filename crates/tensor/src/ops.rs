@@ -1,0 +1,501 @@
+//! Numeric kernels: matrix multiplication, im2col/col2im convolution
+//! lowering, and pooling.
+//!
+//! All image tensors use the NCHW layout: `[batch, channels, height, width]`.
+
+use crate::Tensor;
+
+/// Matrix product `A · B` for `A: [m, k]`, `B: [k, n]`.
+///
+/// # Panics
+///
+/// Panics if either input is not rank 2 or the inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul lhs");
+    let (k2, n) = dims2(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul inner dimensions disagree: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    // ikj loop order keeps the innermost loop contiguous in both B and out
+    // so it auto-vectorizes; A entries are dense weights, so no zero-skip.
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// Matrix product `Aᵀ · B` for `A: [k, m]`, `B: [k, n]` without materializing
+/// the transpose.
+///
+/// # Panics
+///
+/// Panics if either input is not rank 2 or the shared dimension disagrees.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = dims2(a, "matmul_tn lhs");
+    let (k2, n) = dims2(b, "matmul_tn rhs");
+    assert_eq!(k, k2, "matmul_tn shared dimensions disagree: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for kk in 0..k {
+        let arow = &ad[kk * m..(kk + 1) * m];
+        let brow = &bd[kk * n..(kk + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// Matrix product `A · Bᵀ` for `A: [m, k]`, `B: [n, k]` without materializing
+/// the transpose.
+///
+/// # Panics
+///
+/// Panics if either input is not rank 2 or the shared dimension disagrees.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul_nt lhs");
+    let (n, k2) = dims2(b, "matmul_nt rhs");
+    assert_eq!(k, k2, "matmul_nt shared dimensions disagree: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// Geometry of a 2-D convolution or pooling window sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride in both directions.
+    pub stride: usize,
+    /// Symmetric zero padding in both directions.
+    pub padding: usize,
+}
+
+impl Conv2dGeometry {
+    /// Output height after the sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn out_h(&self) -> usize {
+        sweep_extent(self.in_h, self.kernel_h, self.stride, self.padding)
+    }
+
+    /// Output width after the sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn out_w(&self) -> usize {
+        sweep_extent(self.in_w, self.kernel_w, self.stride, self.padding)
+    }
+}
+
+fn sweep_extent(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    let padded = input + 2 * padding;
+    assert!(
+        padded >= kernel,
+        "kernel extent {kernel} larger than padded input {padded}"
+    );
+    (padded - kernel) / stride + 1
+}
+
+/// Unfolds one NCHW image `[c, h, w]` into a `[c·kh·kw, oh·ow]` column
+/// matrix so convolution lowers to a matrix product.
+///
+/// # Panics
+///
+/// Panics if `image` is not rank 3 or disagrees with `geom`.
+pub fn im2col(image: &Tensor, geom: &Conv2dGeometry) -> Tensor {
+    assert_eq!(image.shape().rank(), 3, "im2col expects a [c,h,w] tensor");
+    let (c, h, w) = (
+        image.shape().dim(0),
+        image.shape().dim(1),
+        image.shape().dim(2),
+    );
+    assert_eq!((c, h, w), (geom.in_channels, geom.in_h, geom.in_w));
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let rows = c * geom.kernel_h * geom.kernel_w;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = image.data();
+    for ch in 0..c {
+        for ky in 0..geom.kernel_h {
+            for kx in 0..geom.kernel_w {
+                let row = (ch * geom.kernel_h + ky) * geom.kernel_w + kx;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        out[row * cols + oy * ow + ox] =
+                            data[(ch * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec([rows, cols], out)
+}
+
+/// Folds a `[c·kh·kw, oh·ow]` column matrix back into a `[c, h, w]` image,
+/// accumulating overlapping contributions. This is the adjoint of [`im2col`]
+/// and is used in the convolution backward pass.
+///
+/// # Panics
+///
+/// Panics if `cols` disagrees with `geom`.
+pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry) -> Tensor {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let rows = geom.in_channels * geom.kernel_h * geom.kernel_w;
+    assert_eq!(
+        cols.shape().dims(),
+        &[rows, oh * ow],
+        "col2im input shape disagrees with geometry"
+    );
+    let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    let mut out = vec![0.0f32; c * h * w];
+    let data = cols.data();
+    for ch in 0..c {
+        for ky in 0..geom.kernel_h {
+            for kx in 0..geom.kernel_w {
+                let row = (ch * geom.kernel_h + ky) * geom.kernel_w + kx;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        out[(ch * h + iy as usize) * w + ix as usize] +=
+                            data[row * (oh * ow) + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec([c, h, w], out)
+}
+
+/// Result of a max-pool forward pass: pooled values plus the flat source
+/// index of every winner, needed for the backward scatter.
+#[derive(Debug, Clone)]
+pub struct MaxPoolOutput {
+    /// Pooled `[n, c, oh, ow]` tensor.
+    pub output: Tensor,
+    /// For each output element, the flat index into the input that won.
+    pub argmax: Vec<usize>,
+}
+
+/// 2×2 (or general square) max pooling with stride equal to the window size.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 4 or a spatial extent is not divisible by
+/// `window`.
+pub fn max_pool2d(input: &Tensor, window: usize) -> MaxPoolOutput {
+    let (n, c, h, w) = dims4(input, "max_pool2d");
+    assert!(
+        h % window == 0 && w % window == 0,
+        "pool window {window} does not divide spatial extent {h}x{w}"
+    );
+    let (oh, ow) = (h / window, w / window);
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let data = input.data();
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for dy in 0..window {
+                        for dx in 0..window {
+                            let idx = base + (oy * window + dy) * w + (ox * window + dx);
+                            if data[idx] > best {
+                                best = data[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let oidx = ((img * c + ch) * oh + oy) * ow + ox;
+                    out[oidx] = best;
+                    argmax[oidx] = best_idx;
+                }
+            }
+        }
+    }
+    MaxPoolOutput {
+        output: Tensor::from_vec([n, c, oh, ow], out),
+        argmax,
+    }
+}
+
+/// Scatters output gradients back through a max pool recorded by
+/// [`max_pool2d`].
+///
+/// # Panics
+///
+/// Panics if `grad_out` does not have one gradient per recorded winner.
+pub fn max_pool2d_backward(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_shape: &crate::Shape,
+) -> Tensor {
+    assert_eq!(
+        grad_out.numel(),
+        argmax.len(),
+        "gradient count {} does not match pooled element count {}",
+        grad_out.numel(),
+        argmax.len()
+    );
+    let mut grad_in = Tensor::zeros(input_shape.clone());
+    let gi = grad_in.data_mut();
+    for (&g, &src) in grad_out.data().iter().zip(argmax.iter()) {
+        gi[src] += g;
+    }
+    grad_in
+}
+
+/// Global average pooling: `[n, c, h, w] → [n, c]`.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 4.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    let (n, c, h, w) = dims4(input, "global_avg_pool");
+    let area = (h * w) as f32;
+    let data = input.data();
+    let mut out = vec![0.0f32; n * c];
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            out[img * c + ch] = data[base..base + h * w].iter().sum::<f32>() / area;
+        }
+    }
+    Tensor::from_vec([n, c], out)
+}
+
+/// Backward pass of [`global_avg_pool`]: broadcasts each channel gradient
+/// uniformly over its spatial extent.
+///
+/// # Panics
+///
+/// Panics if `grad_out` is not `[n, c]` matching `input_shape`.
+pub fn global_avg_pool_backward(grad_out: &Tensor, input_shape: &crate::Shape) -> Tensor {
+    assert_eq!(input_shape.rank(), 4);
+    let (n, c, h, w) = (
+        input_shape.dim(0),
+        input_shape.dim(1),
+        input_shape.dim(2),
+        input_shape.dim(3),
+    );
+    assert_eq!(grad_out.shape().dims(), &[n, c]);
+    let area = (h * w) as f32;
+    let mut grad_in = Tensor::zeros(input_shape.clone());
+    let gi = grad_in.data_mut();
+    for img in 0..n {
+        for ch in 0..c {
+            let g = grad_out.data()[img * c + ch] / area;
+            let base = (img * c + ch) * h * w;
+            for v in &mut gi[base..base + h * w] {
+                *v = g;
+            }
+        }
+    }
+    grad_in
+}
+
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.shape().rank(), 2, "{what} expects a rank-2 tensor, got {}", t.shape());
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+fn dims4(t: &Tensor, what: &str) -> (usize, usize, usize, usize) {
+    assert_eq!(t.shape().rank(), 4, "{what} expects a rank-4 tensor, got {}", t.shape());
+    (
+        t.shape().dim(0),
+        t.shape().dim(1),
+        t.shape().dim(2),
+        t.shape().dim(3),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec([3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Tensor::from_vec([3, 2], vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        let b = Tensor::from_vec([3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul_tn(&a, &b);
+        // aᵀ = [[1,2,3],[4,5,6]]
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec([2, 3], vec![7.0, 9.0, 11.0, 8.0, 10.0, 12.0]);
+        let c = matmul_nt(&a, &b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn conv_geometry_same_padding() {
+        let g = Conv2dGeometry {
+            in_channels: 3,
+            in_h: 32,
+            in_w: 32,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 1,
+        };
+        assert_eq!((g.out_h(), g.out_w()), (32, 32));
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, no padding: im2col is just a reshape.
+        let img = Tensor::from_fn([2, 2, 2], |i| i as f32);
+        let g = Conv2dGeometry {
+            in_channels: 2,
+            in_h: 2,
+            in_w: 2,
+            kernel_h: 1,
+            kernel_w: 1,
+            stride: 1,
+            padding: 0,
+        };
+        let cols = im2col(&img, &g);
+        assert_eq!(cols.shape().dims(), &[2, 4]);
+        assert_eq!(cols.data(), img.data());
+    }
+
+    #[test]
+    fn im2col_padding_zero_fills() {
+        let img = Tensor::ones([1, 1, 1]);
+        let g = Conv2dGeometry {
+            in_channels: 1,
+            in_h: 1,
+            in_w: 1,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let cols = im2col(&img, &g);
+        assert_eq!(cols.shape().dims(), &[9, 1]);
+        // Only the kernel center overlaps the single real pixel.
+        assert_eq!(cols.sum(), 1.0);
+        assert_eq!(cols.data()[4], 1.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y.
+        let g = Conv2dGeometry {
+            in_channels: 2,
+            in_h: 4,
+            in_w: 4,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let x = Tensor::from_fn([2, 4, 4], |i| (i as f32 * 0.37).sin());
+        let rows = 2 * 9;
+        let cols_n = g.out_h() * g.out_w();
+        let y = Tensor::from_fn([rows, cols_n], |i| (i as f32 * 0.11).cos());
+        let ax = im2col(&x, &g);
+        let aty = col2im(&y, &g);
+        let lhs: f32 = ax.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(aty.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint identity violated: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn max_pool_picks_window_maxima() {
+        let img = Tensor::from_vec(
+            [1, 1, 2, 4],
+            vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, -1.0, 9.0],
+        );
+        let pooled = max_pool2d(&img, 2);
+        assert_eq!(pooled.output.data(), &[5.0, 9.0]);
+        assert_eq!(pooled.argmax, vec![1, 7]);
+    }
+
+    #[test]
+    fn max_pool_backward_scatters_to_winners() {
+        let img = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let pooled = max_pool2d(&img, 2);
+        let grad = Tensor::from_vec([1, 1, 1, 1], vec![10.0]);
+        let gi = max_pool2d_backward(&grad, &pooled.argmax, img.shape());
+        assert_eq!(gi.data(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_and_backward() {
+        let img = Tensor::from_vec([1, 2, 1, 2], vec![1.0, 3.0, 10.0, 20.0]);
+        let pooled = global_avg_pool(&img);
+        assert_eq!(pooled.data(), &[2.0, 15.0]);
+        let grad = Tensor::from_vec([1, 2], vec![4.0, 8.0]);
+        let gi = global_avg_pool_backward(&grad, img.shape());
+        assert_eq!(gi.data(), &[2.0, 2.0, 4.0, 4.0]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Attack a real trained CNN from the zoo, comparing OPPSLA's synthesized
+//! program against Sparse-RS and the fixed-prioritization baseline on the
+//! same images — a miniature of the paper's Figure 3 setting.
+//!
+//! ```text
+//! cargo run --release --example attack_cnn
+//! ```
+//!
+//! The first run trains and caches a small VGG-family classifier on the
+//! synthetic `shapes32` dataset (a few seconds); later runs load it from
+//! `target/oppsla-models/`.
+
+use oppsla_attacks::{Attack, SketchProgramAttack, SparseRs, SparseRsConfig};
+use oppsla_core::dsl::Program;
+use oppsla_core::dsl::GrammarConfig;
+use oppsla_core::synth::SynthConfig;
+use oppsla_eval::curves::evaluate_attack;
+use oppsla_eval::report::{fmt_rate, fmt_stat, Table};
+use oppsla_eval::suite::{synthesize_suite, SuiteAttack};
+use oppsla_eval::zoo::{attack_test_set, train_or_load, Scale, ZooConfig};
+use oppsla_nn::models::Arch;
+
+fn main() {
+    let model = train_or_load(Arch::VggSmall, Scale::Cifar, &ZooConfig::default());
+    println!(
+        "classifier: {} (clean test accuracy {:.1}%)",
+        model.arch(),
+        model.test_accuracy * 100.0
+    );
+
+    // Synthesize a per-class program suite from a small training set.
+    let train = attack_test_set(Scale::Cifar, 2, 7);
+    let synth = SynthConfig {
+        max_iterations: 6,
+        beta: 0.01,
+        seed: 0,
+        per_image_budget: Some(600),
+        prefilter: true,
+        grammar: GrammarConfig::paper(),
+    };
+    println!("synthesizing per-class programs ({} MH iterations each)…", synth.max_iterations);
+    let (suite, _) = synthesize_suite(&model, &train, 10, &synth);
+    for (class, program) in suite.programs().iter().enumerate().take(3) {
+        println!("  class {class}: {program}");
+    }
+
+    // Evaluate three attacks on held-out images.
+    let test = attack_test_set(Scale::Cifar, 2, 999);
+    let budget = 4096;
+    let attacks: Vec<Box<dyn Attack>> = vec![
+        Box::new(SuiteAttack::new(suite)),
+        Box::new(SketchProgramAttack::named(Program::constant(false), "sketch+false")),
+        Box::new(SparseRs::new(SparseRsConfig {
+            max_iterations: budget,
+            ..SparseRsConfig::default()
+        })),
+    ];
+
+    let mut table = Table::new(
+        format!("one-pixel attacks on {} ({} test images, budget {budget})", model.arch(), test.len()),
+        vec![
+            "Attack".into(),
+            "Success rate".into(),
+            "Success @100".into(),
+            "Avg #queries".into(),
+            "Median".into(),
+        ],
+    );
+    for attack in &attacks {
+        let eval = evaluate_attack(attack.as_ref(), &model, &test, budget, 0);
+        table.push_row(vec![
+            attack.name().to_owned(),
+            fmt_rate(eval.success_rate()),
+            fmt_rate(eval.success_rate_at(100)),
+            fmt_stat(eval.avg_queries()),
+            fmt_stat(eval.median_queries()),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,56 @@
+//! Few-pixel attacks: when one pixel is not enough, the `k`-pixel form of
+//! Sparse-RS (an extension beyond the paper's one-pixel evaluation) can
+//! still break the classifier.
+//!
+//! ```text
+//! cargo run --release --example few_pixel
+//! ```
+
+use oppsla::attacks::{SparseRsMulti, SparseRsMultiConfig};
+use oppsla::core::image::Image;
+use oppsla::core::oracle::{FnClassifier, Oracle};
+use oppsla::core::pair::{Location, Pixel};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // A classifier that only flips when at least three pixels are pure
+    // white — robust to every one-pixel attack by construction.
+    let classifier = FnClassifier::new(2, |img: &Image| {
+        let mut whites = 0usize;
+        for row in 0..img.height() as u16 {
+            for col in 0..img.width() as u16 {
+                if img.pixel(Location::new(row, col)) == Pixel([1.0, 1.0, 1.0]) {
+                    whites += 1;
+                }
+            }
+        }
+        if whites >= 3 {
+            vec![0.1, 0.9]
+        } else {
+            let conf = 0.9 - 0.1 * whites as f32;
+            vec![conf, 1.0 - conf]
+        }
+    });
+    let victim = Image::filled(10, 10, Pixel([0.35, 0.4, 0.45]));
+
+    for k in [1usize, 2, 3, 4] {
+        let attack = SparseRsMulti::new(SparseRsMultiConfig {
+            k,
+            max_iterations: 20_000,
+            ..SparseRsMultiConfig::default()
+        });
+        let mut oracle = Oracle::new(&classifier);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let outcome = attack.attack(&mut oracle, &victim, 0, &mut rng);
+        println!("k = {k}: {outcome}");
+        if let oppsla::attacks::MultiAttackOutcome::Success { pixels, .. } = &outcome {
+            for (loc, pixel) in pixels {
+                println!("    {loc} <- {pixel}");
+            }
+        }
+        // One- and two-pixel attacks cannot beat a three-white threshold.
+        assert_eq!(outcome.is_success(), k >= 3, "k = {k}");
+    }
+    println!("\nthree simultaneous pixels succeed where one and two provably cannot.");
+}

@@ -1,0 +1,74 @@
+//! Playground for the condition language: write adversarial programs in
+//! the paper's concrete syntax, parse them, mutate them the way the
+//! synthesizer does, and watch how each one prioritizes candidates.
+//!
+//! ```text
+//! cargo run --release --example program_playground
+//! ```
+
+use oppsla_core::dsl::{
+    is_well_typed, mutate, parse_program, random_program, ImageDims, Program,
+};
+use oppsla_core::image::Image;
+use oppsla_core::oracle::{FnClassifier, Oracle};
+use oppsla_core::pair::{Location, Pixel};
+use oppsla_core::sketch::run_sketch;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // 1. Parse a program written in the paper's concrete syntax (this is
+    //    the running example from Section 3.2).
+    let source = "\
+        B1: score_diff(N(x), N(x[l<-p]), c_x) < 0.21; \
+        B2: max(x_l) > 0.19; \
+        B3: score_diff(N(x), N(x[l<-p]), c_x) > 0.25; \
+        B4: center(l) < 8";
+    let program = parse_program(source).expect("the paper's example parses");
+    println!("parsed:   {program}");
+    assert_eq!(program, Program::paper_example());
+
+    // 2. Round-trip through the pretty-printer.
+    let reparsed = parse_program(&program.to_string()).expect("display round-trips");
+    assert_eq!(program, reparsed);
+    println!("round-trips through parse ∘ display ✓");
+
+    // 3. Mutate it the way the Metropolis-Hastings search does. Every
+    //    mutant is well-typed by construction.
+    let dims = ImageDims::new(32, 32);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut current = program;
+    println!("\nfive MH-style mutations:");
+    for step in 1..=5 {
+        current = mutate(&mut rng, &current, dims);
+        assert!(is_well_typed(&current, dims));
+        println!("  {step}: {current}");
+    }
+
+    // 4. Show that different programs spend different query counts on the
+    //    same weakness (the paper's core observation: success is shared,
+    //    cost is not).
+    let classifier = FnClassifier::new(2, |img: &Image| {
+        if img.pixel(Location::new(10, 10)) == Pixel([0.0, 0.0, 0.0]) {
+            vec![0.1, 0.9]
+        } else {
+            vec![0.9, 0.1]
+        }
+    });
+    let victim = Image::filled(32, 32, Pixel([0.55, 0.5, 0.45]));
+    println!("\nquery cost of several programs against the same weakness:");
+    let mut programs = vec![
+        ("sketch+false".to_owned(), Program::constant(false)),
+        ("paper example".to_owned(), Program::paper_example()),
+    ];
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    for i in 0..3 {
+        programs.push((format!("random #{i}"), random_program(&mut rng, dims)));
+    }
+    for (name, program) in &programs {
+        let mut oracle = Oracle::new(&classifier);
+        let outcome = run_sketch(program, &mut oracle, &victim, 0);
+        println!("  {name:<14} -> {} queries (success: {})", outcome.queries(), outcome.is_success());
+        assert!(outcome.is_success(), "the sketch is exhaustive");
+    }
+}

@@ -1,0 +1,79 @@
+//! Quickstart: synthesize a one-pixel adversarial program with OPPSLA and
+//! use it to attack a classifier — all on a toy black-box classifier, so
+//! this runs in well under a second.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use oppsla_core::dsl::Program;
+use oppsla_core::image::Image;
+use oppsla_core::oracle::{Classifier, FnClassifier, Oracle};
+use oppsla_core::pair::{Location, Pixel};
+use oppsla_core::sketch::run_sketch;
+use oppsla_core::dsl::GrammarConfig;
+use oppsla_core::synth::{evaluate_program, synthesize, SynthConfig};
+
+fn main() {
+    // A black-box classifier with a one-pixel weakness: any white pixel in
+    // the central 3x3 region flips its decision. We only interact with it
+    // through score queries, exactly like the paper's threat model.
+    let classifier = FnClassifier::new(2, |img: &Image| {
+        for row in 3..6u16 {
+            for col in 3..6u16 {
+                if img.pixel(Location::new(row, col)) == Pixel([1.0, 1.0, 1.0]) {
+                    return vec![0.2, 0.8];
+                }
+            }
+        }
+        vec![0.8, 0.2]
+    });
+
+    // A small training set of class-0 images.
+    let train: Vec<(Image, usize)> = (0..4)
+        .map(|i| {
+            let v = 0.3 + 0.05 * i as f32;
+            (Image::filled(9, 9, Pixel([v, v, v])), 0)
+        })
+        .collect();
+
+    // 1. The fixed-prioritization baseline: the sketch with all conditions
+    //    set to false.
+    let fixed = Program::constant(false);
+    let fixed_eval = evaluate_program(&fixed, &classifier, &train, None);
+    println!("Sketch+False baseline: avg {:.1} queries", fixed_eval.avg_queries);
+
+    // 2. Synthesize a program with OPPSLA (Metropolis-Hastings over the
+    //    condition language).
+    let config = SynthConfig {
+        max_iterations: 30,
+        beta: 0.05,
+        seed: 42,
+        per_image_budget: None,
+        prefilter: false,
+        grammar: GrammarConfig::paper(),
+    };
+    let report = synthesize(&classifier, &train, &config);
+    println!(
+        "OPPSLA: avg {:.1} queries after {} iterations ({} synthesis queries)",
+        evaluate_program(&report.program, &classifier, &train, None).avg_queries,
+        config.max_iterations,
+        report.total_queries,
+    );
+    println!("synthesized program: {}", report.program);
+
+    // 3. Attack a fresh image with the synthesized program.
+    let victim = Image::filled(9, 9, Pixel([0.45, 0.45, 0.45]));
+    assert_eq!(classifier.classify(&victim), 0, "victim starts correctly classified");
+    let mut oracle = Oracle::new(&classifier);
+    let outcome = run_sketch(&report.program, &mut oracle, &victim, 0);
+    match outcome {
+        oppsla_core::sketch::SketchOutcome::Success { pair, queries } => {
+            println!("attack succeeded: set pixel {} -> {} ({queries} queries)", pair.location, pair.corner);
+            let adversarial = victim.with_pixel(pair.location, pair.corner.as_pixel());
+            assert_ne!(classifier.classify(&adversarial), 0);
+            println!("classifier now answers class {}", classifier.classify(&adversarial));
+        }
+        other => println!("attack did not succeed: {other:?}"),
+    }
+}

@@ -1,0 +1,80 @@
+//! The two extensions beyond the paper, in one demo:
+//!
+//! 1. **Targeted attacks** — force the classifier to a *specific* wrong
+//!    class instead of any misclassification.
+//! 2. **The extended condition grammar** — synthesize programs with
+//!    boolean combinators (`!`, `&&`, `||`) instead of only the paper's
+//!    atomic comparisons.
+//!
+//! ```text
+//! cargo run --release --example targeted_and_extended
+//! ```
+
+use oppsla::core::dsl::{
+    parse_condition, random_program_in, GrammarConfig, ImageDims, Program,
+};
+use oppsla::core::goal::AttackGoal;
+use oppsla::core::image::Image;
+use oppsla::core::oracle::{FnClassifier, Oracle};
+use oppsla::core::pair::{Location, Pixel};
+use oppsla::core::sketch::run_sketch_with_goal;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // A 3-class black box: white pixel near the top-left flips to class 1,
+    // black pixel near the bottom-right flips to class 2.
+    let classifier = FnClassifier::new(3, |img: &Image| {
+        if img.pixel(Location::new(2, 2)) == Pixel([1.0, 1.0, 1.0]) {
+            vec![0.1, 0.8, 0.1]
+        } else if img.pixel(Location::new(9, 9)) == Pixel([0.0, 0.0, 0.0]) {
+            vec![0.1, 0.1, 0.8]
+        } else {
+            vec![0.8, 0.1, 0.1]
+        }
+    });
+    let victim = Image::filled(12, 12, Pixel([0.45, 0.5, 0.55]));
+
+    // --- Targeted attacks -------------------------------------------------
+    println!("targeted attacks (fixed-prioritization program):");
+    for goal in [
+        AttackGoal::Untargeted,
+        AttackGoal::Targeted(1),
+        AttackGoal::Targeted(2),
+    ] {
+        let mut oracle = Oracle::new(&classifier);
+        let outcome =
+            run_sketch_with_goal(&Program::constant(false), &mut oracle, &victim, 0, goal);
+        match outcome {
+            oppsla::core::sketch::SketchOutcome::Success { pair, queries } => {
+                println!("  {goal:<12} -> pixel {} = {} after {queries} queries", pair.location, pair.corner);
+            }
+            other => println!("  {goal:<12} -> {other:?}"),
+        }
+    }
+
+    // --- Extended grammar -------------------------------------------------
+    println!("\nextended-grammar conditions (boolean combinators):");
+    // Hand-written, in concrete syntax:
+    let fancy = parse_condition(
+        "(center(l) < 4 || center(l) > 10) && !(avg(x_l) > 0.9)",
+    )
+    .expect("extended syntax parses");
+    println!("  parsed: {fancy}");
+    println!("  depth {} / {} AST nodes", fancy.depth(), fancy.size());
+
+    // Randomly sampled, the way an extended synthesis run would:
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let grammar = GrammarConfig::extended(3);
+    let dims = ImageDims::new(12, 12);
+    for i in 0..3 {
+        let program = random_program_in(&mut rng, dims, grammar);
+        println!("  sampled program #{i}: {program}");
+        // Extended programs run through the very same sketch…
+        let mut oracle = Oracle::new(&classifier);
+        let outcome =
+            run_sketch_with_goal(&program, &mut oracle, &victim, 0, AttackGoal::Untargeted);
+        println!("    -> success {} in {} queries", outcome.is_success(), outcome.queries());
+        assert!(outcome.is_success(), "the sketch stays exhaustive under any grammar");
+    }
+}

@@ -1,0 +1,58 @@
+//! Transferability in miniature (the paper's Table 1): synthesize a
+//! program suite for one classifier, then attack a *different* classifier
+//! with it and compare query counts against that classifier's own suite.
+//!
+//! ```text
+//! cargo run --release --example transfer_programs
+//! ```
+
+use oppsla_core::oracle::Classifier;
+use oppsla_core::dsl::GrammarConfig;
+use oppsla_core::synth::SynthConfig;
+use oppsla_eval::suite::synthesize_suite;
+use oppsla_eval::transfer::{run_transfer, transfer_table};
+use oppsla_eval::zoo::{attack_test_set, train_or_load, Scale, ZooConfig};
+use oppsla_nn::models::Arch;
+
+fn main() {
+    let config = ZooConfig::default();
+    let archs = [Arch::VggSmall, Arch::ResNetSmall];
+    let models: Vec<_> = archs
+        .iter()
+        .map(|&arch| {
+            let m = train_or_load(arch, Scale::Cifar, &config);
+            println!("{}: clean accuracy {:.1}%", m.arch(), m.test_accuracy * 100.0);
+            m
+        })
+        .collect();
+
+    let train = attack_test_set(Scale::Cifar, 2, 7);
+    let synth = SynthConfig {
+        max_iterations: 5,
+        beta: 0.01,
+        seed: 0,
+        per_image_budget: Some(600),
+        prefilter: true,
+        grammar: GrammarConfig::paper(),
+    };
+    let suites: Vec<_> = models
+        .iter()
+        .map(|m| {
+            println!("synthesizing suite for {}…", m.arch());
+            synthesize_suite(m, &train, m.num_classes(), &synth).0
+        })
+        .collect();
+
+    let labels: Vec<String> = archs.iter().map(|a| a.id().to_owned()).collect();
+    let classifiers: Vec<&dyn Classifier> =
+        models.iter().map(|m| m as &dyn Classifier).collect();
+    let test = attack_test_set(Scale::Cifar, 1, 999);
+    let result = run_transfer(&labels, &classifiers, &suites, &test, 4096, 0);
+    println!("{}", transfer_table(&result));
+    println!(
+        "Reading the table: column = which classifier the programs were \
+         synthesized for; row = which classifier is attacked. The diagonal \
+         is the self-attack baseline; transfer typically costs somewhat \
+         more queries but stays far below exhaustive search."
+    );
+}

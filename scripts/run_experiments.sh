@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper in sequence.
+#
+# Usage: scripts/run_experiments.sh [extra flags passed to every binary]
+#
+# Outputs land in target/oppsla-reports/ (CSV) and logs/ (full stdout).
+# Trained models and synthesized program suites are cached under
+# target/oppsla-models/ and target/oppsla-programs/, so reruns are fast.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p oppsla-bench
+
+mkdir -p logs
+for exp in fig3 table1 fig4 table2; do
+    echo "=== $exp ==="
+    ./target/release/"$exp" "$@" 2>&1 | tee "logs/$exp.log"
+done
+echo "All experiments done. CSVs in target/oppsla-reports/, logs in logs/."

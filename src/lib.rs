@@ -1,0 +1,28 @@
+//! # OPPSLA — One Pixel Adversarial Attacks via Sketched Programs
+//!
+//! Umbrella crate for the OPPSLA reproduction workspace. It re-exports the
+//! member crates under stable names; see the README for the architecture
+//! overview and `DESIGN.md` for the system inventory.
+//!
+//! * [`core`] — the paper's contribution: sketch, condition DSL, oracle,
+//!   Metropolis–Hastings synthesizer.
+//! * [`attacks`] — Sparse-RS, SuOPA and other baselines.
+//! * [`nn`] / [`tensor`] — the from-scratch classifier substrate.
+//! * [`data`] — seeded synthetic datasets.
+//! * [`eval`] — the experiment harness behind every table and figure.
+//!
+//! # Examples
+//!
+//! ```
+//! use oppsla::core::dsl::{parse_program, Program};
+//!
+//! let example = Program::paper_example();
+//! assert_eq!(parse_program(&example.to_string()).unwrap(), example);
+//! ```
+
+pub use oppsla_attacks as attacks;
+pub use oppsla_core as core;
+pub use oppsla_data as data;
+pub use oppsla_eval as eval;
+pub use oppsla_nn as nn;
+pub use oppsla_tensor as tensor;

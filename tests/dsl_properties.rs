@@ -1,0 +1,101 @@
+//! Property-based tests of the condition language: parser/pretty-printer
+//! round trips, typed sampling, and grammar-preserving mutation.
+
+use oppsla::core::dsl::{
+    is_well_typed, mutate, parse_condition, parse_program, random_program, Cmp, Condition, Func,
+    ImageDims, PixelStat, Program,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_func() -> impl Strategy<Value = Func> {
+    prop_oneof![
+        Just(Func::Pixel(PixelStat::Max)),
+        Just(Func::Pixel(PixelStat::Min)),
+        Just(Func::Pixel(PixelStat::Avg)),
+        Just(Func::ScoreDiff),
+        Just(Func::Center),
+    ]
+}
+
+fn arb_cmp() -> impl Strategy<Value = Cmp> {
+    prop_oneof![Just(Cmp::Lt), Just(Cmp::Gt)]
+}
+
+fn arb_condition() -> impl Strategy<Value = Condition> {
+    prop_oneof![
+        (arb_func(), arb_cmp(), -16.0f64..16.0).prop_map(|(func, cmp, threshold)| {
+            Condition::Compare {
+                func,
+                cmp,
+                threshold,
+            }
+        }),
+        any::<bool>().prop_map(Condition::Const),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    [arb_condition(), arb_condition(), arb_condition(), arb_condition()]
+        .prop_map(Program::new)
+}
+
+proptest! {
+    /// Any program (including baseline constants and out-of-range
+    /// thresholds) survives display → parse unchanged.
+    #[test]
+    fn display_parse_round_trip(program in arb_program()) {
+        let text = program.to_string();
+        let parsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("{text:?} failed to parse: {e}"));
+        prop_assert_eq!(parsed, program);
+    }
+
+    /// Single conditions round trip too.
+    #[test]
+    fn condition_round_trip(condition in arb_condition()) {
+        let text = condition.to_string();
+        let parsed = parse_condition(&text)
+            .unwrap_or_else(|e| panic!("{text:?} failed to parse: {e}"));
+        prop_assert_eq!(parsed, condition);
+    }
+
+    /// Randomly generated programs are well-typed for their image dims.
+    #[test]
+    fn random_programs_are_well_typed(seed in any::<u64>(), h in 2usize..64, w in 2usize..64) {
+        let dims = ImageDims::new(h, w);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let program = random_program(&mut rng, dims);
+        prop_assert!(is_well_typed(&program, dims), "{program}");
+    }
+
+    /// Mutation chains never leave the typed fragment.
+    #[test]
+    fn mutation_preserves_typing(seed in any::<u64>(), steps in 1usize..40) {
+        let dims = ImageDims::new(32, 32);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut program = random_program(&mut rng, dims);
+        for _ in 0..steps {
+            program = mutate(&mut rng, &program, dims);
+            prop_assert!(is_well_typed(&program, dims), "{program}");
+        }
+    }
+
+    /// Mutants always parse back (mutation and syntax stay in sync).
+    #[test]
+    fn mutants_round_trip(seed in any::<u64>()) {
+        let dims = ImageDims::new(16, 16);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let base = random_program(&mut rng, dims);
+        let program = mutate(&mut rng, &base, dims);
+        prop_assert_eq!(parse_program(&program.to_string()).unwrap(), program);
+    }
+
+    /// Parsing is total: arbitrary input never panics (errors are fine).
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,60}") {
+        let _ = parse_program(&input);
+        let _ = parse_condition(&input);
+    }
+}

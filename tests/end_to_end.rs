@@ -1,0 +1,170 @@
+//! End-to-end integration: train a real (tiny) network from the zoo, run
+//! the full OPPSLA pipeline against it, and cross-check the attacks'
+//! bookkeeping against each other.
+
+use oppsla::attacks::{Attack, RandomPairs, SketchProgramAttack, SparseRs, SparseRsConfig};
+use oppsla::core::dsl::Program;
+use oppsla::core::oracle::Classifier;
+use oppsla::core::dsl::GrammarConfig;
+use oppsla::core::synth::{evaluate_program, SynthConfig};
+use oppsla::eval::curves::evaluate_attack;
+use oppsla::eval::suite::{synthesize_suite, SuiteAttack};
+use oppsla::eval::zoo::{attack_test_set, train_or_load, Scale, ZooConfig};
+use oppsla::nn::models::Arch;
+
+fn tiny_zoo_config() -> ZooConfig {
+    ZooConfig {
+        train_per_class: 6,
+        epochs: Some(2),
+        learning_rate: 2e-3,
+        seed: 11,
+        cache_dir: None, // tests never touch the shared cache
+    }
+}
+
+#[test]
+fn mlp_pipeline_synthesize_and_attack() {
+    let model = train_or_load(Arch::Mlp, Scale::Cifar, &tiny_zoo_config());
+    assert_eq!(model.num_classes(), 10);
+
+    // Synthesize a (very small) suite and make sure it produces programs
+    // that evaluate finitely where the fixed program does.
+    let train = attack_test_set(Scale::Cifar, 1, 5);
+    let synth = SynthConfig {
+        max_iterations: 2,
+        beta: 0.01,
+        seed: 0,
+        per_image_budget: Some(300),
+        prefilter: false,
+        grammar: GrammarConfig::paper(),
+    };
+    let (suite, reports) = synthesize_suite(&model, &train, 10, &synth);
+    assert_eq!(suite.programs().len(), 10);
+    assert_eq!(reports.len(), 10);
+    assert!(reports.iter().all(|r| r.is_some()), "every class had data");
+
+    // Evaluate the suite attack against the fixed baseline on a small
+    // budget; both are sketch instantiations, so their success sets must
+    // be identical when the budget is exhaustive.
+    let test = attack_test_set(Scale::Cifar, 1, 99);
+    let budget = 8 * 32 * 32 + 1; // exhaustive
+    let oppsla = evaluate_attack(&SuiteAttack::new(suite), &model, &test, budget, 0);
+    let fixed = evaluate_attack(
+        &SketchProgramAttack::named(Program::constant(false), "sketch+false"),
+        &model,
+        &test,
+        budget,
+        0,
+    );
+    assert_eq!(
+        oppsla.success_rate(),
+        fixed.success_rate(),
+        "sketch success rate is instantiation-independent at exhaustive budgets"
+    );
+    assert_eq!(oppsla.num_valid(), fixed.num_valid());
+}
+
+#[test]
+fn random_pairs_agrees_with_sketch_on_success_set() {
+    let model = train_or_load(Arch::Mlp, Scale::Cifar, &tiny_zoo_config());
+    let test = attack_test_set(Scale::Cifar, 1, 42);
+    let budget = 8 * 32 * 32 + 1;
+    let sketch = evaluate_attack(
+        &SketchProgramAttack::new(Program::constant(false)),
+        &model,
+        &test,
+        budget,
+        0,
+    );
+    let random = evaluate_attack(&RandomPairs::default(), &model, &test, budget, 7);
+    // Both enumerate the same candidate space exhaustively: identical
+    // success/valid sets (though wildly different query counts).
+    assert_eq!(sketch.success_rate(), random.success_rate());
+    assert_eq!(sketch.num_valid(), random.num_valid());
+}
+
+#[test]
+fn sparse_rs_success_set_is_subset_of_sketch() {
+    let model = train_or_load(Arch::Mlp, Scale::Cifar, &tiny_zoo_config());
+    let test = attack_test_set(Scale::Cifar, 1, 77);
+    let exhaustive = 8 * 32 * 32 + 1;
+    let sketch = evaluate_attack(
+        &SketchProgramAttack::new(Program::constant(false)),
+        &model,
+        &test,
+        exhaustive,
+        0,
+    );
+    let sparse = evaluate_attack(
+        &SparseRs::new(SparseRsConfig {
+            max_iterations: 2000,
+            ..SparseRsConfig::default()
+        }),
+        &model,
+        &test,
+        2001,
+        0,
+    );
+    // Sparse-RS samples corners only, so anything it finds exists in the
+    // sketch's space too.
+    assert!(
+        sparse.success_rate() <= sketch.success_rate() + 1e-9,
+        "sparse-rs {} vs sketch {}",
+        sparse.success_rate(),
+        sketch.success_rate()
+    );
+}
+
+#[test]
+fn synthesis_reduces_or_matches_training_cost() {
+    // On the trained MLP, OPPSLA's final program should not be
+    // *dramatically* worse than the fixed program on its own training set
+    // (MH accepts improvements with probability 1). We assert the weaker,
+    // robust property that both evaluations are consistent and the
+    // synthesized program's average is within 2x of the fixed program's.
+    let model = train_or_load(Arch::Mlp, Scale::Cifar, &tiny_zoo_config());
+    let train = attack_test_set(Scale::Cifar, 1, 13);
+    let fixed_eval = evaluate_program(&Program::constant(false), &model, &train, Some(600));
+    let synth = SynthConfig {
+        max_iterations: 8,
+        beta: 0.01,
+        seed: 1,
+        per_image_budget: Some(600),
+        prefilter: false,
+        grammar: GrammarConfig::paper(),
+    };
+    let report = oppsla::core::synth::synthesize(&model, &train, &synth);
+    let oppsla_eval = evaluate_program(&report.program, &model, &train, Some(600));
+    if fixed_eval.successes > 0 {
+        assert!(oppsla_eval.successes > 0, "synthesis lost all successes");
+        assert!(
+            oppsla_eval.avg_queries <= fixed_eval.avg_queries * 2.0 + 50.0,
+            "synthesized program wildly worse: {} vs {}",
+            oppsla_eval.avg_queries,
+            fixed_eval.avg_queries
+        );
+    }
+}
+
+#[test]
+fn attack_outcomes_never_exceed_budget() {
+    let model = train_or_load(Arch::Mlp, Scale::Cifar, &tiny_zoo_config());
+    let test = attack_test_set(Scale::Cifar, 1, 3);
+    for budget in [1u64, 17, 150] {
+        for attack in [
+            Box::new(SketchProgramAttack::new(Program::paper_example())) as Box<dyn Attack>,
+            Box::new(SparseRs::default()),
+            Box::new(RandomPairs::default()),
+        ] {
+            let eval = evaluate_attack(attack.as_ref(), &model, &test, budget, 0);
+            for outcome in &eval.outcomes {
+                assert!(
+                    outcome.queries() <= budget,
+                    "{} overspent: {} > {budget}",
+                    attack.name(),
+                    outcome.queries()
+                );
+            }
+        }
+    }
+}

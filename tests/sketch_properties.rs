@@ -1,0 +1,178 @@
+//! Property-based tests of the sketch's central guarantees:
+//!
+//! 1. **Exhaustiveness** — every instantiation of the sketch finds a
+//!    successful adversarial example whenever one exists in the corner
+//!    perturbation space, regardless of the conditions (the paper's
+//!    success-rate-independence claim).
+//! 2. **No duplicate queries** — the removal discipline queries each
+//!    location–perturbation candidate at most once.
+//! 3. **Query bounds** — a run spends at most `8·d₁·d₂ + 1` queries.
+
+use oppsla::core::dsl::{random_program, ImageDims, Program};
+use oppsla::core::image::Image;
+use oppsla::core::oracle::{Classifier, FnClassifier, Oracle};
+use oppsla::core::pair::{Corner, Location, Pixel};
+use oppsla::core::sketch::{run_sketch, SketchOutcome};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::cell::RefCell;
+use std::collections::HashSet;
+
+/// A classifier that flips iff the pixel at `target` equals the `trigger`
+/// corner, and records every queried image to detect duplicates.
+struct RecordingClassifier {
+    target: Location,
+    trigger: Pixel,
+    seen: RefCell<HashSet<Vec<u32>>>,
+    duplicates: RefCell<usize>,
+}
+
+impl RecordingClassifier {
+    fn new(target: Location, trigger: Pixel) -> Self {
+        RecordingClassifier {
+            target,
+            trigger,
+            seen: RefCell::new(HashSet::new()),
+            duplicates: RefCell::new(0),
+        }
+    }
+
+    fn duplicates(&self) -> usize {
+        *self.duplicates.borrow()
+    }
+}
+
+impl Classifier for RecordingClassifier {
+    fn num_classes(&self) -> usize {
+        2
+    }
+
+    fn scores(&self, image: &Image) -> Vec<f32> {
+        let key: Vec<u32> = image.data().iter().map(|v| v.to_bits()).collect();
+        if !self.seen.borrow_mut().insert(key) {
+            *self.duplicates.borrow_mut() += 1;
+        }
+        if image.pixel(self.target) == self.trigger {
+            vec![0.1, 0.9]
+        } else {
+            vec![0.9, 0.1]
+        }
+    }
+}
+
+fn arb_program(height: usize, width: usize) -> impl Strategy<Value = Program> {
+    any::<u64>().prop_map(move |seed| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        random_program(&mut rng, ImageDims::new(height, width))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any program finds the planted one-pixel weakness.
+    #[test]
+    fn every_program_finds_a_planted_trigger(
+        program in arb_program(6, 7),
+        target_row in 0u16..6,
+        target_col in 0u16..7,
+        corner_idx in 0u8..8,
+        base in 1u8..9,
+    ) {
+        let target = Location::new(target_row, target_col);
+        let trigger = Corner::new(corner_idx).as_pixel();
+        let v = base as f32 / 10.0;
+        // Skip the degenerate case where the base colour already equals
+        // the trigger (the clean image would be misclassified).
+        prop_assume!(Pixel([v, v, v]) != trigger);
+        let clf = RecordingClassifier::new(target, trigger);
+        let image = Image::filled(6, 7, Pixel([v, v, v]));
+        let mut oracle = Oracle::new(&clf);
+        let outcome = run_sketch(&program, &mut oracle, &image, 0);
+        match outcome {
+            SketchOutcome::Success { pair, queries } => {
+                prop_assert_eq!(pair.location, target);
+                prop_assert_eq!(pair.corner.as_pixel(), trigger);
+                prop_assert!(queries <= 8 * 6 * 7 + 1);
+            }
+            other => prop_assert!(false, "program failed to find trigger: {:?}", other),
+        }
+    }
+
+    /// No candidate is ever queried twice, even with eager conditions.
+    #[test]
+    fn no_duplicate_queries(program in arb_program(5, 5)) {
+        // Robust classifier: the sketch visits the entire space.
+        let clf = RecordingClassifier::new(Location::new(0, 0), Pixel([0.5, 0.5, 0.5]));
+        let image = Image::filled(5, 5, Pixel([0.4, 0.4, 0.4]));
+        let mut oracle = Oracle::new(&clf);
+        let outcome = run_sketch(&program, &mut oracle, &image, 0);
+        prop_assert_eq!(clf.duplicates(), 0, "some image was submitted twice");
+        // Exhaustion must spend exactly one query per candidate plus the
+        // baseline.
+        prop_assert_eq!(outcome.queries(), 8 * 25 + 1);
+        let exhausted = matches!(outcome, SketchOutcome::Exhausted { .. });
+        prop_assert!(exhausted);
+    }
+
+    /// Under any budget, the sketch never overspends.
+    #[test]
+    fn budget_is_never_exceeded(
+        program in arb_program(5, 5),
+        budget in 0u64..220,
+    ) {
+        let clf = FnClassifier::new(2, |_: &Image| vec![0.9, 0.1]);
+        let image = Image::filled(5, 5, Pixel([0.4, 0.4, 0.4]));
+        let mut oracle = Oracle::with_budget(&clf, budget);
+        let outcome = run_sketch(&program, &mut oracle, &image, 0);
+        prop_assert!(outcome.queries() <= budget);
+        if budget <= 8 * 25 {
+            let out_of_budget = matches!(outcome, SketchOutcome::OutOfBudget { .. });
+            prop_assert!(out_of_budget);
+        }
+    }
+
+    /// The sketch is deterministic: same program, same image, same count.
+    #[test]
+    fn sketch_is_deterministic(program in arb_program(4, 4), corner_idx in 0u8..8) {
+        let trigger = Corner::new(corner_idx).as_pixel();
+        let run = || {
+            let clf = RecordingClassifier::new(Location::new(2, 1), trigger);
+            let image = Image::filled(4, 4, Pixel([0.4, 0.5, 0.6]));
+            let mut oracle = Oracle::new(&clf);
+            run_sketch(&program, &mut oracle, &image, 0)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+/// Beyond proptest: the paper's Figure-level claim that success is shared
+/// across instantiations while cost differs — checked on a classifier
+/// with several planted weaknesses.
+#[test]
+fn success_is_program_independent_cost_is_not() {
+    let clf = FnClassifier::new(2, |img: &Image| {
+        let white = Pixel([1.0, 1.0, 1.0]);
+        if img.pixel(Location::new(7, 7)) == white || img.pixel(Location::new(1, 2)) == white {
+            vec![0.2, 0.8]
+        } else {
+            vec![0.8, 0.2]
+        }
+    });
+    let image = Image::filled(9, 9, Pixel([0.3, 0.35, 0.4]));
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut costs = HashSet::new();
+    for i in 0..12 {
+        let program = if i == 0 {
+            Program::constant(false)
+        } else {
+            random_program(&mut rng, ImageDims::new(9, 9))
+        };
+        let mut oracle = Oracle::new(&clf);
+        let outcome = run_sketch(&program, &mut oracle, &image, 0);
+        assert!(outcome.is_success(), "program {i} failed");
+        costs.insert(outcome.queries());
+    }
+    assert!(costs.len() > 1, "all programs cost the same — conditions are inert");
+}

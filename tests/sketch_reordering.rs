@@ -1,0 +1,203 @@
+//! Behavioural fidelity tests for Algorithm 1's four reordering slots.
+//!
+//! Each test instantiates exactly one condition with a predicate that
+//! fires only at the image centre, runs the sketch against a robust
+//! classifier that records the *order* in which candidates are queried,
+//! and asserts the precise reordering the paper prescribes:
+//!
+//! * `B₁` — the centre's location neighbours (same corner) end up at the
+//!   back of the queue.
+//! * `B₂` — the centre's next perturbation is deferred, cascading until
+//!   all remaining centre pairs are the last ones visited.
+//! * `B₃` — location neighbours are checked *immediately* (front).
+//! * `B₄` — the next perturbation at the centre is checked immediately,
+//!   recursively draining all corners at the centre first.
+
+use oppsla::core::dsl::{parse_condition, Condition, Program};
+use oppsla::core::image::Image;
+use oppsla::core::oracle::{Classifier, Oracle};
+use oppsla::core::pair::{Corner, Location, Pair, Pixel};
+use oppsla::core::sketch::{run_sketch, SketchOutcome};
+use std::cell::RefCell;
+
+/// A robust 2-class classifier that records which pair each query
+/// perturbs (decoded by diffing against the base image).
+struct TranscriptClassifier {
+    base: Image,
+    transcript: RefCell<Vec<Option<Pair>>>,
+}
+
+impl TranscriptClassifier {
+    fn new(base: Image) -> Self {
+        TranscriptClassifier {
+            base,
+            transcript: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Queried pairs in order, skipping the unperturbed baseline query.
+    fn queried_pairs(&self) -> Vec<Pair> {
+        self.transcript.borrow().iter().flatten().copied().collect()
+    }
+
+    fn decode(&self, image: &Image) -> Option<Pair> {
+        for row in 0..image.height() as u16 {
+            for col in 0..image.width() as u16 {
+                let loc = Location::new(row, col);
+                let pixel = image.pixel(loc);
+                if pixel != self.base.pixel(loc) {
+                    let corner = Corner::ALL
+                        .into_iter()
+                        .find(|c| c.as_pixel() == pixel)
+                        .expect("perturbations are cube corners");
+                    return Some(Pair::new(loc, corner));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Classifier for TranscriptClassifier {
+    fn num_classes(&self) -> usize {
+        2
+    }
+
+    fn scores(&self, image: &Image) -> Vec<f32> {
+        self.transcript.borrow_mut().push(self.decode(image));
+        vec![0.9, 0.1] // never flips: the full enumeration is observed
+    }
+}
+
+/// A program with one condition set and the rest false.
+fn only(slot: usize, cond: &str) -> Program {
+    let mut conditions = [
+        Condition::FALSE,
+        Condition::FALSE,
+        Condition::FALSE,
+        Condition::FALSE,
+    ];
+    conditions[slot - 1] = parse_condition(cond).expect("test condition parses");
+    Program::new(conditions)
+}
+
+/// Fires only at the exact centre of an odd-sized image.
+const AT_CENTER: &str = "center(l) < 0.5";
+
+fn run(program: &Program, size: u16) -> (Vec<Pair>, Image) {
+    let base = Image::filled(size as usize, size as usize, Pixel([0.3, 0.4, 0.5]));
+    let clf = TranscriptClassifier::new(base.clone());
+    let mut oracle = Oracle::new(&clf);
+    let outcome = run_sketch(program, &mut oracle, &base, 0);
+    assert!(matches!(outcome, SketchOutcome::Exhausted { .. }));
+    let pairs = clf.queried_pairs();
+    assert_eq!(pairs.len(), 8 * (size as usize).pow(2), "full enumeration");
+    (pairs, base)
+}
+
+#[test]
+fn b1_pushes_location_neighbors_to_the_back() {
+    // 5x5, B1 fires only when the centre pops (once per corner). Each
+    // firing pushes the centre's 8 ring-1 neighbours (same corner) to the
+    // back; ring-1 pairs never re-fire. So all 64 ring-1 pairs are the
+    // last candidates visited.
+    let (pairs, _) = run(&only(1, AT_CENTER), 5);
+    let center = Location::new(2, 2);
+    let tail = &pairs[pairs.len() - 64..];
+    for p in tail {
+        assert_eq!(
+            p.location.distance(center),
+            1,
+            "tail contains non-neighbour {p}"
+        );
+    }
+    // And the non-tail prefix contains no ring-1 pair.
+    for p in &pairs[..pairs.len() - 64] {
+        assert_ne!(p.location.distance(center), 1, "neighbour {p} escaped the push-back");
+    }
+}
+
+#[test]
+fn b2_defers_the_next_perturbation_cascading() {
+    // 3x3, B2 fires only at the centre. Each centre pop defers the next
+    // centre pair to the back of the queue, so the centre pairs of
+    // odd-numbered ranks (deferred by their even-ranked predecessors)
+    // drain after everything else: the last 4 queries are all at the
+    // centre and carry exactly the odd-ranked corners.
+    let (pairs, base) = run(&only(2, AT_CENTER), 3);
+    let center = Location::new(1, 1);
+    let ranked = Corner::ranked_by_distance(base.pixel(center));
+    let tail = &pairs[pairs.len() - 4..];
+    for (i, p) in tail.iter().enumerate() {
+        assert_eq!(p.location, center, "tail query {i} not at the centre: {p}");
+    }
+    let mut tail_corners: Vec<Corner> = tail.iter().map(|p| p.corner).collect();
+    tail_corners.sort();
+    let mut expected = vec![ranked[1], ranked[3], ranked[5], ranked[7]];
+    expected.sort();
+    assert_eq!(tail_corners, expected, "tail is not the deferred odd ranks");
+    // Even-ranked centre pairs pop undisturbed at the head of their
+    // block. Transcript blocks alternate between 9 entries (centre
+    // present) and 8 (centre deferred), so the even-rank heads sit at
+    // positions 0, 17, 34, 51.
+    for (pos, rank) in [(0usize, 0usize), (17, 2), (34, 4), (51, 6)] {
+        let head = pairs[pos];
+        assert_eq!(head.location, center, "head at {pos} moved");
+        assert_eq!(head.corner, ranked[rank], "head at {pos} has wrong rank");
+    }
+}
+
+#[test]
+fn b3_checks_location_neighbors_immediately() {
+    // 5x5, B3 fires at centre distance < 1.5 (centre + ring 1). The first
+    // pop is (centre, farthest corner); eager checking then floods
+    // location-wise: ring 1 (children of the centre), then ring 2
+    // (children of ring 1) — all with the same corner — before any other
+    // corner is touched. 25 locations in total.
+    let (pairs, base) = run(&only(3, "center(l) < 1.5"), 5);
+    let first_corner = Corner::ranked_by_distance(base.pixel(Location::new(2, 2)))[0];
+    for (i, p) in pairs[..25].iter().enumerate() {
+        assert_eq!(
+            p.corner, first_corner,
+            "query {i} switched corner before the eager flood finished: {p}"
+        );
+    }
+    // The flood is breadth-first from the centre: ring distances are
+    // non-decreasing.
+    let center = Location::new(2, 2);
+    let dists: Vec<u16> = pairs[..25].iter().map(|p| p.location.distance(center)).collect();
+    for w in dists.windows(2) {
+        assert!(w[0] <= w[1], "eager flood not breadth-first: {dists:?}");
+    }
+}
+
+#[test]
+fn b4_drains_all_corners_at_the_center_first() {
+    // 3x3, B4 fires only at the centre. The first pop is the centre's
+    // farthest corner; eager perturbation-checking then recursively
+    // queries the centre's remaining 7 corners (queries 2..=8), in rank
+    // order, before any other location.
+    let (pairs, base) = run(&only(4, AT_CENTER), 3);
+    let center = Location::new(1, 1);
+    let ranked = Corner::ranked_by_distance(base.pixel(center));
+    for (i, p) in pairs[..8].iter().enumerate() {
+        assert_eq!(p.location, center, "query {i} left the centre too early: {p}");
+        assert_eq!(p.corner, ranked[i], "query {i} out of rank order: {p}");
+    }
+}
+
+#[test]
+fn false_program_follows_the_initial_order_exactly() {
+    // Sanity anchor for the tests above: with all conditions false the
+    // transcript must be exactly the documented initial order.
+    let (pairs, base) = run(&Program::constant(false), 3);
+    // Blocks of 9 share a rank; within a block, centre-out.
+    let pix = base.pixel(Location::new(0, 0)); // uniform image
+    for (block, chunk) in pairs.chunks(9).enumerate() {
+        let rank_dist = pix.distance(chunk[0].corner.as_pixel());
+        for p in chunk {
+            assert_eq!(pix.distance(p.corner.as_pixel()), rank_dist, "block {block}");
+        }
+        assert_eq!(chunk[0].location, Location::new(1, 1), "block {block} starts centre");
+    }
+}

@@ -1,0 +1,145 @@
+//! Integration tests of the targeted-attack extension: every attack can be
+//! pointed at a specific wrong class, and the goal semantics line up
+//! across the sketch and the baselines.
+
+use oppsla::attacks::{Attack, RandomPairs, SketchProgramAttack, SparseRs, SparseRsConfig};
+use oppsla::core::dsl::Program;
+use oppsla::core::goal::AttackGoal;
+use oppsla::core::image::Image;
+use oppsla::core::oracle::{FnClassifier, Oracle};
+use oppsla::core::pair::{Location, Pixel};
+use oppsla::core::sketch::{run_sketch_with_goal, SketchOutcome};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A 3-class classifier: clean images are class 0; a white pixel at
+/// `to_one` flips to class 1; a black pixel at `to_two` flips to class 2.
+fn three_way(to_one: Location, to_two: Location) -> FnClassifier<impl Fn(&Image) -> Vec<f32>> {
+    FnClassifier::new(3, move |img: &Image| {
+        if img.pixel(to_one) == Pixel([1.0, 1.0, 1.0]) {
+            vec![0.1, 0.8, 0.1]
+        } else if img.pixel(to_two) == Pixel([0.0, 0.0, 0.0]) {
+            vec![0.1, 0.1, 0.8]
+        } else {
+            vec![0.8, 0.1, 0.1]
+        }
+    })
+}
+
+fn grey() -> Image {
+    Image::filled(5, 5, Pixel([0.5, 0.5, 0.5]))
+}
+
+#[test]
+fn targeted_sketch_finds_only_the_requested_class() {
+    let clf = three_way(Location::new(1, 1), Location::new(3, 3));
+    for (target, expected_loc, expected_pixel) in [
+        (1usize, Location::new(1, 1), Pixel([1.0, 1.0, 1.0])),
+        (2, Location::new(3, 3), Pixel([0.0, 0.0, 0.0])),
+    ] {
+        let mut oracle = Oracle::new(&clf);
+        let outcome = run_sketch_with_goal(
+            &Program::constant(false),
+            &mut oracle,
+            &grey(),
+            0,
+            AttackGoal::Targeted(target),
+        );
+        match outcome {
+            SketchOutcome::Success { pair, .. } => {
+                assert_eq!(pair.location, expected_loc, "target {target}");
+                assert_eq!(pair.corner.as_pixel(), expected_pixel, "target {target}");
+            }
+            other => panic!("target {target}: expected success, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn targeted_sketch_exhausts_when_target_unreachable() {
+    // Class 2 is reachable, class 1 is not: no pixel triggers it.
+    let clf = FnClassifier::new(3, move |img: &Image| {
+        if img.pixel(Location::new(2, 2)) == Pixel([0.0, 0.0, 0.0]) {
+            vec![0.1, 0.1, 0.8]
+        } else {
+            vec![0.8, 0.1, 0.1]
+        }
+    });
+    let mut oracle = Oracle::new(&clf);
+    let outcome = run_sketch_with_goal(
+        &Program::constant(false),
+        &mut oracle,
+        &grey(),
+        0,
+        AttackGoal::Targeted(1),
+    );
+    assert!(matches!(outcome, SketchOutcome::Exhausted { .. }), "{outcome:?}");
+    // Untargeted succeeds on the same classifier (via class 2).
+    let mut oracle = Oracle::new(&clf);
+    let outcome = run_sketch_with_goal(
+        &Program::constant(false),
+        &mut oracle,
+        &grey(),
+        0,
+        AttackGoal::Untargeted,
+    );
+    assert!(outcome.is_success());
+}
+
+#[test]
+fn targeted_baselines_respect_the_goal() {
+    let clf = three_way(Location::new(0, 4), Location::new(4, 0));
+    let goal = AttackGoal::Targeted(2);
+    let attacks: Vec<Box<dyn Attack>> = vec![
+        Box::new(SketchProgramAttack::new(Program::constant(false)).with_goal(goal)),
+        Box::new(RandomPairs::default().with_goal(goal)),
+        Box::new(
+            SparseRs::new(SparseRsConfig {
+                max_iterations: 5_000,
+                ..SparseRsConfig::default()
+            })
+            .with_goal(goal),
+        ),
+    ];
+    for attack in &attacks {
+        let mut oracle = Oracle::new(&clf);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        match attack.attack(&mut oracle, &grey(), 0, &mut rng) {
+            oppsla::attacks::AttackOutcome::Success { location, .. } => {
+                assert_eq!(location, Location::new(4, 0), "{}", attack.name());
+            }
+            other => panic!("{}: expected success, got {other}", attack.name()),
+        }
+    }
+}
+
+#[test]
+fn untargeted_goal_matches_legacy_behaviour() {
+    let clf = three_way(Location::new(1, 2), Location::new(3, 1));
+    let legacy = SketchProgramAttack::new(Program::paper_example());
+    let explicit =
+        SketchProgramAttack::new(Program::paper_example()).with_goal(AttackGoal::Untargeted);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut o1 = Oracle::new(&clf);
+    let mut o2 = Oracle::new(&clf);
+    assert_eq!(
+        legacy.attack(&mut o1, &grey(), 0, &mut rng),
+        explicit.attack(&mut o2, &grey(), 0, &mut rng)
+    );
+}
+
+#[test]
+fn targeted_attacks_usually_cost_more_queries() {
+    // Reaching a *specific* class is a strictly harder goal, so the
+    // targeted sketch can never finish faster than the untargeted one on
+    // the same queue order.
+    let clf = three_way(Location::new(1, 1), Location::new(3, 3));
+    let run = |goal| {
+        let mut oracle = Oracle::new(&clf);
+        run_sketch_with_goal(&Program::constant(false), &mut oracle, &grey(), 0, goal)
+    };
+    let untargeted = run(AttackGoal::Untargeted);
+    let targeted = run(AttackGoal::Targeted(2));
+    assert!(untargeted.is_success() && targeted.is_success());
+    assert!(targeted.queries() >= untargeted.queries());
+}
