@@ -13,7 +13,11 @@
 //!     [--no-prefilter]               (keep unattackable training images)
 //!     [--seed S]                     (default 0)
 //!     [--fresh]                      (ignore cached program suites)
+//!     [--threads N]                  (worker threads; 0 = auto, default 0)
 //! ```
+//!
+//! Results are bit-identical for any `--threads` value; the knob only
+//! changes wall-clock time.
 //!
 //! Defaults are scaled down to finish in minutes on a laptop; the paper's
 //! full setting is `--test-per-class 100 --budget 10000 --synth-train 50
@@ -21,14 +25,14 @@
 
 use oppsla_attacks::{Attack, SparseRs, SparseRsConfig, SuOpa, SuOpaConfig};
 use oppsla_bench::cli::Args;
-use oppsla_bench::{cifar_archs, imagenet_archs, reports_dir, suites_dir};
+use oppsla_bench::{cifar_archs, imagenet_archs, reports_dir, suites_dir, threads_from};
 use oppsla_core::oracle::Classifier;
 use oppsla_core::dsl::GrammarConfig;
 use oppsla_core::synth::SynthConfig;
-use oppsla_eval::curves::{evaluate_attack, AttackEval};
+use oppsla_eval::curves::{evaluate_attack_parallel, AttackEval};
 use oppsla_eval::plot::{render_chart, ChartConfig, Series};
 use oppsla_eval::report::{fmt_rate, fmt_stat, Table};
-use oppsla_eval::suite::{synthesize_suite_cached, SuiteAttack};
+use oppsla_eval::suite::{synthesize_suite_cached_parallel, SuiteAttack};
 use oppsla_eval::zoo::{attack_test_set, train_or_load, Scale, ZooConfig};
 use oppsla_nn::models::Arch;
 use std::time::Instant;
@@ -46,6 +50,8 @@ fn main() {
     };
     let test_per_class = args.get_usize("test-per-class", 2);
     let budget = args.get_u64("budget", 8192);
+    let threads = threads_from(&args);
+    eprintln!("running on {threads} worker thread(s)");
     let synth = SynthConfig {
         max_iterations: args.get_usize("synth-iters", 40),
         beta: 0.01,
@@ -53,6 +59,7 @@ fn main() {
         per_image_budget: Some(args.get_u64("synth-budget", 1500)),
         prefilter: !args.has("no-prefilter"),
         grammar: GrammarConfig::paper(),
+        threads,
     };
     let synth_train_per_class = args.get_usize("synth-train", 3);
     let seed = args.get_u64("seed", 0);
@@ -97,9 +104,13 @@ fn main() {
                     synth.seed
                 ))
             });
+            // The engine-backed classifier snapshot serves every query of
+            // synthesis and evaluation: allocation-free forward passes,
+            // shareable across worker threads.
+            let classifier = model.classifier();
             let t1 = Instant::now();
-            let (suite, reports) = synthesize_suite_cached(
-                &model,
+            let (suite, reports) = synthesize_suite_cached_parallel(
+                &classifier,
                 &train,
                 model.num_classes(),
                 &synth,
@@ -121,7 +132,7 @@ fn main() {
             }
 
             let test = attack_test_set(scale, test_per_class, seed.wrapping_add(999));
-            let attacks: Vec<Box<dyn Attack>> = vec![
+            let attacks: Vec<Box<dyn Attack + Sync>> = vec![
                 Box::new(SuiteAttack::new(suite)),
                 Box::new(SparseRs::new(SparseRsConfig {
                     max_iterations: budget,
@@ -131,8 +142,14 @@ fn main() {
             ];
             for attack in &attacks {
                 let t2 = Instant::now();
-                let eval: AttackEval =
-                    evaluate_attack(attack.as_ref(), &model, &test, budget, seed);
+                let eval: AttackEval = evaluate_attack_parallel(
+                    attack.as_ref(),
+                    &classifier,
+                    &test,
+                    budget,
+                    seed,
+                    threads,
+                );
                 eprintln!(
                     "[{scale}/{arch}] {}: {} valid, success {} in {:.1?}",
                     attack.name(),

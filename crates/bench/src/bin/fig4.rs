@@ -17,15 +17,18 @@
 //!     [--no-prefilter]   (keep unattackable training images)
 //!     [--budget B]       (evaluation budget, default 8192)
 //!     [--seed S]         (default 0)
+//!     [--threads N]      (worker threads; 0 = auto, default 0)
 //! ```
+//!
+//! Results are bit-identical for any `--threads` value.
 
 use oppsla_bench::cli::Args;
-use oppsla_bench::reports_dir;
+use oppsla_bench::{reports_dir, threads_from};
 use oppsla_core::dsl::GrammarConfig;
 use oppsla_core::synth::SynthConfig;
 use oppsla_eval::plot::{render_chart, ChartConfig, Series};
 use oppsla_eval::report::Table;
-use oppsla_eval::trajectory::{run_trajectory, trajectory_table};
+use oppsla_eval::trajectory::{run_trajectory_parallel, trajectory_table};
 use oppsla_eval::zoo::{attack_test_set, train_or_load, Scale, ZooConfig};
 use oppsla_nn::models::Arch;
 use std::time::Instant;
@@ -36,6 +39,8 @@ fn main() {
     let train_n = args.get_usize("train", 4);
     let test_n = args.get_usize("test", 8);
     let budget = args.get_u64("budget", 8192);
+    let threads = threads_from(&args);
+    eprintln!("running on {threads} worker thread(s)");
     let synth = SynthConfig {
         max_iterations: args.get_usize("iters", 40),
         beta: 0.01,
@@ -43,6 +48,7 @@ fn main() {
         per_image_budget: Some(args.get_u64("synth-budget", 1500)),
         prefilter: !args.has("no-prefilter"),
         grammar: GrammarConfig::paper(),
+        threads,
     };
     let seed = args.get_u64("seed", 0);
 
@@ -70,8 +76,11 @@ fn main() {
         test.len()
     );
 
+    // Engine-backed weight snapshot: allocation-free forward passes,
+    // shareable across worker threads (the model itself is not `Sync`).
+    let classifier = model.classifier();
     let t1 = Instant::now();
-    let result = run_trajectory(&model, &train, &test, &synth, budget, seed);
+    let result = run_trajectory_parallel(&classifier, &train, &test, &synth, budget, seed);
     eprintln!(
         "trajectory computed in {:.1?} ({} accepted programs, {} total synthesis queries)",
         t1.elapsed(),

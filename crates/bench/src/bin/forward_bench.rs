@@ -1,0 +1,190 @@
+//! Forward-pass microbenchmark: tape-based `ConvNet::scores` vs. the
+//! compiled allocation-free [`InferencePlan`] hot path, plus parallel
+//! query throughput, for every zoo architecture.
+//!
+//! Emits a machine-readable JSON report (default `BENCH_forward.json` at
+//! the current directory) so CI and future sessions can track the query
+//! hot path's cost without parsing criterion output.
+//!
+//! ```text
+//! cargo run --release -p oppsla-bench --bin forward_bench -- \
+//!     [--iters N]   (timed queries per measurement, default 200)
+//!     [--batch N]   (images per throughput measurement, default 64)
+//!     [--threads N] (worker threads; 0 = auto, default 0)
+//!     [--out PATH]  (default BENCH_forward.json)
+//! ```
+//!
+//! `engine_speedup` is the seed repo's per-query cost (the allocating
+//! autograd tape, still exercised by `ConvNet::scores`) divided by the
+//! compiled plan's per-query cost on the same weights and input.
+
+use oppsla_bench::cli::Args;
+use oppsla_bench::threads_from;
+use oppsla_core::parallel::parallel_map_with;
+use oppsla_nn::infer::InferenceEngine;
+use oppsla_nn::models::{Arch, ConvNet, InputSpec};
+use oppsla_tensor::Tensor;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One architecture's measurements, all in nanoseconds per query or
+/// queries per second.
+struct Row {
+    arch: &'static str,
+    input: String,
+    tape_ns: f64,
+    engine_ns: f64,
+    sequential_qps: f64,
+    parallel_qps: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.tape_ns / self.engine_ns
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let iters = args.get_usize("iters", 200).max(1);
+    let batch = args.get_usize("batch", 64).max(1);
+    let threads = threads_from(&args);
+    let out_path = args.get_str("out", "BENCH_forward.json");
+
+    eprintln!("{iters} iters, {batch}-image batches, {threads} worker thread(s)");
+
+    let cases: [(Arch, InputSpec, usize); 7] = [
+        (Arch::VggSmall, InputSpec::RGB32, 10),
+        (Arch::ResNetSmall, InputSpec::RGB32, 10),
+        (Arch::GoogLeNetSmall, InputSpec::RGB32, 10),
+        (Arch::DenseNetSmall, InputSpec::RGB32, 10),
+        (Arch::Mlp, InputSpec::RGB32, 10),
+        (Arch::ResNetSmall, InputSpec::RGB64, 20),
+        (Arch::DenseNetSmall, InputSpec::RGB64, 20),
+    ];
+
+    let mut rows = Vec::new();
+    for (arch, input, classes) in cases {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let net = ConvNet::build(arch, input, classes, &mut rng);
+        let engine = InferenceEngine::new(&net);
+        let plan = engine.plan();
+        let image = Tensor::from_fn([input.channels, input.height, input.width], |i| {
+            (i % 97) as f32 / 97.0
+        });
+
+        // Warm-up both paths (first tape call grows its arena; first plan
+        // call touches the workspace pages).
+        let tape_scores = net.scores(&image);
+        let engine_scores = engine.scores(&image);
+        assert_eq!(
+            tape_scores, engine_scores,
+            "[{arch}] engine disagrees with the tape"
+        );
+
+        // Seed path: autograd tape, allocating per query.
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(net.scores(black_box(&image)));
+        }
+        let tape_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+
+        // Compiled path: reused workspace + score buffer, zero
+        // steady-state allocations.
+        let mut ws = plan.workspace();
+        let mut buf = Vec::with_capacity(plan.num_classes());
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            plan.scores_into(&mut ws, black_box(&image), &mut buf);
+            black_box(&buf);
+        }
+        let engine_ns = t1.elapsed().as_nanos() as f64 / iters as f64;
+
+        // Throughput over a batch of distinct images, sequential vs. the
+        // scoped-thread parallel map used by synthesis and evaluation.
+        let images: Vec<Tensor> = (0..batch)
+            .map(|b| {
+                Tensor::from_fn([input.channels, input.height, input.width], |i| {
+                    ((i + b * 31) % 97) as f32 / 97.0
+                })
+            })
+            .collect();
+        let run_batch = |threads: usize| -> f64 {
+            let t = Instant::now();
+            let top: Vec<usize> = parallel_map_with(
+                threads,
+                &images,
+                || (plan.workspace(), Vec::with_capacity(plan.num_classes())),
+                |(ws, buf), _, image| {
+                    plan.scores_into(ws, image, buf);
+                    buf.iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0)
+                },
+            );
+            black_box(top);
+            images.len() as f64 / t.elapsed().as_secs_f64()
+        };
+        run_batch(threads); // warm-up (thread spawn, page faults)
+        let sequential_qps = run_batch(1);
+        let parallel_qps = run_batch(threads);
+
+        let row = Row {
+            arch: arch.id(),
+            input: format!("{}x{}x{}", input.channels, input.height, input.width),
+            tape_ns,
+            engine_ns,
+            sequential_qps,
+            parallel_qps,
+        };
+        eprintln!(
+            "[{arch} {}] tape {:.0} ns/q, engine {:.0} ns/q ({:.2}x), {:.0} q/s seq, {:.0} q/s x{threads}",
+            row.input,
+            row.tape_ns,
+            row.engine_ns,
+            row.speedup(),
+            row.sequential_qps,
+            row.parallel_qps,
+        );
+        rows.push(row);
+    }
+
+    // Hand-rolled JSON: flat schema, stable key order, no serde needed.
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"forward_pass\",\n");
+    json.push_str(&format!("  \"iters\": {iters},\n"));
+    json.push_str(&format!("  \"batch\": {batch},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            concat!(
+                "    {{\"arch\": \"{}\", \"input\": \"{}\", ",
+                "\"tape_ns_per_query\": {:.1}, \"engine_ns_per_query\": {:.1}, ",
+                "\"engine_speedup\": {:.3}, \"sequential_queries_per_sec\": {:.1}, ",
+                "\"parallel_queries_per_sec\": {:.1}}}{}\n"
+            ),
+            row.arch,
+            row.input,
+            row.tape_ns,
+            row.engine_ns,
+            row.speedup(),
+            row.sequential_qps,
+            row.parallel_qps,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("report written to {out_path}"),
+        Err(e) => {
+            eprintln!("warning: could not write {out_path}: {e}");
+            println!("{json}");
+        }
+    }
+}

@@ -11,22 +11,27 @@
 //!     [--no-prefilter]       (keep unattackable training images)
 //!     [--seed S]             (default 0)
 //!     [--fresh]
+//!     [--threads N]          (worker threads; 0 = auto, default 0)
 //! ```
+//!
+//! Results are bit-identical for any `--threads` value.
 
 use oppsla_bench::cli::Args;
-use oppsla_bench::{cifar_archs, reports_dir, suites_dir};
-use oppsla_core::oracle::Classifier;
+use oppsla_bench::{cifar_archs, reports_dir, suites_dir, threads_from};
+use oppsla_core::oracle::{BatchClassifier, Classifier};
 use oppsla_core::dsl::GrammarConfig;
 use oppsla_core::synth::SynthConfig;
-use oppsla_eval::suite::{synthesize_suite_cached, ProgramSuite};
-use oppsla_eval::transfer::{run_transfer, transfer_table};
-use oppsla_eval::zoo::{attack_test_set, train_or_load, Scale, ZooConfig};
+use oppsla_eval::suite::{synthesize_suite_cached_parallel, ProgramSuite};
+use oppsla_eval::transfer::{run_transfer_parallel, transfer_table};
+use oppsla_eval::zoo::{attack_test_set, train_or_load, Scale, ZooClassifier, ZooConfig};
 use std::time::Instant;
 
 fn main() {
     let args = Args::parse();
     let test_per_class = args.get_usize("test-per-class", 2);
     let budget = args.get_u64("budget", 8192);
+    let threads = threads_from(&args);
+    eprintln!("running on {threads} worker thread(s)");
     let synth = SynthConfig {
         max_iterations: args.get_usize("synth-iters", 40),
         beta: 0.01,
@@ -34,13 +39,14 @@ fn main() {
         per_image_budget: Some(args.get_u64("synth-budget", 1500)),
         prefilter: !args.has("no-prefilter"),
         grammar: GrammarConfig::paper(),
+        threads,
     };
     let synth_train_per_class = args.get_usize("synth-train", 3);
     let seed = args.get_u64("seed", 0);
 
     let scale = Scale::Cifar;
     let mut labels = Vec::new();
-    let mut models = Vec::new();
+    let mut classifiers: Vec<ZooClassifier> = Vec::new();
     let mut suites: Vec<ProgramSuite> = Vec::new();
     for arch in cifar_archs() {
         let t0 = Instant::now();
@@ -61,9 +67,12 @@ fn main() {
                 synth.seed
             ))
         });
+        // Engine-backed weight snapshot: allocation-free forward passes,
+        // shareable across worker threads (the model itself is not `Sync`).
+        let classifier = model.classifier();
         let t1 = Instant::now();
-        let (suite, reports) = synthesize_suite_cached(
-            &model,
+        let (suite, reports) = synthesize_suite_cached_parallel(
+            &classifier,
             &train,
             model.num_classes(),
             &synth,
@@ -75,17 +84,25 @@ fn main() {
             t1.elapsed()
         );
         labels.push(arch.id().to_owned());
-        models.push(model);
+        classifiers.push(classifier);
         suites.push(suite);
     }
 
-    let classifiers: Vec<&dyn Classifier> = models
+    let classifier_refs: Vec<&dyn BatchClassifier> = classifiers
         .iter()
-        .map(|m| m as &dyn Classifier)
+        .map(|c| c as &dyn BatchClassifier)
         .collect();
     let test = attack_test_set(scale, test_per_class, seed.wrapping_add(999));
     let t2 = Instant::now();
-    let result = run_transfer(&labels, &classifiers, &suites, &test, budget, seed);
+    let result = run_transfer_parallel(
+        &labels,
+        &classifier_refs,
+        &suites,
+        &test,
+        budget,
+        seed,
+        threads,
+    );
     eprintln!("transfer matrix computed in {:.1?}", t2.elapsed());
 
     let table = transfer_table(&result);

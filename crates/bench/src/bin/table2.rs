@@ -11,17 +11,20 @@
 //!     [--synth-budget B]    (default 1500)
 //!     [--no-prefilter]      (keep unattackable training images)
 //!     [--seed S]            (default 0)
+//!     [--threads N]         (worker threads; 0 = auto, default 0)
 //! ```
+//!
+//! Results are bit-identical for any `--threads` value.
 //!
 //! The paper pairs 210 MH iterations with 210 random samples; the default
 //! here is scaled down — pass `--synth-iters 210` for the full setting.
 
 use oppsla_attacks::SparseRsConfig;
 use oppsla_bench::cli::Args;
-use oppsla_bench::{cifar_archs, reports_dir};
+use oppsla_bench::{cifar_archs, reports_dir, threads_from};
 use oppsla_core::dsl::GrammarConfig;
 use oppsla_core::synth::SynthConfig;
-use oppsla_eval::ablation::{ablation_table, run_ablation, AblationConfig};
+use oppsla_eval::ablation::{ablation_table, run_ablation_parallel, AblationConfig};
 use oppsla_eval::zoo::{attack_test_set, train_or_load, Scale, ZooConfig};
 use std::time::Instant;
 
@@ -29,6 +32,8 @@ fn main() {
     let args = Args::parse();
     let test_per_class = args.get_usize("test-per-class", 2);
     let budget = args.get_u64("budget", 8192);
+    let threads = threads_from(&args);
+    eprintln!("running on {threads} worker thread(s)");
     let config = AblationConfig {
         synth: SynthConfig {
             max_iterations: args.get_usize("synth-iters", 40),
@@ -37,6 +42,7 @@ fn main() {
             per_image_budget: Some(args.get_u64("synth-budget", 1500)),
             prefilter: !args.has("no-prefilter"),
             grammar: GrammarConfig::paper(),
+            threads,
         },
         eval_budget: budget,
         sparse_rs: SparseRsConfig {
@@ -63,8 +69,11 @@ fn main() {
             t0.elapsed(),
             model.test_accuracy
         );
+        // Engine-backed weight snapshot: allocation-free forward passes,
+        // shareable across worker threads (the model itself is not `Sync`).
+        let classifier = model.classifier();
         let t1 = Instant::now();
-        let result = run_ablation(arch.id(), &model, &train, &test, &config);
+        let result = run_ablation_parallel(arch.id(), &classifier, &train, &test, &config);
         eprintln!("[{arch}] ablation done in {:.1?}", t1.elapsed());
         results.push(result);
     }

@@ -29,3 +29,14 @@ pub fn reports_dir() -> PathBuf {
 pub fn suites_dir() -> PathBuf {
     PathBuf::from("target/oppsla-programs")
 }
+
+/// Resolves the shared `--threads` knob: `0` (the default) auto-detects
+/// the host's parallelism; any other value is used as given. Every
+/// experiment binary produces bit-identical results for any thread count —
+/// the knob only changes wall-clock time.
+pub fn threads_from(args: &cli::Args) -> usize {
+    match args.get_usize("threads", 0) {
+        0 => oppsla_core::parallel::available_threads(),
+        n => n,
+    }
+}

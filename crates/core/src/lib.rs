@@ -44,6 +44,7 @@ pub mod goal;
 pub mod image;
 pub mod oracle;
 pub mod pair;
+pub mod parallel;
 pub mod queue;
 pub mod sketch;
 pub mod synth;

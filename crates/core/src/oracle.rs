@@ -10,7 +10,7 @@ use std::fmt;
 
 /// A black-box image classifier: maps an image to one score per class.
 ///
-/// The attack only ever calls [`Classifier::scores`] — no gradients, no
+/// The attack only ever observes score vectors — no gradients, no
 /// weights, matching the paper's threat model.
 pub trait Classifier {
     /// The number of classes `c`.
@@ -19,10 +19,47 @@ pub trait Classifier {
     /// The score vector `N(x)` (length [`Classifier::num_classes`]).
     fn scores(&self, image: &Image) -> Vec<f32>;
 
+    /// Writes `N(x)` into `out` (cleared first). The default delegates to
+    /// [`Classifier::scores`]; allocation-free backends override this so
+    /// the query hot path can reuse one buffer across millions of calls.
+    fn scores_into(&self, image: &Image, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend_from_slice(&self.scores(image));
+    }
+
     /// The classifier's decision: `argmax(N(x))`.
     fn classify(&self, image: &Image) -> usize {
         let scores = self.scores(image);
         argmax(&scores)
+    }
+}
+
+/// A classifier that can be queried from many threads at once.
+///
+/// `Sync` makes the shared state (weights, compiled plans) safe to
+/// reference across threads; [`BatchClassifier::session`] hands each
+/// worker its own cheap handle carrying any per-thread mutable state
+/// (e.g. a forward workspace), so concurrent queries never contend.
+pub trait BatchClassifier: Classifier + Sync {
+    /// A per-thread query handle borrowing this classifier's shared state.
+    fn session(&self) -> Box<dyn Classifier + '_>;
+}
+
+/// The trivial [`BatchClassifier::session`] handle for classifiers with no
+/// per-thread state: forwards every call to the shared classifier.
+pub struct SharedSession<'a>(pub &'a dyn Classifier);
+
+impl Classifier for SharedSession<'_> {
+    fn num_classes(&self) -> usize {
+        self.0.num_classes()
+    }
+
+    fn scores(&self, image: &Image) -> Vec<f32> {
+        self.0.scores(image)
+    }
+
+    fn scores_into(&self, image: &Image, out: &mut Vec<f32>) {
+        self.0.scores_into(image, out);
     }
 }
 
@@ -85,6 +122,14 @@ impl<F: Fn(&Image) -> Vec<f32>> Classifier for FnClassifier<F> {
         let scores = (self.f)(image);
         debug_assert_eq!(scores.len(), self.num_classes, "score vector length");
         scores
+    }
+}
+
+impl<F: Fn(&Image) -> Vec<f32> + Sync> BatchClassifier for FnClassifier<F> {
+    fn session(&self) -> Box<dyn Classifier + '_> {
+        // Closure classifiers are stateless per query; the shared handle
+        // suffices.
+        Box::new(SharedSession(self))
     }
 }
 
@@ -157,13 +202,30 @@ impl<'a> Oracle<'a> {
     /// Returns [`BudgetExhausted`] when the budget has been spent; the
     /// failed attempt is *not* counted and the classifier is not invoked.
     pub fn query(&mut self, image: &Image) -> Result<Vec<f32>, BudgetExhausted> {
+        let mut out = Vec::new();
+        self.query_into(image, &mut out)?;
+        Ok(out)
+    }
+
+    /// Submits an image, counting one query and writing the scores into
+    /// `out` (cleared first). This is the attack loops' hot path: with an
+    /// allocation-free classifier backend and a reused `out`, a query
+    /// performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when the budget has been spent; the
+    /// failed attempt is *not* counted, the classifier is not invoked, and
+    /// `out` is left untouched.
+    pub fn query_into(&mut self, image: &Image, out: &mut Vec<f32>) -> Result<(), BudgetExhausted> {
         if let Some(budget) = self.budget {
             if self.queries >= budget {
                 return Err(BudgetExhausted { budget });
             }
         }
         self.queries += 1;
-        Ok(self.classifier.scores(image))
+        self.classifier.scores_into(image, out);
+        Ok(())
     }
 
     /// The number of queries issued so far.
@@ -243,5 +305,40 @@ mod tests {
     #[should_panic(expected = "at least two classes")]
     fn fn_classifier_rejects_single_class() {
         let _ = FnClassifier::new(1, |_: &Image| vec![1.0]);
+    }
+
+    #[test]
+    fn query_into_matches_query_and_counts_identically() {
+        let clf = constant_classifier();
+        let img = Image::filled(2, 2, Pixel([0.0; 3]));
+        let mut a = Oracle::new(&clf);
+        let mut b = Oracle::new(&clf);
+        let mut buf = vec![9.0, 9.0]; // stale content must be replaced
+        b.query_into(&img, &mut buf).unwrap();
+        assert_eq!(a.query(&img).unwrap(), buf);
+        assert_eq!(a.queries(), b.queries());
+    }
+
+    #[test]
+    fn query_into_budget_failure_leaves_buffer_untouched() {
+        let clf = constant_classifier();
+        let img = Image::filled(2, 2, Pixel([0.0; 3]));
+        let mut oracle = Oracle::with_budget(&clf, 0);
+        let mut buf = vec![0.5];
+        assert!(oracle.query_into(&img, &mut buf).is_err());
+        assert_eq!(buf, vec![0.5]);
+        assert_eq!(oracle.queries(), 0);
+    }
+
+    #[test]
+    fn shared_session_forwards_to_the_classifier() {
+        let clf = constant_classifier();
+        let session = clf.session();
+        let img = Image::filled(2, 2, Pixel([0.0; 3]));
+        assert_eq!(session.num_classes(), 3);
+        assert_eq!(session.scores(&img), clf.scores(&img));
+        let mut buf = Vec::new();
+        session.scores_into(&img, &mut buf);
+        assert_eq!(buf, clf.scores(&img));
     }
 }

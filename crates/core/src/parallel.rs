@@ -1,0 +1,139 @@
+//! Minimal scoped-thread fan-out for the synthesis evaluation loop.
+//!
+//! The synthesizer's dominant cost is evaluating a candidate program on
+//! every training image — embarrassingly parallel work. This module
+//! provides a dependency-free map over a slice using [`std::thread::scope`],
+//! with one piece of caller-supplied per-worker state (a classifier
+//! session, a forward workspace) threaded through every call.
+//!
+//! Determinism contract: results are returned in *item order*, regardless
+//! of thread count or scheduling. Callers that reduce results with
+//! order-independent arithmetic (integer sums, counts) therefore get
+//! bit-identical aggregates for any `threads` value.
+
+/// The number of worker threads the host advertises (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` workers, giving each worker
+/// its own state built by `init`.
+///
+/// `f` receives `(worker_state, item_index, item)`. The returned vector
+/// is in item order. `threads` is clamped to `[1, items.len()]`;
+/// `threads <= 1` runs inline on the caller's thread with a single state,
+/// so the sequential path is exactly "one worker that owns every item".
+///
+/// Work is distributed by striping: worker `w` handles items
+/// `w, w + threads, w + 2*threads, ...`. Striping keeps the assignment
+/// static (no work-stealing nondeterminism in who-computes-what) while
+/// spreading expensive neighbouring items across workers.
+pub fn parallel_map_with<T, S, R, I, F>(threads: usize, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut state, i, item))
+            .collect();
+    }
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let init = &init;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut state = init();
+                let mut out = Vec::new();
+                let mut i = w;
+                while i < items.len() {
+                    out.push((i, f(&mut state, i, &items[i])));
+                    i += threads;
+                }
+                out
+            }));
+        }
+        for handle in handles {
+            // A worker panic propagates here, which poisons nothing: the
+            // scope unwinds and re-raises on the caller's thread.
+            for (i, r) in handle.join().expect("parallel_map_with worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every item index visited exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn results_are_in_item_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..37).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 4, 8, 64] {
+            let got = parallel_map_with(threads, &items, || (), |_, _, &x| x * x);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let got: Vec<u8> = parallel_map_with(4, &[] as &[u8], || (), |_, _, &x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn each_worker_gets_its_own_state() {
+        // Count distinct states built; with striping over 8 items and 4
+        // threads, exactly 4 states must be created — and the sequential
+        // path exactly one.
+        let built = AtomicUsize::new(0);
+        let items = [0u8; 8];
+        parallel_map_with(4, &items, || built.fetch_add(1, Ordering::SeqCst), |_, _, _| ());
+        assert_eq!(built.load(Ordering::SeqCst), 4);
+        built.store(0, Ordering::SeqCst);
+        parallel_map_with(1, &items, || built.fetch_add(1, Ordering::SeqCst), |_, _, _| ());
+        assert_eq!(built.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn worker_state_accumulates_across_that_workers_items() {
+        // Sequential path: one state sees every item in order.
+        let items: Vec<u32> = (1..=5).collect();
+        let got = parallel_map_with(
+            1,
+            &items,
+            || 0u32,
+            |acc, _, &x| {
+                *acc += x;
+                *acc
+            },
+        );
+        assert_eq!(got, vec![1, 3, 6, 10, 15]);
+    }
+}

@@ -134,22 +134,31 @@ pub fn run_sketch_with_goal(
 
     let mut queue = PairQueue::for_image(image);
 
-    // Submits a candidate; `Ok(Some(scores))` = failed attack (scores of
-    // the perturbed image), `Ok(None)` = success, `Err` = budget.
-    let try_pair = |oracle: &mut Oracle<'_>, pair: Pair| -> Result<Option<Vec<f32>>, ()> {
-        let perturbed = image.with_pixel(pair.location, pair.corner.as_pixel());
-        let scores = oracle.query(&perturbed).map_err(|_| ())?;
-        if goal.is_adversarial(&scores, true_class) {
-            Ok(None)
-        } else {
-            Ok(Some(scores))
-        }
-    };
+    // Query hot path: one scratch image and one score buffer serve every
+    // candidate. Each query flips a single pixel of the scratch in place,
+    // queries through [`Oracle::query_into`], and restores the pixel —
+    // replacing a full image clone plus a score-vector allocation per
+    // candidate with two pixel writes.
+    let mut scratch = image.clone();
+    let mut buf: Vec<f32> = Vec::with_capacity(orig_scores.len());
+
+    // Submits a candidate; `Ok(true)` = adversarial (scores in `buf`),
+    // `Ok(false)` = failed attack (scores in `buf`), `Err` = budget. The
+    // scratch pixel is restored on every path, including budget errors.
+    let try_pair =
+        |oracle: &mut Oracle<'_>, scratch: &mut Image, buf: &mut Vec<f32>, pair: Pair| {
+            let original = image.pixel(pair.location);
+            scratch.set_pixel(pair.location, pair.corner.as_pixel());
+            let result = oracle.query_into(scratch, buf);
+            scratch.set_pixel(pair.location, original);
+            result.map_err(|_| ())?;
+            Ok::<bool, ()>(goal.is_adversarial(buf, true_class))
+        };
 
     while let Some(pair) = queue.pop() {
-        let pert_scores = match try_pair(oracle, pair) {
-            Ok(Some(s)) => s,
-            Ok(None) => {
+        match try_pair(oracle, &mut scratch, &mut buf, pair) {
+            Ok(false) => {}
+            Ok(true) => {
                 return SketchOutcome::Success {
                     pair,
                     queries: spent(oracle),
@@ -160,14 +169,14 @@ pub fn run_sketch_with_goal(
                     queries: spent(oracle),
                 }
             }
-        };
+        }
 
         let ctx = CondCtx {
             image,
             location: pair.location,
             perturbation: pair.corner.as_pixel(),
             orig_scores: &orig_scores,
-            pert_scores: &pert_scores,
+            pert_scores: &buf,
             true_class,
         };
 
@@ -184,11 +193,13 @@ pub fn run_sketch_with_goal(
             }
         }
 
-        // B3/B4: eager front-checking (lines 7–24 of Algorithm 1).
+        // B3/B4: eager front-checking (lines 7–24 of Algorithm 1). The
+        // queues own their score vectors: `buf` is overwritten by the next
+        // query, so entries must be snapshots.
         let mut loc_q: VecDeque<(Pair, Vec<f32>)> = VecDeque::new();
         let mut pert_q: VecDeque<(Pair, Vec<f32>)> = VecDeque::new();
-        loc_q.push_back((pair, pert_scores.clone()));
-        pert_q.push_back((pair, pert_scores));
+        loc_q.push_back((pair, buf.clone()));
+        pert_q.push_back((pair, buf.clone()));
 
         while !loc_q.is_empty() || !pert_q.is_empty() {
             while let Some((failed, failed_scores)) = loc_q.pop_front() {
@@ -205,12 +216,12 @@ pub fn run_sketch_with_goal(
                 }
                 for candidate in queue.location_neighbors(failed.location, failed.corner) {
                     queue.remove(candidate);
-                    match try_pair(oracle, candidate) {
-                        Ok(Some(scores)) => {
-                            loc_q.push_back((candidate, scores.clone()));
-                            pert_q.push_back((candidate, scores));
+                    match try_pair(oracle, &mut scratch, &mut buf, candidate) {
+                        Ok(false) => {
+                            loc_q.push_back((candidate, buf.clone()));
+                            pert_q.push_back((candidate, buf.clone()));
                         }
-                        Ok(None) => {
+                        Ok(true) => {
                             return SketchOutcome::Success {
                                 pair: candidate,
                                 queries: spent(oracle),
@@ -238,12 +249,12 @@ pub fn run_sketch_with_goal(
                 }
                 if let Some(candidate) = queue.next_at_location(failed.location) {
                     queue.remove(candidate);
-                    match try_pair(oracle, candidate) {
-                        Ok(Some(scores)) => {
-                            loc_q.push_back((candidate, scores.clone()));
-                            pert_q.push_back((candidate, scores));
+                    match try_pair(oracle, &mut scratch, &mut buf, candidate) {
+                        Ok(false) => {
+                            loc_q.push_back((candidate, buf.clone()));
+                            pert_q.push_back((candidate, buf.clone()));
                         }
-                        Ok(None) => {
+                        Ok(true) => {
                             return SketchOutcome::Success {
                                 pair: candidate,
                                 queries: spent(oracle),

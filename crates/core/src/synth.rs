@@ -10,7 +10,8 @@
 
 use crate::dsl::{mutate_in, random_program_in, GrammarConfig, ImageDims, Program};
 use crate::image::Image;
-use crate::oracle::{Classifier, Oracle};
+use crate::oracle::{BatchClassifier, Classifier, Oracle};
+use crate::parallel::parallel_map_with;
 use crate::sketch::{run_sketch, SketchOutcome};
 use rand::Rng;
 use rand::SeedableRng;
@@ -43,6 +44,13 @@ pub struct SynthConfig {
     /// grammar by default, or the extended boolean-combinator grammar
     /// ([`GrammarConfig::extended`]).
     pub grammar: GrammarConfig,
+    /// Worker threads used by [`synthesize_parallel`] (and the other
+    /// `*_parallel` entry points) to spread candidate evaluation over the
+    /// training set. Ignored by the sequential [`synthesize`]. Any value
+    /// produces a bit-identical [`SynthReport`]: per-image query counts
+    /// are exact integers reduced by order-independent sums, and the MH
+    /// random stream never leaves the main thread.
+    pub threads: usize,
 }
 
 impl Default for SynthConfig {
@@ -54,6 +62,7 @@ impl Default for SynthConfig {
             per_image_budget: None,
             prefilter: false,
             grammar: GrammarConfig::paper(),
+            threads: 1,
         }
     }
 }
@@ -123,6 +132,51 @@ impl SynthReport {
     }
 }
 
+/// Attacks one training pair: `(queries spent, queries if successful)`.
+fn attack_one(
+    program: &Program,
+    classifier: &dyn Classifier,
+    image: &Image,
+    true_class: usize,
+    per_image_budget: Option<u64>,
+) -> (u64, Option<u64>) {
+    let mut oracle = match per_image_budget {
+        Some(b) => Oracle::with_budget(classifier, b),
+        None => Oracle::new(classifier),
+    };
+    let outcome = run_sketch(program, &mut oracle, image, true_class);
+    let spent = outcome.queries();
+    match outcome {
+        SketchOutcome::Success { queries, .. } => (spent, Some(queries)),
+        _ => (spent, None),
+    }
+}
+
+/// Reduces per-image attack results into an [`Evaluation`]. All sums are
+/// exact integers, so the result is independent of the order (and thus the
+/// thread assignment) the per-image results were produced in.
+fn reduce_evaluation(per_image: impl IntoIterator<Item = (u64, Option<u64>)>) -> Evaluation {
+    let mut total_queries = 0u64;
+    let mut success_queries = 0u64;
+    let mut successes = 0usize;
+    for (spent, success) in per_image {
+        total_queries += spent;
+        if let Some(queries) = success {
+            success_queries += queries;
+            successes += 1;
+        }
+    }
+    Evaluation {
+        avg_queries: if successes == 0 {
+            f64::INFINITY
+        } else {
+            success_queries as f64 / successes as f64
+        },
+        successes,
+        queries_spent: total_queries,
+    }
+}
+
 /// Evaluates `program` on the training set: runs the sketch attack on
 /// every `(image, true_class)` pair and averages the query counts of the
 /// successful ones (Algorithm 2's inner loop).
@@ -137,30 +191,35 @@ pub fn evaluate_program(
     per_image_budget: Option<u64>,
 ) -> Evaluation {
     assert!(!train.is_empty(), "training set is empty");
-    let mut total_queries = 0u64;
-    let mut success_queries = 0u64;
-    let mut successes = 0usize;
-    for (image, true_class) in train {
-        let mut oracle = match per_image_budget {
-            Some(b) => Oracle::with_budget(classifier, b),
-            None => Oracle::new(classifier),
-        };
-        let outcome = run_sketch(program, &mut oracle, image, *true_class);
-        total_queries += outcome.queries();
-        if let SketchOutcome::Success { queries, .. } = outcome {
-            success_queries += queries;
-            successes += 1;
-        }
-    }
-    Evaluation {
-        avg_queries: if successes == 0 {
-            f64::INFINITY
-        } else {
-            success_queries as f64 / successes as f64
-        },
-        successes,
-        queries_spent: total_queries,
-    }
+    reduce_evaluation(
+        train
+            .iter()
+            .map(|(image, c)| attack_one(program, classifier, image, *c, per_image_budget)),
+    )
+}
+
+/// [`evaluate_program`] fanned out over `threads` workers, each querying
+/// through its own [`BatchClassifier::session`] handle. Returns the same
+/// [`Evaluation`], bit for bit, as the sequential function for any thread
+/// count: per-image query counts are exact and reduced order-independently.
+///
+/// # Panics
+///
+/// Panics if `train` is empty or a true class is out of range.
+pub fn evaluate_program_parallel(
+    program: &Program,
+    classifier: &dyn BatchClassifier,
+    train: &[(Image, usize)],
+    per_image_budget: Option<u64>,
+    threads: usize,
+) -> Evaluation {
+    assert!(!train.is_empty(), "training set is empty");
+    reduce_evaluation(parallel_map_with(
+        threads,
+        train,
+        || classifier.session(),
+        |session, _, (image, c)| attack_one(program, &**session, image, *c, per_image_budget),
+    ))
 }
 
 /// The MH acceptance probability `min(1, exp(−β·(q_new − q_old)))`,
@@ -190,13 +249,60 @@ pub fn filter_attackable(
 ) -> (Vec<(Image, usize)>, u64) {
     assert!(!train.is_empty(), "training set is empty");
     let fixed = Program::constant(false);
+    let probes = train
+        .iter()
+        .map(|(image, c)| probe_one(&fixed, classifier, image, *c))
+        .collect::<Vec<_>>();
+    keep_attackable(train, probes)
+}
+
+/// [`filter_attackable`] fanned out over `threads` workers via per-worker
+/// [`BatchClassifier::session`] handles. The kept set and query total are
+/// identical to the sequential function for any thread count.
+///
+/// # Panics
+///
+/// Panics if `train` is empty or a true class is out of range.
+pub fn filter_attackable_parallel(
+    classifier: &dyn BatchClassifier,
+    train: &[(Image, usize)],
+    threads: usize,
+) -> (Vec<(Image, usize)>, u64) {
+    assert!(!train.is_empty(), "training set is empty");
+    let fixed = Program::constant(false);
+    let probes = parallel_map_with(
+        threads,
+        train,
+        || classifier.session(),
+        |session, _, (image, c)| probe_one(&fixed, &**session, image, *c),
+    );
+    keep_attackable(train, probes)
+}
+
+/// Probes one training pair with the fixed-prioritization program:
+/// `(queries spent, attackable?)`.
+fn probe_one(
+    fixed: &Program,
+    classifier: &dyn Classifier,
+    image: &Image,
+    true_class: usize,
+) -> (u64, bool) {
+    let mut oracle = Oracle::new(classifier);
+    let outcome = run_sketch(fixed, &mut oracle, image, true_class);
+    (outcome.queries(), outcome.is_success())
+}
+
+/// Zips probe results back onto `train`, keeping the attackable pairs and
+/// summing queries (exact, order-independent).
+fn keep_attackable(
+    train: &[(Image, usize)],
+    probes: Vec<(u64, bool)>,
+) -> (Vec<(Image, usize)>, u64) {
     let mut kept = Vec::with_capacity(train.len());
     let mut queries = 0u64;
-    for (image, true_class) in train {
-        let mut oracle = Oracle::new(classifier);
-        let outcome = run_sketch(&fixed, &mut oracle, image, *true_class);
-        queries += outcome.queries();
-        if outcome.is_success() {
+    for ((image, true_class), (spent, attackable)) in train.iter().zip(probes) {
+        queries += spent;
+        if attackable {
             kept.push((image.clone(), *true_class));
         }
     }
@@ -214,6 +320,49 @@ pub fn synthesize(
     classifier: &dyn Classifier,
     train: &[(Image, usize)],
     config: &SynthConfig,
+) -> SynthReport {
+    run_mh(
+        train,
+        config,
+        &mut |t| filter_attackable(classifier, t),
+        &mut |p, t| evaluate_program(p, classifier, t, config.per_image_budget),
+    )
+}
+
+/// [`synthesize`] with candidate evaluation fanned out over
+/// [`SynthConfig::threads`] workers. The Metropolis–Hastings chain itself
+/// (mutation, acceptance sampling) stays on the calling thread, and every
+/// [`Evaluation`] is bit-identical to the sequential one, so the returned
+/// [`SynthReport`] is identical for any thread count — only wall-clock
+/// time changes.
+///
+/// # Panics
+///
+/// Panics if `train` is empty, images disagree on extents, or `beta` is
+/// not positive.
+pub fn synthesize_parallel(
+    classifier: &dyn BatchClassifier,
+    train: &[(Image, usize)],
+    config: &SynthConfig,
+) -> SynthReport {
+    let threads = config.threads;
+    run_mh(
+        train,
+        config,
+        &mut |t| filter_attackable_parallel(classifier, t, threads),
+        &mut |p, t| evaluate_program_parallel(p, classifier, t, config.per_image_budget, threads),
+    )
+}
+
+/// The Metropolis–Hastings core shared by [`synthesize`] and
+/// [`synthesize_parallel`]: all classifier access goes through the
+/// injected `filter` and `eval` closures, so the chain's control flow (and
+/// its random stream) is written exactly once.
+fn run_mh(
+    train: &[(Image, usize)],
+    config: &SynthConfig,
+    filter: &mut dyn FnMut(&[(Image, usize)]) -> (Vec<(Image, usize)>, u64),
+    eval: &mut dyn FnMut(&Program, &[(Image, usize)]) -> Evaluation,
 ) -> SynthReport {
     assert!(!train.is_empty(), "training set is empty");
     assert!(config.beta > 0.0, "beta must be positive");
@@ -233,7 +382,7 @@ pub fn synthesize(
     let mut prefiltered = 0usize;
     let filtered: Vec<(Image, usize)>;
     let train: &[(Image, usize)] = if config.prefilter {
-        let (kept, queries) = filter_attackable(classifier, train);
+        let (kept, queries) = filter(train);
         prefilter_queries = queries;
         if kept.is_empty() {
             // Nothing attackable: fall back to the full set so the run
@@ -251,15 +400,14 @@ pub fn synthesize(
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let mut incumbent = random_program_in(&mut rng, dims, config.grammar);
     let initial_program = incumbent.clone();
-    let initial = evaluate_program(&incumbent, classifier, train, config.per_image_budget);
+    let initial = eval(&incumbent, train);
     let mut incumbent_avg = initial.avg_queries;
     let mut cumulative = prefilter_queries + initial.queries_spent;
     let mut iterations = Vec::with_capacity(config.max_iterations);
 
     for iteration in 1..=config.max_iterations {
         let candidate = mutate_in(&mut rng, &incumbent, dims, config.grammar);
-        let evaluation =
-            evaluate_program(&candidate, classifier, train, config.per_image_budget);
+        let evaluation = eval(&candidate, train);
         cumulative += evaluation.queries_spent;
         let p = acceptance_probability(config.beta, incumbent_avg, evaluation.avg_queries);
         let accepted = rng.gen::<f64>() < p;
@@ -554,5 +702,66 @@ mod tests {
     fn synthesize_rejects_empty_training_set() {
         let clf = FnClassifier::new(2, |_: &Image| vec![0.9, 0.1]);
         synthesize(&clf, &[], &SynthConfig::default());
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical_to_sequential() {
+        let clf = center_weak_classifier();
+        let train = train_set(7);
+        let program = Program::constant(false);
+        for budget in [None, Some(10)] {
+            let reference = evaluate_program(&program, &clf, &train, budget);
+            for threads in [1, 2, 4, 16] {
+                let parallel =
+                    evaluate_program_parallel(&program, &clf, &train, budget, threads);
+                assert_eq!(parallel, reference, "threads = {threads}, budget = {budget:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_filter_is_identical_to_sequential() {
+        let clf = center_weak_classifier();
+        let mut train = train_set(5);
+        train.push((Image::filled(9, 9, Pixel([0.9, 0.9, 0.9])), 1));
+        let reference = filter_attackable(&clf, &train);
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                filter_attackable_parallel(&clf, &train, threads),
+                reference,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_synthesis_trajectory() {
+        // The headline determinism guarantee: same seed, different worker
+        // counts, identical accepted-program trajectory and query totals.
+        let clf = center_weak_classifier();
+        let train = train_set(3);
+        let base = SynthConfig {
+            max_iterations: 6,
+            beta: 0.01,
+            seed: 13,
+            prefilter: true,
+            threads: 1,
+            ..SynthConfig::default()
+        };
+        let one = synthesize_parallel(&clf, &train, &base);
+        let four = synthesize_parallel(
+            &clf,
+            &train,
+            &SynthConfig {
+                threads: 4,
+                ..base.clone()
+            },
+        );
+        assert_eq!(one.accepted_trajectory(), four.accepted_trajectory());
+        assert_eq!(one.total_queries, four.total_queries);
+        assert_eq!(one, four);
+        // And both agree with the sequential entry point.
+        let sequential = synthesize(&clf, &train, &base);
+        assert_eq!(sequential, one);
     }
 }

@@ -2,13 +2,13 @@
 //! Sketch+Random vs Sparse-RS, per classifier, reporting average and
 //! median query counts over the test set.
 
-use crate::curves::{evaluate_attack, AttackEval};
+use crate::curves::{evaluate_attack, evaluate_attack_parallel, AttackEval};
 use crate::report::{fmt_rate, fmt_stat, Table};
 use oppsla_attacks::{Attack, SketchProgramAttack, SparseRs, SparseRsConfig};
 use oppsla_core::dsl::{random_program, ImageDims, Program};
 use oppsla_core::image::Image;
-use oppsla_core::oracle::Classifier;
-use oppsla_core::synth::{evaluate_program, SynthConfig};
+use oppsla_core::oracle::{BatchClassifier, Classifier};
+use oppsla_core::synth::{evaluate_program, evaluate_program_parallel, Evaluation, SynthConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -27,6 +27,33 @@ pub fn random_search_program(
     seed: u64,
     per_image_budget: Option<u64>,
 ) -> (Program, u64) {
+    random_search_core(train, samples, seed, &mut |candidate, train| {
+        evaluate_program(candidate, classifier, train, per_image_budget)
+    })
+}
+
+/// [`random_search_program`] with each candidate evaluated across the
+/// training set on `threads` workers. The selected program and query total
+/// are identical to the sequential function for any thread count.
+pub fn random_search_program_parallel(
+    classifier: &dyn BatchClassifier,
+    train: &[(Image, usize)],
+    samples: usize,
+    seed: u64,
+    per_image_budget: Option<u64>,
+    threads: usize,
+) -> (Program, u64) {
+    random_search_core(train, samples, seed, &mut |candidate, train| {
+        evaluate_program_parallel(candidate, classifier, train, per_image_budget, threads)
+    })
+}
+
+fn random_search_core(
+    train: &[(Image, usize)],
+    samples: usize,
+    seed: u64,
+    eval: &mut dyn FnMut(&Program, &[(Image, usize)]) -> Evaluation,
+) -> (Program, u64) {
     assert!(samples > 0, "need at least one sample");
     assert!(!train.is_empty(), "training set is empty");
     let dims = ImageDims::new(train[0].0.height(), train[0].0.width());
@@ -35,14 +62,14 @@ pub fn random_search_program(
     let mut total_queries = 0u64;
     for _ in 0..samples {
         let candidate = random_program(&mut rng, dims);
-        let eval = evaluate_program(&candidate, classifier, train, per_image_budget);
-        total_queries += eval.queries_spent;
+        let evaluation = eval(&candidate, train);
+        total_queries += evaluation.queries_spent;
         let better = match &best {
-            Some((_, best_avg)) => eval.avg_queries < *best_avg,
+            Some((_, best_avg)) => evaluation.avg_queries < *best_avg,
             None => true,
         };
         if better {
-            best = Some((candidate, eval.avg_queries));
+            best = Some((candidate, evaluation.avg_queries));
         }
     }
     (best.expect("samples > 0").0, total_queries)
@@ -108,18 +135,9 @@ pub fn run_ablation(
     config: &AblationConfig,
 ) -> AblationResult {
     let oppsla_report = oppsla_core::synth::synthesize(classifier, train, &config.synth);
-    // Give the random-search baseline the same prefiltering advantage as
-    // OPPSLA so the comparison isolates the *search strategy*.
-    let random_train: Vec<(Image, usize)> = if config.synth.prefilter {
-        let (kept, _) = oppsla_core::synth::filter_attackable(classifier, train);
-        if kept.is_empty() {
-            train.to_vec()
-        } else {
-            kept
-        }
-    } else {
-        train.to_vec()
-    };
+    let random_train = random_train_set(train, config, &mut |t| {
+        oppsla_core::synth::filter_attackable(classifier, t)
+    });
     let (random_prog, _) = random_search_program(
         classifier,
         &random_train,
@@ -127,9 +145,68 @@ pub fn run_ablation(
         config.synth.seed.wrapping_add(0x5EED),
         config.synth.per_image_budget,
     );
+    ablation_core(label, config, oppsla_report.program, random_prog, &mut |a| {
+        evaluate_attack(a, classifier, test, config.eval_budget, config.seed)
+    })
+}
 
-    let approaches: Vec<Box<dyn Attack>> = vec![
-        Box::new(SketchProgramAttack::named(oppsla_report.program, "oppsla")),
+/// [`run_ablation`] with synthesis, random search and the test-set
+/// evaluations fanned out over [`SynthConfig::threads`] workers. The
+/// resulting table is identical to the sequential one for any thread
+/// count.
+pub fn run_ablation_parallel(
+    label: &str,
+    classifier: &dyn BatchClassifier,
+    train: &[(Image, usize)],
+    test: &[(Image, usize)],
+    config: &AblationConfig,
+) -> AblationResult {
+    let threads = config.synth.threads;
+    let oppsla_report = oppsla_core::synth::synthesize_parallel(classifier, train, &config.synth);
+    let random_train = random_train_set(train, config, &mut |t| {
+        oppsla_core::synth::filter_attackable_parallel(classifier, t, threads)
+    });
+    let (random_prog, _) = random_search_program_parallel(
+        classifier,
+        &random_train,
+        config.synth.max_iterations.max(1),
+        config.synth.seed.wrapping_add(0x5EED),
+        config.synth.per_image_budget,
+        threads,
+    );
+    ablation_core(label, config, oppsla_report.program, random_prog, &mut |a| {
+        evaluate_attack_parallel(a, classifier, test, config.eval_budget, config.seed, threads)
+    })
+}
+
+/// Gives the random-search baseline the same prefiltering advantage as
+/// OPPSLA so the comparison isolates the *search strategy*.
+fn random_train_set(
+    train: &[(Image, usize)],
+    config: &AblationConfig,
+    filter: &mut dyn FnMut(&[(Image, usize)]) -> (Vec<(Image, usize)>, u64),
+) -> Vec<(Image, usize)> {
+    if config.synth.prefilter {
+        let (kept, _) = filter(train);
+        if kept.is_empty() {
+            train.to_vec()
+        } else {
+            kept
+        }
+    } else {
+        train.to_vec()
+    }
+}
+
+fn ablation_core(
+    label: &str,
+    config: &AblationConfig,
+    oppsla_program: Program,
+    random_prog: Program,
+    eval: &mut dyn FnMut(&(dyn Attack + Sync)) -> AttackEval,
+) -> AblationResult {
+    let approaches: Vec<Box<dyn Attack + Sync>> = vec![
+        Box::new(SketchProgramAttack::named(oppsla_program, "oppsla")),
         Box::new(SketchProgramAttack::named(
             Program::constant(false),
             "sketch+false",
@@ -140,16 +217,7 @@ pub fn run_ablation(
 
     let rows = approaches
         .iter()
-        .map(|attack| {
-            let eval = evaluate_attack(
-                attack.as_ref(),
-                classifier,
-                test,
-                config.eval_budget,
-                config.seed,
-            );
-            row_from_eval(&eval)
-        })
+        .map(|attack| row_from_eval(&eval(attack.as_ref())))
         .collect();
 
     AblationResult {
@@ -266,6 +334,37 @@ mod tests {
         assert_eq!(result.rows[0].success_rate, result.rows[1].success_rate);
         assert_eq!(result.rows[0].success_rate, result.rows[2].success_rate);
         assert_eq!(result.rows[0].success_rate, 1.0);
+    }
+
+    #[test]
+    fn parallel_ablation_matches_sequential() {
+        let clf = weak_clf();
+        let (train, test) = sets();
+        let config = AblationConfig {
+            synth: SynthConfig {
+                max_iterations: 3,
+                prefilter: true,
+                ..SynthConfig::default()
+            },
+            eval_budget: 10_000,
+            sparse_rs: SparseRsConfig {
+                max_iterations: 1_000,
+                ..SparseRsConfig::default()
+            },
+            seed: 0,
+        };
+        let sequential = run_ablation("toy", &clf, &train, &test, &config);
+        for threads in [1, 4] {
+            let par_config = AblationConfig {
+                synth: SynthConfig {
+                    threads,
+                    ..config.synth.clone()
+                },
+                ..config.clone()
+            };
+            let parallel = run_ablation_parallel("toy", &clf, &train, &test, &par_config);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
     }
 
     #[test]

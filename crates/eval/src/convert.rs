@@ -28,6 +28,21 @@ pub fn image_to_tensor(image: &Image) -> Tensor {
     )
 }
 
+/// Copies an attack-core image into an existing `[3, h, w]` tensor without
+/// allocating — the query hot path's conversion.
+///
+/// # Panics
+///
+/// Panics if the tensor's shape does not match the image's extents.
+pub fn image_into_tensor(image: &Image, tensor: &mut Tensor) {
+    assert_eq!(
+        tensor.shape().dims(),
+        &[3, image.height(), image.width()],
+        "tensor shape does not match image extents"
+    );
+    tensor.data_mut().copy_from_slice(image.data());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -51,6 +66,23 @@ mod tests {
         *t.at_mut(&[2, 1, 2]) = 0.3;
         let img = tensor_to_image(&t);
         assert_eq!(img.pixel(Location::new(1, 2)), Pixel([0.1, 0.2, 0.3]));
+    }
+
+    #[test]
+    fn image_into_tensor_matches_allocating_conversion() {
+        let t = Tensor::from_fn([3, 4, 5], |i| (i % 7) as f32 / 7.0);
+        let img = tensor_to_image(&t);
+        let mut scratch = Tensor::zeros([3, 4, 5]);
+        image_into_tensor(&img, &mut scratch);
+        assert_eq!(scratch.data(), image_to_tensor(&img).data());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn image_into_tensor_rejects_shape_mismatch() {
+        let img = tensor_to_image(&Tensor::zeros([3, 4, 5]));
+        let mut scratch = Tensor::zeros([3, 5, 4]);
+        image_into_tensor(&img, &mut scratch);
     }
 
     #[test]

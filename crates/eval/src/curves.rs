@@ -4,7 +4,8 @@
 
 use oppsla_attacks::{Attack, AttackOutcome};
 use oppsla_core::image::Image;
-use oppsla_core::oracle::{Classifier, Oracle};
+use oppsla_core::oracle::{BatchClassifier, Classifier, Oracle};
+use oppsla_core::parallel::parallel_map_with;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -120,6 +121,35 @@ pub fn evaluate_attack(
     }
 }
 
+/// [`evaluate_attack`] fanned out over `threads` workers, each querying
+/// through its own [`BatchClassifier::session`] handle. Per-image oracles
+/// and per-image seeded random streams make the evaluation outcome
+/// independent of scheduling: the result is identical to the sequential
+/// function for any thread count.
+pub fn evaluate_attack_parallel(
+    attack: &(dyn Attack + Sync),
+    classifier: &dyn BatchClassifier,
+    test: &[(Image, usize)],
+    budget: u64,
+    seed: u64,
+    threads: usize,
+) -> AttackEval {
+    let outcomes = parallel_map_with(
+        threads,
+        test,
+        || classifier.session(),
+        |session, i, (image, true_class)| {
+            let mut oracle = Oracle::with_budget(&**session, budget);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
+            attack.attack(&mut oracle, image, *true_class, &mut rng)
+        },
+    );
+    AttackEval {
+        attack_name: attack.name().to_owned(),
+        outcomes,
+    }
+}
+
 /// The standard budget grid used by the Figure 3 reproduction.
 pub fn default_budget_grid() -> Vec<u64> {
     vec![10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10_000]
@@ -161,6 +191,18 @@ mod tests {
         assert_eq!(eval.num_valid(), 3);
         assert_eq!(eval.success_rate(), 1.0);
         assert!(eval.avg_queries() >= 2.0);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential_for_any_thread_count() {
+        let clf = trigger_clf(Location::new(2, 1));
+        let attack = SketchProgramAttack::new(Program::paper_example());
+        let reference = evaluate_attack(&attack, &clf, &grey_set(5), 10_000, 3);
+        for threads in [1, 2, 4, 8] {
+            let parallel =
+                evaluate_attack_parallel(&attack, &clf, &grey_set(5), 10_000, 3, threads);
+            assert_eq!(parallel, reference, "threads = {threads}");
+        }
     }
 
     #[test]

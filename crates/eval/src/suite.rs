@@ -8,8 +8,8 @@
 use oppsla_attacks::{Attack, AttackOutcome, SketchProgramAttack};
 use oppsla_core::dsl::Program;
 use oppsla_core::image::Image;
-use oppsla_core::oracle::{Classifier, Oracle};
-use oppsla_core::synth::{synthesize, SynthConfig, SynthReport};
+use oppsla_core::oracle::{BatchClassifier, Classifier, Oracle};
+use oppsla_core::synth::{synthesize, synthesize_parallel, SynthConfig, SynthReport};
 use rand::RngCore;
 use std::fs;
 use std::path::Path;
@@ -65,6 +65,34 @@ pub fn synthesize_suite(
     num_classes: usize,
     config: &SynthConfig,
 ) -> (ProgramSuite, Vec<Option<SynthReport>>) {
+    suite_core(train, num_classes, config, &mut |class_train, class_config| {
+        synthesize(classifier, class_train, class_config)
+    })
+}
+
+/// [`synthesize_suite`] with each class's OPPSLA run evaluating candidates
+/// on [`SynthConfig::threads`] workers. Per-class seeds and bit-identical
+/// parallel evaluation make the resulting suite identical to the
+/// sequential one for any thread count.
+pub fn synthesize_suite_parallel(
+    classifier: &dyn BatchClassifier,
+    train: &[(Image, usize)],
+    num_classes: usize,
+    config: &SynthConfig,
+) -> (ProgramSuite, Vec<Option<SynthReport>>) {
+    suite_core(train, num_classes, config, &mut |class_train, class_config| {
+        synthesize_parallel(classifier, class_train, class_config)
+    })
+}
+
+/// The per-class loop shared by the sequential and parallel suite
+/// synthesizers; `synth` runs OPPSLA on one class's training slice.
+fn suite_core(
+    train: &[(Image, usize)],
+    num_classes: usize,
+    config: &SynthConfig,
+    synth: &mut dyn FnMut(&[(Image, usize)], &SynthConfig) -> SynthReport,
+) -> (ProgramSuite, Vec<Option<SynthReport>>) {
     assert!(num_classes >= 2, "need at least two classes");
     let mut programs = Vec::with_capacity(num_classes);
     let mut reports = Vec::with_capacity(num_classes);
@@ -81,7 +109,7 @@ pub fn synthesize_suite(
         }
         let mut class_config = config.clone();
         class_config.seed = config.seed.wrapping_add(class as u64);
-        let report = synthesize(classifier, &class_train, &class_config);
+        let report = synth(&class_train, &class_config);
         programs.push(report.program.clone());
         reports.push(Some(report));
     }
@@ -126,12 +154,35 @@ pub fn synthesize_suite_cached(
     config: &SynthConfig,
     cache_path: Option<&Path>,
 ) -> (ProgramSuite, Option<Vec<Option<SynthReport>>>) {
+    cached_core(cache_path, &mut || {
+        synthesize_suite(classifier, train, num_classes, config)
+    })
+}
+
+/// [`synthesize_suite_cached`] on the parallel synthesis path; cache files
+/// are interchangeable between the two (the suites are identical).
+pub fn synthesize_suite_cached_parallel(
+    classifier: &dyn BatchClassifier,
+    train: &[(Image, usize)],
+    num_classes: usize,
+    config: &SynthConfig,
+    cache_path: Option<&Path>,
+) -> (ProgramSuite, Option<Vec<Option<SynthReport>>>) {
+    cached_core(cache_path, &mut || {
+        synthesize_suite_parallel(classifier, train, num_classes, config)
+    })
+}
+
+fn cached_core(
+    cache_path: Option<&Path>,
+    synth: &mut dyn FnMut() -> (ProgramSuite, Vec<Option<SynthReport>>),
+) -> (ProgramSuite, Option<Vec<Option<SynthReport>>>) {
     if let Some(path) = cache_path {
         if let Ok(suite) = load_suite(path) {
             return (suite, None);
         }
     }
-    let (suite, reports) = synthesize_suite(classifier, train, num_classes, config);
+    let (suite, reports) = synth();
     if let Some(path) = cache_path {
         if let Err(e) = save_suite(&suite, path) {
             eprintln!("warning: failed to cache program suite: {e}");
@@ -229,6 +280,38 @@ mod tests {
         assert!(reports[0].is_some(), "class 0 had training data");
         assert!(reports[1].is_none(), "class 1 had none → fallback");
         assert_eq!(*suite.program_for(1), Program::constant(false));
+    }
+
+    #[test]
+    fn parallel_suite_matches_sequential_suite() {
+        let clf = FnClassifier::new(2, |img: &Image| {
+            if img.pixel(Location::new(1, 1)) == Pixel([1.0, 1.0, 1.0]) {
+                vec![0.1, 0.9]
+            } else {
+                vec![0.9, 0.1]
+            }
+        });
+        let train = vec![
+            (Image::filled(3, 3, Pixel([0.4, 0.4, 0.4])), 0),
+            (Image::filled(3, 3, Pixel([0.5, 0.5, 0.5])), 0),
+            (Image::filled(3, 3, Pixel([0.6, 0.6, 0.6])), 1),
+        ];
+        let config = SynthConfig {
+            max_iterations: 3,
+            ..SynthConfig::default()
+        };
+        let (sequential, seq_reports) = synthesize_suite(&clf, &train, 2, &config);
+        for threads in [1, 4] {
+            let par_config = SynthConfig {
+                threads,
+                ..config.clone()
+            };
+            let (parallel, par_reports) = synthesize_suite_parallel(&clf, &train, 2, &par_config);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+            // Reports differ only in the recorded thread count's effect on
+            // nothing: evaluations, acceptance, and totals are identical.
+            assert_eq!(par_reports, seq_reports, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -8,13 +8,13 @@
 //! index — with the fixed-prioritization program (conditions = false) as
 //! the zero-synthesis-queries comparison line.
 
-use crate::curves::evaluate_attack;
+use crate::curves::{evaluate_attack, evaluate_attack_parallel};
 use crate::report::{fmt_stat, Table};
 use oppsla_attacks::SketchProgramAttack;
 use oppsla_core::dsl::Program;
 use oppsla_core::image::Image;
-use oppsla_core::oracle::Classifier;
-use oppsla_core::synth::{synthesize, SynthConfig, SynthReport};
+use oppsla_core::oracle::{BatchClassifier, Classifier};
+use oppsla_core::synth::{synthesize, synthesize_parallel, SynthConfig, SynthReport};
 
 /// One point of the Figure 4 series.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,12 +57,40 @@ pub fn run_trajectory(
     eval_seed: u64,
 ) -> TrajectoryResult {
     let report = synthesize(classifier, train, synth_config);
-    let evaluate = |program: Program| {
+    trajectory_core(report, &mut |program| {
         let attack = SketchProgramAttack::new(program);
         let eval = evaluate_attack(&attack, classifier, test, eval_budget, eval_seed);
         (eval.avg_queries(), eval.success_rate())
-    };
+    })
+}
 
+/// [`run_trajectory`] with synthesis and the per-point test evaluations
+/// fanned out over [`SynthConfig::threads`] workers. The result is
+/// identical to the sequential one for any thread count.
+pub fn run_trajectory_parallel(
+    classifier: &dyn BatchClassifier,
+    train: &[(Image, usize)],
+    test: &[(Image, usize)],
+    synth_config: &SynthConfig,
+    eval_budget: u64,
+    eval_seed: u64,
+) -> TrajectoryResult {
+    let threads = synth_config.threads;
+    let report = synthesize_parallel(classifier, train, synth_config);
+    trajectory_core(report, &mut |program| {
+        let attack = SketchProgramAttack::new(program);
+        let eval =
+            evaluate_attack_parallel(&attack, classifier, test, eval_budget, eval_seed, threads);
+        (eval.avg_queries(), eval.success_rate())
+    })
+}
+
+/// Re-evaluates every accepted program plus the fixed baseline; `evaluate`
+/// returns `(avg queries, success rate)` of a program on the test set.
+fn trajectory_core(
+    report: SynthReport,
+    evaluate: &mut dyn FnMut(Program) -> (f64, f64),
+) -> TrajectoryResult {
     let points = report
         .accepted_trajectory()
         .into_iter()
@@ -157,6 +185,28 @@ mod tests {
             assert!(p.test_avg_queries.is_finite());
         }
         assert!(result.fixed_baseline_avg.is_finite());
+    }
+
+    #[test]
+    fn parallel_trajectory_matches_sequential() {
+        let clf = weak_clf();
+        let mk = |v: f32| (Image::filled(7, 7, Pixel([v, v, v])), 0usize);
+        let train = vec![mk(0.3), mk(0.4)];
+        let test = vec![mk(0.35)];
+        let config = SynthConfig {
+            max_iterations: 4,
+            seed: 5,
+            ..SynthConfig::default()
+        };
+        let sequential = run_trajectory(&clf, &train, &test, &config, 10_000, 0);
+        for threads in [1, 4] {
+            let par_config = SynthConfig {
+                threads,
+                ..config.clone()
+            };
+            let parallel = run_trajectory_parallel(&clf, &train, &test, &par_config, 10_000, 0);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
     }
 
     #[test]

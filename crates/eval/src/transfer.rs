@@ -6,11 +6,11 @@
 //! source-classifier programs on each target classifier. The diagonal is
 //! the self-attack baseline.
 
-use crate::curves::evaluate_attack;
+use crate::curves::{evaluate_attack, evaluate_attack_parallel, AttackEval};
 use crate::report::{fmt_stat, Table};
 use crate::suite::{ProgramSuite, SuiteAttack};
 use oppsla_core::image::Image;
-use oppsla_core::oracle::Classifier;
+use oppsla_core::oracle::{BatchClassifier, Classifier};
 
 /// The transferability matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,19 +41,48 @@ pub fn run_transfer(
     eval_budget: u64,
     seed: u64,
 ) -> TransferResult {
-    assert!(!classifiers.is_empty(), "no classifiers");
-    assert_eq!(labels.len(), classifiers.len(), "one label per classifier");
-    assert_eq!(suites.len(), classifiers.len(), "one suite per classifier");
+    transfer_core(labels, classifiers.len(), suites, &mut |target, attack| {
+        evaluate_attack(attack, classifiers[target], test, eval_budget, seed)
+    })
+}
 
-    let n = classifiers.len();
+/// [`run_transfer`] with each (source, target) evaluation fanned out over
+/// `threads` workers. The matrix is identical to the sequential one for
+/// any thread count.
+pub fn run_transfer_parallel(
+    labels: &[String],
+    classifiers: &[&dyn BatchClassifier],
+    suites: &[ProgramSuite],
+    test: &[(Image, usize)],
+    eval_budget: u64,
+    seed: u64,
+    threads: usize,
+) -> TransferResult {
+    transfer_core(labels, classifiers.len(), suites, &mut |target, attack| {
+        evaluate_attack_parallel(attack, classifiers[target], test, eval_budget, seed, threads)
+    })
+}
+
+/// The (source, target) sweep shared by the sequential and parallel
+/// transfer runners; `eval` evaluates one suite attack on one target.
+fn transfer_core(
+    labels: &[String],
+    n: usize,
+    suites: &[ProgramSuite],
+    eval: &mut dyn FnMut(usize, &SuiteAttack) -> AttackEval,
+) -> TransferResult {
+    assert!(n > 0, "no classifiers");
+    assert_eq!(labels.len(), n, "one label per classifier");
+    assert_eq!(suites.len(), n, "one suite per classifier");
+
     let mut avg_queries = vec![vec![f64::NAN; n]; n];
     let mut success_rate = vec![vec![0.0; n]; n];
     for (source, suite) in suites.iter().enumerate() {
         let attack = SuiteAttack::new(suite.clone());
-        for (target, classifier) in classifiers.iter().enumerate() {
-            let eval = evaluate_attack(&attack, *classifier, test, eval_budget, seed);
-            avg_queries[target][source] = eval.avg_queries();
-            success_rate[target][source] = eval.success_rate();
+        for target in 0..n {
+            let result = eval(target, &attack);
+            avg_queries[target][source] = result.avg_queries();
+            success_rate[target][source] = result.success_rate();
         }
     }
     TransferResult {
@@ -128,6 +157,31 @@ mod tests {
             for &q in row {
                 assert!(q.is_finite() && q >= 2.0);
             }
+        }
+    }
+
+    #[test]
+    fn parallel_transfer_matches_sequential() {
+        let a = clf_at(Location::new(1, 1));
+        let b = clf_at(Location::new(3, 3));
+        let labels = vec!["A".to_owned(), "B".to_owned()];
+        let suites = vec![
+            ProgramSuite::shared(Program::constant(false)),
+            ProgramSuite::shared(Program::paper_example()),
+        ];
+        let test = vec![
+            (Image::filled(5, 5, Pixel([0.4, 0.4, 0.4])), 0),
+            (Image::filled(5, 5, Pixel([0.5, 0.5, 0.5])), 0),
+        ];
+        let sequential = {
+            let classifiers: Vec<&dyn Classifier> = vec![&a, &b];
+            run_transfer(&labels, &classifiers, &suites, &test, 10_000, 0)
+        };
+        let classifiers: Vec<&dyn BatchClassifier> = vec![&a, &b];
+        for threads in [1, 4] {
+            let parallel =
+                run_transfer_parallel(&labels, &classifiers, &suites, &test, 10_000, 0, threads);
+            assert_eq!(parallel, sequential, "threads = {threads}");
         }
     }
 

@@ -5,15 +5,18 @@
 //! configurable directory (default `target/oppsla-models`) so repeated
 //! runs skip training.
 
-use crate::convert::image_to_tensor;
+use crate::convert::{image_into_tensor, image_to_tensor};
 use oppsla_core::image::Image;
-use oppsla_core::oracle::Classifier;
+use oppsla_core::oracle::{BatchClassifier, Classifier};
 use oppsla_data::{Dataset, DatasetSpec};
+use oppsla_nn::infer::{ForwardWorkspace, InferenceEngine, InferencePlan};
 use oppsla_nn::models::{Arch, ConvNet, InputSpec};
 use oppsla_nn::serialize::{load_weights, save_weights};
 use oppsla_nn::trainer::{evaluate_accuracy, fit, TrainConfig};
+use oppsla_tensor::Tensor;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::cell::RefCell;
 use std::fmt;
 use std::path::PathBuf;
 
@@ -101,8 +104,15 @@ fn default_epochs(arch: Arch) -> usize {
 }
 
 /// A trained classifier from the zoo.
+///
+/// Queries are served by a compiled [`InferenceEngine`] (bit-identical to
+/// the autograd tape, allocation-free in steady state) built from the
+/// weights at construction time. If the wrapped network is trained further
+/// through [`ZooModel::network`], call [`ZooModel::recompile`] to refresh
+/// the engine.
 pub struct ZooModel {
     net: ConvNet,
+    engine: InferenceEngine,
     scale: Scale,
     /// Accuracy on a held-out generated test set.
     pub test_accuracy: f32,
@@ -133,6 +143,20 @@ impl ZooModel {
     pub fn network(&self) -> &ConvNet {
         &self.net
     }
+
+    /// Rebuilds the inference engine from the network's current weights
+    /// (needed after training the network further).
+    pub fn recompile(&mut self) {
+        self.engine = InferenceEngine::new(&self.net);
+    }
+
+    /// A thread-safe, allocation-free classifier snapshotting the current
+    /// weights — the handle to pass to the `*_parallel` evaluation paths.
+    pub fn classifier(&self) -> ZooClassifier {
+        ZooClassifier {
+            engine: InferenceEngine::new(&self.net),
+        }
+    }
 }
 
 impl Classifier for ZooModel {
@@ -141,7 +165,92 @@ impl Classifier for ZooModel {
     }
 
     fn scores(&self, image: &Image) -> Vec<f32> {
-        self.net.scores(&image_to_tensor(image))
+        self.engine.scores(&image_to_tensor(image))
+    }
+
+    fn scores_into(&self, image: &Image, out: &mut Vec<f32>) {
+        self.engine.scores_into(&image_to_tensor(image), out);
+    }
+}
+
+/// A standalone engine-backed classifier: owns a compiled weight snapshot
+/// and no tape state, so it is `Sync` and can serve concurrent queries via
+/// [`BatchClassifier::session`] handles (one forward workspace each).
+pub struct ZooClassifier {
+    engine: InferenceEngine,
+}
+
+impl ZooClassifier {
+    /// Compiles a classifier from a network's current weights.
+    pub fn new(net: &ConvNet) -> Self {
+        ZooClassifier {
+            engine: InferenceEngine::new(net),
+        }
+    }
+}
+
+impl fmt::Debug for ZooClassifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ZooClassifier({} classes)", self.num_classes())
+    }
+}
+
+impl Classifier for ZooClassifier {
+    fn num_classes(&self) -> usize {
+        self.engine.plan().num_classes()
+    }
+
+    fn scores(&self, image: &Image) -> Vec<f32> {
+        self.engine.scores(&image_to_tensor(image))
+    }
+
+    fn scores_into(&self, image: &Image, out: &mut Vec<f32>) {
+        self.engine.scores_into(&image_to_tensor(image), out);
+    }
+}
+
+impl BatchClassifier for ZooClassifier {
+    fn session(&self) -> Box<dyn Classifier + '_> {
+        Box::new(ZooSession::new(self.engine.plan()))
+    }
+}
+
+/// A per-thread query handle over a shared [`InferencePlan`]: carries its
+/// own forward workspace and input scratch tensor, so steady-state queries
+/// through [`Classifier::scores_into`] perform zero heap allocations.
+pub struct ZooSession<'a> {
+    plan: &'a InferencePlan,
+    state: RefCell<(ForwardWorkspace, Tensor)>,
+}
+
+impl<'a> ZooSession<'a> {
+    fn new(plan: &'a InferencePlan) -> Self {
+        let spec = plan.input_spec();
+        ZooSession {
+            plan,
+            state: RefCell::new((
+                plan.workspace(),
+                Tensor::zeros([spec.channels, spec.height, spec.width]),
+            )),
+        }
+    }
+}
+
+impl Classifier for ZooSession<'_> {
+    fn num_classes(&self) -> usize {
+        self.plan.num_classes()
+    }
+
+    fn scores(&self, image: &Image) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_classes());
+        self.scores_into(image, &mut out);
+        out
+    }
+
+    fn scores_into(&self, image: &Image, out: &mut Vec<f32>) {
+        let (ws, input) = &mut *self.state.borrow_mut();
+        image_into_tensor(image, input);
+        self.plan.scores_into(ws, input, out);
     }
 }
 
@@ -172,8 +281,10 @@ pub fn train_or_load(arch: Arch, scale: Scale, config: &ZooConfig) -> ZooModel {
     if let Some(path) = &cache_path {
         if load_weights(&net, path).is_ok() {
             let test_accuracy = evaluate_accuracy(&net, &test.images, &test.labels);
+            let engine = InferenceEngine::new(&net);
             return ZooModel {
                 net,
+                engine,
                 scale,
                 test_accuracy,
             };
@@ -200,8 +311,10 @@ pub fn train_or_load(arch: Arch, scale: Scale, config: &ZooConfig) -> ZooModel {
             eprintln!("warning: failed to cache weights at {}: {e}", path.display());
         }
     }
+    let engine = InferenceEngine::new(&net);
     ZooModel {
         net,
+        engine,
         scale,
         test_accuracy,
     }
@@ -273,6 +386,34 @@ mod tests {
             assert_eq!(a.scores(img), b.scores(img));
         }
         assert_eq!(a.test_accuracy, b.test_accuracy);
+    }
+
+    #[test]
+    fn engine_scores_match_the_tape() {
+        let model = train_or_load(Arch::Mlp, Scale::Cifar, &fast_config(false));
+        let test = attack_test_set(Scale::Cifar, 1, 4);
+        for (img, _) in &test {
+            assert_eq!(
+                model.scores(img),
+                model.network().scores(&image_to_tensor(img)),
+                "engine must be bit-identical to the tape"
+            );
+        }
+    }
+
+    #[test]
+    fn zoo_classifier_and_sessions_agree_with_the_model() {
+        let model = train_or_load(Arch::Mlp, Scale::Cifar, &fast_config(false));
+        let classifier = model.classifier();
+        let session = classifier.session();
+        let test = attack_test_set(Scale::Cifar, 1, 5);
+        let mut buf = Vec::new();
+        for (img, _) in &test {
+            let expected = model.scores(img);
+            assert_eq!(classifier.scores(img), expected);
+            session.scores_into(img, &mut buf);
+            assert_eq!(buf, expected);
+        }
     }
 
     #[test]

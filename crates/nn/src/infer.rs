@@ -1,0 +1,690 @@
+//! Allocation-free single-image inference.
+//!
+//! The attack loop treats a classifier as a black box and queries it
+//! millions of times with single `[c, h, w]` images. The tape in
+//! [`crate::autograd`] rebuilds its node list — and re-clones every weight
+//! tensor — per forward pass, which is the right trade for training but
+//! pure overhead for inference. This module compiles a [`ConvNet`] once
+//! into an [`InferencePlan`]: a flat list of kernel calls with weights
+//! snapshotted into plain buffers, plus the exact size of every
+//! intermediate activation. A [`ForwardWorkspace`] pre-allocates those
+//! buffers, so steady-state queries perform **zero heap allocations**
+//! (verified by `tests/alloc_free.rs`).
+//!
+//! The plan mirrors the tape's arithmetic operation-for-operation — same
+//! kernels (`*_into` forms), same loop order, same bias broadcast, same
+//! max-shift softmax — so scores are bit-identical to [`ConvNet::scores`]
+//! (verified by `tests/infer_matches_tape.rs`).
+//!
+//! Weights are snapshotted at compile time: rebuild the plan after
+//! training or loading weights.
+//!
+//! # Examples
+//!
+//! ```
+//! use oppsla_nn::infer::InferenceEngine;
+//! use oppsla_nn::models::{Arch, ConvNet, InputSpec};
+//! use oppsla_tensor::Tensor;
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(0);
+//! let net = ConvNet::build(Arch::Mlp, InputSpec::RGB32, 2, &mut rng);
+//! let engine = InferenceEngine::new(&net);
+//! let image = Tensor::zeros([3, 32, 32]);
+//! assert_eq!(engine.scores(&image), net.scores(&image));
+//! ```
+
+use crate::layers::Layer;
+use crate::models::{ConvNet, InputSpec};
+use oppsla_tensor::ops::{self, Conv2dGeometry};
+use oppsla_tensor::Tensor;
+use std::sync::Mutex;
+
+/// Handle to an activation produced while planning (a buffer plus its
+/// logical shape). Reshapes alias the same buffer under a new shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotId(usize);
+
+#[derive(Debug)]
+struct Slot {
+    buf: usize,
+    dims: Vec<usize>,
+}
+
+/// One step of a compiled forward pass. Buffer indices refer to
+/// [`ForwardWorkspace::bufs`]; every op writes a buffer no earlier op
+/// reads, so execution is a straight-line sweep.
+#[derive(Debug)]
+enum InferOp {
+    /// im2col into scratch, `weight · cols` into `out`, then bias broadcast.
+    Conv2d {
+        x: usize,
+        out: usize,
+        weight: Vec<f32>,
+        bias: Vec<f32>,
+        geom: Conv2dGeometry,
+        out_c: usize,
+        cols_len: usize,
+    },
+    /// `x · weightᵀ + bias` for a single row.
+    Linear {
+        x: usize,
+        out: usize,
+        weight: Vec<f32>,
+        bias: Vec<f32>,
+        in_f: usize,
+        out_f: usize,
+    },
+    Relu {
+        x: usize,
+        out: usize,
+    },
+    MaxPool {
+        x: usize,
+        out: usize,
+        channels: usize,
+        h: usize,
+        w: usize,
+        window: usize,
+    },
+    GlobalAvgPool {
+        x: usize,
+        out: usize,
+        channels: usize,
+        h: usize,
+        w: usize,
+    },
+    /// Elementwise `out = x + y` (residual join).
+    Add {
+        x: usize,
+        y: usize,
+        out: usize,
+    },
+    /// Copies buffer `x` into `out[offset..offset + len]` (one concat
+    /// segment; a channel concatenation lowers to one copy per input).
+    CopySeg {
+        x: usize,
+        out: usize,
+        offset: usize,
+        len: usize,
+    },
+}
+
+/// Records the ops and buffer sizes of a forward pass as the layer stack
+/// is walked. Layers call the planner methods mirroring the [`Tape`]
+/// (`crate::autograd::Tape`) API; the result is an [`InferencePlan`].
+#[derive(Debug)]
+pub struct InferencePlanner {
+    slots: Vec<Slot>,
+    buf_lens: Vec<usize>,
+    ops: Vec<InferOp>,
+    scratch_len: usize,
+}
+
+impl InferencePlanner {
+    /// Starts a plan whose input slot is a `[c, h, w]` image buffer.
+    pub fn new(input: InputSpec) -> Self {
+        let mut p = InferencePlanner {
+            slots: Vec::new(),
+            buf_lens: Vec::new(),
+            ops: Vec::new(),
+            scratch_len: 0,
+        };
+        p.new_slot(vec![input.channels, input.height, input.width]);
+        p
+    }
+
+    /// The slot the input image is copied into.
+    pub fn input_slot(&self) -> SlotId {
+        SlotId(0)
+    }
+
+    /// The logical shape of a slot.
+    pub fn dims(&self, slot: SlotId) -> &[usize] {
+        &self.slots[slot.0].dims
+    }
+
+    fn new_slot(&mut self, dims: Vec<usize>) -> SlotId {
+        let len = dims.iter().product();
+        self.buf_lens.push(len);
+        self.slots.push(Slot {
+            buf: self.buf_lens.len() - 1,
+            dims,
+        });
+        SlotId(self.slots.len() - 1)
+    }
+
+    fn buf(&self, slot: SlotId) -> usize {
+        self.slots[slot.0].buf
+    }
+
+    /// Plans a stride-1 convolution with square kernels; `weight` is the
+    /// flattened kernel bank `[out_c, in_c·k·k]`, `bias` is `[out_c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not `[c, h, w]` with `c == in_channels` or the
+    /// weight shape disagrees with the geometry.
+    pub fn conv2d(
+        &mut self,
+        x: SlotId,
+        weight: &Tensor,
+        bias: &Tensor,
+        in_channels: usize,
+        kernel: usize,
+        padding: usize,
+        stride: usize,
+    ) -> SlotId {
+        let dims = self.dims(x).to_vec();
+        assert_eq!(dims.len(), 3, "conv2d input slot must be [c, h, w]");
+        assert_eq!(dims[0], in_channels, "conv2d input channel mismatch");
+        let geom = Conv2dGeometry {
+            in_channels,
+            in_h: dims[1],
+            in_w: dims[2],
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride,
+            padding,
+        };
+        let out_c = weight.shape().dim(0);
+        assert_eq!(
+            weight.shape().dim(1),
+            in_channels * kernel * kernel,
+            "conv2d weight columns disagree with geometry"
+        );
+        assert_eq!(bias.numel(), out_c, "conv2d bias must be [out_c]");
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let cols_len = in_channels * kernel * kernel * oh * ow;
+        self.scratch_len = self.scratch_len.max(cols_len);
+        let out = self.new_slot(vec![out_c, oh, ow]);
+        self.ops.push(InferOp::Conv2d {
+            x: self.buf(x),
+            out: self.buf(out),
+            weight: weight.data().to_vec(),
+            bias: bias.data().to_vec(),
+            geom,
+            out_c,
+            cols_len,
+        });
+        out
+    }
+
+    /// Plans a fully connected layer; `weight` is `[out, in]`, `bias` `[out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not a rank-1 feature vector matching `weight`.
+    pub fn linear(&mut self, x: SlotId, weight: &Tensor, bias: &Tensor) -> SlotId {
+        let dims = self.dims(x).to_vec();
+        assert_eq!(dims.len(), 1, "linear input slot must be flat features");
+        let (out_f, in_f) = (weight.shape().dim(0), weight.shape().dim(1));
+        assert_eq!(dims[0], in_f, "linear input width disagrees with weight");
+        assert_eq!(bias.numel(), out_f, "linear bias must be [out]");
+        let out = self.new_slot(vec![out_f]);
+        self.ops.push(InferOp::Linear {
+            x: self.buf(x),
+            out: self.buf(out),
+            weight: weight.data().to_vec(),
+            bias: bias.data().to_vec(),
+            in_f,
+            out_f,
+        });
+        out
+    }
+
+    /// Plans an elementwise ReLU.
+    pub fn relu(&mut self, x: SlotId) -> SlotId {
+        let dims = self.dims(x).to_vec();
+        let out = self.new_slot(dims);
+        self.ops.push(InferOp::Relu {
+            x: self.buf(x),
+            out: self.buf(out),
+        });
+        out
+    }
+
+    /// Plans square max pooling with stride equal to the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not `[c, h, w]` or the window does not divide
+    /// the spatial extents.
+    pub fn max_pool2d(&mut self, x: SlotId, window: usize) -> SlotId {
+        let dims = self.dims(x).to_vec();
+        assert_eq!(dims.len(), 3, "max_pool2d input slot must be [c, h, w]");
+        let (c, h, w) = (dims[0], dims[1], dims[2]);
+        assert!(
+            h % window == 0 && w % window == 0,
+            "pool window {window} does not divide spatial extent {h}x{w}"
+        );
+        let out = self.new_slot(vec![c, h / window, w / window]);
+        self.ops.push(InferOp::MaxPool {
+            x: self.buf(x),
+            out: self.buf(out),
+            channels: c,
+            h,
+            w,
+            window,
+        });
+        out
+    }
+
+    /// Plans global average pooling `[c, h, w] → [c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not `[c, h, w]`.
+    pub fn global_avg_pool(&mut self, x: SlotId) -> SlotId {
+        let dims = self.dims(x).to_vec();
+        assert_eq!(dims.len(), 3, "global_avg_pool input slot must be [c, h, w]");
+        let (c, h, w) = (dims[0], dims[1], dims[2]);
+        let out = self.new_slot(vec![c]);
+        self.ops.push(InferOp::GlobalAvgPool {
+            x: self.buf(x),
+            out: self.buf(out),
+            channels: c,
+            h,
+            w,
+        });
+        out
+    }
+
+    /// Plans an elementwise sum of two same-shaped slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&mut self, x: SlotId, y: SlotId) -> SlotId {
+        assert_eq!(self.dims(x), self.dims(y), "add slot shapes differ");
+        let dims = self.dims(x).to_vec();
+        let out = self.new_slot(dims);
+        self.ops.push(InferOp::Add {
+            x: self.buf(x),
+            y: self.buf(y),
+            out: self.buf(out),
+        });
+        out
+    }
+
+    /// Plans a channel concatenation of `[c_i, h, w]` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or spatial extents disagree.
+    pub fn concat_channels(&mut self, inputs: &[SlotId]) -> SlotId {
+        assert!(!inputs.is_empty(), "concat_channels needs at least one input");
+        let first = self.dims(inputs[0]).to_vec();
+        assert_eq!(first.len(), 3, "concat_channels expects [c, h, w] inputs");
+        let (h, w) = (first[1], first[2]);
+        let mut total_c = 0;
+        for &s in inputs {
+            let d = self.dims(s);
+            assert_eq!(
+                (d[1], d[2]),
+                (h, w),
+                "concat_channels inputs disagree on spatial dims"
+            );
+            total_c += d[0];
+        }
+        let out = self.new_slot(vec![total_c, h, w]);
+        let out_buf = self.buf(out);
+        let area = h * w;
+        let mut offset = 0;
+        for &s in inputs {
+            let len = self.dims(s)[0] * area;
+            self.ops.push(InferOp::CopySeg {
+                x: self.buf(s),
+                out: out_buf,
+                offset,
+                len,
+            });
+            offset += len;
+        }
+        out
+    }
+
+    /// Plans a flatten: the slot's buffer aliased under a rank-1 shape.
+    pub fn flatten(&mut self, x: SlotId) -> SlotId {
+        let numel: usize = self.dims(x).iter().product();
+        let buf = self.buf(x);
+        self.slots.push(Slot {
+            buf,
+            dims: vec![numel],
+        });
+        SlotId(self.slots.len() - 1)
+    }
+}
+
+/// A compiled forward pass: straight-line kernel calls with snapshotted
+/// weights and pre-computed buffer sizes. Build one with
+/// [`InferencePlan::compile`]; it is immutable, `Send + Sync`, and shared
+/// freely across threads, each running its own [`ForwardWorkspace`].
+#[derive(Debug)]
+pub struct InferencePlan {
+    input: InputSpec,
+    num_classes: usize,
+    ops: Vec<InferOp>,
+    buf_lens: Vec<usize>,
+    scratch_len: usize,
+    output_buf: usize,
+}
+
+impl InferencePlan {
+    /// Compiles `net` into a flat plan, snapshotting its current weights.
+    pub fn compile(net: &ConvNet) -> Self {
+        let mut p = InferencePlanner::new(net.input_spec());
+        let input = p.input_slot();
+        let out = net.stack().plan(&mut p, input);
+        assert_eq!(
+            p.dims(out),
+            &[net.num_classes()],
+            "network output slot is not a [num_classes] logit vector"
+        );
+        InferencePlan {
+            input: net.input_spec(),
+            num_classes: net.num_classes(),
+            output_buf: p.buf(out),
+            ops: p.ops,
+            buf_lens: p.buf_lens,
+            scratch_len: p.scratch_len,
+        }
+    }
+
+    /// Expected input geometry.
+    pub fn input_spec(&self) -> InputSpec {
+        self.input
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Allocates a workspace holding every intermediate activation this
+    /// plan needs. Reuse it across queries for allocation-free inference.
+    pub fn workspace(&self) -> ForwardWorkspace {
+        ForwardWorkspace {
+            bufs: self.buf_lens.iter().map(|&l| vec![0.0; l]).collect(),
+            scratch: vec![0.0; self.scratch_len],
+        }
+    }
+
+    /// Runs the forward pass for one `[c, h, w]` image and writes the
+    /// softmax score vector into `out` (cleared first). With a warmed
+    /// workspace and an `out` of sufficient capacity this performs no heap
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image geometry disagrees with the input spec or the
+    /// workspace was built from a different plan.
+    pub fn scores_into(&self, ws: &mut ForwardWorkspace, image: &Tensor, out: &mut Vec<f32>) {
+        let logits_buf = self.run(ws, image);
+        let logits = &ws.bufs[logits_buf];
+        // Mirror `autograd::softmax_rows` exactly: max-shift, exp, then a
+        // second pass dividing by the sum.
+        out.clear();
+        let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for &v in logits {
+            let e = (v - m).exp();
+            sum += e;
+            out.push(e);
+        }
+        for o in out.iter_mut() {
+            *o /= sum;
+        }
+    }
+
+    /// Runs the forward pass and returns the index of the logits buffer.
+    fn run(&self, ws: &mut ForwardWorkspace, image: &Tensor) -> usize {
+        assert_eq!(
+            image.shape().dims(),
+            &[self.input.channels, self.input.height, self.input.width],
+            "image geometry disagrees with the plan's input spec"
+        );
+        assert_eq!(
+            ws.bufs.len(),
+            self.buf_lens.len(),
+            "workspace does not belong to this plan"
+        );
+        let ForwardWorkspace { bufs, scratch } = ws;
+        bufs[0].copy_from_slice(image.data());
+        for op in &self.ops {
+            match op {
+                InferOp::Conv2d {
+                    x,
+                    out,
+                    weight,
+                    bias,
+                    geom,
+                    out_c,
+                    cols_len,
+                } => {
+                    let (xb, ob) = buf_pair(bufs, *x, *out);
+                    let cols = &mut scratch[..*cols_len];
+                    ops::im2col_into(xb, geom, cols);
+                    let area = geom.out_h() * geom.out_w();
+                    let k = geom.in_channels * geom.kernel_h * geom.kernel_w;
+                    ops::matmul_into(weight, cols, *out_c, k, area, ob);
+                    for oc in 0..*out_c {
+                        let b = bias[oc];
+                        for v in &mut ob[oc * area..(oc + 1) * area] {
+                            *v += b;
+                        }
+                    }
+                }
+                InferOp::Linear {
+                    x,
+                    out,
+                    weight,
+                    bias,
+                    in_f,
+                    out_f,
+                } => {
+                    let (xb, ob) = buf_pair(bufs, *x, *out);
+                    ops::matmul_nt_into(xb, weight, 1, *in_f, *out_f, ob);
+                    for (o, &bv) in ob.iter_mut().zip(bias) {
+                        *o += bv;
+                    }
+                }
+                InferOp::Relu { x, out } => {
+                    let (xb, ob) = buf_pair(bufs, *x, *out);
+                    for (o, &v) in ob.iter_mut().zip(xb) {
+                        *o = v.max(0.0);
+                    }
+                }
+                InferOp::MaxPool {
+                    x,
+                    out,
+                    channels,
+                    h,
+                    w,
+                    window,
+                } => {
+                    let (xb, ob) = buf_pair(bufs, *x, *out);
+                    ops::max_pool2d_into(xb, *channels, *h, *w, *window, ob, None);
+                }
+                InferOp::GlobalAvgPool {
+                    x,
+                    out,
+                    channels,
+                    h,
+                    w,
+                } => {
+                    let (xb, ob) = buf_pair(bufs, *x, *out);
+                    ops::global_avg_pool_into(xb, *channels, *h, *w, ob);
+                }
+                InferOp::Add { x, y, out } => {
+                    {
+                        let (xb, ob) = buf_pair(bufs, *x, *out);
+                        ob.copy_from_slice(xb);
+                    }
+                    let (yb, ob) = buf_pair(bufs, *y, *out);
+                    for (o, &v) in ob.iter_mut().zip(yb) {
+                        *o += v;
+                    }
+                }
+                InferOp::CopySeg { x, out, offset, len } => {
+                    let (xb, ob) = buf_pair(bufs, *x, *out);
+                    ob[*offset..*offset + *len].copy_from_slice(xb);
+                }
+            }
+        }
+        self.output_buf
+    }
+}
+
+/// Splits simultaneous shared/exclusive borrows of two distinct buffers.
+fn buf_pair(bufs: &mut [Vec<f32>], x: usize, out: usize) -> (&[f32], &mut [f32]) {
+    assert_ne!(x, out, "an op cannot read and write the same buffer");
+    if x < out {
+        let (lo, hi) = bufs.split_at_mut(out);
+        (&lo[x], &mut hi[0])
+    } else {
+        let (lo, hi) = bufs.split_at_mut(x);
+        (&hi[0], &mut lo[out])
+    }
+}
+
+/// Pre-allocated storage for every intermediate activation of one
+/// [`InferencePlan`], plus the shared im2col scratch. One workspace serves
+/// one thread; clone-free reuse across queries is the point.
+#[derive(Debug)]
+pub struct ForwardWorkspace {
+    bufs: Vec<Vec<f32>>,
+    scratch: Vec<f32>,
+}
+
+/// An [`InferencePlan`] bundled with a mutex-guarded workspace: a drop-in,
+/// thread-safe query engine. Parallel callers that want zero contention
+/// should instead share the [`plan`](InferenceEngine::plan) and give each
+/// thread its own workspace.
+#[derive(Debug)]
+pub struct InferenceEngine {
+    plan: InferencePlan,
+    ws: Mutex<ForwardWorkspace>,
+}
+
+impl InferenceEngine {
+    /// Compiles `net` and allocates one workspace.
+    pub fn new(net: &ConvNet) -> Self {
+        let plan = InferencePlan::compile(net);
+        let ws = plan.workspace();
+        InferenceEngine {
+            plan,
+            ws: Mutex::new(ws),
+        }
+    }
+
+    /// The underlying compiled plan.
+    pub fn plan(&self) -> &InferencePlan {
+        &self.plan
+    }
+
+    /// Softmax scores for one `[c, h, w]` image (allocates the result).
+    pub fn scores(&self, image: &Tensor) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.plan.num_classes);
+        self.scores_into(image, &mut out);
+        out
+    }
+
+    /// Writes softmax scores into `out`, reusing the shared workspace.
+    /// Allocation-free once warm.
+    pub fn scores_into(&self, image: &Tensor, out: &mut Vec<f32>) {
+        let mut ws = self.ws.lock().expect("inference workspace poisoned");
+        self.plan.scores_into(&mut ws, image, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::Arch;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn test_image(spec: InputSpec) -> Tensor {
+        Tensor::from_fn([spec.channels, spec.height, spec.width], |i| {
+            ((i as f32) * 0.137).sin().abs()
+        })
+    }
+
+    #[test]
+    fn every_family_matches_tape_scores_exactly() {
+        for arch in [
+            Arch::VggSmall,
+            Arch::ResNetSmall,
+            Arch::GoogLeNetSmall,
+            Arch::DenseNetSmall,
+            Arch::Mlp,
+        ] {
+            let mut rng = ChaCha8Rng::seed_from_u64(17);
+            let net = ConvNet::build(arch, InputSpec::RGB32, 10, &mut rng);
+            let engine = InferenceEngine::new(&net);
+            let img = test_image(InputSpec::RGB32);
+            assert_eq!(engine.scores(&img), net.scores(&img), "{arch} diverged");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let net = ConvNet::build(Arch::ResNetSmall, InputSpec::RGB32, 4, &mut rng);
+        let plan = InferencePlan::compile(&net);
+        let mut ws = plan.workspace();
+        let img = test_image(InputSpec::RGB32);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        plan.scores_into(&mut ws, &img, &mut a);
+        // A second query through the same (now dirty) workspace must not
+        // see stale state.
+        plan.scores_into(&mut ws, &img, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn plan_runs_at_64x64() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let net = ConvNet::build(Arch::DenseNetSmall, InputSpec::RGB64, 7, &mut rng);
+        let engine = InferenceEngine::new(&net);
+        let img = test_image(InputSpec::RGB64);
+        assert_eq!(engine.scores(&img), net.scores(&img));
+    }
+
+    #[test]
+    fn stale_weights_detected_by_recompile() {
+        // The plan snapshots weights: after mutating a parameter the old
+        // plan keeps the old scores and a recompile picks up the new ones.
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let net = ConvNet::build(Arch::Mlp, InputSpec::RGB32, 3, &mut rng);
+        let before = InferencePlan::compile(&net);
+        for p in net.params() {
+            let mut v = p.value();
+            for x in v.data_mut() {
+                *x += 0.25;
+            }
+            p.set_value(v);
+        }
+        let after = InferencePlan::compile(&net);
+        let img = test_image(InputSpec::RGB32);
+        let (mut wa, mut wb) = (before.workspace(), after.workspace());
+        let (mut sa, mut sb) = (Vec::new(), Vec::new());
+        before.scores_into(&mut wa, &img, &mut sa);
+        after.scores_into(&mut wb, &img, &mut sb);
+        assert_ne!(sa, sb, "recompile did not pick up the new weights");
+        assert_eq!(sb, net.scores(&img));
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry disagrees")]
+    fn rejects_wrong_image_geometry() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let net = ConvNet::build(Arch::Mlp, InputSpec::RGB32, 2, &mut rng);
+        let engine = InferenceEngine::new(&net);
+        engine.scores(&Tensor::zeros([3, 16, 16]));
+    }
+}

@@ -6,6 +6,7 @@
 //! of the model zoo.
 
 use crate::autograd::{Param, Tape, Var};
+use crate::infer::{InferencePlanner, SlotId};
 use crate::init;
 use oppsla_tensor::ops::Conv2dGeometry;
 use rand::Rng;
@@ -19,6 +20,13 @@ use std::fmt;
 pub trait Layer: fmt::Debug {
     /// Appends this layer's computation to the tape.
     fn forward(&self, tape: &mut Tape, x: Var) -> Var;
+
+    /// Appends this layer's computation to an inference plan, mirroring
+    /// [`forward`](Layer::forward) bit-for-bit for a single image.
+    ///
+    /// Required (no default) so a new layer cannot silently fall out of
+    /// the compiled inference path.
+    fn plan(&self, p: &mut InferencePlanner, x: SlotId) -> SlotId;
 
     /// All trainable parameters, in a stable order.
     fn params(&self) -> Vec<Param>;
@@ -97,6 +105,18 @@ impl Layer for Conv2d {
         tape.conv2d(x, w, b, geom)
     }
 
+    fn plan(&self, p: &mut InferencePlanner, x: SlotId) -> SlotId {
+        p.conv2d(
+            x,
+            &self.weight.value(),
+            &self.bias.value(),
+            self.in_channels,
+            self.kernel,
+            self.padding,
+            self.stride,
+        )
+    }
+
     fn params(&self) -> Vec<Param> {
         vec![self.weight.clone(), self.bias.clone()]
     }
@@ -132,6 +152,10 @@ impl Layer for Linear {
         tape.linear(x, w, b)
     }
 
+    fn plan(&self, p: &mut InferencePlanner, x: SlotId) -> SlotId {
+        p.linear(x, &self.weight.value(), &self.bias.value())
+    }
+
     fn params(&self) -> Vec<Param> {
         vec![self.weight.clone(), self.bias.clone()]
     }
@@ -144,6 +168,10 @@ pub struct Relu;
 impl Layer for Relu {
     fn forward(&self, tape: &mut Tape, x: Var) -> Var {
         tape.relu(x)
+    }
+
+    fn plan(&self, p: &mut InferencePlanner, x: SlotId) -> SlotId {
+        p.relu(x)
     }
 
     fn params(&self) -> Vec<Param> {
@@ -169,6 +197,10 @@ impl Layer for MaxPool {
         tape.max_pool2d(x, self.window)
     }
 
+    fn plan(&self, p: &mut InferencePlanner, x: SlotId) -> SlotId {
+        p.max_pool2d(x, self.window)
+    }
+
     fn params(&self) -> Vec<Param> {
         Vec::new()
     }
@@ -183,6 +215,10 @@ impl Layer for GlobalAvgPool {
         tape.global_avg_pool(x)
     }
 
+    fn plan(&self, p: &mut InferencePlanner, x: SlotId) -> SlotId {
+        p.global_avg_pool(x)
+    }
+
     fn params(&self) -> Vec<Param> {
         Vec::new()
     }
@@ -195,6 +231,10 @@ pub struct Flatten;
 impl Layer for Flatten {
     fn forward(&self, tape: &mut Tape, x: Var) -> Var {
         tape.flatten(x)
+    }
+
+    fn plan(&self, p: &mut InferencePlanner, x: SlotId) -> SlotId {
+        p.flatten(x)
     }
 
     fn params(&self) -> Vec<Param> {
@@ -234,6 +274,10 @@ impl Sequential {
 impl Layer for Sequential {
     fn forward(&self, tape: &mut Tape, x: Var) -> Var {
         self.layers.iter().fold(x, |v, layer| layer.forward(tape, v))
+    }
+
+    fn plan(&self, p: &mut InferencePlanner, x: SlotId) -> SlotId {
+        self.layers.iter().fold(x, |s, layer| layer.plan(p, s))
     }
 
     fn params(&self) -> Vec<Param> {
@@ -276,6 +320,16 @@ impl Layer for Residual {
         };
         let sum = tape.add(branch, shortcut);
         tape.relu(sum)
+    }
+
+    fn plan(&self, p: &mut InferencePlanner, x: SlotId) -> SlotId {
+        let branch = self.body.plan(p, x);
+        let shortcut = match &self.projection {
+            Some(proj) => proj.plan(p, x),
+            None => x,
+        };
+        let sum = p.add(branch, shortcut);
+        p.relu(sum)
     }
 
     fn params(&self) -> Vec<Param> {
@@ -329,6 +383,17 @@ impl Layer for ParallelConcat {
             outs.push(branch.forward(tape, x));
         }
         tape.concat_channels(&outs)
+    }
+
+    fn plan(&self, p: &mut InferencePlanner, x: SlotId) -> SlotId {
+        let mut outs = Vec::with_capacity(self.branches.len() + 1);
+        if self.include_input {
+            outs.push(x);
+        }
+        for branch in &self.branches {
+            outs.push(branch.plan(p, x));
+        }
+        p.concat_channels(&outs)
     }
 
     fn params(&self) -> Vec<Param> {

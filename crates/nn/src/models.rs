@@ -166,6 +166,11 @@ impl ConvNet {
         self.stack.params()
     }
 
+    /// The layer stack, for compilation into an inference plan.
+    pub(crate) fn stack(&self) -> &Sequential {
+        &self.stack
+    }
+
     /// Total scalar weight count.
     pub fn num_params(&self) -> usize {
         self.params().iter().map(Param::numel).sum()

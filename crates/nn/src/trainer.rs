@@ -200,7 +200,7 @@ mod tests {
             &TrainConfig {
                 epochs: 25,
                 batch_size: 8,
-                learning_rate: 1e-3,
+                learning_rate: 3e-3,
                 seed: 1,
             },
         );

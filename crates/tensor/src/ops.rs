@@ -2,8 +2,40 @@
 //! lowering, and pooling.
 //!
 //! All image tensors use the NCHW layout: `[batch, channels, height, width]`.
+//!
+//! Every hot kernel comes in two forms: a slice-based `_into` primitive
+//! that writes into a caller-provided buffer (allocation-free, used by the
+//! inference workspace in `oppsla-nn`), and an allocating [`Tensor`]
+//! wrapper that performs shape checks and delegates. The `_into` variants
+//! perform the exact same arithmetic in the exact same order, so both
+//! paths produce bit-identical results.
 
 use crate::Tensor;
+
+/// Matrix product `A · B` into `out` for `A: [m, k]`, `B: [k, n]`,
+/// `out: [m, n]`. Overwrites `out`.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the given dimensions.
+pub fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "matmul_into lhs length");
+    assert_eq!(b.len(), k * n, "matmul_into rhs length");
+    assert_eq!(out.len(), m * n, "matmul_into out length");
+    out.fill(0.0);
+    // ikj loop order keeps the innermost loop contiguous in both B and out
+    // so it auto-vectorizes; A entries are dense weights, so no zero-skip.
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
 
 /// Matrix product `A · B` for `A: [m, k]`, `B: [k, n]`.
 ///
@@ -15,21 +47,34 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = dims2(b, "matmul rhs");
     assert_eq!(k, k2, "matmul inner dimensions disagree: {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    // ikj loop order keeps the innermost loop contiguous in both B and out
-    // so it auto-vectorizes; A entries are dense weights, so no zero-skip.
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (kk, &av) in arow.iter().enumerate() {
-            let brow = &bd[kk * n..(kk + 1) * n];
+    matmul_into(a.data(), b.data(), m, k, n, &mut out);
+    Tensor::from_vec([m, n], out)
+}
+
+/// Matrix product `Aᵀ · B` into `out` for `A: [k, m]`, `B: [k, n]`,
+/// `out: [m, n]`, without materializing the transpose. Overwrites `out`.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the given dimensions.
+pub fn matmul_tn_into(a: &[f32], b: &[f32], k: usize, m: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "matmul_tn_into lhs length");
+    assert_eq!(b.len(), k * n, "matmul_tn_into rhs length");
+    assert_eq!(out.len(), m * n, "matmul_tn_into out length");
+    out.fill(0.0);
+    // No zero-skip on A entries: they are dense trained weights (or dense
+    // upstream gradients), so a `== 0.0` test is a per-element branch the
+    // predictor almost never wins — there is no sparsity to exploit.
+    for kk in 0..k {
+        let arow = &a[kk * m..(kk + 1) * m];
+        let brow = &b[kk * n..(kk + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            let orow = &mut out[i * n..(i + 1) * n];
             for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
                 *o += av * bv;
             }
         }
     }
-    Tensor::from_vec([m, n], out)
 }
 
 /// Matrix product `Aᵀ · B` for `A: [k, m]`, `B: [k, n]` without materializing
@@ -43,22 +88,31 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = dims2(b, "matmul_tn rhs");
     assert_eq!(k, k2, "matmul_tn shared dimensions disagree: {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for kk in 0..k {
-        let arow = &ad[kk * m..(kk + 1) * m];
-        let brow = &bd[kk * n..(kk + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+    matmul_tn_into(a.data(), b.data(), k, m, n, &mut out);
+    Tensor::from_vec([m, n], out)
+}
+
+/// Matrix product `A · Bᵀ` into `out` for `A: [m, k]`, `B: [n, k]`,
+/// `out: [m, n]`, without materializing the transpose. Overwrites `out`.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the given dimensions.
+pub fn matmul_nt_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "matmul_nt_into lhs length");
+    assert_eq!(b.len(), n * k, "matmul_nt_into rhs length");
+    assert_eq!(out.len(), m * n, "matmul_nt_into out length");
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
             }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
-            }
+            out[i * n + j] = acc;
         }
     }
-    Tensor::from_vec([m, n], out)
 }
 
 /// Matrix product `A · Bᵀ` for `A: [m, k]`, `B: [n, k]` without materializing
@@ -72,19 +126,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, k2) = dims2(b, "matmul_nt rhs");
     assert_eq!(k, k2, "matmul_nt shared dimensions disagree: {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for (&av, &bv) in arow.iter().zip(brow.iter()) {
-                acc += av * bv;
-            }
-            out[i * n + j] = acc;
-        }
-    }
+    matmul_nt_into(a.data(), b.data(), m, k, n, &mut out);
     Tensor::from_vec([m, n], out)
 }
 
@@ -136,25 +178,22 @@ fn sweep_extent(input: usize, kernel: usize, stride: usize, padding: usize) -> u
     (padded - kernel) / stride + 1
 }
 
-/// Unfolds one NCHW image `[c, h, w]` into a `[c·kh·kw, oh·ow]` column
-/// matrix so convolution lowers to a matrix product.
+/// Unfolds one NCHW image `[c, h, w]` (as a flat slice) into a
+/// `[c·kh·kw, oh·ow]` column matrix written into `out`. Overwrites `out`;
+/// padding positions are zero-filled.
 ///
 /// # Panics
 ///
-/// Panics if `image` is not rank 3 or disagrees with `geom`.
-pub fn im2col(image: &Tensor, geom: &Conv2dGeometry) -> Tensor {
-    assert_eq!(image.shape().rank(), 3, "im2col expects a [c,h,w] tensor");
-    let (c, h, w) = (
-        image.shape().dim(0),
-        image.shape().dim(1),
-        image.shape().dim(2),
-    );
-    assert_eq!((c, h, w), (geom.in_channels, geom.in_h, geom.in_w));
+/// Panics if a slice length disagrees with `geom`.
+pub fn im2col_into(image: &[f32], geom: &Conv2dGeometry, out: &mut [f32]) {
+    let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    assert_eq!(image.len(), c * h * w, "im2col_into image length");
     let (oh, ow) = (geom.out_h(), geom.out_w());
     let rows = c * geom.kernel_h * geom.kernel_w;
     let cols = oh * ow;
-    let mut out = vec![0.0f32; rows * cols];
-    let data = image.data();
+    assert_eq!(out.len(), rows * cols, "im2col_into out length");
+    // Zero-fill first so out-of-bounds (padding) taps stay zero.
+    out.fill(0.0);
     for ch in 0..c {
         for ky in 0..geom.kernel_h {
             for kx in 0..geom.kernel_w {
@@ -170,12 +209,32 @@ pub fn im2col(image: &Tensor, geom: &Conv2dGeometry) -> Tensor {
                             continue;
                         }
                         out[row * cols + oy * ow + ox] =
-                            data[(ch * h + iy as usize) * w + ix as usize];
+                            image[(ch * h + iy as usize) * w + ix as usize];
                     }
                 }
             }
         }
     }
+}
+
+/// Unfolds one NCHW image `[c, h, w]` into a `[c·kh·kw, oh·ow]` column
+/// matrix so convolution lowers to a matrix product.
+///
+/// # Panics
+///
+/// Panics if `image` is not rank 3 or disagrees with `geom`.
+pub fn im2col(image: &Tensor, geom: &Conv2dGeometry) -> Tensor {
+    assert_eq!(image.shape().rank(), 3, "im2col expects a [c,h,w] tensor");
+    let (c, h, w) = (
+        image.shape().dim(0),
+        image.shape().dim(1),
+        image.shape().dim(2),
+    );
+    assert_eq!((c, h, w), (geom.in_channels, geom.in_h, geom.in_w));
+    let rows = c * geom.kernel_h * geom.kernel_w;
+    let cols = geom.out_h() * geom.out_w();
+    let mut out = vec![0.0f32; rows * cols];
+    im2col_into(image.data(), geom, &mut out);
     Tensor::from_vec([rows, cols], out)
 }
 
@@ -231,6 +290,59 @@ pub struct MaxPoolOutput {
     pub argmax: Vec<usize>,
 }
 
+/// Square max pooling (stride = window) over `channels` planes of `h`×`w`,
+/// written into `out`. Batched input is handled by passing `n·c` as
+/// `channels`. `argmax`, when given, receives the flat winner index per
+/// output element (needed only by the training backward pass).
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the given dimensions or the
+/// window does not divide a spatial extent.
+pub fn max_pool2d_into(
+    input: &[f32],
+    channels: usize,
+    h: usize,
+    w: usize,
+    window: usize,
+    out: &mut [f32],
+    mut argmax: Option<&mut [usize]>,
+) {
+    assert!(
+        h % window == 0 && w % window == 0,
+        "pool window {window} does not divide spatial extent {h}x{w}"
+    );
+    assert_eq!(input.len(), channels * h * w, "max_pool2d_into input length");
+    let (oh, ow) = (h / window, w / window);
+    assert_eq!(out.len(), channels * oh * ow, "max_pool2d_into out length");
+    if let Some(am) = argmax.as_deref() {
+        assert_eq!(am.len(), out.len(), "max_pool2d_into argmax length");
+    }
+    for ch in 0..channels {
+        let base = ch * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0;
+                for dy in 0..window {
+                    for dx in 0..window {
+                        let idx = base + (oy * window + dy) * w + (ox * window + dx);
+                        if input[idx] > best {
+                            best = input[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                let oidx = (ch * oh + oy) * ow + ox;
+                out[oidx] = best;
+                if let Some(am) = argmax.as_deref_mut() {
+                    am[oidx] = best_idx;
+                }
+            }
+        }
+    }
+}
+
 /// 2×2 (or general square) max pooling with stride equal to the window size.
 ///
 /// # Panics
@@ -245,31 +357,10 @@ pub fn max_pool2d(input: &Tensor, window: usize) -> MaxPoolOutput {
     );
     let (oh, ow) = (h / window, w / window);
     let mut out = vec![0.0f32; n * c * oh * ow];
-    let mut argmax = vec![0usize; n * c * oh * ow];
-    let data = input.data();
-    for img in 0..n {
-        for ch in 0..c {
-            let base = (img * c + ch) * h * w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = 0;
-                    for dy in 0..window {
-                        for dx in 0..window {
-                            let idx = base + (oy * window + dy) * w + (ox * window + dx);
-                            if data[idx] > best {
-                                best = data[idx];
-                                best_idx = idx;
-                            }
-                        }
-                    }
-                    let oidx = ((img * c + ch) * oh + oy) * ow + ox;
-                    out[oidx] = best;
-                    argmax[oidx] = best_idx;
-                }
-            }
-        }
-    }
+    let mut argmax = vec![0usize; out.len()];
+    // Flat winner indices from the batched call match the per-tensor ones
+    // because `channels = n·c` preserves the flat NCHW layout.
+    max_pool2d_into(input.data(), n * c, h, w, window, &mut out, Some(&mut argmax));
     MaxPoolOutput {
         output: Tensor::from_vec([n, c, oh, ow], out),
         argmax,
@@ -302,6 +393,22 @@ pub fn max_pool2d_backward(
     grad_in
 }
 
+/// Global average pooling over `channels` planes of `h`×`w`, written into
+/// `out` (one mean per plane). Batched input passes `n·c` as `channels`.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the given dimensions.
+pub fn global_avg_pool_into(input: &[f32], channels: usize, h: usize, w: usize, out: &mut [f32]) {
+    assert_eq!(input.len(), channels * h * w, "global_avg_pool_into input length");
+    assert_eq!(out.len(), channels, "global_avg_pool_into out length");
+    let area = (h * w) as f32;
+    for ch in 0..channels {
+        let base = ch * h * w;
+        out[ch] = input[base..base + h * w].iter().sum::<f32>() / area;
+    }
+}
+
 /// Global average pooling: `[n, c, h, w] → [n, c]`.
 ///
 /// # Panics
@@ -309,15 +416,8 @@ pub fn max_pool2d_backward(
 /// Panics if `input` is not rank 4.
 pub fn global_avg_pool(input: &Tensor) -> Tensor {
     let (n, c, h, w) = dims4(input, "global_avg_pool");
-    let area = (h * w) as f32;
-    let data = input.data();
     let mut out = vec![0.0f32; n * c];
-    for img in 0..n {
-        for ch in 0..c {
-            let base = (img * c + ch) * h * w;
-            out[img * c + ch] = data[base..base + h * w].iter().sum::<f32>() / area;
-        }
-    }
+    global_avg_pool_into(input.data(), n * c, h, w, &mut out);
     Tensor::from_vec([n, c], out)
 }
 
@@ -487,6 +587,61 @@ mod tests {
         let grad = Tensor::from_vec([1, 1, 1, 1], vec![10.0]);
         let gi = max_pool2d_backward(&grad, &pooled.argmax, img.shape());
         assert_eq!(gi.data(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_kernels() {
+        let a = Tensor::from_fn([4, 3], |i| (i as f32 * 0.7).sin());
+        let b = Tensor::from_fn([3, 5], |i| (i as f32 * 0.3).cos());
+        let mut out = vec![f32::NAN; 4 * 5];
+        matmul_into(a.data(), b.data(), 4, 3, 5, &mut out);
+        assert_eq!(out, matmul(&a, &b).data());
+
+        let at = Tensor::from_fn([3, 4], |i| (i as f32 * 0.7).sin());
+        matmul_tn_into(at.data(), b.data(), 3, 4, 5, &mut out);
+        assert_eq!(out, matmul_tn(&at, &b).data());
+
+        let bt = Tensor::from_fn([5, 3], |i| (i as f32 * 0.3).cos());
+        matmul_nt_into(a.data(), bt.data(), 4, 3, 5, &mut out);
+        assert_eq!(out, matmul_nt(&a, &bt).data());
+    }
+
+    #[test]
+    fn im2col_into_zero_fills_padding_in_reused_buffer() {
+        let img = Tensor::from_fn([2, 4, 4], |i| (i as f32 * 0.37).sin());
+        let g = Conv2dGeometry {
+            in_channels: 2,
+            in_h: 4,
+            in_w: 4,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let expected = im2col(&img, &g);
+        // Poison the buffer to prove padding positions are re-zeroed.
+        let mut out = vec![f32::NAN; expected.numel()];
+        im2col_into(img.data(), &g, &mut out);
+        assert_eq!(out, expected.data());
+    }
+
+    #[test]
+    fn pooling_into_matches_allocating_kernels() {
+        let img = Tensor::from_fn([2, 3, 4, 4], |i| (i as f32 * 0.51).sin());
+        let pooled = max_pool2d(&img, 2);
+        let mut out = vec![f32::NAN; pooled.output.numel()];
+        let mut argmax = vec![0usize; out.len()];
+        max_pool2d_into(img.data(), 6, 4, 4, 2, &mut out, Some(&mut argmax));
+        assert_eq!(out, pooled.output.data());
+        assert_eq!(argmax, pooled.argmax);
+        // The argmax-free form is what inference uses.
+        max_pool2d_into(img.data(), 6, 4, 4, 2, &mut out, None);
+        assert_eq!(out, pooled.output.data());
+
+        let gap = global_avg_pool(&img);
+        let mut gout = vec![f32::NAN; 6];
+        global_avg_pool_into(img.data(), 6, 4, 4, &mut gout);
+        assert_eq!(gout, gap.data());
     }
 
     #[test]

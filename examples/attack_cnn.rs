@@ -37,6 +37,7 @@ fn main() {
         per_image_budget: Some(600),
         prefilter: true,
         grammar: GrammarConfig::paper(),
+        threads: 1,
     };
     println!("synthesizing per-class programs ({} MH iterations each)…", synth.max_iterations);
     let (suite, _) = synthesize_suite(&model, &train, 10, &synth);

@@ -52,6 +52,7 @@ fn main() {
         per_image_budget: None,
         prefilter: false,
         grammar: GrammarConfig::paper(),
+        threads: 1,
     };
     let report = synthesize(&classifier, &train, &config);
     println!(

@@ -34,6 +34,7 @@ fn main() {
         per_image_budget: Some(600),
         prefilter: true,
         grammar: GrammarConfig::paper(),
+        threads: 1,
     };
     let suites: Vec<_> = models
         .iter()

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Builds the workspace in release mode and writes the forward-pass
+# microbenchmark report to BENCH_forward.json at the repo root.
+#
+# Usage: scripts/bench_forward.sh [extra forward_bench flags...]
+# e.g.:  scripts/bench_forward.sh --iters 1000 --threads 4
+set -eu
+
+cd "$(dirname "$0")/.."
+cargo build --release -p oppsla-bench
+exec target/release/forward_bench --out BENCH_forward.json "$@"

@@ -37,6 +37,7 @@ fn mlp_pipeline_synthesize_and_attack() {
         per_image_budget: Some(300),
         prefilter: false,
         grammar: GrammarConfig::paper(),
+        threads: 1,
     };
     let (suite, reports) = synthesize_suite(&model, &train, 10, &synth);
     assert_eq!(suite.programs().len(), 10);
@@ -132,6 +133,7 @@ fn synthesis_reduces_or_matches_training_cost() {
         per_image_budget: Some(600),
         prefilter: false,
         grammar: GrammarConfig::paper(),
+        threads: 1,
     };
     let report = oppsla::core::synth::synthesize(&model, &train, &synth);
     let oppsla_eval = evaluate_program(&report.program, &model, &train, Some(600));

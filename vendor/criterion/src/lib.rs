@@ -1,0 +1,149 @@
+//! Offline vendored subset of the `criterion` bench API.
+//!
+//! Supports the surface this workspace's benches use: `criterion_group!`,
+//! `criterion_main!`, [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] and [`Bencher::iter`]. Measurement is a
+//! simple calibrated loop reporting mean wall-clock time per iteration —
+//! no warm-up analysis, outlier rejection, or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measuring time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+
+/// The benchmark driver.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, &mut f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Configuration hook kept for API compatibility; returns `self`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name), &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the bench closure; its [`iter`](Bencher::iter) runs the
+/// measured routine.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `routine`, storing its mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count that runs ≥ ~TARGET.
+        let mut iters: u64 = 1;
+        let total = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET || iters >= 1 << 30 {
+                break elapsed;
+            }
+            // Scale towards the target with headroom, at least doubling.
+            let scale = (TARGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil() as u64;
+            iters = iters.saturating_mul(scale.clamp(2, 100));
+        };
+        self.mean_ns = total.as_secs_f64() * 1e9 / iters as f64;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut bencher = Bencher { mean_ns: f64::NAN };
+    f(&mut bencher);
+    if bencher.mean_ns.is_nan() {
+        println!("{name:<40} (no measurement: Bencher::iter was not called)");
+    } else {
+        println!("{name:<40} {:>14.1} ns/iter", bencher.mean_ns);
+    }
+}
+
+/// Bundles bench functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { mean_ns: f64::NAN };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        assert!(b.mean_ns.is_finite() && b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn group_and_function_apis_compose() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1u32 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("noop", |b| b.iter(|| 2u32 * 2));
+        g.finish();
+    }
+}

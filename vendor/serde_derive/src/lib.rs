@@ -1,0 +1,389 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! Hand-rolled over `proc_macro` (no `syn`/`quote` available offline).
+//! Supports the shapes this workspace actually derives on:
+//!
+//! - named-field structs
+//! - tuple structs (newtype and multi-field)
+//! - enums with unit, newtype, tuple and struct variants
+//!
+//! Not supported (panics with a clear message): generics, unions,
+//! `#[serde(...)]` attributes. The generated code targets the vendored
+//! `serde` crate's `Value` data model and follows real serde's
+//! externally-tagged JSON conventions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---- parsed shapes ----
+
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields; only the arity matters.
+    Tuple(usize),
+    /// No fields at all.
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---- token walking ----
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => panic!("expected enum body for `{name}`"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("vendored serde_derive cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` plus the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` and friends
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Advances past one type (or expression), stopping at a top-level `,`.
+/// Only angle-bracket depth needs tracking; delimited groups are atomic.
+fn skip_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_until_comma(&tokens, &mut i);
+        i += 1; // the comma (or past the end)
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_until_comma(&tokens, &mut i);
+        i += 1;
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant, then the separating comma.
+        skip_until_comma(&tokens, &mut i);
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---- code generation ----
+
+fn obj_literal(entries: &[(String, String)]) -> String {
+    let inner: Vec<String> = entries
+        .iter()
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})"))
+        .collect();
+    format!("::serde::Value::Obj(::std::vec![{}])", inner.join(", "))
+}
+
+fn render_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let entries: Vec<(String, String)> = names
+                        .iter()
+                        .map(|f| (f.clone(), format!("::serde::Serialize::to_value(&self.{f})")))
+                        .collect();
+                    obj_literal(&entries)
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => {},",
+                            obj_literal(&[(vname.clone(), "::serde::Serialize::to_value(f0)".to_string())])
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_value(f{k})"))
+                                .collect();
+                            let arr = format!(
+                                "::serde::Value::Arr(::std::vec![{}])",
+                                items.join(", ")
+                            );
+                            format!(
+                                "{name}::{vname}({}) => {},",
+                                binds.join(", "),
+                                obj_literal(&[(vname.clone(), arr)])
+                            )
+                        }
+                        Fields::Named(fnames) => {
+                            let binds = fnames.join(", ");
+                            let entries: Vec<(String, String)> = fnames
+                                .iter()
+                                .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})")))
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => {},",
+                                obj_literal(&[(vname.clone(), obj_literal(&entries))])
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{}\n}}\n\
+                 }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn render_named_build(type_path: &str, fnames: &[String], obj_expr: &str) -> String {
+    let fields: Vec<String> = fnames
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::field({obj_expr}, \"{f}\")?)?,"
+            )
+        })
+        .collect();
+    format!("::core::result::Result::Ok({type_path} {{ {} }})", fields.join(" "))
+}
+
+fn render_tuple_build(type_path: &str, n: usize, arr_expr: &str, context: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+        .collect();
+    format!(
+        "{{ let items = ({arr_expr}).as_arr().ok_or_else(|| ::serde::Error::expected(\"array\", \"{context}\"))?;\n\
+         if items.len() != {n} {{ return ::core::result::Result::Err(::serde::Error::expected(\"array of length {n}\", \"{context}\")); }}\n\
+         let items: &[::serde::Value] = items;\n\
+         ::core::result::Result::Ok({type_path}({})) }}",
+        items.join(", ")
+    )
+}
+
+fn render_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fnames) => format!(
+                    "let obj = v.as_obj().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\"))?;\n{}",
+                    render_named_build(name, fnames, "obj")
+                ),
+                Fields::Tuple(1) => format!(
+                    "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => render_tuple_build(name, *n, "v", name),
+                Fields::Unit => format!("::core::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+                 }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => ::core::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    let build = match &v.fields {
+                        Fields::Unit => return None,
+                        Fields::Tuple(1) => format!(
+                            "::core::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?))"
+                        ),
+                        Fields::Tuple(n) => render_tuple_build(
+                            &format!("{name}::{vname}"),
+                            *n,
+                            "inner",
+                            &format!("{name}::{vname}"),
+                        ),
+                        Fields::Named(fnames) => format!(
+                            "{{ let obj = inner.as_obj().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}::{vname}\"))?;\n{} }}",
+                            render_named_build(&format!("{name}::{vname}"), fnames, "obj")
+                        ),
+                    };
+                    Some(format!("\"{vname}\" => {build},"))
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit}\n\
+                 other => ::core::result::Result::Err(::serde::Error(::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Obj(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n{data}\n\
+                 other => ::core::result::Result::Err(::serde::Error(::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::core::result::Result::Err(::serde::Error::expected(\"string or single-key object\", other.kind())),\n\
+                 }}\n\
+                 }}\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    }
+}
