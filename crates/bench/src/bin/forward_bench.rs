@@ -1,26 +1,34 @@
 //! Forward-pass microbenchmark: tape-based `ConvNet::scores` vs. the
 //! compiled allocation-free [`InferencePlan`] hot path, plus parallel
-//! query throughput, for every zoo architecture.
+//! query throughput and the incremental pixel-delta engine, for every zoo
+//! architecture.
 //!
-//! Emits a machine-readable JSON report (default `BENCH_forward.json` at
-//! the current directory) so CI and future sessions can track the query
-//! hot path's cost without parsing criterion output.
+//! Emits machine-readable JSON reports (default `BENCH_forward.json` and
+//! `BENCH_incremental.json` at the current directory) so CI and future
+//! sessions can track the query hot path's cost without parsing criterion
+//! output.
 //!
 //! ```text
 //! cargo run --release -p oppsla-bench --bin forward_bench -- \
-//!     [--iters N]   (timed queries per measurement, default 200)
-//!     [--batch N]   (images per throughput measurement, default 64)
-//!     [--threads N] (worker threads; 0 = auto, default 0)
-//!     [--out PATH]  (default BENCH_forward.json)
+//!     [--iters N]     (timed queries per measurement, default 200)
+//!     [--batch N]     (images per throughput measurement, default 64)
+//!     [--threads N]   (worker threads; 0 = auto, default 0)
+//!     [--out PATH]    (default BENCH_forward.json)
+//!     [--inc-out PATH] (default BENCH_incremental.json)
 //! ```
 //!
 //! `engine_speedup` is the seed repo's per-query cost (the allocating
 //! autograd tape, still exercised by `ConvNet::scores`) divided by the
 //! compiled plan's per-query cost on the same weights and input.
+//! `incremental_speedup` is the compiled plan's full-forward cost divided
+//! by the dirty-region pixel-delta cost on the same base image, measured
+//! over a sweep of candidate pixels that mirrors the attack's query
+//! pattern (one cached base, many single-pixel candidates).
 
 use oppsla_bench::cli::Args;
 use oppsla_bench::threads_from;
 use oppsla_core::parallel::parallel_map_with;
+use oppsla_nn::delta::BaseActivations;
 use oppsla_nn::infer::InferenceEngine;
 use oppsla_nn::models::{Arch, ConvNet, InputSpec};
 use oppsla_tensor::Tensor;
@@ -36,6 +44,7 @@ struct Row {
     input: String,
     tape_ns: f64,
     engine_ns: f64,
+    incremental_ns: f64,
     sequential_qps: f64,
     parallel_qps: f64,
 }
@@ -43,6 +52,10 @@ struct Row {
 impl Row {
     fn speedup(&self) -> f64 {
         self.tape_ns / self.engine_ns
+    }
+
+    fn incremental_speedup(&self) -> f64 {
+        self.engine_ns / self.incremental_ns
     }
 }
 
@@ -52,6 +65,7 @@ fn main() {
     let batch = args.get_usize("batch", 64).max(1);
     let threads = threads_from(&args);
     let out_path = args.get_str("out", "BENCH_forward.json");
+    let inc_out_path = args.get_str("inc-out", "BENCH_incremental.json");
 
     eprintln!("{iters} iters, {batch}-image batches, {threads} worker thread(s)");
 
@@ -102,6 +116,45 @@ fn main() {
         }
         let engine_ns = t1.elapsed().as_nanos() as f64 / iters as f64;
 
+        // Incremental path: one cached base, many single-pixel candidates
+        // — the attack's actual query pattern. The candidate sweep walks
+        // the image with RGB-corner values like the sketch's pair queue.
+        let delta = engine.delta_plan();
+        let acts = BaseActivations::capture(plan, &mut ws, &image);
+        let mut dws = delta.workspace(&acts);
+        let corners = [[0.0, 0.0, 0.0], [1.0, 0.0, 1.0], [0.0, 1.0, 1.0], [1.0, 1.0, 1.0]];
+        let (h, w) = (input.height, input.width);
+        // Sanity: the incremental path must be bit-identical to a full
+        // forward on the poked image.
+        {
+            let (row, col) = (h / 3, w / 2);
+            let rgb = corners[1];
+            delta.scores_pixel_delta_into(plan, &acts, &mut dws, row, col, rgb, &mut buf);
+            let mut poked = image.clone();
+            let area = h * w;
+            for (c, v) in rgb.iter().enumerate() {
+                poked.data_mut()[c * area + row * w + col] = *v;
+            }
+            let mut full = Vec::new();
+            plan.scores_into(&mut ws, &poked, &mut full);
+            assert_eq!(buf, full, "[{arch}] incremental disagrees with full forward");
+        }
+        let t2 = Instant::now();
+        for i in 0..iters {
+            let (row, col) = ((i * 13) % h, (i * 29) % w);
+            delta.scores_pixel_delta_into(
+                plan,
+                &acts,
+                &mut dws,
+                black_box(row),
+                black_box(col),
+                corners[i % corners.len()],
+                &mut buf,
+            );
+            black_box(&buf);
+        }
+        let incremental_ns = t2.elapsed().as_nanos() as f64 / iters as f64;
+
         // Throughput over a batch of distinct images, sequential vs. the
         // scoped-thread parallel map used by synthesis and evaluation.
         let images: Vec<Tensor> = (0..batch)
@@ -138,15 +191,18 @@ fn main() {
             input: format!("{}x{}x{}", input.channels, input.height, input.width),
             tape_ns,
             engine_ns,
+            incremental_ns,
             sequential_qps,
             parallel_qps,
         };
         eprintln!(
-            "[{arch} {}] tape {:.0} ns/q, engine {:.0} ns/q ({:.2}x), {:.0} q/s seq, {:.0} q/s x{threads}",
+            "[{arch} {}] tape {:.0} ns/q, engine {:.0} ns/q ({:.2}x), incr {:.0} ns/q ({:.2}x), {:.0} q/s seq, {:.0} q/s x{threads}",
             row.input,
             row.tape_ns,
             row.engine_ns,
             row.speedup(),
+            row.incremental_ns,
+            row.incremental_speedup(),
             row.sequential_qps,
             row.parallel_qps,
         );
@@ -185,6 +241,37 @@ fn main() {
         Err(e) => {
             eprintln!("warning: could not write {out_path}: {e}");
             println!("{json}");
+        }
+    }
+
+    // Companion report: the incremental pixel-delta engine against the
+    // full compiled forward, same flat hand-rolled schema.
+    let mut inc = String::from("{\n");
+    inc.push_str("  \"benchmark\": \"incremental_pixel_delta\",\n");
+    inc.push_str(&format!("  \"iters\": {iters},\n"));
+    inc.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        inc.push_str(&format!(
+            concat!(
+                "    {{\"arch\": \"{}\", \"input\": \"{}\", ",
+                "\"full_ns_per_query\": {:.1}, \"incremental_ns_per_query\": {:.1}, ",
+                "\"incremental_speedup\": {:.3}}}{}\n"
+            ),
+            row.arch,
+            row.input,
+            row.engine_ns,
+            row.incremental_ns,
+            row.incremental_speedup(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    inc.push_str("  ]\n}\n");
+
+    match std::fs::write(&inc_out_path, &inc) {
+        Ok(()) => println!("report written to {inc_out_path}"),
+        Err(e) => {
+            eprintln!("warning: could not write {inc_out_path}: {e}");
+            println!("{inc}");
         }
     }
 }

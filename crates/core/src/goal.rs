@@ -11,18 +11,13 @@ use crate::oracle::argmax;
 use std::fmt;
 
 /// What counts as a successful adversarial example.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum AttackGoal {
     /// Any misclassification: `argmax(N(x')) ≠ c_x` (the paper's setting).
+    #[default]
     Untargeted,
     /// Force the classifier's decision to a specific class.
     Targeted(usize),
-}
-
-impl Default for AttackGoal {
-    fn default() -> Self {
-        AttackGoal::Untargeted
-    }
 }
 
 impl AttackGoal {

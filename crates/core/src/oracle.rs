@@ -6,6 +6,7 @@
 //! budget — the paper's central cost metric.
 
 use crate::image::Image;
+use crate::pair::{Location, Pixel};
 use std::fmt;
 
 /// A black-box image classifier: maps an image to one score per class.
@@ -31,6 +32,26 @@ pub trait Classifier {
     fn classify(&self, image: &Image) -> usize {
         let scores = self.scores(image);
         argmax(&scores)
+    }
+
+    /// Writes `N(x')` into `out` (cleared first), where `x'` is `base`
+    /// with the pixel at `location` replaced by `pixel` — the shape of
+    /// every candidate query in the one-pixel attack sketch.
+    ///
+    /// The default clones the base and delegates to
+    /// [`Classifier::scores_into`]; incremental backends override this to
+    /// reuse cached base activations and recompute only the perturbed
+    /// receptive-field cone. Overrides must return bit-identical scores
+    /// to the default.
+    fn scores_pixel_delta_into(
+        &self,
+        base: &Image,
+        location: Location,
+        pixel: Pixel,
+        out: &mut Vec<f32>,
+    ) {
+        let perturbed = base.with_pixel(location, pixel);
+        self.scores_into(&perturbed, out);
     }
 }
 
@@ -60,6 +81,18 @@ impl Classifier for SharedSession<'_> {
 
     fn scores_into(&self, image: &Image, out: &mut Vec<f32>) {
         self.0.scores_into(image, out);
+    }
+
+    fn scores_pixel_delta_into(
+        &self,
+        base: &Image,
+        location: Location,
+        pixel: Pixel,
+        out: &mut Vec<f32>,
+    ) {
+        // Forward explicitly so a wrapped incremental backend keeps its
+        // fast path (the default would re-derive via `scores_into`).
+        self.0.scores_pixel_delta_into(base, location, pixel, out);
     }
 }
 
@@ -174,6 +207,11 @@ pub struct Oracle<'a> {
     classifier: &'a dyn Classifier,
     queries: u64,
     budget: Option<u64>,
+    /// Candidates scored since the last [`Oracle::begin_candidate_scope`],
+    /// used by the `query-guard` feature to catch accidental double
+    /// queries that would silently inflate reported query counts.
+    #[cfg(feature = "query-guard")]
+    scope: std::collections::HashSet<(u16, u16, [u32; 3])>,
 }
 
 impl<'a> Oracle<'a> {
@@ -183,6 +221,8 @@ impl<'a> Oracle<'a> {
             classifier,
             queries: 0,
             budget: None,
+            #[cfg(feature = "query-guard")]
+            scope: std::collections::HashSet::new(),
         }
     }
 
@@ -192,7 +232,20 @@ impl<'a> Oracle<'a> {
             classifier,
             queries: 0,
             budget: Some(budget),
+            #[cfg(feature = "query-guard")]
+            scope: std::collections::HashSet::new(),
         }
+    }
+
+    /// Opens a fresh duplicate-detection scope for pixel-delta candidates
+    /// (one sketch run over one base image). A no-op unless the
+    /// `query-guard` feature is enabled, in which case scoring the same
+    /// (location, pixel) candidate twice within a scope panics in debug
+    /// builds — the sketch's removal discipline guarantees each candidate
+    /// is queried at most once.
+    pub fn begin_candidate_scope(&mut self) {
+        #[cfg(feature = "query-guard")]
+        self.scope.clear();
     }
 
     /// Submits an image, counting one query.
@@ -225,6 +278,73 @@ impl<'a> Oracle<'a> {
         }
         self.queries += 1;
         self.classifier.scores_into(image, out);
+        Ok(())
+    }
+
+    /// Submits `base` with one pixel replaced, counting one query. The
+    /// allocating convenience form of [`Oracle::query_pixel_delta_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when the budget has been spent.
+    pub fn query_pixel_delta(
+        &mut self,
+        base: &Image,
+        location: Location,
+        pixel: Pixel,
+    ) -> Result<Vec<f32>, BudgetExhausted> {
+        let mut out = Vec::new();
+        self.query_pixel_delta_into(base, location, pixel, &mut out)?;
+        Ok(out)
+    }
+
+    /// Submits `base` with the pixel at `location` replaced by `pixel`,
+    /// counting one query and writing the scores into `out` (cleared
+    /// first). This is the sketch candidate loop's hot path: backends
+    /// overriding [`Classifier::scores_pixel_delta_into`] serve it from
+    /// cached base activations, recomputing only the dirty region.
+    ///
+    /// Counts and scores are identical to building the perturbed image
+    /// and calling [`Oracle::query_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when the budget has been spent; the
+    /// failed attempt is *not* counted, the classifier is not invoked, and
+    /// `out` is left untouched.
+    ///
+    /// # Panics
+    ///
+    /// With the `query-guard` feature enabled, panics in debug builds if
+    /// the same (location, pixel) candidate is scored twice within one
+    /// [`Oracle::begin_candidate_scope`] scope.
+    pub fn query_pixel_delta_into(
+        &mut self,
+        base: &Image,
+        location: Location,
+        pixel: Pixel,
+        out: &mut Vec<f32>,
+    ) -> Result<(), BudgetExhausted> {
+        if let Some(budget) = self.budget {
+            if self.queries >= budget {
+                return Err(BudgetExhausted { budget });
+            }
+        }
+        #[cfg(feature = "query-guard")]
+        debug_assert!(
+            self.scope.insert((
+                location.row,
+                location.col,
+                pixel.0.map(f32::to_bits),
+            )),
+            "candidate (({}, {}), {:?}) scored twice in one sketch scope",
+            location.row,
+            location.col,
+            pixel.0,
+        );
+        self.queries += 1;
+        self.classifier
+            .scores_pixel_delta_into(base, location, pixel, out);
         Ok(())
     }
 
@@ -328,6 +448,68 @@ mod tests {
         assert!(oracle.query_into(&img, &mut buf).is_err());
         assert_eq!(buf, vec![0.5]);
         assert_eq!(oracle.queries(), 0);
+    }
+
+    #[test]
+    fn pixel_delta_query_matches_full_query_on_the_perturbed_image() {
+        // Score-sensitive classifier so the perturbation actually matters.
+        let clf = FnClassifier::new(2, |img: &Image| {
+            let mean: f32 = img.data().iter().sum::<f32>() / img.data().len() as f32;
+            vec![mean, 1.0 - mean]
+        });
+        let base = Image::filled(3, 3, Pixel([0.2; 3]));
+        let loc = crate::pair::Location::new(1, 2);
+        let px = Pixel([0.9, 0.1, 0.4]);
+        let mut a = Oracle::new(&clf);
+        let mut b = Oracle::new(&clf);
+        let delta = a.query_pixel_delta(&base, loc, px).unwrap();
+        let full = b.query(&base.with_pixel(loc, px)).unwrap();
+        assert_eq!(delta, full);
+        assert_eq!(a.queries(), b.queries());
+    }
+
+    #[test]
+    fn pixel_delta_budget_failure_is_not_counted() {
+        let clf = constant_classifier();
+        let base = Image::filled(2, 2, Pixel([0.0; 3]));
+        let mut oracle = Oracle::with_budget(&clf, 0);
+        let mut buf = vec![0.5];
+        let loc = crate::pair::Location::new(0, 0);
+        assert!(oracle
+            .query_pixel_delta_into(&base, loc, Pixel([1.0; 3]), &mut buf)
+            .is_err());
+        assert_eq!(buf, vec![0.5]);
+        assert_eq!(oracle.queries(), 0);
+    }
+
+    #[cfg(all(feature = "query-guard", debug_assertions))]
+    #[test]
+    #[should_panic(expected = "scored twice")]
+    fn guard_catches_duplicate_candidates_in_one_scope() {
+        let clf = constant_classifier();
+        let base = Image::filled(2, 2, Pixel([0.0; 3]));
+        let loc = crate::pair::Location::new(1, 0);
+        let px = Pixel([1.0, 0.0, 1.0]);
+        let mut oracle = Oracle::new(&clf);
+        oracle.begin_candidate_scope();
+        oracle.query_pixel_delta(&base, loc, px).unwrap();
+        oracle.query_pixel_delta(&base, loc, px).unwrap();
+    }
+
+    #[cfg(feature = "query-guard")]
+    #[test]
+    fn guard_scope_reset_permits_requerying() {
+        // The same candidate across two sketch runs (scopes) is fine.
+        let clf = constant_classifier();
+        let base = Image::filled(2, 2, Pixel([0.0; 3]));
+        let loc = crate::pair::Location::new(1, 0);
+        let px = Pixel([1.0, 0.0, 1.0]);
+        let mut oracle = Oracle::new(&clf);
+        oracle.begin_candidate_scope();
+        oracle.query_pixel_delta(&base, loc, px).unwrap();
+        oracle.begin_candidate_scope();
+        oracle.query_pixel_delta(&base, loc, px).unwrap();
+        assert_eq!(oracle.queries(), 2);
     }
 
     #[test]

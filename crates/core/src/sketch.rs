@@ -134,29 +134,25 @@ pub fn run_sketch_with_goal(
 
     let mut queue = PairQueue::for_image(image);
 
-    // Query hot path: one scratch image and one score buffer serve every
-    // candidate. Each query flips a single pixel of the scratch in place,
-    // queries through [`Oracle::query_into`], and restores the pixel —
-    // replacing a full image clone plus a score-vector allocation per
-    // candidate with two pixel writes.
-    let mut scratch = image.clone();
+    // Query hot path: every candidate is the base image with one pixel
+    // replaced, submitted through [`Oracle::query_pixel_delta_into`] into
+    // one reused score buffer. Incremental backends serve these from
+    // cached base activations, recomputing only the dirty region; counts
+    // and scores are identical to querying the perturbed image in full.
+    oracle.begin_candidate_scope();
     let mut buf: Vec<f32> = Vec::with_capacity(orig_scores.len());
 
     // Submits a candidate; `Ok(true)` = adversarial (scores in `buf`),
-    // `Ok(false)` = failed attack (scores in `buf`), `Err` = budget. The
-    // scratch pixel is restored on every path, including budget errors.
-    let try_pair =
-        |oracle: &mut Oracle<'_>, scratch: &mut Image, buf: &mut Vec<f32>, pair: Pair| {
-            let original = image.pixel(pair.location);
-            scratch.set_pixel(pair.location, pair.corner.as_pixel());
-            let result = oracle.query_into(scratch, buf);
-            scratch.set_pixel(pair.location, original);
-            result.map_err(|_| ())?;
-            Ok::<bool, ()>(goal.is_adversarial(buf, true_class))
-        };
+    // `Ok(false)` = failed attack (scores in `buf`), `Err` = budget.
+    let try_pair = |oracle: &mut Oracle<'_>, buf: &mut Vec<f32>, pair: Pair| {
+        oracle
+            .query_pixel_delta_into(image, pair.location, pair.corner.as_pixel(), buf)
+            .map_err(|_| ())?;
+        Ok::<bool, ()>(goal.is_adversarial(buf, true_class))
+    };
 
     while let Some(pair) = queue.pop() {
-        match try_pair(oracle, &mut scratch, &mut buf, pair) {
+        match try_pair(oracle, &mut buf, pair) {
             Ok(false) => {}
             Ok(true) => {
                 return SketchOutcome::Success {
@@ -216,7 +212,7 @@ pub fn run_sketch_with_goal(
                 }
                 for candidate in queue.location_neighbors(failed.location, failed.corner) {
                     queue.remove(candidate);
-                    match try_pair(oracle, &mut scratch, &mut buf, candidate) {
+                    match try_pair(oracle, &mut buf, candidate) {
                         Ok(false) => {
                             loc_q.push_back((candidate, buf.clone()));
                             pert_q.push_back((candidate, buf.clone()));
@@ -249,7 +245,7 @@ pub fn run_sketch_with_goal(
                 }
                 if let Some(candidate) = queue.next_at_location(failed.location) {
                     queue.remove(candidate);
-                    match try_pair(oracle, &mut scratch, &mut buf, candidate) {
+                    match try_pair(oracle, &mut buf, candidate) {
                         Ok(false) => {
                             loc_q.push_back((candidate, buf.clone()));
                             pert_q.push_back((candidate, buf.clone()));

@@ -17,6 +17,13 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// A training example: an image with its true class label.
+pub type Labeled = (Image, usize);
+
+/// A prefilter callback: keeps the vulnerable subset of a training set
+/// and reports the classifier queries spent deciding.
+pub type FilterFn<'a> = dyn FnMut(&[Labeled]) -> (Vec<Labeled>, u64) + 'a;
+
 /// Configuration of a synthesis run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SynthConfig {
@@ -187,7 +194,7 @@ fn reduce_evaluation(per_image: impl IntoIterator<Item = (u64, Option<u64>)>) ->
 pub fn evaluate_program(
     program: &Program,
     classifier: &dyn Classifier,
-    train: &[(Image, usize)],
+    train: &[Labeled],
     per_image_budget: Option<u64>,
 ) -> Evaluation {
     assert!(!train.is_empty(), "training set is empty");
@@ -209,7 +216,7 @@ pub fn evaluate_program(
 pub fn evaluate_program_parallel(
     program: &Program,
     classifier: &dyn BatchClassifier,
-    train: &[(Image, usize)],
+    train: &[Labeled],
     per_image_budget: Option<u64>,
     threads: usize,
 ) -> Evaluation {
@@ -245,8 +252,8 @@ pub fn acceptance_probability(beta: f64, q_old: f64, q_new: f64) -> f64 {
 /// Panics if `train` is empty or a true class is out of range.
 pub fn filter_attackable(
     classifier: &dyn Classifier,
-    train: &[(Image, usize)],
-) -> (Vec<(Image, usize)>, u64) {
+    train: &[Labeled],
+) -> (Vec<Labeled>, u64) {
     assert!(!train.is_empty(), "training set is empty");
     let fixed = Program::constant(false);
     let probes = train
@@ -265,9 +272,9 @@ pub fn filter_attackable(
 /// Panics if `train` is empty or a true class is out of range.
 pub fn filter_attackable_parallel(
     classifier: &dyn BatchClassifier,
-    train: &[(Image, usize)],
+    train: &[Labeled],
     threads: usize,
-) -> (Vec<(Image, usize)>, u64) {
+) -> (Vec<Labeled>, u64) {
     assert!(!train.is_empty(), "training set is empty");
     let fixed = Program::constant(false);
     let probes = parallel_map_with(
@@ -295,9 +302,9 @@ fn probe_one(
 /// Zips probe results back onto `train`, keeping the attackable pairs and
 /// summing queries (exact, order-independent).
 fn keep_attackable(
-    train: &[(Image, usize)],
+    train: &[Labeled],
     probes: Vec<(u64, bool)>,
-) -> (Vec<(Image, usize)>, u64) {
+) -> (Vec<Labeled>, u64) {
     let mut kept = Vec::with_capacity(train.len());
     let mut queries = 0u64;
     for ((image, true_class), (spent, attackable)) in train.iter().zip(probes) {
@@ -318,7 +325,7 @@ fn keep_attackable(
 /// not positive.
 pub fn synthesize(
     classifier: &dyn Classifier,
-    train: &[(Image, usize)],
+    train: &[Labeled],
     config: &SynthConfig,
 ) -> SynthReport {
     run_mh(
@@ -342,7 +349,7 @@ pub fn synthesize(
 /// not positive.
 pub fn synthesize_parallel(
     classifier: &dyn BatchClassifier,
-    train: &[(Image, usize)],
+    train: &[Labeled],
     config: &SynthConfig,
 ) -> SynthReport {
     let threads = config.threads;
@@ -359,10 +366,10 @@ pub fn synthesize_parallel(
 /// injected `filter` and `eval` closures, so the chain's control flow (and
 /// its random stream) is written exactly once.
 fn run_mh(
-    train: &[(Image, usize)],
+    train: &[Labeled],
     config: &SynthConfig,
-    filter: &mut dyn FnMut(&[(Image, usize)]) -> (Vec<(Image, usize)>, u64),
-    eval: &mut dyn FnMut(&Program, &[(Image, usize)]) -> Evaluation,
+    filter: &mut FilterFn<'_>,
+    eval: &mut dyn FnMut(&Program, &[Labeled]) -> Evaluation,
 ) -> SynthReport {
     assert!(!train.is_empty(), "training set is empty");
     assert!(config.beta > 0.0, "beta must be positive");
@@ -380,8 +387,8 @@ fn run_mh(
     // stop re-paying their fixed exhaustive cost.
     let mut prefilter_queries = 0u64;
     let mut prefiltered = 0usize;
-    let filtered: Vec<(Image, usize)>;
-    let train: &[(Image, usize)] = if config.prefilter {
+    let filtered: Vec<Labeled>;
+    let train: &[Labeled] = if config.prefilter {
         let (kept, queries) = filter(train);
         prefilter_queries = queries;
         if kept.is_empty() {
@@ -456,7 +463,7 @@ mod tests {
         })
     }
 
-    fn train_set(n: usize) -> Vec<(Image, usize)> {
+    fn train_set(n: usize) -> Vec<Labeled> {
         (0..n)
             .map(|i| {
                 let v = 0.3 + 0.05 * (i % 5) as f32;

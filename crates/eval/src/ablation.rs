@@ -6,9 +6,8 @@ use crate::curves::{evaluate_attack, evaluate_attack_parallel, AttackEval};
 use crate::report::{fmt_rate, fmt_stat, Table};
 use oppsla_attacks::{Attack, SketchProgramAttack, SparseRs, SparseRsConfig};
 use oppsla_core::dsl::{random_program, ImageDims, Program};
-use oppsla_core::image::Image;
 use oppsla_core::oracle::{BatchClassifier, Classifier};
-use oppsla_core::synth::{evaluate_program, evaluate_program_parallel, Evaluation, SynthConfig};
+use oppsla_core::synth::{evaluate_program, evaluate_program_parallel, Evaluation, FilterFn, Labeled, SynthConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -22,7 +21,7 @@ use rand_chacha::ChaCha8Rng;
 /// Panics if `samples` is zero or `train` is empty.
 pub fn random_search_program(
     classifier: &dyn Classifier,
-    train: &[(Image, usize)],
+    train: &[Labeled],
     samples: usize,
     seed: u64,
     per_image_budget: Option<u64>,
@@ -37,7 +36,7 @@ pub fn random_search_program(
 /// are identical to the sequential function for any thread count.
 pub fn random_search_program_parallel(
     classifier: &dyn BatchClassifier,
-    train: &[(Image, usize)],
+    train: &[Labeled],
     samples: usize,
     seed: u64,
     per_image_budget: Option<u64>,
@@ -49,10 +48,10 @@ pub fn random_search_program_parallel(
 }
 
 fn random_search_core(
-    train: &[(Image, usize)],
+    train: &[Labeled],
     samples: usize,
     seed: u64,
-    eval: &mut dyn FnMut(&Program, &[(Image, usize)]) -> Evaluation,
+    eval: &mut dyn FnMut(&Program, &[Labeled]) -> Evaluation,
 ) -> (Program, u64) {
     assert!(samples > 0, "need at least one sample");
     assert!(!train.is_empty(), "training set is empty");
@@ -130,8 +129,8 @@ impl Default for AblationConfig {
 pub fn run_ablation(
     label: &str,
     classifier: &dyn Classifier,
-    train: &[(Image, usize)],
-    test: &[(Image, usize)],
+    train: &[Labeled],
+    test: &[Labeled],
     config: &AblationConfig,
 ) -> AblationResult {
     let oppsla_report = oppsla_core::synth::synthesize(classifier, train, &config.synth);
@@ -157,8 +156,8 @@ pub fn run_ablation(
 pub fn run_ablation_parallel(
     label: &str,
     classifier: &dyn BatchClassifier,
-    train: &[(Image, usize)],
-    test: &[(Image, usize)],
+    train: &[Labeled],
+    test: &[Labeled],
     config: &AblationConfig,
 ) -> AblationResult {
     let threads = config.synth.threads;
@@ -182,10 +181,10 @@ pub fn run_ablation_parallel(
 /// Gives the random-search baseline the same prefiltering advantage as
 /// OPPSLA so the comparison isolates the *search strategy*.
 fn random_train_set(
-    train: &[(Image, usize)],
+    train: &[Labeled],
     config: &AblationConfig,
-    filter: &mut dyn FnMut(&[(Image, usize)]) -> (Vec<(Image, usize)>, u64),
-) -> Vec<(Image, usize)> {
+    filter: &mut FilterFn<'_>,
+) -> Vec<Labeled> {
     if config.synth.prefilter {
         let (kept, _) = filter(train);
         if kept.is_empty() {
@@ -269,6 +268,7 @@ pub fn ablation_table(results: &[AblationResult]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oppsla_core::image::Image;
     use oppsla_core::oracle::FnClassifier;
     use oppsla_core::pair::{Location, Pixel};
 
@@ -286,9 +286,7 @@ mod tests {
         })
     }
 
-    type Labeled = Vec<(Image, usize)>;
-
-    fn sets() -> (Labeled, Labeled) {
+    fn sets() -> (Vec<Labeled>, Vec<Labeled>) {
         let mk = |v: f32| (Image::filled(7, 7, Pixel([v, v, v])), 0usize);
         (
             vec![mk(0.3), mk(0.4)],

@@ -9,7 +9,7 @@ use oppsla_attacks::{Attack, AttackOutcome, SketchProgramAttack};
 use oppsla_core::dsl::Program;
 use oppsla_core::image::Image;
 use oppsla_core::oracle::{BatchClassifier, Classifier, Oracle};
-use oppsla_core::synth::{synthesize, synthesize_parallel, SynthConfig, SynthReport};
+use oppsla_core::synth::{synthesize, synthesize_parallel, Labeled, SynthConfig, SynthReport};
 use rand::RngCore;
 use std::fs;
 use std::path::Path;
@@ -61,7 +61,7 @@ impl ProgramSuite {
 /// program.
 pub fn synthesize_suite(
     classifier: &dyn Classifier,
-    train: &[(Image, usize)],
+    train: &[Labeled],
     num_classes: usize,
     config: &SynthConfig,
 ) -> (ProgramSuite, Vec<Option<SynthReport>>) {
@@ -76,7 +76,7 @@ pub fn synthesize_suite(
 /// sequential one for any thread count.
 pub fn synthesize_suite_parallel(
     classifier: &dyn BatchClassifier,
-    train: &[(Image, usize)],
+    train: &[Labeled],
     num_classes: usize,
     config: &SynthConfig,
 ) -> (ProgramSuite, Vec<Option<SynthReport>>) {
@@ -88,16 +88,16 @@ pub fn synthesize_suite_parallel(
 /// The per-class loop shared by the sequential and parallel suite
 /// synthesizers; `synth` runs OPPSLA on one class's training slice.
 fn suite_core(
-    train: &[(Image, usize)],
+    train: &[Labeled],
     num_classes: usize,
     config: &SynthConfig,
-    synth: &mut dyn FnMut(&[(Image, usize)], &SynthConfig) -> SynthReport,
+    synth: &mut dyn FnMut(&[Labeled], &SynthConfig) -> SynthReport,
 ) -> (ProgramSuite, Vec<Option<SynthReport>>) {
     assert!(num_classes >= 2, "need at least two classes");
     let mut programs = Vec::with_capacity(num_classes);
     let mut reports = Vec::with_capacity(num_classes);
     for class in 0..num_classes {
-        let class_train: Vec<(Image, usize)> = train
+        let class_train: Vec<Labeled> = train
             .iter()
             .filter(|(_, c)| *c == class)
             .cloned()
@@ -149,7 +149,7 @@ pub fn save_suite(suite: &ProgramSuite, path: &Path) -> Result<(), String> {
 /// suite is synthesized and cached.
 pub fn synthesize_suite_cached(
     classifier: &dyn Classifier,
-    train: &[(Image, usize)],
+    train: &[Labeled],
     num_classes: usize,
     config: &SynthConfig,
     cache_path: Option<&Path>,
@@ -163,7 +163,7 @@ pub fn synthesize_suite_cached(
 /// are interchangeable between the two (the suites are identical).
 pub fn synthesize_suite_cached_parallel(
     classifier: &dyn BatchClassifier,
-    train: &[(Image, usize)],
+    train: &[Labeled],
     num_classes: usize,
     config: &SynthConfig,
     cache_path: Option<&Path>,

@@ -8,7 +8,9 @@
 use crate::convert::{image_into_tensor, image_to_tensor};
 use oppsla_core::image::Image;
 use oppsla_core::oracle::{BatchClassifier, Classifier};
+use oppsla_core::pair::{Location, Pixel};
 use oppsla_data::{Dataset, DatasetSpec};
+use oppsla_nn::delta::{BaseActivations, DeltaPlan, DeltaWorkspace};
 use oppsla_nn::infer::{ForwardWorkspace, InferenceEngine, InferencePlan};
 use oppsla_nn::models::{Arch, ConvNet, InputSpec};
 use oppsla_nn::serialize::{load_weights, save_weights};
@@ -171,6 +173,22 @@ impl Classifier for ZooModel {
     fn scores_into(&self, image: &Image, out: &mut Vec<f32>) {
         self.engine.scores_into(&image_to_tensor(image), out);
     }
+
+    fn scores_pixel_delta_into(
+        &self,
+        base: &Image,
+        location: Location,
+        pixel: Pixel,
+        out: &mut Vec<f32>,
+    ) {
+        self.engine.scores_pixel_delta_into(
+            &image_to_tensor(base),
+            location.row as usize,
+            location.col as usize,
+            pixel.0,
+            out,
+        );
+    }
 }
 
 /// A standalone engine-backed classifier: owns a compiled weight snapshot
@@ -207,31 +225,67 @@ impl Classifier for ZooClassifier {
     fn scores_into(&self, image: &Image, out: &mut Vec<f32>) {
         self.engine.scores_into(&image_to_tensor(image), out);
     }
+
+    fn scores_pixel_delta_into(
+        &self,
+        base: &Image,
+        location: Location,
+        pixel: Pixel,
+        out: &mut Vec<f32>,
+    ) {
+        self.engine.scores_pixel_delta_into(
+            &image_to_tensor(base),
+            location.row as usize,
+            location.col as usize,
+            pixel.0,
+            out,
+        );
+    }
 }
 
 impl BatchClassifier for ZooClassifier {
     fn session(&self) -> Box<dyn Classifier + '_> {
-        Box::new(ZooSession::new(self.engine.plan()))
+        Box::new(ZooSession::new(self.engine.plan(), self.engine.delta_plan()))
     }
 }
 
 /// A per-thread query handle over a shared [`InferencePlan`]: carries its
 /// own forward workspace and input scratch tensor, so steady-state queries
 /// through [`Classifier::scores_into`] perform zero heap allocations.
+///
+/// Pixel-delta queries ([`Classifier::scores_pixel_delta_into`]) are
+/// served incrementally: the first query against a new base image
+/// captures a [`BaseActivations`] snapshot (one full forward), and every
+/// further candidate against that base recomputes only its dirty region.
 pub struct ZooSession<'a> {
     plan: &'a InferencePlan,
-    state: RefCell<(ForwardWorkspace, Tensor)>,
+    delta: &'a DeltaPlan,
+    state: RefCell<SessionState>,
+}
+
+struct SessionState {
+    ws: ForwardWorkspace,
+    input: Tensor,
+    cache: Option<SessionDeltaCache>,
+}
+
+struct SessionDeltaCache {
+    base_image: Image,
+    base: BaseActivations,
+    dws: DeltaWorkspace,
 }
 
 impl<'a> ZooSession<'a> {
-    fn new(plan: &'a InferencePlan) -> Self {
+    fn new(plan: &'a InferencePlan, delta: &'a DeltaPlan) -> Self {
         let spec = plan.input_spec();
         ZooSession {
             plan,
-            state: RefCell::new((
-                plan.workspace(),
-                Tensor::zeros([spec.channels, spec.height, spec.width]),
-            )),
+            delta,
+            state: RefCell::new(SessionState {
+                ws: plan.workspace(),
+                input: Tensor::zeros([spec.channels, spec.height, spec.width]),
+                cache: None,
+            }),
         }
     }
 }
@@ -248,9 +302,48 @@ impl Classifier for ZooSession<'_> {
     }
 
     fn scores_into(&self, image: &Image, out: &mut Vec<f32>) {
-        let (ws, input) = &mut *self.state.borrow_mut();
+        let SessionState { ws, input, .. } = &mut *self.state.borrow_mut();
         image_into_tensor(image, input);
         self.plan.scores_into(ws, input, out);
+    }
+
+    fn scores_pixel_delta_into(
+        &self,
+        base: &Image,
+        location: Location,
+        pixel: Pixel,
+        out: &mut Vec<f32>,
+    ) {
+        let SessionState { ws, input, cache } = &mut *self.state.borrow_mut();
+        match cache {
+            Some(c) if c.base_image == *base => {}
+            Some(c) => {
+                image_into_tensor(base, input);
+                c.base.recapture(self.plan, ws, input);
+                c.dws.reset_from(&c.base);
+                c.base_image.clone_from(base);
+            }
+            None => {
+                image_into_tensor(base, input);
+                let acts = BaseActivations::capture(self.plan, ws, input);
+                let dws = self.delta.workspace(&acts);
+                *cache = Some(SessionDeltaCache {
+                    base_image: base.clone(),
+                    base: acts,
+                    dws,
+                });
+            }
+        }
+        let c = cache.as_mut().expect("delta cache populated above");
+        self.delta.scores_pixel_delta_into(
+            self.plan,
+            &c.base,
+            &mut c.dws,
+            location.row as usize,
+            location.col as usize,
+            pixel.0,
+            out,
+        );
     }
 }
 
@@ -414,6 +507,43 @@ mod tests {
             session.scores_into(img, &mut buf);
             assert_eq!(buf, expected);
         }
+    }
+
+    #[test]
+    fn session_pixel_delta_matches_full_scores() {
+        let model = train_or_load(Arch::VggSmall, Scale::Cifar, &fast_config(false));
+        let classifier = model.classifier();
+        let session = classifier.session();
+        let test = attack_test_set(Scale::Cifar, 1, 6);
+        let mut delta_buf = Vec::new();
+        let mut full_buf = Vec::new();
+        // Interleave two base images so the session's delta cache is
+        // exercised across base switches, not just steady-state hits.
+        for round in 0..2 {
+            for (img, _) in test.iter().take(2) {
+                for &(row, col) in &[(0u16, 0u16), (31, 31), (16, 7 + round)] {
+                    let location = Location { row, col };
+                    let pixel = Pixel([1.0, 0.0, 0.5]);
+                    session.scores_pixel_delta_into(img, location, pixel, &mut delta_buf);
+                    let poked = img.with_pixel(location, pixel);
+                    session.scores_into(&poked, &mut full_buf);
+                    assert_eq!(
+                        delta_buf, full_buf,
+                        "incremental path must be bit-identical to a full forward"
+                    );
+                }
+            }
+        }
+        // The model- and classifier-level overrides delegate to the shared
+        // engine cache; they must agree with the session too.
+        let (img, _) = &test[0];
+        let location = Location { row: 3, col: 30 };
+        let pixel = Pixel([0.0, 0.25, 0.75]);
+        session.scores_pixel_delta_into(img, location, pixel, &mut delta_buf);
+        model.scores_pixel_delta_into(img, location, pixel, &mut full_buf);
+        assert_eq!(delta_buf, full_buf);
+        classifier.scores_pixel_delta_into(img, location, pixel, &mut full_buf);
+        assert_eq!(delta_buf, full_buf);
     }
 
     #[test]

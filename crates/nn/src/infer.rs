@@ -11,10 +11,13 @@
 //! buffers, so steady-state queries perform **zero heap allocations**
 //! (verified by `tests/alloc_free.rs`).
 //!
-//! The plan mirrors the tape's arithmetic operation-for-operation — same
-//! kernels (`*_into` forms), same loop order, same bias broadcast, same
-//! max-shift softmax — so scores are bit-identical to [`ConvNet::scores`]
-//! (verified by `tests/infer_matches_tape.rs`).
+//! The plan mirrors the tape's arithmetic operation-for-operation — the
+//! same per-element accumulation order (convolution is fused rather than
+//! lowered through im2col, which skips only exact-zero padding taps; see
+//! [`oppsla_tensor::ops::conv2d_region_into`] for why that is bit-exact),
+//! same bias broadcast, same max-shift softmax — so scores are
+//! bit-identical to [`ConvNet::scores`] (verified by
+//! `tests/infer_matches_tape.rs`).
 //!
 //! Weights are snapshotted at compile time: rebuild the plan after
 //! training or loading weights.
@@ -37,7 +40,7 @@
 
 use crate::layers::Layer;
 use crate::models::{ConvNet, InputSpec};
-use oppsla_tensor::ops::{self, Conv2dGeometry};
+use oppsla_tensor::ops::{self, Conv2dGeometry, Rect};
 use oppsla_tensor::Tensor;
 use std::sync::Mutex;
 
@@ -55,9 +58,19 @@ struct Slot {
 /// One step of a compiled forward pass. Buffer indices refer to
 /// [`ForwardWorkspace::bufs`]; every op writes a buffer no earlier op
 /// reads, so execution is a straight-line sweep.
+///
+/// `pub(crate)` so the incremental engine in [`crate::delta`] can walk
+/// the same op list with region-restricted kernels.
 #[derive(Debug)]
-enum InferOp {
-    /// im2col into scratch, `weight · cols` into `out`, then bias broadcast.
+pub(crate) enum InferOp {
+    /// Convolution plus bias. Full forwards run either the tape's
+    /// im2col + matmul + bias pipeline (`direct == false`, small feature
+    /// maps, where the GEMM wins) or the fused direct kernel
+    /// [`oppsla_tensor::ops::conv2d_region_into`] (`direct == true`,
+    /// large feature maps, where the im2col scratch spills cache). The
+    /// two are bit-identical — same per-element accumulation order, bias
+    /// last — so the choice never changes the scores, and the incremental
+    /// engine can always patch with the region kernel.
     Conv2d {
         x: usize,
         out: usize,
@@ -66,6 +79,7 @@ enum InferOp {
         geom: Conv2dGeometry,
         out_c: usize,
         cols_len: usize,
+        direct: bool,
     },
     /// `x · weightᵀ + bias` for a single row.
     Linear {
@@ -118,9 +132,18 @@ enum InferOp {
 pub struct InferencePlanner {
     slots: Vec<Slot>,
     buf_lens: Vec<usize>,
-    ops: Vec<InferOp>,
+    buf_dims: Vec<Vec<usize>>,
     scratch_len: usize,
+    ops: Vec<InferOp>,
 }
+
+/// Spatial-extent crossover for the per-conv kernel choice: outputs of at
+/// least this many pixels run the fused direct kernel, smaller ones the
+/// im2col GEMM. Measured on the zoo (forward_bench): at 32x32 (<= 1024
+/// output pixels) the GEMM is ~1.4x faster per conv, while at 64x64 the
+/// im2col buffer (432 KB for the DenseNet stem) spills L2 and the direct
+/// kernel wins — it is what fixed the densenet-small 3x64x64 regression.
+const DIRECT_CONV_MIN_PIXELS: usize = 4096;
 
 impl InferencePlanner {
     /// Starts a plan whose input slot is a `[c, h, w]` image buffer.
@@ -128,8 +151,9 @@ impl InferencePlanner {
         let mut p = InferencePlanner {
             slots: Vec::new(),
             buf_lens: Vec::new(),
-            ops: Vec::new(),
+            buf_dims: Vec::new(),
             scratch_len: 0,
+            ops: Vec::new(),
         };
         p.new_slot(vec![input.channels, input.height, input.width]);
         p
@@ -148,6 +172,7 @@ impl InferencePlanner {
     fn new_slot(&mut self, dims: Vec<usize>) -> SlotId {
         let len = dims.iter().product();
         self.buf_lens.push(len);
+        self.buf_dims.push(dims.clone());
         self.slots.push(Slot {
             buf: self.buf_lens.len() - 1,
             dims,
@@ -166,6 +191,7 @@ impl InferencePlanner {
     ///
     /// Panics if the slot is not `[c, h, w]` with `c == in_channels` or the
     /// weight shape disagrees with the geometry.
+    #[allow(clippy::too_many_arguments)] // mirrors the tape's conv2d signature
     pub fn conv2d(
         &mut self,
         x: SlotId,
@@ -196,9 +222,12 @@ impl InferencePlanner {
         );
         assert_eq!(bias.numel(), out_c, "conv2d bias must be [out_c]");
         let (oh, ow) = (geom.out_h(), geom.out_w());
-        let cols_len = in_channels * kernel * kernel * oh * ow;
-        self.scratch_len = self.scratch_len.max(cols_len);
         let out = self.new_slot(vec![out_c, oh, ow]);
+        let cols_len = in_channels * kernel * kernel * oh * ow;
+        let direct = oh * ow >= DIRECT_CONV_MIN_PIXELS;
+        if !direct {
+            self.scratch_len = self.scratch_len.max(cols_len);
+        }
         self.ops.push(InferOp::Conv2d {
             x: self.buf(x),
             out: self.buf(out),
@@ -207,6 +236,7 @@ impl InferencePlanner {
             geom,
             out_c,
             cols_len,
+            direct,
         });
         out
     }
@@ -365,10 +395,14 @@ impl InferencePlanner {
 pub struct InferencePlan {
     input: InputSpec,
     num_classes: usize,
-    ops: Vec<InferOp>,
-    buf_lens: Vec<usize>,
+    pub(crate) ops: Vec<InferOp>,
+    pub(crate) buf_lens: Vec<usize>,
+    /// Logical `[c, h, w]` (or flat `[n]`) dims of every buffer, used by
+    /// the incremental engine's dirty-region bookkeeping.
+    pub(crate) buf_dims: Vec<Vec<usize>>,
+    /// im2col scratch floats needed by the largest non-direct conv.
     scratch_len: usize,
-    output_buf: usize,
+    pub(crate) output_buf: usize,
 }
 
 impl InferencePlan {
@@ -388,6 +422,7 @@ impl InferencePlan {
             output_buf: p.buf(out),
             ops: p.ops,
             buf_lens: p.buf_lens,
+            buf_dims: p.buf_dims,
             scratch_len: p.scratch_len,
         }
     }
@@ -439,7 +474,7 @@ impl InferencePlan {
     }
 
     /// Runs the forward pass and returns the index of the logits buffer.
-    fn run(&self, ws: &mut ForwardWorkspace, image: &Tensor) -> usize {
+    pub(crate) fn run(&self, ws: &mut ForwardWorkspace, image: &Tensor) -> usize {
         assert_eq!(
             image.shape().dims(),
             &[self.input.channels, self.input.height, self.input.width],
@@ -462,17 +497,23 @@ impl InferencePlan {
                     geom,
                     out_c,
                     cols_len,
+                    direct,
                 } => {
                     let (xb, ob) = buf_pair(bufs, *x, *out);
-                    let cols = &mut scratch[..*cols_len];
-                    ops::im2col_into(xb, geom, cols);
-                    let area = geom.out_h() * geom.out_w();
-                    let k = geom.in_channels * geom.kernel_h * geom.kernel_w;
-                    ops::matmul_into(weight, cols, *out_c, k, area, ob);
-                    for oc in 0..*out_c {
-                        let b = bias[oc];
-                        for v in &mut ob[oc * area..(oc + 1) * area] {
-                            *v += b;
+                    if *direct {
+                        let full = Rect::full(geom.out_h(), geom.out_w());
+                        ops::conv2d_region_into(xb, weight, bias, geom, *out_c, full, ob);
+                    } else {
+                        let cols = &mut scratch[..*cols_len];
+                        ops::im2col_into(xb, geom, cols);
+                        let area = geom.out_h() * geom.out_w();
+                        let k = geom.in_channels * geom.kernel_h * geom.kernel_w;
+                        ops::matmul_into(weight, cols, *out_c, k, area, ob);
+                        for oc in 0..*out_c {
+                            let b = bias[oc];
+                            for v in &mut ob[oc * area..(oc + 1) * area] {
+                                *v += b;
+                            }
                         }
                     }
                 }
@@ -550,38 +591,65 @@ fn buf_pair(bufs: &mut [Vec<f32>], x: usize, out: usize) -> (&[f32], &mut [f32])
 }
 
 /// Pre-allocated storage for every intermediate activation of one
-/// [`InferencePlan`], plus the shared im2col scratch. One workspace serves
-/// one thread; clone-free reuse across queries is the point.
+/// [`InferencePlan`]. One workspace serves one thread; clone-free reuse
+/// across queries is the point. `scratch` holds the im2col buffer for the
+/// largest GEMM-path conv — empty when every conv runs the fused direct
+/// kernel (e.g. none, or all large feature maps).
 #[derive(Debug)]
 pub struct ForwardWorkspace {
-    bufs: Vec<Vec<f32>>,
+    pub(crate) bufs: Vec<Vec<f32>>,
     scratch: Vec<f32>,
 }
 
 /// An [`InferencePlan`] bundled with a mutex-guarded workspace: a drop-in,
 /// thread-safe query engine. Parallel callers that want zero contention
-/// should instead share the [`plan`](InferenceEngine::plan) and give each
-/// thread its own workspace.
+/// should instead share the [`plan`](InferenceEngine::plan) (and
+/// [`delta_plan`](InferenceEngine::delta_plan)) and give each thread its
+/// own workspace.
 #[derive(Debug)]
 pub struct InferenceEngine {
     plan: InferencePlan,
-    ws: Mutex<ForwardWorkspace>,
+    delta: crate::delta::DeltaPlan,
+    state: Mutex<EngineState>,
+}
+
+/// The engine's per-query mutable state: the forward workspace plus the
+/// incremental path's cached base (populated on first pixel-delta query).
+#[derive(Debug)]
+struct EngineState {
+    ws: ForwardWorkspace,
+    cache: Option<EngineDeltaCache>,
+}
+
+#[derive(Debug)]
+struct EngineDeltaCache {
+    base_image: Tensor,
+    base: crate::delta::BaseActivations,
+    dws: crate::delta::DeltaWorkspace,
 }
 
 impl InferenceEngine {
     /// Compiles `net` and allocates one workspace.
     pub fn new(net: &ConvNet) -> Self {
         let plan = InferencePlan::compile(net);
+        let delta = crate::delta::DeltaPlan::compile(&plan);
         let ws = plan.workspace();
         InferenceEngine {
             plan,
-            ws: Mutex::new(ws),
+            delta,
+            state: Mutex::new(EngineState { ws, cache: None }),
         }
     }
 
     /// The underlying compiled plan.
     pub fn plan(&self) -> &InferencePlan {
         &self.plan
+    }
+
+    /// The incremental (dirty-region) counterpart of the plan, for callers
+    /// managing their own per-thread delta workspaces.
+    pub fn delta_plan(&self) -> &crate::delta::DeltaPlan {
+        &self.delta
     }
 
     /// Softmax scores for one `[c, h, w]` image (allocates the result).
@@ -594,8 +662,46 @@ impl InferenceEngine {
     /// Writes softmax scores into `out`, reusing the shared workspace.
     /// Allocation-free once warm.
     pub fn scores_into(&self, image: &Tensor, out: &mut Vec<f32>) {
-        let mut ws = self.ws.lock().expect("inference workspace poisoned");
-        self.plan.scores_into(&mut ws, image, out);
+        let mut state = self.state.lock().expect("inference workspace poisoned");
+        self.plan.scores_into(&mut state.ws, image, out);
+    }
+
+    /// Writes softmax scores for `base` with the pixel at `(row, col)`
+    /// replaced by `rgb`, serving repeated queries against the same base
+    /// from cached activations via the incremental engine. Bit-identical
+    /// to perturbing the image and calling
+    /// [`scores_into`](InferenceEngine::scores_into). The base snapshot is
+    /// (re)captured whenever `base` differs from the previous call's.
+    pub fn scores_pixel_delta_into(
+        &self,
+        base: &Tensor,
+        row: usize,
+        col: usize,
+        rgb: [f32; 3],
+        out: &mut Vec<f32>,
+    ) {
+        let mut guard = self.state.lock().expect("inference workspace poisoned");
+        let EngineState { ws, cache } = &mut *guard;
+        match cache {
+            Some(c) if c.base_image == *base => {}
+            Some(c) => {
+                c.base.recapture(&self.plan, ws, base);
+                c.dws.reset_from(&c.base);
+                c.base_image.data_mut().copy_from_slice(base.data());
+            }
+            None => {
+                let acts = crate::delta::BaseActivations::capture(&self.plan, ws, base);
+                let dws = self.delta.workspace(&acts);
+                *cache = Some(EngineDeltaCache {
+                    base_image: base.clone(),
+                    base: acts,
+                    dws,
+                });
+            }
+        }
+        let c = cache.as_mut().expect("delta cache populated above");
+        self.delta
+            .scores_pixel_delta_into(&self.plan, &c.base, &mut c.dws, row, col, rgb, out);
     }
 }
 
@@ -677,6 +783,31 @@ mod tests {
         after.scores_into(&mut wb, &img, &mut sb);
         assert_ne!(sa, sb, "recompile did not pick up the new weights");
         assert_eq!(sb, net.scores(&img));
+    }
+
+    #[test]
+    fn engine_pixel_delta_matches_full_scores_across_base_switches() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let net = ConvNet::build(Arch::GoogLeNetSmall, InputSpec::RGB32, 5, &mut rng);
+        let engine = InferenceEngine::new(&net);
+        let base_a = test_image(InputSpec::RGB32);
+        let base_b = Tensor::from_fn([3, 32, 32], |i| ((i as f32) * 0.219).cos().abs());
+        let mut got = Vec::new();
+        // Interleave bases to exercise capture, recapture and cache hits.
+        for (base, row, col) in [
+            (&base_a, 0usize, 0usize),
+            (&base_a, 31, 31),
+            (&base_b, 16, 2),
+            (&base_a, 16, 2),
+        ] {
+            let rgb = [1.0, 0.0, 0.5];
+            engine.scores_pixel_delta_into(base, row, col, rgb, &mut got);
+            let mut poked = base.clone();
+            for (ch, v) in rgb.into_iter().enumerate() {
+                *poked.at_mut(&[ch, row, col]) = v;
+            }
+            assert_eq!(got, engine.scores(&poked), "({row}, {col}) diverged");
+        }
     }
 
     #[test]

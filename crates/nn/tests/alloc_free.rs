@@ -6,6 +6,7 @@
 //! test. This file deliberately holds a single test: the counter is
 //! process-global and concurrent tests would pollute it.
 
+use oppsla_nn::delta::{BaseActivations, DeltaPlan};
 use oppsla_nn::infer::InferencePlan;
 use oppsla_nn::models::{Arch, ConvNet, InputSpec};
 use oppsla_tensor::Tensor;
@@ -75,6 +76,31 @@ fn steady_state_queries_do_not_allocate() {
     assert_eq!(
         count, 0,
         "inference hot path allocated {count} times over 100 queries"
+    );
+    assert_eq!(scores.len(), 10);
+
+    // The incremental pixel-delta path must be allocation-free in steady
+    // state too: candidate queries against a cached base dominate the
+    // attack's runtime.
+    let delta = DeltaPlan::compile(&plan);
+    let acts = BaseActivations::capture(&plan, &mut ws, &image);
+    let mut dws = delta.workspace(&acts);
+    for i in 0..2 {
+        delta.scores_pixel_delta_into(&plan, &acts, &mut dws, i, 31 - i, [1.0, 0.0, 0.5], &mut scores);
+    }
+
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for i in 0..100 {
+        let (row, col) = (i % 32, (i * 7) % 32);
+        delta.scores_pixel_delta_into(&plan, &acts, &mut dws, row, col, [0.9, 0.1, 0.4], &mut scores);
+    }
+    ARMED.store(false, Ordering::SeqCst);
+
+    let count = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        count, 0,
+        "pixel-delta hot path allocated {count} times over 100 queries"
     );
     assert_eq!(scores.len(), 10);
 }

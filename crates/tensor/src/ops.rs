@@ -178,6 +178,153 @@ fn sweep_extent(input: usize, kernel: usize, stride: usize, padding: usize) -> u
     (padded - kernel) / stride + 1
 }
 
+/// A half-open spatial rectangle `[y0, y1) × [x0, x1)`, used by the
+/// region-restricted kernels to recompute only a dirty window of an
+/// activation plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    /// First row (inclusive).
+    pub y0: usize,
+    /// Past-the-end row.
+    pub y1: usize,
+    /// First column (inclusive).
+    pub x0: usize,
+    /// Past-the-end column.
+    pub x1: usize,
+}
+
+impl Rect {
+    /// The full `[0, h) × [0, w)` extent.
+    pub fn full(h: usize, w: usize) -> Self {
+        Rect {
+            y0: 0,
+            y1: h,
+            x0: 0,
+            x1: w,
+        }
+    }
+
+    /// True when the rectangle contains no cells.
+    pub fn is_empty(&self) -> bool {
+        self.y0 >= self.y1 || self.x0 >= self.x1
+    }
+
+    /// True when the rectangle covers all of `[0, h) × [0, w)`.
+    pub fn covers(&self, h: usize, w: usize) -> bool {
+        self.y0 == 0 && self.x0 == 0 && self.y1 >= h && self.x1 >= w
+    }
+
+    /// The bounding box of two rectangles (the smallest rectangle
+    /// containing both) — the conservative union used by dirty-region
+    /// propagation.
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Rect {
+            y0: self.y0.min(other.y0),
+            y1: self.y1.max(other.y1),
+            x0: self.x0.min(other.x0),
+            x1: self.x1.max(other.x1),
+        }
+    }
+}
+
+/// Direct (im2col-free) convolution of an output sub-rectangle: recomputes
+/// `out[oc, oy, ox]` for every `(oy, ox)` in `rect`, leaving all other
+/// output cells untouched. `weight` is the flattened kernel bank
+/// `[out_c, c·kh·kw]`, `bias` is `[out_c]`, and `out` is the full
+/// `[out_c, oh, ow]` buffer.
+///
+/// Each output element is accumulated in the exact tap order of the
+/// im2col row layout (`(ch, ky, kx)`-major) with the bias added last, and
+/// out-of-bounds (zero-padding) taps are skipped. Skipping is bit-exact:
+/// in IEEE-754 round-to-nearest an accumulator seeded with `+0.0` can
+/// never become `-0.0`, so adding `w · 0.0 = ±0.0` is always the
+/// identity. Results therefore match the im2col + [`matmul_into`] +
+/// bias-broadcast pipeline bit for bit (asserted in tests).
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with `geom` or the rectangle
+/// exceeds the output extents.
+pub fn conv2d_region_into(
+    image: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    geom: &Conv2dGeometry,
+    out_c: usize,
+    rect: Rect,
+    out: &mut [f32],
+) {
+    let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    assert_eq!(image.len(), c * h * w, "conv2d_region_into image length");
+    let (kh, kw) = (geom.kernel_h, geom.kernel_w);
+    let k = c * kh * kw;
+    assert_eq!(weight.len(), out_c * k, "conv2d_region_into weight length");
+    assert_eq!(bias.len(), out_c, "conv2d_region_into bias length");
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    assert_eq!(out.len(), out_c * oh * ow, "conv2d_region_into out length");
+    assert!(
+        rect.y1 <= oh && rect.x1 <= ow,
+        "rect {rect:?} exceeds output extents {oh}x{ow}"
+    );
+    if rect.is_empty() {
+        return;
+    }
+    let (s, p) = (geom.stride, geom.padding);
+    for oc in 0..out_c {
+        let wrow = &weight[oc * k..(oc + 1) * k];
+        for oy in rect.y0..rect.y1 {
+            let obase = (oc * oh + oy) * ow;
+            let orow = &mut out[obase + rect.x0..obase + rect.x1];
+            orow.fill(0.0);
+            for ch in 0..c {
+                for ky in 0..kh {
+                    let iy = (oy * s + ky) as isize - p as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    let irow = &image[(ch * h + iy as usize) * w..(ch * h + iy as usize + 1) * w];
+                    for kx in 0..kw {
+                        if kx >= w + p {
+                            continue;
+                        }
+                        let wt = wrow[(ch * kh + ky) * kw + kx];
+                        // Valid columns: 0 <= ox·s + kx − p < w, clamped
+                        // to the requested rectangle.
+                        let lo = if p > kx { (p - kx).div_ceil(s) } else { 0 }.max(rect.x0);
+                        let hi = (w + p - kx).div_ceil(s).min(rect.x1);
+                        if lo >= hi {
+                            continue;
+                        }
+                        let ibase = lo * s + kx - p;
+                        if s == 1 {
+                            for (o, &x) in orow[lo - rect.x0..hi - rect.x0]
+                                .iter_mut()
+                                .zip(&irow[ibase..ibase + (hi - lo)])
+                            {
+                                *o += wt * x;
+                            }
+                        } else {
+                            for (i, o) in orow[lo - rect.x0..hi - rect.x0].iter_mut().enumerate() {
+                                *o += wt * irow[ibase + i * s];
+                            }
+                        }
+                    }
+                }
+            }
+            let b = bias[oc];
+            for o in orow.iter_mut() {
+                *o += b;
+            }
+        }
+    }
+}
+
 /// Unfolds one NCHW image `[c, h, w]` (as a flat slice) into a
 /// `[c·kh·kw, oh·ow]` column matrix written into `out`. Overwrites `out`;
 /// padding positions are zero-filled.
@@ -309,7 +456,7 @@ pub fn max_pool2d_into(
     mut argmax: Option<&mut [usize]>,
 ) {
     assert!(
-        h % window == 0 && w % window == 0,
+        h.is_multiple_of(window) && w.is_multiple_of(window),
         "pool window {window} does not divide spatial extent {h}x{w}"
     );
     assert_eq!(input.len(), channels * h * w, "max_pool2d_into input length");
@@ -343,6 +490,66 @@ pub fn max_pool2d_into(
     }
 }
 
+/// Region-restricted square max pooling (stride = window): recomputes
+/// `out[ch, oy, ox]` for every `(oy, ox)` in `rect` (output coordinates),
+/// leaving all other output cells untouched. Same window scan order as
+/// [`max_pool2d_into`], so recomputed cells are bit-identical.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the given dimensions, the
+/// window does not divide a spatial extent, or the rectangle exceeds the
+/// output extents.
+pub fn max_pool2d_region_into(
+    input: &[f32],
+    channels: usize,
+    h: usize,
+    w: usize,
+    window: usize,
+    rect: Rect,
+    out: &mut [f32],
+) {
+    assert!(
+        h.is_multiple_of(window) && w.is_multiple_of(window),
+        "pool window {window} does not divide spatial extent {h}x{w}"
+    );
+    assert_eq!(
+        input.len(),
+        channels * h * w,
+        "max_pool2d_region_into input length"
+    );
+    let (oh, ow) = (h / window, w / window);
+    assert_eq!(
+        out.len(),
+        channels * oh * ow,
+        "max_pool2d_region_into out length"
+    );
+    assert!(
+        rect.y1 <= oh && rect.x1 <= ow,
+        "rect {rect:?} exceeds output extents {oh}x{ow}"
+    );
+    if rect.is_empty() {
+        return;
+    }
+    for ch in 0..channels {
+        let base = ch * h * w;
+        for oy in rect.y0..rect.y1 {
+            for ox in rect.x0..rect.x1 {
+                let mut best = f32::NEG_INFINITY;
+                for dy in 0..window {
+                    for dx in 0..window {
+                        let v = input[base + (oy * window + dy) * w + (ox * window + dx)];
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                }
+                out[(ch * oh + oy) * ow + ox] = best;
+            }
+        }
+    }
+}
+
 /// 2×2 (or general square) max pooling with stride equal to the window size.
 ///
 /// # Panics
@@ -352,7 +559,7 @@ pub fn max_pool2d_into(
 pub fn max_pool2d(input: &Tensor, window: usize) -> MaxPoolOutput {
     let (n, c, h, w) = dims4(input, "max_pool2d");
     assert!(
-        h % window == 0 && w % window == 0,
+        h.is_multiple_of(window) && w.is_multiple_of(window),
         "pool window {window} does not divide spatial extent {h}x{w}"
     );
     let (oh, ow) = (h / window, w / window);
@@ -403,9 +610,9 @@ pub fn global_avg_pool_into(input: &[f32], channels: usize, h: usize, w: usize, 
     assert_eq!(input.len(), channels * h * w, "global_avg_pool_into input length");
     assert_eq!(out.len(), channels, "global_avg_pool_into out length");
     let area = (h * w) as f32;
-    for ch in 0..channels {
+    for (ch, o) in out.iter_mut().enumerate() {
         let base = ch * h * w;
-        out[ch] = input[base..base + h * w].iter().sum::<f32>() / area;
+        *o = input[base..base + h * w].iter().sum::<f32>() / area;
     }
 }
 
@@ -642,6 +849,163 @@ mod tests {
         let mut gout = vec![f32::NAN; 6];
         global_avg_pool_into(img.data(), 6, 4, 4, &mut gout);
         assert_eq!(gout, gap.data());
+    }
+
+    /// The full engine's conv pipeline: im2col, matmul, bias broadcast.
+    fn conv_via_im2col(
+        image: &[f32],
+        weight: &[f32],
+        bias: &[f32],
+        geom: &Conv2dGeometry,
+        out_c: usize,
+    ) -> Vec<f32> {
+        let k = geom.in_channels * geom.kernel_h * geom.kernel_w;
+        let area = geom.out_h() * geom.out_w();
+        let mut cols = vec![0.0f32; k * area];
+        im2col_into(image, geom, &mut cols);
+        let mut out = vec![0.0f32; out_c * area];
+        matmul_into(weight, &cols, out_c, k, area, &mut out);
+        for oc in 0..out_c {
+            let b = bias[oc];
+            for v in &mut out[oc * area..(oc + 1) * area] {
+                *v += b;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn conv_region_full_rect_is_bit_identical_to_im2col_pipeline() {
+        for (kernel, padding, stride) in [(3, 1, 1), (5, 2, 1), (1, 0, 1), (3, 0, 2), (3, 2, 1)] {
+            let geom = Conv2dGeometry {
+                in_channels: 3,
+                in_h: 8,
+                in_w: 8,
+                kernel_h: kernel,
+                kernel_w: kernel,
+                stride,
+                padding,
+            };
+            let out_c = 4;
+            let image: Vec<f32> = (0..3 * 8 * 8).map(|i| (i as f32 * 0.37).sin()).collect();
+            let k = 3 * kernel * kernel;
+            let weight: Vec<f32> = (0..out_c * k).map(|i| (i as f32 * 0.19).cos()).collect();
+            let bias: Vec<f32> = (0..out_c).map(|i| i as f32 * 0.3 - 0.5).collect();
+            let expected = conv_via_im2col(&image, &weight, &bias, &geom, out_c);
+            let mut out = vec![f32::NAN; expected.len()];
+            let full = Rect::full(geom.out_h(), geom.out_w());
+            conv2d_region_into(&image, &weight, &bias, &geom, out_c, full, &mut out);
+            assert_eq!(out, expected, "k={kernel} p={padding} s={stride}");
+        }
+    }
+
+    #[test]
+    fn conv_region_partial_rect_updates_only_the_window() {
+        let geom = Conv2dGeometry {
+            in_channels: 2,
+            in_h: 6,
+            in_w: 6,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let out_c = 3;
+        let image: Vec<f32> = (0..2 * 36).map(|i| (i as f32 * 0.51).sin()).collect();
+        let weight: Vec<f32> = (0..out_c * 18).map(|i| (i as f32 * 0.23).cos()).collect();
+        let bias = vec![0.1, -0.2, 0.3];
+        let expected = conv_via_im2col(&image, &weight, &bias, &geom, out_c);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let rect = Rect {
+            y0: 1,
+            y1: 4,
+            x0: 2,
+            x1: 5,
+        };
+        let mut out = vec![f32::NAN; expected.len()];
+        conv2d_region_into(&image, &weight, &bias, &geom, out_c, rect, &mut out);
+        for oc in 0..out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let idx = (oc * oh + oy) * ow + ox;
+                    let inside =
+                        oy >= rect.y0 && oy < rect.y1 && ox >= rect.x0 && ox < rect.x1;
+                    if inside {
+                        assert_eq!(out[idx], expected[idx], "({oc},{oy},{ox})");
+                    } else {
+                        assert!(out[idx].is_nan(), "({oc},{oy},{ox}) was touched");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_region_matches_full_pool() {
+        let input: Vec<f32> = (0..3 * 8 * 8).map(|i| (i as f32 * 0.71).sin()).collect();
+        let mut expected = vec![0.0f32; 3 * 16];
+        max_pool2d_into(&input, 3, 8, 8, 2, &mut expected, None);
+
+        let mut out = vec![f32::NAN; expected.len()];
+        max_pool2d_region_into(&input, 3, 8, 8, 2, Rect::full(4, 4), &mut out);
+        assert_eq!(out, expected);
+
+        let rect = Rect {
+            y0: 1,
+            y1: 3,
+            x0: 0,
+            x1: 2,
+        };
+        let mut partial = vec![f32::NAN; expected.len()];
+        max_pool2d_region_into(&input, 3, 8, 8, 2, rect, &mut partial);
+        for ch in 0..3 {
+            for oy in 0..4 {
+                for ox in 0..4 {
+                    let idx = (ch * 4 + oy) * 4 + ox;
+                    if (1..3).contains(&oy) && ox < 2 {
+                        assert_eq!(partial[idx], expected[idx]);
+                    } else {
+                        assert!(partial[idx].is_nan());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rect_union_and_covers() {
+        let a = Rect {
+            y0: 1,
+            y1: 3,
+            x0: 2,
+            x1: 4,
+        };
+        let b = Rect {
+            y0: 2,
+            y1: 5,
+            x0: 0,
+            x1: 3,
+        };
+        assert_eq!(
+            a.union(&b),
+            Rect {
+                y0: 1,
+                y1: 5,
+                x0: 0,
+                x1: 4
+            }
+        );
+        let empty = Rect {
+            y0: 2,
+            y1: 2,
+            x0: 0,
+            x1: 4,
+        };
+        assert!(empty.is_empty());
+        assert_eq!(empty.union(&a), a);
+        assert_eq!(a.union(&empty), a);
+        assert!(Rect::full(5, 7).covers(5, 7));
+        assert!(!a.covers(5, 7));
     }
 
     #[test]

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# The full local gate: release build, test suite (including the opt-in
+# query-guard feature), and clippy with warnings denied.
+#
+# Clippy is scoped to the oppsla crates: the vendored stubs under
+# vendor/ are workspace members but not ours to lint.
+#
+# Usage: scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q --workspace
+cargo test -q -p oppsla-core --features query-guard
+cargo clippy -p oppsla-tensor -p oppsla-core -p oppsla-nn -p oppsla-data \
+    -p oppsla-attacks -p oppsla-eval -p oppsla-bench --tests -- -D warnings
+echo "check.sh: all green"

@@ -16,14 +16,9 @@ pub use std::hint::black_box;
 const TARGET: Duration = Duration::from_millis(200);
 
 /// The benchmark driver.
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {
