@@ -7,6 +7,7 @@ use oppsla_core::goal::AttackGoal;
 use oppsla_core::image::Image;
 use oppsla_core::oracle::{argmax, Oracle};
 use oppsla_core::pair::{Corner, Location, Pair};
+use oppsla_core::telemetry::{self, Counter};
 use rand::seq::SliceRandom;
 use rand::RngCore;
 
@@ -47,6 +48,7 @@ impl Attack for RandomPairs {
                 }
             }
         };
+        telemetry::count(Counter::QueryBaseline);
         self.goal.validate(oracle.num_classes(), true_class);
         if argmax(&clean) != true_class {
             return AttackOutcome::AlreadyMisclassified {
@@ -65,10 +67,21 @@ impl Attack for RandomPairs {
             .collect();
         pairs.shuffle(rng);
 
+        // Candidates are one-pixel swaps of the base image: route them
+        // through the pixel-delta query path so incremental backends reuse
+        // cached base activations. The shuffle enumerates each candidate
+        // exactly once, so the whole run shares one query-guard scope.
+        oracle.begin_candidate_scope();
+        let mut scores: Vec<f32> = Vec::with_capacity(clean.len());
         for pair in pairs {
-            let candidate = image.with_pixel(pair.location, pair.corner.as_pixel());
-            match oracle.query(&candidate) {
-                Ok(scores) => {
+            match oracle.query_pixel_delta_into(
+                image,
+                pair.location,
+                pair.corner.as_pixel(),
+                &mut scores,
+            ) {
+                Ok(()) => {
+                    telemetry::count(Counter::QueryInitScan);
                     if self.goal.is_adversarial(&scores, true_class) {
                         return AttackOutcome::Success {
                             location: pair.location,

@@ -15,6 +15,7 @@ use oppsla_core::goal::AttackGoal;
 use oppsla_core::image::Image;
 use oppsla_core::oracle::Oracle;
 use oppsla_core::pair::{Corner, Location};
+use oppsla_core::telemetry::{self, Counter};
 use rand::Rng;
 use rand::RngCore;
 
@@ -107,6 +108,7 @@ impl Attack for SparseRs {
                 }
             }
         };
+        telemetry::count(Counter::QueryBaseline);
         self.goal.validate(oracle.num_classes(), true_class);
         if oppsla_core::oracle::argmax(&clean) != true_class {
             return AttackOutcome::AlreadyMisclassified {
@@ -117,24 +119,32 @@ impl Attack for SparseRs {
         let mut current_loc = random_location(rng, h, w);
         let mut current_corner = random_corner(rng);
         let mut best_margin = f32::INFINITY;
+        // Every proposal is the base image with one pixel swapped, so it
+        // goes through the pixel-delta query path: incremental backends
+        // serve it from cached base activations instead of a full forward
+        // pass. Counts and scores are identical to querying the perturbed
+        // image in full. Random search legitimately re-proposes the same
+        // candidate, so each proposal opens its own query-guard scope.
+        let mut scores: Vec<f32> = Vec::with_capacity(clean.len());
 
         for iteration in 0..self.config.max_iterations {
-            let (loc, corner) = if iteration == 0 {
-                (current_loc, current_corner)
+            let (loc, corner, phase) = if iteration == 0 {
+                (current_loc, current_corner, Counter::QueryInitScan)
             } else if rng.gen_bool(self.location_prob(iteration)) {
-                (random_location(rng, h, w), current_corner)
+                (random_location(rng, h, w), current_corner, Counter::QueryInitScan)
             } else {
-                (current_loc, random_corner(rng))
+                (current_loc, random_corner(rng), Counter::QueryRefine)
             };
-            let candidate = image.with_pixel(loc, corner.as_pixel());
-            let scores = match oracle.query(&candidate) {
-                Ok(s) => s,
-                Err(_) => {
-                    return AttackOutcome::Failure {
-                        queries: spent(oracle),
-                    }
-                }
-            };
+            oracle.begin_candidate_scope();
+            if oracle
+                .query_pixel_delta_into(image, loc, corner.as_pixel(), &mut scores)
+                .is_err()
+            {
+                return AttackOutcome::Failure {
+                    queries: spent(oracle),
+                };
+            }
+            telemetry::count(phase);
             let m = self.goal.margin(&scores, true_class);
             if m < 0.0 {
                 return AttackOutcome::Success {

@@ -16,6 +16,7 @@ use oppsla_core::goal::AttackGoal;
 use oppsla_core::image::Image;
 use oppsla_core::oracle::Oracle;
 use oppsla_core::pair::{Location, Pixel};
+use oppsla_core::telemetry::{self, Counter};
 use rand::Rng;
 use rand::RngCore;
 
@@ -121,6 +122,7 @@ impl Attack for SuOpa {
                 }
             }
         };
+        telemetry::count(Counter::QueryBaseline);
         self.goal.validate(oracle.num_classes(), true_class);
         if oppsla_core::oracle::argmax(&clean) != true_class {
             return AttackOutcome::AlreadyMisclassified {
@@ -129,16 +131,24 @@ impl Attack for SuOpa {
         }
 
         // Evaluate one gene: Ok(fitness) where lower is better, or the
-        // success/budget outcome.
+        // success/budget outcome. Every candidate is the base image with
+        // one pixel replaced, so it goes through the pixel-delta query
+        // path and incremental backends recompute only the dirty region.
+        // DE can re-propose a gene, so each evaluation opens its own
+        // query-guard scope. `phase` attributes the query to the initial
+        // population scan or the per-generation refinement.
         enum Eval {
             Fitness(f32),
             Success(Gene),
             Budget,
         }
-        let eval = |oracle: &mut Oracle<'_>, gene: Gene| -> Eval {
-            let candidate = image.with_pixel(gene.location(), gene.pixel());
-            match oracle.query(&candidate) {
-                Ok(scores) => {
+        let mut scores: Vec<f32> = Vec::with_capacity(clean.len());
+        let mut eval = |oracle: &mut Oracle<'_>, gene: Gene, phase: Counter| -> Eval {
+            oracle.begin_candidate_scope();
+            match oracle.query_pixel_delta_into(image, gene.location(), gene.pixel(), &mut scores)
+            {
+                Ok(()) => {
+                    telemetry::count(phase);
                     if self.goal.is_adversarial(&scores, true_class) {
                         Eval::Success(gene)
                     } else {
@@ -159,7 +169,7 @@ impl Attack for SuOpa {
                 color: [rng.gen(), rng.gen(), rng.gen()],
             }
             .clamp(h, w);
-            match eval(oracle, gene) {
+            match eval(oracle, gene, Counter::QueryInitScan) {
                 Eval::Fitness(f) => {
                     population.push(gene);
                     fitness.push(f);
@@ -203,7 +213,7 @@ impl Attack for SuOpa {
                     ],
                 }
                 .clamp(h, w);
-                match eval(oracle, mutant) {
+                match eval(oracle, mutant, Counter::QueryRefine) {
                     Eval::Fitness(fit) => {
                         if fit < fitness[i] {
                             population[i] = mutant;

@@ -1,0 +1,135 @@
+//! A/B routing tests: every attack submits its one-pixel candidates
+//! through [`Classifier::scores_pixel_delta_into`], the path incremental
+//! backends accelerate — never through a full-image forward pass — and
+//! the rerouting changes neither scores nor query accounting.
+
+use oppsla_attacks::{Attack, RandomPairs, SparseRs, SparseRsConfig, SuOpa, SuOpaConfig};
+use oppsla_core::image::Image;
+use oppsla_core::oracle::{Classifier, FnClassifier, Oracle};
+use oppsla_core::pair::{Location, Pixel};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::cell::Cell;
+
+/// Wraps a classifier and tallies which query path each call used.
+struct RouteCounter<C> {
+    inner: C,
+    full: Cell<u64>,
+    pixel_delta: Cell<u64>,
+}
+
+impl<C> RouteCounter<C> {
+    fn new(inner: C) -> Self {
+        RouteCounter {
+            inner,
+            full: Cell::new(0),
+            pixel_delta: Cell::new(0),
+        }
+    }
+}
+
+impl<C: Classifier> Classifier for RouteCounter<C> {
+    fn num_classes(&self) -> usize {
+        self.inner.num_classes()
+    }
+
+    fn scores(&self, image: &Image) -> Vec<f32> {
+        self.full.set(self.full.get() + 1);
+        self.inner.scores(image)
+    }
+
+    fn scores_into(&self, image: &Image, out: &mut Vec<f32>) {
+        self.full.set(self.full.get() + 1);
+        self.inner.scores_into(image, out);
+    }
+
+    fn scores_pixel_delta_into(
+        &self,
+        base: &Image,
+        location: Location,
+        pixel: Pixel,
+        out: &mut Vec<f32>,
+    ) {
+        self.pixel_delta.set(self.pixel_delta.get() + 1);
+        self.inner.scores_pixel_delta_into(base, location, pixel, out);
+    }
+}
+
+/// A robust classifier: no one-pixel attack exists, so the attacks run
+/// until their iteration cap and the candidate counts are deterministic.
+fn robust() -> FnClassifier<impl Fn(&Image) -> Vec<f32>> {
+    FnClassifier::new(2, |_: &Image| vec![0.9, 0.1])
+}
+
+fn grey(h: usize, w: usize) -> Image {
+    Image::filled(h, w, Pixel([0.5, 0.5, 0.5]))
+}
+
+#[test]
+fn sparse_rs_routes_candidates_through_pixel_delta() {
+    let clf = RouteCounter::new(robust());
+    let attack = SparseRs::new(SparseRsConfig {
+        max_iterations: 40,
+        ..SparseRsConfig::default()
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let mut oracle = Oracle::new(&clf);
+    let outcome = attack.attack(&mut oracle, &grey(8, 8), 0, &mut rng);
+    // Accounting is unchanged by the rerouting: 1 baseline + 40 proposals.
+    assert_eq!(outcome.queries(), 41);
+    assert_eq!(clf.full.get(), 1, "only the baseline is a full query");
+    assert_eq!(clf.pixel_delta.get(), 40, "every proposal is a pixel delta");
+}
+
+#[test]
+fn suopa_routes_candidates_through_pixel_delta() {
+    let clf = RouteCounter::new(robust());
+    let attack = SuOpa::new(SuOpaConfig {
+        population: 6,
+        max_generations: 3,
+        differential_weight: 0.5,
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut oracle = Oracle::new(&clf);
+    let outcome = attack.attack(&mut oracle, &grey(6, 6), 0, &mut rng);
+    // 1 baseline + 6 initial population + 3 generations of 6 mutants.
+    assert_eq!(outcome.queries(), 25);
+    assert_eq!(clf.full.get(), 1);
+    assert_eq!(clf.pixel_delta.get(), 24);
+}
+
+#[test]
+fn random_pairs_routes_candidates_through_pixel_delta() {
+    let clf = RouteCounter::new(robust());
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut oracle = Oracle::new(&clf);
+    let outcome = RandomPairs::default().attack(&mut oracle, &grey(3, 3), 0, &mut rng);
+    assert_eq!(outcome.queries(), 73);
+    assert_eq!(clf.full.get(), 1);
+    assert_eq!(clf.pixel_delta.get(), 72);
+}
+
+#[test]
+fn rerouting_preserves_scores_and_outcomes() {
+    // A classifier with a genuine weakness: the rerouted attacks must
+    // find the same adversarial pixel with the same query spend as an
+    // un-wrapped run (the wrapper only counts; the scores are identical).
+    let target = Location::new(2, 3);
+    let weak = move || {
+        FnClassifier::new(2, move |img: &Image| {
+            if img.pixel(target) == Pixel([1.0, 1.0, 1.0]) {
+                vec![0.1, 0.9]
+            } else {
+                vec![0.9, 0.1]
+            }
+        })
+    };
+    let run = |clf: &dyn Classifier| {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut oracle = Oracle::new(clf);
+        RandomPairs::default().attack(&mut oracle, &grey(5, 5), 0, &mut rng)
+    };
+    let bare = weak();
+    let wrapped = RouteCounter::new(weak());
+    assert_eq!(run(&bare), run(&wrapped));
+}

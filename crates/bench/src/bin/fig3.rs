@@ -14,10 +14,14 @@
 //!     [--seed S]                     (default 0)
 //!     [--fresh]                      (ignore cached program suites)
 //!     [--threads N]                  (worker threads; 0 = auto, default 0)
+//!     [--telemetry PATH]             (append per-phase telemetry events as JSONL)
 //! ```
 //!
 //! Results are bit-identical for any `--threads` value; the knob only
-//! changes wall-clock time.
+//! changes wall-clock time. `--telemetry` writes only to `PATH` and
+//! stderr, never stdout — table and chart output stays byte-identical
+//! with or without it (build with `--features telemetry` for non-zero
+//! counters).
 //!
 //! Defaults are scaled down to finish in minutes on a laptop; the paper's
 //! full setting is `--test-per-class 100 --budget 10000 --synth-train 50
@@ -25,11 +29,16 @@
 
 use oppsla_attacks::{Attack, SparseRs, SparseRsConfig, SuOpa, SuOpaConfig};
 use oppsla_bench::cli::Args;
-use oppsla_bench::{cifar_archs, imagenet_archs, reports_dir, suites_dir, threads_from};
+use oppsla_bench::{
+    cifar_archs, imagenet_archs, print_telemetry_summary, reports_dir, suites_dir,
+    telemetry_sink, threads_from,
+};
 use oppsla_core::oracle::Classifier;
 use oppsla_core::dsl::GrammarConfig;
 use oppsla_core::synth::SynthConfig;
-use oppsla_eval::curves::{evaluate_attack_parallel, AttackEval};
+use oppsla_core::telemetry::FieldValue;
+use oppsla_eval::curves::{evaluate_attack_parallel_with_sink, AttackEval};
+use oppsla_eval::obs::with_phase;
 use oppsla_eval::plot::{render_chart, ChartConfig, Series};
 use oppsla_eval::report::{fmt_rate, fmt_stat, Table};
 use oppsla_eval::suite::{synthesize_suite_cached_parallel, SuiteAttack};
@@ -63,6 +72,7 @@ fn main() {
     };
     let synth_train_per_class = args.get_usize("synth-train", 3);
     let seed = args.get_u64("seed", 0);
+    let mut sink = telemetry_sink(&args);
 
     let checkpoints: Vec<u64> = [100u64, 500, 1000, budget]
         .into_iter()
@@ -109,13 +119,20 @@ fn main() {
             // shareable across worker threads.
             let classifier = model.classifier();
             let t1 = Instant::now();
-            let (suite, reports) = synthesize_suite_cached_parallel(
-                &classifier,
-                &train,
-                model.num_classes(),
-                &synth,
-                cache.as_deref(),
-            );
+            let synth_labels = [
+                ("scale", FieldValue::Str(scale.to_string())),
+                ("arch", FieldValue::Str(arch.id().to_owned())),
+                ("train_images", FieldValue::U64(train.len() as u64)),
+            ];
+            let (suite, reports) = with_phase(&mut *sink, "suite_synthesis", &synth_labels, || {
+                synthesize_suite_cached_parallel(
+                    &classifier,
+                    &train,
+                    model.num_classes(),
+                    &synth,
+                    cache.as_deref(),
+                )
+            });
             match reports {
                 Some(reports) => {
                     let synth_queries: u64 = reports
@@ -142,13 +159,14 @@ fn main() {
             ];
             for attack in &attacks {
                 let t2 = Instant::now();
-                let eval: AttackEval = evaluate_attack_parallel(
+                let eval: AttackEval = evaluate_attack_parallel_with_sink(
                     attack.as_ref(),
                     &classifier,
                     &test,
                     budget,
                     seed,
                     threads,
+                    &mut *sink,
                 );
                 eprintln!(
                     "[{scale}/{arch}] {}: {} valid, success {} in {:.1?}",
@@ -228,4 +246,5 @@ fn main() {
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
     }
+    print_telemetry_summary();
 }

@@ -18,17 +18,19 @@
 //!     [--budget B]       (evaluation budget, default 8192)
 //!     [--seed S]         (default 0)
 //!     [--threads N]      (worker threads; 0 = auto, default 0)
+//!     [--telemetry PATH] (append per-phase telemetry events as JSONL)
 //! ```
 //!
-//! Results are bit-identical for any `--threads` value.
+//! Results are bit-identical for any `--threads` value and with or
+//! without `--telemetry` (which writes only to `PATH` and stderr).
 
 use oppsla_bench::cli::Args;
-use oppsla_bench::{reports_dir, threads_from};
+use oppsla_bench::{print_telemetry_summary, reports_dir, telemetry_sink, threads_from};
 use oppsla_core::dsl::GrammarConfig;
 use oppsla_core::synth::SynthConfig;
 use oppsla_eval::plot::{render_chart, ChartConfig, Series};
 use oppsla_eval::report::Table;
-use oppsla_eval::trajectory::{run_trajectory_parallel, trajectory_table};
+use oppsla_eval::trajectory::{run_trajectory_parallel_with_sink, trajectory_table};
 use oppsla_eval::zoo::{attack_test_set, train_or_load, Scale, ZooConfig};
 use oppsla_nn::models::Arch;
 use std::time::Instant;
@@ -51,6 +53,7 @@ fn main() {
         threads,
     };
     let seed = args.get_u64("seed", 0);
+    let mut sink = telemetry_sink(&args);
 
     let scale = Scale::Cifar;
     let t0 = Instant::now();
@@ -80,7 +83,15 @@ fn main() {
     // shareable across worker threads (the model itself is not `Sync`).
     let classifier = model.classifier();
     let t1 = Instant::now();
-    let result = run_trajectory_parallel(&classifier, &train, &test, &synth, budget, seed);
+    let result = run_trajectory_parallel_with_sink(
+        &classifier,
+        &train,
+        &test,
+        &synth,
+        budget,
+        seed,
+        &mut *sink,
+    );
     eprintln!(
         "trajectory computed in {:.1?} ({} accepted programs, {} total synthesis queries)",
         t1.elapsed(),
@@ -166,4 +177,5 @@ fn main() {
         Ok(()) => println!("trajectory data written to {}", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
+    print_telemetry_summary();
 }

@@ -210,11 +210,35 @@ fn main() {
     }
 
     // Hand-rolled JSON: flat schema, stable key order, no serde needed.
+    // Telemetry instrumentation adds per-op timer reads to the full
+    // forward path, so reports must state whether it was compiled in —
+    // only `telemetry_enabled: false` numbers are comparable baselines.
+    let telemetry_enabled = oppsla_core::telemetry::enabled();
+
+    // Cost of one op-timer hook (a no-op without the feature): two clock
+    // reads plus a thread-local add. Per-query telemetry overhead is this
+    // times the plan's op count (tens of ops, so microseconds against
+    // forwards costing hundreds) — measured in-process because wall-clock
+    // A/B diffs between separately compiled binaries drown in
+    // code-layout noise.
+    let hook_ns = {
+        let hook_iters = 200_000u32;
+        let th = Instant::now();
+        for _ in 0..hook_iters {
+            let t = oppsla_core::telemetry::op_timer(oppsla_core::telemetry::OpKind::Conv);
+            black_box(&t);
+        }
+        th.elapsed().as_nanos() as f64 / f64::from(hook_iters)
+    };
+    eprintln!("telemetry enabled: {telemetry_enabled}, op-timer hook ~{hook_ns:.0} ns");
+
     let mut json = String::from("{\n");
     json.push_str("  \"benchmark\": \"forward_pass\",\n");
     json.push_str(&format!("  \"iters\": {iters},\n"));
     json.push_str(&format!("  \"batch\": {batch},\n"));
     json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"telemetry_enabled\": {telemetry_enabled},\n"));
+    json.push_str(&format!("  \"telemetry_hook_ns_per_op\": {hook_ns:.1},\n"));
     json.push_str("  \"results\": [\n");
     for (i, row) in rows.iter().enumerate() {
         json.push_str(&format!(
@@ -249,6 +273,7 @@ fn main() {
     let mut inc = String::from("{\n");
     inc.push_str("  \"benchmark\": \"incremental_pixel_delta\",\n");
     inc.push_str(&format!("  \"iters\": {iters},\n"));
+    inc.push_str(&format!("  \"telemetry_enabled\": {telemetry_enabled},\n"));
     inc.push_str("  \"results\": [\n");
     for (i, row) in rows.iter().enumerate() {
         inc.push_str(&format!(

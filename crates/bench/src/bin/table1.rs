@@ -12,15 +12,21 @@
 //!     [--seed S]             (default 0)
 //!     [--fresh]
 //!     [--threads N]          (worker threads; 0 = auto, default 0)
+//!     [--telemetry PATH]     (append per-phase telemetry events as JSONL)
 //! ```
 //!
-//! Results are bit-identical for any `--threads` value.
+//! Results are bit-identical for any `--threads` value and with or
+//! without `--telemetry` (which writes only to `PATH` and stderr).
 
 use oppsla_bench::cli::Args;
-use oppsla_bench::{cifar_archs, reports_dir, suites_dir, threads_from};
+use oppsla_bench::{
+    cifar_archs, print_telemetry_summary, reports_dir, suites_dir, telemetry_sink, threads_from,
+};
 use oppsla_core::oracle::{BatchClassifier, Classifier};
 use oppsla_core::dsl::GrammarConfig;
 use oppsla_core::synth::SynthConfig;
+use oppsla_core::telemetry::FieldValue;
+use oppsla_eval::obs::with_phase;
 use oppsla_eval::suite::{synthesize_suite_cached_parallel, ProgramSuite};
 use oppsla_eval::transfer::{run_transfer_parallel, transfer_table};
 use oppsla_eval::zoo::{attack_test_set, train_or_load, Scale, ZooClassifier, ZooConfig};
@@ -43,6 +49,7 @@ fn main() {
     };
     let synth_train_per_class = args.get_usize("synth-train", 3);
     let seed = args.get_u64("seed", 0);
+    let mut sink = telemetry_sink(&args);
 
     let scale = Scale::Cifar;
     let mut labels = Vec::new();
@@ -71,13 +78,19 @@ fn main() {
         // shareable across worker threads (the model itself is not `Sync`).
         let classifier = model.classifier();
         let t1 = Instant::now();
-        let (suite, reports) = synthesize_suite_cached_parallel(
-            &classifier,
-            &train,
-            model.num_classes(),
-            &synth,
-            cache.as_deref(),
-        );
+        let synth_labels = [
+            ("arch", FieldValue::Str(arch.id().to_owned())),
+            ("train_images", FieldValue::U64(train.len() as u64)),
+        ];
+        let (suite, reports) = with_phase(&mut *sink, "suite_synthesis", &synth_labels, || {
+            synthesize_suite_cached_parallel(
+                &classifier,
+                &train,
+                model.num_classes(),
+                &synth,
+                cache.as_deref(),
+            )
+        });
         eprintln!(
             "[{arch}] suite {} in {:.1?}",
             if reports.is_some() { "synthesized" } else { "loaded from cache" },
@@ -94,15 +107,22 @@ fn main() {
         .collect();
     let test = attack_test_set(scale, test_per_class, seed.wrapping_add(999));
     let t2 = Instant::now();
-    let result = run_transfer_parallel(
-        &labels,
-        &classifier_refs,
-        &suites,
-        &test,
-        budget,
-        seed,
-        threads,
-    );
+    let transfer_labels = [
+        ("classifiers", FieldValue::U64(labels.len() as u64)),
+        ("test_images", FieldValue::U64(test.len() as u64)),
+        ("budget", FieldValue::U64(budget)),
+    ];
+    let result = with_phase(&mut *sink, "transfer", &transfer_labels, || {
+        run_transfer_parallel(
+            &labels,
+            &classifier_refs,
+            &suites,
+            &test,
+            budget,
+            seed,
+            threads,
+        )
+    });
     eprintln!("transfer matrix computed in {:.1?}", t2.elapsed());
 
     let table = transfer_table(&result);
@@ -134,4 +154,5 @@ fn main() {
         Ok(()) => println!("table written to {}", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
+    print_telemetry_summary();
 }

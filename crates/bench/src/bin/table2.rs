@@ -12,19 +12,21 @@
 //!     [--no-prefilter]      (keep unattackable training images)
 //!     [--seed S]            (default 0)
 //!     [--threads N]         (worker threads; 0 = auto, default 0)
+//!     [--telemetry PATH]    (append per-phase telemetry events as JSONL)
 //! ```
 //!
-//! Results are bit-identical for any `--threads` value.
+//! Results are bit-identical for any `--threads` value and with or
+//! without `--telemetry` (which writes only to `PATH` and stderr).
 //!
 //! The paper pairs 210 MH iterations with 210 random samples; the default
 //! here is scaled down — pass `--synth-iters 210` for the full setting.
 
 use oppsla_attacks::SparseRsConfig;
 use oppsla_bench::cli::Args;
-use oppsla_bench::{cifar_archs, reports_dir, threads_from};
+use oppsla_bench::{cifar_archs, print_telemetry_summary, reports_dir, telemetry_sink, threads_from};
 use oppsla_core::dsl::GrammarConfig;
 use oppsla_core::synth::SynthConfig;
-use oppsla_eval::ablation::{ablation_table, run_ablation_parallel, AblationConfig};
+use oppsla_eval::ablation::{ablation_table, run_ablation_parallel_with_sink, AblationConfig};
 use oppsla_eval::zoo::{attack_test_set, train_or_load, Scale, ZooConfig};
 use std::time::Instant;
 
@@ -53,6 +55,7 @@ fn main() {
     };
     let synth_train_per_class = args.get_usize("synth-train", 3);
     let seed = args.get_u64("seed", 0);
+    let mut sink = telemetry_sink(&args);
 
     let scale = Scale::Cifar;
     // The ablation trains on a mixed multi-class set (one OPPSLA program
@@ -73,7 +76,14 @@ fn main() {
         // shareable across worker threads (the model itself is not `Sync`).
         let classifier = model.classifier();
         let t1 = Instant::now();
-        let result = run_ablation_parallel(arch.id(), &classifier, &train, &test, &config);
+        let result = run_ablation_parallel_with_sink(
+            arch.id(),
+            &classifier,
+            &train,
+            &test,
+            &config,
+            &mut *sink,
+        );
         eprintln!("[{arch}] ablation done in {:.1?}", t1.elapsed());
         results.push(result);
     }
@@ -86,4 +96,5 @@ fn main() {
         Ok(()) => println!("table written to {}", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
+    print_telemetry_summary();
 }

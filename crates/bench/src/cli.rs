@@ -65,6 +65,11 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// The raw value of `--key`, or `None` when the key is absent.
+    pub fn get_opt_str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
     /// A string value or `default`.
     pub fn get_str(&self, key: &str, default: &str) -> String {
         self.values
@@ -93,7 +98,9 @@ mod tests {
         assert_eq!(a.get_u64("budget", 0), 500);
         assert!(a.has("full"));
         assert_eq!(a.get_str("scale", "x"), "cifar");
+        assert_eq!(a.get_opt_str("scale"), Some("cifar"));
         assert_eq!(a.get_usize("missing", 7), 7);
+        assert_eq!(a.get_opt_str("missing"), None);
         assert!(!a.has("missing"));
     }
 

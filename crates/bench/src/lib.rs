@@ -6,8 +6,9 @@
 
 pub mod cli;
 
+use oppsla_core::telemetry::{JsonlSink, MetricsSink, NoopSink};
 use oppsla_nn::models::Arch;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// The CIFAR-scale classifier roster (paper: VGG-16-BN, ResNet18,
 /// GoogLeNet).
@@ -28,6 +29,39 @@ pub fn reports_dir() -> PathBuf {
 /// Directory where synthesized program suites are cached.
 pub fn suites_dir() -> PathBuf {
     PathBuf::from("target/oppsla-programs")
+}
+
+/// Resolves the shared `--telemetry PATH` knob: a JSONL sink writing one
+/// event per instrumented phase to `PATH`, or a [`NoopSink`] when the flag
+/// is absent. Telemetry never writes to stdout, so experiment results stay
+/// byte-identical with or without the flag (and with or without the
+/// `telemetry` feature — without it, events carry all-zero counters).
+pub fn telemetry_sink(args: &cli::Args) -> Box<dyn MetricsSink> {
+    let Some(path) = args.get_opt_str("telemetry") else {
+        return Box::new(NoopSink);
+    };
+    if !oppsla_core::telemetry::enabled() {
+        eprintln!(
+            "warning: --telemetry given but this binary was built without the `telemetry` \
+             feature; events will carry zero counters (rebuild with --features telemetry)"
+        );
+    }
+    match JsonlSink::create(Path::new(path)) {
+        Ok(sink) => Box::new(sink),
+        Err(e) => {
+            eprintln!("warning: could not create telemetry file {path}: {e}; telemetry disabled");
+            Box::new(NoopSink)
+        }
+    }
+}
+
+/// Prints the end-of-run telemetry summary to **stderr** (wall-clock op
+/// timings must never reach stdout). No output when nothing was recorded.
+pub fn print_telemetry_summary() {
+    let snapshot = oppsla_core::telemetry::snapshot();
+    if !snapshot.is_zero() {
+        eprint!("{}", snapshot.summary());
+    }
 }
 
 /// Resolves the shared `--threads` knob: `0` (the default) auto-detects

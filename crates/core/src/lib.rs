@@ -48,3 +48,8 @@ pub mod parallel;
 pub mod queue;
 pub mod sketch;
 pub mod synth;
+
+/// Query-path telemetry (re-export of [`oppsla_obs`]): phase counters,
+/// per-image query histograms, and metric sinks. Recording is inert
+/// unless the `telemetry` cargo feature is enabled.
+pub use oppsla_obs as telemetry;

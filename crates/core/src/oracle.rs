@@ -96,16 +96,26 @@ impl Classifier for SharedSession<'_> {
     }
 }
 
-/// Index of the maximum score (first on ties).
+/// Index of the maximum score (first on ties), under `f32`'s total order
+/// so the result is well-defined even for non-finite inputs: a NaN
+/// anywhere no longer silently selects class 0 (every plain `>` against
+/// NaN is false), it sorts above +∞ and wins instead.
 ///
 /// # Panics
 ///
-/// Panics if `scores` is empty.
+/// Panics if `scores` is empty; debug builds additionally reject
+/// non-finite scores, since a NaN reaching the decision rule means the
+/// classifier itself is broken.
 pub fn argmax(scores: &[f32]) -> usize {
     assert!(!scores.is_empty(), "argmax of empty score vector");
+    debug_assert!(
+        scores.iter().all(|v| v.is_finite()),
+        "non-finite score in {scores:?}"
+    );
     let mut best = 0;
-    for (i, &v) in scores.iter().enumerate() {
-        if v > scores[best] {
+    for (i, v) in scores.iter().enumerate().skip(1) {
+        // `Greater` only (not `>=`) keeps the first index on exact ties.
+        if v.total_cmp(&scores[best]) == std::cmp::Ordering::Greater {
             best = i;
         }
     }
@@ -153,7 +163,9 @@ impl<F: Fn(&Image) -> Vec<f32>> Classifier for FnClassifier<F> {
 
     fn scores(&self, image: &Image) -> Vec<f32> {
         let scores = (self.f)(image);
-        debug_assert_eq!(scores.len(), self.num_classes, "score vector length");
+        // Hard assert: a wrong-length score vector would silently corrupt
+        // argmax/margin decisions in release builds too.
+        assert_eq!(scores.len(), self.num_classes, "score vector length");
         scores
     }
 }
@@ -277,6 +289,7 @@ impl<'a> Oracle<'a> {
             }
         }
         self.queries += 1;
+        crate::telemetry::count(crate::telemetry::Counter::OracleQueryFull);
         self.classifier.scores_into(image, out);
         Ok(())
     }
@@ -343,6 +356,7 @@ impl<'a> Oracle<'a> {
             pixel.0,
         );
         self.queries += 1;
+        crate::telemetry::count(crate::telemetry::Counter::OracleQueryPixelDelta);
         self.classifier
             .scores_pixel_delta_into(base, location, pixel, out);
         Ok(())
@@ -419,6 +433,41 @@ mod tests {
     #[test]
     fn argmax_prefers_first_on_ties() {
         assert_eq!(argmax(&[0.5, 0.5, 0.1]), 0);
+    }
+
+    #[test]
+    fn argmax_never_defaults_to_class_zero_on_nan() {
+        // Regression: the old `>`-based scan returned 0 whenever
+        // `scores[0]` was NaN (every comparison against NaN is false).
+        // Under the total order a NaN sorts above every number, so the
+        // debug assertion aside, the selection is at least well-defined:
+        // the first NaN wins. Exercise a NaN in each position.
+        for nan_at in 0..4 {
+            let mut scores = [0.1f32, 0.7, 0.2, 0.4];
+            scores[nan_at] = f32::NAN;
+            let result = std::panic::catch_unwind(move || argmax(&scores));
+            if cfg!(debug_assertions) {
+                assert!(result.is_err(), "NaN at {nan_at} must trip the debug assert");
+            } else {
+                assert_eq!(result.unwrap(), nan_at, "first NaN wins under total_cmp");
+            }
+        }
+    }
+
+    #[test]
+    fn argmax_handles_negative_and_zero_scores() {
+        assert_eq!(argmax(&[-0.5, -0.1, -0.9]), 1);
+        assert_eq!(argmax(&[0.0, 0.0]), 0);
+        assert_eq!(argmax(&[f32::MIN, f32::MAX]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "score vector length")]
+    fn fn_classifier_rejects_wrong_length_scores() {
+        // Must be a hard assert: `debug_assert_eq!` alone let release
+        // builds feed a wrong-length vector into argmax/margin.
+        let clf = FnClassifier::new(3, |_: &Image| vec![0.5, 0.5]);
+        let _ = clf.scores(&Image::filled(2, 2, Pixel([0.0; 3])));
     }
 
     #[test]

@@ -63,6 +63,12 @@ where
                     out.push((i, f(&mut state, i, &items[i])));
                     i += threads;
                 }
+                // Merge this worker's thread-local telemetry into the
+                // global aggregate before the scope joins, so a snapshot
+                // taken right after the fan-out sees every worker's
+                // counts. Counter merges are commutative sums, so the
+                // aggregate is identical for any thread count.
+                crate::telemetry::flush();
                 out
             }));
         }

@@ -25,6 +25,7 @@ use crate::image::Image;
 use crate::oracle::{argmax, Oracle};
 use crate::pair::Pair;
 use crate::queue::PairQueue;
+use crate::telemetry::{self, Counter};
 use std::collections::VecDeque;
 
 /// Result of running the sketch on one image.
@@ -126,6 +127,7 @@ pub fn run_sketch_with_goal(
             }
         }
     };
+    telemetry::count(Counter::QueryBaseline);
     if argmax(&orig_scores) != true_class {
         return SketchOutcome::AlreadyMisclassified {
             queries: spent(oracle),
@@ -144,15 +146,18 @@ pub fn run_sketch_with_goal(
 
     // Submits a candidate; `Ok(true)` = adversarial (scores in `buf`),
     // `Ok(false)` = failed attack (scores in `buf`), `Err` = budget.
-    let try_pair = |oracle: &mut Oracle<'_>, buf: &mut Vec<f32>, pair: Pair| {
+    // `phase` attributes the query to the sketch phase that issued it
+    // (initial scan vs. eager refinement) for telemetry.
+    let try_pair = |oracle: &mut Oracle<'_>, buf: &mut Vec<f32>, pair: Pair, phase: Counter| {
         oracle
             .query_pixel_delta_into(image, pair.location, pair.corner.as_pixel(), buf)
             .map_err(|_| ())?;
+        telemetry::count(phase);
         Ok::<bool, ()>(goal.is_adversarial(buf, true_class))
     };
 
     while let Some(pair) = queue.pop() {
-        match try_pair(oracle, &mut buf, pair) {
+        match try_pair(oracle, &mut buf, pair, Counter::QueryInitScan) {
             Ok(false) => {}
             Ok(true) => {
                 return SketchOutcome::Success {
@@ -178,12 +183,14 @@ pub fn run_sketch_with_goal(
 
         // B1: push back the closest pairs with respect to the location.
         if program.condition(1, &ctx) {
+            telemetry::count(Counter::ReprioritizeB1);
             for neighbor in queue.location_neighbors(pair.location, pair.corner) {
                 queue.push_back(neighbor);
             }
         }
         // B2: push back the closest pair with respect to the perturbation.
         if program.condition(2, &ctx) {
+            telemetry::count(Counter::ReprioritizeB2);
             if let Some(next) = queue.next_at_location(pair.location) {
                 queue.push_back(next);
             }
@@ -212,7 +219,7 @@ pub fn run_sketch_with_goal(
                 }
                 for candidate in queue.location_neighbors(failed.location, failed.corner) {
                     queue.remove(candidate);
-                    match try_pair(oracle, &mut buf, candidate) {
+                    match try_pair(oracle, &mut buf, candidate, Counter::QueryRefine) {
                         Ok(false) => {
                             loc_q.push_back((candidate, buf.clone()));
                             pert_q.push_back((candidate, buf.clone()));
@@ -245,7 +252,7 @@ pub fn run_sketch_with_goal(
                 }
                 if let Some(candidate) = queue.next_at_location(failed.location) {
                     queue.remove(candidate);
-                    match try_pair(oracle, &mut buf, candidate) {
+                    match try_pair(oracle, &mut buf, candidate, Counter::QueryRefine) {
                         Ok(false) => {
                             loc_q.push_back((candidate, buf.clone()));
                             pert_q.push_back((candidate, buf.clone()));

@@ -408,6 +408,7 @@ fn run_mh(
     let mut incumbent = random_program_in(&mut rng, dims, config.grammar);
     let initial_program = incumbent.clone();
     let initial = eval(&incumbent, train);
+    crate::telemetry::count(crate::telemetry::Counter::SynthPrograms);
     let mut incumbent_avg = initial.avg_queries;
     let mut cumulative = prefilter_queries + initial.queries_spent;
     let mut iterations = Vec::with_capacity(config.max_iterations);
@@ -415,10 +416,12 @@ fn run_mh(
     for iteration in 1..=config.max_iterations {
         let candidate = mutate_in(&mut rng, &incumbent, dims, config.grammar);
         let evaluation = eval(&candidate, train);
+        crate::telemetry::count(crate::telemetry::Counter::SynthPrograms);
         cumulative += evaluation.queries_spent;
         let p = acceptance_probability(config.beta, incumbent_avg, evaluation.avg_queries);
         let accepted = rng.gen::<f64>() < p;
         if accepted {
+            crate::telemetry::count(crate::telemetry::Counter::SynthAccepted);
             incumbent = candidate.clone();
             incumbent_avg = evaluation.avg_queries;
         }

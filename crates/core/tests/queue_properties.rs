@@ -1,0 +1,153 @@
+//! Model-based property tests of [`PairQueue`]: random interleavings of
+//! the four inner-loop operations (pop, remove, push_back,
+//! next_at_location) against a naive `Vec<Pair>` mirror.
+//!
+//! The queue keeps a per-location side index (`closest_pert` support)
+//! alongside the intrusive list; the `expect("per-location list out of
+//! sync")` in `detach` is the invariant these interleavings exercise.
+
+use oppsla_core::image::Image;
+use oppsla_core::pair::{Corner, Location, Pair, Pixel};
+use oppsla_core::queue::PairQueue;
+use proptest::prelude::*;
+
+const HEIGHT: u16 = 3;
+const WIDTH: u16 = 3;
+const NUM_PAIRS: u8 = 8 * (HEIGHT as u8) * (WIDTH as u8);
+
+/// One queue operation; the payload indexes the pair/location universe so
+/// any `u8` shrinks to a valid target.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Pop,
+    Remove(u8),
+    PushBack(u8),
+    NextAtLocation(u8),
+}
+
+fn decode_pair(id: u8) -> Pair {
+    let li = (id / 8) as u16;
+    let loc = Location::new(li / WIDTH, li % WIDTH);
+    Pair::new(loc, Corner::new(id % 8))
+}
+
+fn decode_location(id: u8) -> Location {
+    let li = id as u16 % (HEIGHT * WIDTH);
+    Location::new(li / WIDTH, li % WIDTH)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Pop),
+        (0..NUM_PAIRS).prop_map(Op::Remove),
+        (0..NUM_PAIRS).prop_map(Op::PushBack),
+        (0..NUM_PAIRS).prop_map(Op::NextAtLocation),
+    ]
+}
+
+/// Applies `op` to the queue and the `Vec<Pair>` mirror, checking that
+/// both observe the same result.
+fn apply(queue: &mut PairQueue, model: &mut Vec<Pair>, op: Op) -> Result<(), TestCaseError> {
+    match op {
+        Op::Pop => {
+            let expected = (!model.is_empty()).then(|| model.remove(0));
+            prop_assert_eq!(queue.pop(), expected);
+        }
+        Op::Remove(id) => {
+            let pair = decode_pair(id);
+            let pos = model.iter().position(|&p| p == pair);
+            if let Some(pos) = pos {
+                model.remove(pos);
+            }
+            prop_assert_eq!(queue.remove(pair), pos.is_some());
+        }
+        Op::PushBack(id) => {
+            let pair = decode_pair(id);
+            let pos = model.iter().position(|&p| p == pair);
+            if let Some(pos) = pos {
+                model.remove(pos);
+                model.push(pair);
+            }
+            prop_assert_eq!(queue.push_back(pair), pos.is_some());
+        }
+        Op::NextAtLocation(id) => {
+            let loc = decode_location(id);
+            let expected = model.iter().copied().find(|p| p.location == loc);
+            prop_assert_eq!(queue.next_at_location(loc), expected);
+        }
+    }
+    Ok(())
+}
+
+/// Full-state equivalence: list order, length, membership, and the
+/// per-location index all agree with the mirror.
+fn check_state(queue: &PairQueue, model: &[Pair]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(queue.len(), model.len(), "len() desynced from the model");
+    let iterated: Vec<Pair> = queue.iter().collect();
+    prop_assert_eq!(
+        iterated.len(),
+        queue.len(),
+        "len() disagrees with iter().count()"
+    );
+    prop_assert_eq!(&iterated, model, "queue order desynced from the model");
+    for id in 0..NUM_PAIRS {
+        let pair = decode_pair(id);
+        prop_assert_eq!(queue.contains(pair), model.contains(&pair));
+    }
+    for li in 0..(HEIGHT * WIDTH) as u8 {
+        let loc = decode_location(li);
+        let expected = model.iter().copied().find(|p| p.location == loc);
+        prop_assert_eq!(
+            queue.next_at_location(loc),
+            expected,
+            "per-location index desynced at {:?}",
+            loc
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any interleaving of the four operations keeps the intrusive list,
+    /// `len()`, and the per-location side index consistent with a naive
+    /// mirror.
+    #[test]
+    fn random_interleavings_never_desync(
+        grey in 0u8..=255,
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        let v = grey as f32 / 255.0;
+        let image = Image::filled(HEIGHT as usize, WIDTH as usize, Pixel([v, v, v]));
+        let mut queue = PairQueue::for_image(&image);
+        let mut model: Vec<Pair> = queue.iter().collect();
+        prop_assert_eq!(model.len(), NUM_PAIRS as usize);
+
+        for op in ops {
+            apply(&mut queue, &mut model, op)?;
+            check_state(&queue, &model)?;
+        }
+    }
+
+    /// Draining an interleaved queue by popping always yields exactly the
+    /// mirror's remaining pairs and ends empty.
+    #[test]
+    fn drain_after_interleaving_matches_model(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let image = Image::filled(HEIGHT as usize, WIDTH as usize, Pixel([0.0, 0.0, 0.0]));
+        let mut queue = PairQueue::for_image(&image);
+        let mut model: Vec<Pair> = queue.iter().collect();
+        for op in ops {
+            apply(&mut queue, &mut model, op)?;
+        }
+        let mut drained = Vec::new();
+        while let Some(p) = queue.pop() {
+            drained.push(p);
+        }
+        prop_assert_eq!(drained, model);
+        prop_assert!(queue.is_empty());
+        prop_assert_eq!(queue.len(), 0);
+    }
+}

@@ -178,6 +178,30 @@ pub fn run_ablation_parallel(
     })
 }
 
+/// [`run_ablation_parallel`] with telemetry plumbing: counters recorded
+/// across the whole ablation (synthesis, random search, and all four
+/// attack evaluations) are emitted to `sink` as one `ablation` event
+/// tagged with `label`. The returned result is identical to the unplumbed
+/// call.
+pub fn run_ablation_parallel_with_sink(
+    label: &str,
+    classifier: &dyn BatchClassifier,
+    train: &[Labeled],
+    test: &[Labeled],
+    config: &AblationConfig,
+    sink: &mut dyn oppsla_core::telemetry::MetricsSink,
+) -> AblationResult {
+    use oppsla_core::telemetry::FieldValue;
+    let labels = [
+        ("label", FieldValue::Str(label.to_owned())),
+        ("train_images", FieldValue::U64(train.len() as u64)),
+        ("test_images", FieldValue::U64(test.len() as u64)),
+    ];
+    crate::obs::with_phase(sink, "ablation", &labels, || {
+        run_ablation_parallel(label, classifier, train, test, config)
+    })
+}
+
 /// Gives the random-search baseline the same prefiltering advantage as
 /// OPPSLA so the comparison isolates the *search strategy*.
 fn random_train_set(

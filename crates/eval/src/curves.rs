@@ -6,6 +6,7 @@ use oppsla_attacks::{Attack, AttackOutcome};
 use oppsla_core::image::Image;
 use oppsla_core::oracle::{BatchClassifier, Classifier, Oracle};
 use oppsla_core::parallel::parallel_map_with;
+use oppsla_core::telemetry::{FieldValue, MetricsSink};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -112,7 +113,9 @@ pub fn evaluate_attack(
         .map(|(i, (image, true_class))| {
             let mut oracle = Oracle::with_budget(classifier, budget);
             let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
-            attack.attack(&mut oracle, image, *true_class, &mut rng)
+            let outcome = attack.attack(&mut oracle, image, *true_class, &mut rng);
+            oppsla_core::telemetry::observe_image_queries(outcome.queries());
+            outcome
         })
         .collect();
     AttackEval {
@@ -141,13 +144,39 @@ pub fn evaluate_attack_parallel(
         |session, i, (image, true_class)| {
             let mut oracle = Oracle::with_budget(&**session, budget);
             let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
-            attack.attack(&mut oracle, image, *true_class, &mut rng)
+            let outcome = attack.attack(&mut oracle, image, *true_class, &mut rng);
+            oppsla_core::telemetry::observe_image_queries(outcome.queries());
+            outcome
         },
     );
     AttackEval {
         attack_name: attack.name().to_owned(),
         outcomes,
     }
+}
+
+/// [`evaluate_attack_parallel`] with telemetry plumbing: the counters
+/// recorded during this evaluation (phase queries, delta-cache traffic,
+/// the per-image query histogram) are emitted to `sink` as one
+/// `attack_eval` event tagged with the attack's name and the budget. The
+/// returned evaluation is identical to the unplumbed call.
+pub fn evaluate_attack_parallel_with_sink(
+    attack: &(dyn Attack + Sync),
+    classifier: &dyn BatchClassifier,
+    test: &[(Image, usize)],
+    budget: u64,
+    seed: u64,
+    threads: usize,
+    sink: &mut dyn MetricsSink,
+) -> AttackEval {
+    let labels = [
+        ("attack", FieldValue::Str(attack.name().to_owned())),
+        ("budget", FieldValue::U64(budget)),
+        ("images", FieldValue::U64(test.len() as u64)),
+    ];
+    crate::obs::with_phase(sink, "attack_eval", &labels, || {
+        evaluate_attack_parallel(attack, classifier, test, budget, seed, threads)
+    })
 }
 
 /// The standard budget grid used by the Figure 3 reproduction.

@@ -12,6 +12,8 @@
 //! * [`plot`] — ASCII line charts for terminal figure rendering.
 //! * [`report`] — ASCII tables and CSV export.
 //! * [`convert`] — tensor ↔ attack-image conversions.
+//! * [`obs`] — telemetry plumbing: phase-scoped metric emission and
+//!   summary tables (active when built with the `telemetry` feature).
 //!
 //! The experiment binaries in `oppsla-bench` are thin CLI wrappers around
 //! these modules.
@@ -21,6 +23,7 @@
 pub mod ablation;
 pub mod convert;
 pub mod curves;
+pub mod obs;
 pub mod plot;
 pub mod report;
 pub mod suite;

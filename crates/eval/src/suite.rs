@@ -85,6 +85,28 @@ pub fn synthesize_suite_parallel(
     })
 }
 
+/// [`synthesize_suite_parallel`] with telemetry plumbing: counters
+/// recorded during the whole per-class synthesis sweep (candidate
+/// programs, acceptances, phase queries, delta-cache traffic) are emitted
+/// to `sink` as one `suite_synthesis` event. The returned suite is
+/// identical to the unplumbed call.
+pub fn synthesize_suite_parallel_with_sink(
+    classifier: &dyn BatchClassifier,
+    train: &[Labeled],
+    num_classes: usize,
+    config: &SynthConfig,
+    sink: &mut dyn oppsla_core::telemetry::MetricsSink,
+) -> (ProgramSuite, Vec<Option<SynthReport>>) {
+    use oppsla_core::telemetry::FieldValue;
+    let labels = [
+        ("classes", FieldValue::U64(num_classes as u64)),
+        ("train_images", FieldValue::U64(train.len() as u64)),
+    ];
+    crate::obs::with_phase(sink, "suite_synthesis", &labels, || {
+        synthesize_suite_parallel(classifier, train, num_classes, config)
+    })
+}
+
 /// The per-class loop shared by the sequential and parallel suite
 /// synthesizers; `synth` runs OPPSLA on one class's training slice.
 fn suite_core(

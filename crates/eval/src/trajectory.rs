@@ -85,6 +85,30 @@ pub fn run_trajectory_parallel(
     })
 }
 
+/// [`run_trajectory_parallel`] with telemetry plumbing: counters recorded
+/// across the synthesis run and every per-point test evaluation are
+/// emitted to `sink` as one `trajectory` event. The returned result is
+/// identical to the unplumbed call.
+pub fn run_trajectory_parallel_with_sink(
+    classifier: &dyn BatchClassifier,
+    train: &[(Image, usize)],
+    test: &[(Image, usize)],
+    synth_config: &SynthConfig,
+    eval_budget: u64,
+    eval_seed: u64,
+    sink: &mut dyn oppsla_core::telemetry::MetricsSink,
+) -> TrajectoryResult {
+    use oppsla_core::telemetry::FieldValue;
+    let labels = [
+        ("train_images", FieldValue::U64(train.len() as u64)),
+        ("test_images", FieldValue::U64(test.len() as u64)),
+        ("eval_budget", FieldValue::U64(eval_budget)),
+    ];
+    crate::obs::with_phase(sink, "trajectory", &labels, || {
+        run_trajectory_parallel(classifier, train, test, synth_config, eval_budget, eval_seed)
+    })
+}
+
 /// Re-evaluates every accepted program plus the fixed baseline; `evaluate`
 /// returns `(avg queries, success rate)` of a program on the test set.
 fn trajectory_core(

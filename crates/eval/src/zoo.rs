@@ -13,7 +13,8 @@ use oppsla_data::{Dataset, DatasetSpec};
 use oppsla_nn::delta::{BaseActivations, DeltaPlan, DeltaWorkspace};
 use oppsla_nn::infer::{ForwardWorkspace, InferenceEngine, InferencePlan};
 use oppsla_nn::models::{Arch, ConvNet, InputSpec};
-use oppsla_nn::serialize::{load_weights, save_weights};
+use oppsla_core::telemetry::{self, Counter};
+use oppsla_nn::serialize::{load_weights, save_weights, WeightError};
 use oppsla_nn::trainer::{evaluate_accuracy, fit, TrainConfig};
 use oppsla_tensor::Tensor;
 use rand::SeedableRng;
@@ -316,14 +317,18 @@ impl Classifier for ZooSession<'_> {
     ) {
         let SessionState { ws, input, cache } = &mut *self.state.borrow_mut();
         match cache {
-            Some(c) if c.base_image == *base => {}
+            Some(c) if c.base_image == *base => {
+                telemetry::count(Counter::DeltaCacheHit);
+            }
             Some(c) => {
+                telemetry::count(Counter::DeltaCacheRebase);
                 image_into_tensor(base, input);
                 c.base.recapture(self.plan, ws, input);
                 c.dws.reset_from(&c.base);
                 c.base_image.clone_from(base);
             }
             None => {
+                telemetry::count(Counter::DeltaCacheCold);
                 image_into_tensor(base, input);
                 let acts = BaseActivations::capture(self.plan, ws, input);
                 let dws = self.delta.workspace(&acts);
@@ -372,15 +377,34 @@ pub fn train_or_load(arch: Arch, scale: Scale, config: &ZooConfig) -> ZooModel {
     let test = Dataset::generate(&spec, test_per_class(scale), config.seed.wrapping_add(1));
 
     if let Some(path) = &cache_path {
-        if load_weights(&net, path).is_ok() {
-            let test_accuracy = evaluate_accuracy(&net, &test.images, &test.labels);
-            let engine = InferenceEngine::new(&net);
-            return ZooModel {
-                net,
-                engine,
-                scale,
-                test_accuracy,
-            };
+        match load_weights(&net, path) {
+            Ok(()) => {
+                telemetry::count(Counter::WeightCacheHit);
+                let test_accuracy = evaluate_accuracy(&net, &test.images, &test.labels);
+                let engine = InferenceEngine::new(&net);
+                return ZooModel {
+                    net,
+                    engine,
+                    scale,
+                    test_accuracy,
+                };
+            }
+            Err(WeightError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                // Plain cache miss: first run, nothing to warn about.
+                telemetry::count(Counter::WeightCacheMiss);
+            }
+            Err(e) => {
+                // Corrupted or mismatched cache file (truncated write,
+                // stale format, wrong architecture). `load_weights`
+                // validates before touching the network, so `net` is
+                // still the fresh initialization: treat this exactly
+                // like a miss — retrain and overwrite the bad file.
+                telemetry::count(Counter::WeightCacheCorrupt);
+                eprintln!(
+                    "warning: ignoring unusable weight cache at {}: {e}; retraining",
+                    path.display()
+                );
+            }
         }
     }
 
@@ -544,6 +568,44 @@ mod tests {
         assert_eq!(delta_buf, full_buf);
         classifier.scores_pixel_delta_into(img, location, pixel, &mut full_buf);
         assert_eq!(delta_buf, full_buf);
+    }
+
+    #[test]
+    fn corrupted_weight_cache_falls_back_to_retraining() {
+        // Regression: a truncated cache file (killed mid-write, disk
+        // full) must behave as a cache miss — warn, retrain, and rewrite
+        // the file — not poison every later run.
+        let config = ZooConfig {
+            cache_dir: fast_config(true).cache_dir.map(|d| d.join("corrupt")),
+            ..fast_config(true)
+        };
+        let reference = train_or_load(Arch::Mlp, Scale::Cifar, &config);
+        let dir = config.cache_dir.as_ref().unwrap();
+        let path = std::fs::read_dir(dir)
+            .expect("cache dir exists after first train")
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "json"))
+            .expect("first run wrote a cache file");
+
+        // Truncate mid-byte: cut the JSON in half.
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.len() > 2);
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let recovered = train_or_load(Arch::Mlp, Scale::Cifar, &config);
+        let test = attack_test_set(Scale::Cifar, 1, 7);
+        for (img, _) in &test {
+            assert_eq!(
+                recovered.scores(img),
+                reference.scores(img),
+                "retraining is deterministic, so recovery reproduces the weights"
+            );
+        }
+
+        // And the bad file was rewritten: a third load is a clean cache
+        // hit byte-identical to the original.
+        let rewritten = std::fs::read(&path).unwrap();
+        assert_eq!(rewritten, bytes, "cache file restored by the retrain");
     }
 
     #[test]

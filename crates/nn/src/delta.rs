@@ -260,6 +260,7 @@ impl DeltaPlan {
             row < in_h && col < in_w,
             "pixel ({row}, {col}) out of range for {in_h}x{in_w} input"
         );
+        oppsla_obs::count(oppsla_obs::Counter::DeltaQueries);
 
         // Lazily undo the previous query: restore exactly the regions it
         // dirtied from the base snapshot.
@@ -321,6 +322,7 @@ impl DeltaPlan {
                                 x1: ((r.x1 - 1 + p) / s + 1).min(ow),
                             };
                             if o.covers(oh, ow) {
+                                oppsla_obs::count(oppsla_obs::Counter::DeltaFullPromotions);
                                 Region::Full
                             } else {
                                 Region::Dirty(o)
@@ -375,6 +377,7 @@ impl DeltaPlan {
                                 x1: (r.x1 - 1) / window + 1,
                             };
                             if o.covers(oh, ow) {
+                                oppsla_obs::count(oppsla_obs::Counter::DeltaFullPromotions);
                                 Region::Full
                             } else {
                                 Region::Dirty(o)

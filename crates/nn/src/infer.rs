@@ -488,6 +488,18 @@ impl InferencePlan {
         let ForwardWorkspace { bufs, scratch } = ws;
         bufs[0].copy_from_slice(image.data());
         for op in &self.ops {
+            // Per-layer timing hook: the guard records call count and
+            // elapsed nanoseconds on drop. With telemetry off both the
+            // guard and this call compile to nothing.
+            let _op_timing = oppsla_obs::op_timer(match op {
+                InferOp::Conv2d { .. } => oppsla_obs::OpKind::Conv,
+                InferOp::Linear { .. } => oppsla_obs::OpKind::Linear,
+                InferOp::Relu { .. } => oppsla_obs::OpKind::Relu,
+                InferOp::MaxPool { .. } => oppsla_obs::OpKind::MaxPool,
+                InferOp::GlobalAvgPool { .. } => oppsla_obs::OpKind::Gap,
+                InferOp::Add { .. } => oppsla_obs::OpKind::Add,
+                InferOp::CopySeg { .. } => oppsla_obs::OpKind::CopySeg,
+            });
             match op {
                 InferOp::Conv2d {
                     x,
@@ -683,13 +695,17 @@ impl InferenceEngine {
         let mut guard = self.state.lock().expect("inference workspace poisoned");
         let EngineState { ws, cache } = &mut *guard;
         match cache {
-            Some(c) if c.base_image == *base => {}
+            Some(c) if c.base_image == *base => {
+                oppsla_obs::count(oppsla_obs::Counter::DeltaCacheHit);
+            }
             Some(c) => {
+                oppsla_obs::count(oppsla_obs::Counter::DeltaCacheRebase);
                 c.base.recapture(&self.plan, ws, base);
                 c.dws.reset_from(&c.base);
                 c.base_image.data_mut().copy_from_slice(base.data());
             }
             None => {
+                oppsla_obs::count(oppsla_obs::Counter::DeltaCacheCold);
                 let acts = crate::delta::BaseActivations::capture(&self.plan, ws, base);
                 let dws = self.delta.workspace(&acts);
                 *cache = Some(EngineDeltaCache {

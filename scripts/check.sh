@@ -13,6 +13,12 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q --workspace
 cargo test -q -p oppsla-core --features query-guard
-cargo clippy -p oppsla-tensor -p oppsla-core -p oppsla-nn -p oppsla-data \
-    -p oppsla-attacks -p oppsla-eval -p oppsla-bench --tests -- -D warnings
+# The telemetry feature is additive but changes what is compiled in, so
+# the instrumented crates get their own test pass. Per-package (not
+# --workspace): the vendored stubs have no such feature.
+cargo test -q -p oppsla-obs -p oppsla-core -p oppsla-nn -p oppsla-attacks \
+    -p oppsla-eval -p oppsla-bench --features telemetry
+cargo clippy -p oppsla-tensor -p oppsla-obs -p oppsla-core -p oppsla-nn \
+    -p oppsla-data -p oppsla-attacks -p oppsla-eval -p oppsla-bench \
+    --tests -- -D warnings
 echo "check.sh: all green"
