@@ -64,7 +64,11 @@ impl fmt::Display for MultiAttackOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MultiAttackOutcome::Success { pixels, queries } => {
-                write!(f, "success with {} pixels after {queries} queries", pixels.len())
+                write!(
+                    f,
+                    "success with {} pixels after {queries} queries",
+                    pixels.len()
+                )
             }
             MultiAttackOutcome::Failure { queries } => write!(f, "failure after {queries} queries"),
             MultiAttackOutcome::AlreadyMisclassified { queries } => {

@@ -73,7 +73,24 @@ impl Attack for RandomPairs {
         // exactly once, so the whole run shares one query-guard scope.
         oracle.begin_candidate_scope();
         let mut scores: Vec<f32> = Vec::with_capacity(clean.len());
-        for pair in pairs {
+        // The visiting order is fixed once shuffled, so upcoming chunks can
+        // be speculatively prefetched: a batched backend evaluates 8
+        // candidates per sweep, and an early success simply abandons the
+        // unconsumed tail (computed but never counted).
+        const PREFETCH_BATCH: usize = 8;
+        let mut upcoming: Vec<(Location, oppsla_core::pair::Pixel)> =
+            Vec::with_capacity(PREFETCH_BATCH);
+        for (i, &pair) in pairs.iter().enumerate() {
+            if !oracle.has_prefetched() {
+                upcoming.clear();
+                upcoming.extend(
+                    pairs[i..]
+                        .iter()
+                        .take(PREFETCH_BATCH)
+                        .map(|p| (p.location, p.corner.as_pixel())),
+                );
+                oracle.prefetch_pixel_batch(image, &upcoming);
+            }
             match oracle.query_pixel_delta_into(
                 image,
                 pair.location,
@@ -159,7 +176,9 @@ mod tests {
             .map(|seed| {
                 let mut rng = ChaCha8Rng::seed_from_u64(seed);
                 let mut oracle = Oracle::new(&clf);
-                RandomPairs::default().attack(&mut oracle, &img, 0, &mut rng).queries()
+                RandomPairs::default()
+                    .attack(&mut oracle, &img, 0, &mut rng)
+                    .queries()
             })
             .collect();
         let mut unique = counts.clone();

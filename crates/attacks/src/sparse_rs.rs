@@ -127,13 +127,59 @@ impl Attack for SparseRs {
         // candidate, so each proposal opens its own query-guard scope.
         let mut scores: Vec<f32> = Vec::with_capacity(clean.len());
 
+        // Speculative batching: the RNG decisions for an iteration depend
+        // only on the iteration index, so they can be pre-drawn a chunk at
+        // a time (same draws, same stream order as drawing them one per
+        // iteration) and turned into speculative candidates under the
+        // assumption that no proposal in the chunk is accepted. An accept
+        // changes `current_*`, invalidating every still-pending speculated
+        // candidate, so the attack re-prefetches from the new state at the
+        // next iteration (the oracle replaces the stale batch) —
+        // accounting and scores are unaffected either way. Pre-drawing
+        // happens unconditionally so candidate sequences are identical
+        // whether or not the oracle actually prefetches.
+        #[derive(Clone, Copy)]
+        enum Draw {
+            /// Iteration 0: propose the initial candidate as-is.
+            Current,
+            Loc(Location),
+            Corner(Corner),
+        }
+        const PREFETCH_BATCH: usize = 8;
+        let mut drawn: std::collections::VecDeque<Draw> =
+            std::collections::VecDeque::with_capacity(PREFETCH_BATCH);
+        let mut upcoming: Vec<(Location, oppsla_core::pair::Pixel)> =
+            Vec::with_capacity(PREFETCH_BATCH);
+        let mut stale = false;
+
         for iteration in 0..self.config.max_iterations {
-            let (loc, corner, phase) = if iteration == 0 {
-                (current_loc, current_corner, Counter::QueryInitScan)
-            } else if rng.gen_bool(self.location_prob(iteration)) {
-                (random_location(rng, h, w), current_corner, Counter::QueryInitScan)
-            } else {
-                (current_loc, random_corner(rng), Counter::QueryRefine)
+            if drawn.is_empty() {
+                let n = (self.config.max_iterations - iteration).min(PREFETCH_BATCH as u64);
+                for j in 0..n {
+                    let it = iteration + j;
+                    drawn.push_back(if it == 0 {
+                        Draw::Current
+                    } else if rng.gen_bool(self.location_prob(it)) {
+                        Draw::Loc(random_location(rng, h, w))
+                    } else {
+                        Draw::Corner(random_corner(rng))
+                    });
+                }
+            }
+            if stale || !oracle.has_prefetched() {
+                stale = false;
+                upcoming.clear();
+                upcoming.extend(drawn.iter().map(|d| match d {
+                    Draw::Current => (current_loc, current_corner.as_pixel()),
+                    Draw::Loc(l) => (*l, current_corner.as_pixel()),
+                    Draw::Corner(c) => (current_loc, c.as_pixel()),
+                }));
+                oracle.prefetch_pixel_batch(image, &upcoming);
+            }
+            let (loc, corner, phase) = match drawn.pop_front().expect("refilled above") {
+                Draw::Current => (current_loc, current_corner, Counter::QueryInitScan),
+                Draw::Loc(l) => (l, current_corner, Counter::QueryInitScan),
+                Draw::Corner(c) => (current_loc, c, Counter::QueryRefine),
             };
             oracle.begin_candidate_scope();
             if oracle
@@ -155,6 +201,9 @@ impl Attack for SparseRs {
             }
             if m <= best_margin {
                 best_margin = m;
+                if (loc, corner) != (current_loc, current_corner) {
+                    stale = true;
+                }
                 current_loc = loc;
                 current_corner = corner;
             }

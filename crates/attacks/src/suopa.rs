@@ -83,7 +83,10 @@ impl SuOpa {
     /// Panics if the population is smaller than 4 (DE/rand/1 needs four
     /// distinct members).
     pub fn new(config: SuOpaConfig) -> Self {
-        assert!(config.population >= 4, "DE needs a population of at least 4");
+        assert!(
+            config.population >= 4,
+            "DE needs a population of at least 4"
+        );
         SuOpa {
             config,
             goal: AttackGoal::Untargeted,
@@ -145,8 +148,7 @@ impl Attack for SuOpa {
         let mut scores: Vec<f32> = Vec::with_capacity(clean.len());
         let mut eval = |oracle: &mut Oracle<'_>, gene: Gene, phase: Counter| -> Eval {
             oracle.begin_candidate_scope();
-            match oracle.query_pixel_delta_into(image, gene.location(), gene.pixel(), &mut scores)
-            {
+            match oracle.query_pixel_delta_into(image, gene.location(), gene.pixel(), &mut scores) {
                 Ok(()) => {
                     telemetry::count(phase);
                     if self.goal.is_adversarial(&scores, true_class) {
@@ -159,16 +161,44 @@ impl Attack for SuOpa {
             }
         };
 
-        // Initial population: uniform locations, uniform colours.
+        // Speculative batching: initial genes are pure RNG draws and each
+        // generation's DE picks depend only on the RNG stream and the
+        // member index, so both can be pre-drawn a chunk at a time (same
+        // draws, same stream order) and speculatively evaluated as a
+        // batch. Accepted mutants change the population, invalidating the
+        // still-pending speculated mutants, so the attack re-prefetches
+        // from the updated population at the next step (the oracle
+        // replaces the stale batch) — accounting and scores are
+        // unaffected either way.
+        const PREFETCH_BATCH: usize = 8;
+        let mut upcoming: Vec<(Location, Pixel)> = Vec::with_capacity(PREFETCH_BATCH);
+
+        // Initial population: uniform locations, uniform colours. The
+        // genes never depend on evaluation results, so the whole
+        // population is drawn up front and prefetched in chunks.
+        let genes: Vec<Gene> = (0..self.config.population)
+            .map(|_| {
+                Gene {
+                    row: rng.gen_range(0.0..h as f32),
+                    col: rng.gen_range(0.0..w as f32),
+                    color: [rng.gen(), rng.gen(), rng.gen()],
+                }
+                .clamp(h, w)
+            })
+            .collect();
         let mut population = Vec::with_capacity(self.config.population);
         let mut fitness = Vec::with_capacity(self.config.population);
-        for _ in 0..self.config.population {
-            let gene = Gene {
-                row: rng.gen_range(0.0..h as f32),
-                col: rng.gen_range(0.0..w as f32),
-                color: [rng.gen(), rng.gen(), rng.gen()],
+        for (i, &gene) in genes.iter().enumerate() {
+            if !oracle.has_prefetched() {
+                upcoming.clear();
+                upcoming.extend(
+                    genes[i..]
+                        .iter()
+                        .take(PREFETCH_BATCH)
+                        .map(|g| (g.location(), g.pixel())),
+                );
+                oracle.prefetch_pixel_batch(image, &upcoming);
             }
-            .clamp(h, w);
             match eval(oracle, gene, Counter::QueryInitScan) {
                 Eval::Fitness(f) => {
                     population.push(gene);
@@ -189,35 +219,60 @@ impl Attack for SuOpa {
             }
         }
 
+        let f = self.config.differential_weight;
+        let mutant_of = |population: &[Gene], (a, b, c): (usize, usize, usize)| {
+            Gene {
+                row: population[a].row + f * (population[b].row - population[c].row),
+                col: population[a].col + f * (population[b].col - population[c].col),
+                color: [
+                    population[a].color[0] + f * (population[b].color[0] - population[c].color[0]),
+                    population[a].color[1] + f * (population[b].color[1] - population[c].color[1]),
+                    population[a].color[2] + f * (population[b].color[2] - population[c].color[2]),
+                ],
+            }
+            .clamp(h, w)
+        };
+
+        let mut picks: std::collections::VecDeque<(usize, usize, usize)> =
+            std::collections::VecDeque::with_capacity(PREFETCH_BATCH);
+        let mut stale = false;
         for _ in 0..self.config.max_generations {
+            picks.clear();
             for i in 0..population.len() {
-                // DE/rand/1: three distinct members, none equal to i.
-                let mut pick = || loop {
-                    let j = rng.gen_range(0..population.len());
-                    if j != i {
-                        return j;
+                // DE/rand/1 member picks depend only on the RNG stream and
+                // the target index, so a chunk is pre-drawn (in stream
+                // order) and the corresponding mutants — computed from the
+                // population *as of the prefetch* — batched speculatively.
+                if picks.is_empty() {
+                    let n = (population.len() - i).min(PREFETCH_BATCH);
+                    for idx in i..i + n {
+                        // Three distinct members, none equal to idx.
+                        let mut pick = || loop {
+                            let j = rng.gen_range(0..population.len());
+                            if j != idx {
+                                return j;
+                            }
+                        };
+                        picks.push_back((pick(), pick(), pick()));
                     }
-                };
-                let (a, b, c) = (pick(), pick(), pick());
-                let f = self.config.differential_weight;
-                let mutant = Gene {
-                    row: population[a].row + f * (population[b].row - population[c].row),
-                    col: population[a].col + f * (population[b].col - population[c].col),
-                    color: [
-                        population[a].color[0]
-                            + f * (population[b].color[0] - population[c].color[0]),
-                        population[a].color[1]
-                            + f * (population[b].color[1] - population[c].color[1]),
-                        population[a].color[2]
-                            + f * (population[b].color[2] - population[c].color[2]),
-                    ],
                 }
-                .clamp(h, w);
+                if stale || !oracle.has_prefetched() {
+                    stale = false;
+                    upcoming.clear();
+                    upcoming.extend(picks.iter().map(|&abc| {
+                        let m = mutant_of(&population, abc);
+                        (m.location(), m.pixel())
+                    }));
+                    oracle.prefetch_pixel_batch(image, &upcoming);
+                }
+                let abc = picks.pop_front().expect("refilled above");
+                let mutant = mutant_of(&population, abc);
                 match eval(oracle, mutant, Counter::QueryRefine) {
                     Eval::Fitness(fit) => {
                         if fit < fitness[i] {
                             population[i] = mutant;
                             fitness[i] = fit;
+                            stale = true;
                         }
                     }
                     Eval::Success(g) => {

@@ -51,7 +51,8 @@ impl<C: Classifier> Classifier for RouteCounter<C> {
         out: &mut Vec<f32>,
     ) {
         self.pixel_delta.set(self.pixel_delta.get() + 1);
-        self.inner.scores_pixel_delta_into(base, location, pixel, out);
+        self.inner
+            .scores_pixel_delta_into(base, location, pixel, out);
     }
 }
 
@@ -78,7 +79,14 @@ fn sparse_rs_routes_candidates_through_pixel_delta() {
     // Accounting is unchanged by the rerouting: 1 baseline + 40 proposals.
     assert_eq!(outcome.queries(), 41);
     assert_eq!(clf.full.get(), 1, "only the baseline is a full query");
-    assert_eq!(clf.pixel_delta.get(), 40, "every proposal is a pixel delta");
+    // Speculative prefetching may re-evaluate candidates whose batch was
+    // flushed by an accepted proposal — extra *classifier* work, never
+    // extra counted queries — so the delta-path call count is a floor.
+    assert!(
+        clf.pixel_delta.get() >= 40,
+        "every proposal is a pixel delta (got {})",
+        clf.pixel_delta.get()
+    );
 }
 
 #[test]

@@ -30,11 +30,11 @@
 use oppsla_attacks::{Attack, SparseRs, SparseRsConfig, SuOpa, SuOpaConfig};
 use oppsla_bench::cli::Args;
 use oppsla_bench::{
-    cifar_archs, imagenet_archs, print_telemetry_summary, reports_dir, suites_dir,
-    telemetry_sink, threads_from,
+    cifar_archs, imagenet_archs, print_telemetry_summary, reports_dir, suites_dir, telemetry_sink,
+    threads_from,
 };
-use oppsla_core::oracle::Classifier;
 use oppsla_core::dsl::GrammarConfig;
+use oppsla_core::oracle::Classifier;
 use oppsla_core::synth::SynthConfig;
 use oppsla_core::telemetry::FieldValue;
 use oppsla_eval::curves::{evaluate_attack_parallel_with_sink, AttackEval};
@@ -135,11 +135,8 @@ fn main() {
             });
             match reports {
                 Some(reports) => {
-                    let synth_queries: u64 = reports
-                        .iter()
-                        .flatten()
-                        .map(|r| r.total_queries)
-                        .sum();
+                    let synth_queries: u64 =
+                        reports.iter().flatten().map(|r| r.total_queries).sum();
                     eprintln!(
                         "[{scale}/{arch}] synthesized suite in {:.1?} ({synth_queries} synthesis queries)",
                         t1.elapsed()

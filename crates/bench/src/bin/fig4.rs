@@ -129,9 +129,7 @@ fn main() {
         );
         let baseline = Series::new(
             "sketch+false",
-            xs.iter()
-                .map(|&x| (x, result.fixed_baseline_avg))
-                .collect(),
+            xs.iter().map(|&x| (x, result.fixed_baseline_avg)).collect(),
         );
         let chart = render_chart(
             &[oppsla_series, baseline],

@@ -12,9 +12,11 @@
 //! cargo run --release -p oppsla-bench --bin forward_bench -- \
 //!     [--iters N]     (timed queries per measurement, default 200)
 //!     [--batch N]     (images per throughput measurement, default 64)
+//!     [--batch-k N]   (candidates per batched sweep, default 8)
 //!     [--threads N]   (worker threads; 0 = auto, default 0)
 //!     [--out PATH]    (default BENCH_forward.json)
 //!     [--inc-out PATH] (default BENCH_incremental.json)
+//!     [--batched-out PATH] (default BENCH_batched.json)
 //! ```
 //!
 //! `engine_speedup` is the seed repo's per-query cost (the allocating
@@ -45,6 +47,8 @@ struct Row {
     tape_ns: f64,
     engine_ns: f64,
     incremental_ns: f64,
+    batched_delta_ns: f64,
+    batched_forward_ns: f64,
     sequential_qps: f64,
     parallel_qps: f64,
 }
@@ -57,17 +61,31 @@ impl Row {
     fn incremental_speedup(&self) -> f64 {
         self.engine_ns / self.incremental_ns
     }
+
+    /// Batched candidate throughput over the sequential delta path.
+    fn batched_speedup(&self) -> f64 {
+        self.incremental_ns / self.batched_delta_ns
+    }
+
+    /// Batched full-forward throughput over the sequential full forward.
+    fn batched_forward_speedup(&self) -> f64 {
+        self.engine_ns / self.batched_forward_ns
+    }
 }
 
 fn main() {
     let args = Args::parse();
     let iters = args.get_usize("iters", 200).max(1);
     let batch = args.get_usize("batch", 64).max(1);
+    let batch_k = args.get_usize("batch-k", 8).max(1);
     let threads = threads_from(&args);
     let out_path = args.get_str("out", "BENCH_forward.json");
     let inc_out_path = args.get_str("inc-out", "BENCH_incremental.json");
+    let batched_out_path = args.get_str("batched-out", "BENCH_batched.json");
 
-    eprintln!("{iters} iters, {batch}-image batches, {threads} worker thread(s)");
+    eprintln!(
+        "{iters} iters, {batch}-image batches, {batch_k}-candidate sweeps, {threads} worker thread(s)"
+    );
 
     let cases: [(Arch, InputSpec, usize); 7] = [
         (Arch::VggSmall, InputSpec::RGB32, 10),
@@ -122,7 +140,12 @@ fn main() {
         let delta = engine.delta_plan();
         let acts = BaseActivations::capture(plan, &mut ws, &image);
         let mut dws = delta.workspace(&acts);
-        let corners = [[0.0, 0.0, 0.0], [1.0, 0.0, 1.0], [0.0, 1.0, 1.0], [1.0, 1.0, 1.0]];
+        let corners = [
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 1.0],
+            [0.0, 1.0, 1.0],
+            [1.0, 1.0, 1.0],
+        ];
         let (h, w) = (input.height, input.width);
         // Sanity: the incremental path must be bit-identical to a full
         // forward on the poked image.
@@ -137,7 +160,10 @@ fn main() {
             }
             let mut full = Vec::new();
             plan.scores_into(&mut ws, &poked, &mut full);
-            assert_eq!(buf, full, "[{arch}] incremental disagrees with full forward");
+            assert_eq!(
+                buf, full,
+                "[{arch}] incremental disagrees with full forward"
+            );
         }
         let t2 = Instant::now();
         for i in 0..iters {
@@ -154,6 +180,63 @@ fn main() {
             black_box(&buf);
         }
         let incremental_ns = t2.elapsed().as_nanos() as f64 / iters as f64;
+
+        // Batched candidate path: the same pixel-candidate sweep, `batch_k`
+        // candidates per layer-major sweep over shared base activations.
+        let mut batch_dws: Vec<_> = (0..batch_k).map(|_| delta.workspace(&acts)).collect();
+        let mut scratch = oppsla_nn::delta::DeltaBatchScratch::new();
+        let mut cands: Vec<(usize, usize, [f32; 3])> = Vec::with_capacity(batch_k);
+        let mut batch_buf: Vec<f32> = Vec::with_capacity(batch_k * plan.num_classes());
+        let sweeps = (iters / batch_k).max(1);
+        let fill_cands = |cands: &mut Vec<(usize, usize, [f32; 3])>, sweep: usize| {
+            cands.clear();
+            for j in 0..batch_k {
+                let q = sweep * batch_k + j;
+                cands.push(((q * 13) % h, (q * 29) % w, corners[q % corners.len()]));
+            }
+        };
+        fill_cands(&mut cands, 0); // warm-up sweep
+        delta.scores_pixel_delta_batch_into(
+            plan,
+            &acts,
+            &mut batch_dws,
+            &cands,
+            &mut scratch,
+            &mut batch_buf,
+        );
+        let t3 = Instant::now();
+        for sweep in 0..sweeps {
+            fill_cands(&mut cands, sweep);
+            delta.scores_pixel_delta_batch_into(
+                plan,
+                &acts,
+                &mut batch_dws,
+                black_box(&cands),
+                &mut scratch,
+                &mut batch_buf,
+            );
+            black_box(&batch_buf);
+        }
+        let batched_delta_ns = t3.elapsed().as_nanos() as f64 / (sweeps * batch_k) as f64;
+
+        // Batched full forward: `batch_k` whole images per layer-major
+        // sweep against the sequential compiled forward.
+        let batch_images: Vec<Tensor> = (0..batch_k)
+            .map(|b| {
+                Tensor::from_fn([input.channels, input.height, input.width], |i| {
+                    ((i + b * 53) % 97) as f32 / 97.0
+                })
+            })
+            .collect();
+        let batched_plan = plan.batched();
+        let mut bws = batched_plan.workspace(batch_k);
+        batched_plan.scores_batch_into(&mut bws, &batch_images, &mut batch_buf); // warm-up
+        let t4 = Instant::now();
+        for _ in 0..sweeps {
+            batched_plan.scores_batch_into(&mut bws, black_box(&batch_images), &mut batch_buf);
+            black_box(&batch_buf);
+        }
+        let batched_forward_ns = t4.elapsed().as_nanos() as f64 / (sweeps * batch_k) as f64;
 
         // Throughput over a batch of distinct images, sequential vs. the
         // scoped-thread parallel map used by synthesis and evaluation.
@@ -192,17 +275,23 @@ fn main() {
             tape_ns,
             engine_ns,
             incremental_ns,
+            batched_delta_ns,
+            batched_forward_ns,
             sequential_qps,
             parallel_qps,
         };
         eprintln!(
-            "[{arch} {}] tape {:.0} ns/q, engine {:.0} ns/q ({:.2}x), incr {:.0} ns/q ({:.2}x), {:.0} q/s seq, {:.0} q/s x{threads}",
+            "[{arch} {}] tape {:.0} ns/q, engine {:.0} ns/q ({:.2}x), incr {:.0} ns/q ({:.2}x), batched-delta {:.0} ns/q ({:.2}x), batched-fwd {:.0} ns/q ({:.2}x), {:.0} q/s seq, {:.0} q/s x{threads}",
             row.input,
             row.tape_ns,
             row.engine_ns,
             row.speedup(),
             row.incremental_ns,
             row.incremental_speedup(),
+            row.batched_delta_ns,
+            row.batched_speedup(),
+            row.batched_forward_ns,
+            row.batched_forward_speedup(),
             row.sequential_qps,
             row.parallel_qps,
         );
@@ -297,6 +386,49 @@ fn main() {
         Err(e) => {
             eprintln!("warning: could not write {inc_out_path}: {e}");
             println!("{inc}");
+        }
+    }
+
+    // Companion report: batched candidate inference (layer-major sweeps
+    // over shared base activations, plus batched whole-image forwards)
+    // against the sequential paths, same flat hand-rolled schema.
+    let mut bat = String::from("{\n");
+    bat.push_str("  \"benchmark\": \"batched_inference\",\n");
+    bat.push_str(&format!("  \"iters\": {iters},\n"));
+    bat.push_str(&format!("  \"batch_k\": {batch_k},\n"));
+    bat.push_str(&format!("  \"telemetry_enabled\": {telemetry_enabled},\n"));
+    bat.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        bat.push_str(&format!(
+            concat!(
+                "    {{\"arch\": \"{}\", \"input\": \"{}\", ",
+                "\"sequential_delta_ns_per_candidate\": {:.1}, ",
+                "\"batched_delta_ns_per_candidate\": {:.1}, ",
+                "\"batched_candidates_per_sec\": {:.1}, ",
+                "\"batched_speedup\": {:.3}, ",
+                "\"sequential_forward_ns_per_image\": {:.1}, ",
+                "\"batched_forward_ns_per_image\": {:.1}, ",
+                "\"batched_forward_speedup\": {:.3}}}{}\n"
+            ),
+            row.arch,
+            row.input,
+            row.incremental_ns,
+            row.batched_delta_ns,
+            1e9 / row.batched_delta_ns,
+            row.batched_speedup(),
+            row.engine_ns,
+            row.batched_forward_ns,
+            row.batched_forward_speedup(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    bat.push_str("  ]\n}\n");
+
+    match std::fs::write(&batched_out_path, &bat) {
+        Ok(()) => println!("report written to {batched_out_path}"),
+        Err(e) => {
+            eprintln!("warning: could not write {batched_out_path}: {e}");
+            println!("{bat}");
         }
     }
 }

@@ -22,8 +22,8 @@ use oppsla_bench::cli::Args;
 use oppsla_bench::{
     cifar_archs, print_telemetry_summary, reports_dir, suites_dir, telemetry_sink, threads_from,
 };
-use oppsla_core::oracle::{BatchClassifier, Classifier};
 use oppsla_core::dsl::GrammarConfig;
+use oppsla_core::oracle::{BatchClassifier, Classifier};
 use oppsla_core::synth::SynthConfig;
 use oppsla_core::telemetry::FieldValue;
 use oppsla_eval::obs::with_phase;
@@ -93,7 +93,11 @@ fn main() {
         });
         eprintln!(
             "[{arch}] suite {} in {:.1?}",
-            if reports.is_some() { "synthesized" } else { "loaded from cache" },
+            if reports.is_some() {
+                "synthesized"
+            } else {
+                "loaded from cache"
+            },
             t1.elapsed()
         );
         labels.push(arch.id().to_owned());
@@ -130,14 +134,12 @@ fn main() {
 
     // Success rates are reported separately (the paper notes they are
     // independent of which classifier a program was synthesized for).
-    let mut rates = oppsla_eval::report::Table::new(
-        "Transfer success rates (valid images, within budget)",
-        {
+    let mut rates =
+        oppsla_eval::report::Table::new("Transfer success rates (valid images, within budget)", {
             let mut h = vec!["Target \\ Synthesized for".to_owned()];
             h.extend(labels.iter().cloned());
             h
-        },
-    );
+        });
     for (target, label) in labels.iter().enumerate() {
         let mut row = vec![label.clone()];
         row.extend(

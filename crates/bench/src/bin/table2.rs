@@ -23,7 +23,9 @@
 
 use oppsla_attacks::SparseRsConfig;
 use oppsla_bench::cli::Args;
-use oppsla_bench::{cifar_archs, print_telemetry_summary, reports_dir, telemetry_sink, threads_from};
+use oppsla_bench::{
+    cifar_archs, print_telemetry_summary, reports_dir, telemetry_sink, threads_from,
+};
 use oppsla_core::dsl::GrammarConfig;
 use oppsla_core::synth::SynthConfig;
 use oppsla_eval::ablation::{ablation_table, run_ablation_parallel_with_sink, AblationConfig};

@@ -9,12 +9,19 @@ use std::time::Instant;
 
 fn main() {
     let img = Tensor::from_fn([3, 32, 32], |i| (i % 97) as f32 / 97.0);
-    for arch in [Arch::VggSmall, Arch::ResNetSmall, Arch::GoogLeNetSmall, Arch::DenseNetSmall] {
+    for arch in [
+        Arch::VggSmall,
+        Arch::ResNetSmall,
+        Arch::GoogLeNetSmall,
+        Arch::DenseNetSmall,
+    ] {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let net = ConvNet::build(arch, InputSpec::RGB32, 10, &mut rng);
         let t = Instant::now();
         let n = 300;
-        for _ in 0..n { std::hint::black_box(net.scores(&img)); }
+        for _ in 0..n {
+            std::hint::black_box(net.scores(&img));
+        }
         println!("{arch}: {:?}/query", t.elapsed() / n);
     }
 }

@@ -49,7 +49,10 @@ impl Args {
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
@@ -61,7 +64,10 @@ impl Args {
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 

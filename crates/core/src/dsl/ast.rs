@@ -296,9 +296,15 @@ mod tests {
     fn paper_example_displays_like_the_paper() {
         let p = Program::paper_example();
         let s = p.to_string();
-        assert!(s.contains("B1: score_diff(N(x), N(x[l<-p]), c_x) < 0.21"), "{s}");
+        assert!(
+            s.contains("B1: score_diff(N(x), N(x[l<-p]), c_x) < 0.21"),
+            "{s}"
+        );
         assert!(s.contains("B2: max(x_l) > 0.19"), "{s}");
-        assert!(s.contains("B3: score_diff(N(x), N(x[l<-p]), c_x) > 0.25"), "{s}");
+        assert!(
+            s.contains("B3: score_diff(N(x), N(x[l<-p]), c_x) > 0.25"),
+            "{s}"
+        );
         assert!(s.contains("B4: center(l) < 8"), "{s}");
     }
 

@@ -210,7 +210,10 @@ mod tests {
 
     #[test]
     fn threshold_ranges_are_typed() {
-        assert_eq!(Func::Pixel(PixelStat::Max).threshold_range(32, 32), (0.0, 1.0));
+        assert_eq!(
+            Func::Pixel(PixelStat::Max).threshold_range(32, 32),
+            (0.0, 1.0)
+        );
         assert_eq!(Func::ScoreDiff.threshold_range(32, 32), (-1.0, 1.0));
         assert_eq!(Func::Center.threshold_range(32, 32), (0.0, 15.5));
         assert_eq!(Func::Center.threshold_range(5, 9), (0.0, 4.0));

@@ -278,9 +278,9 @@ impl Parser {
                 }
                 None => break,
                 other => {
-                    return Err(self.error_at(format!(
-                        "expected `;` between conditions, found {other:?}"
-                    )))
+                    return Err(
+                        self.error_at(format!("expected `;` between conditions, found {other:?}"))
+                    )
                 }
             }
         }
@@ -298,7 +298,10 @@ impl Parser {
             let is_label = s.len() >= 2
                 && s.starts_with('B')
                 && s[1..].chars().all(|c| c.is_ascii_digit())
-                && matches!(self.tokens.get(self.pos + 1).map(|(_, t)| t), Some(Token::Colon));
+                && matches!(
+                    self.tokens.get(self.pos + 1).map(|(_, t)| t),
+                    Some(Token::Colon)
+                );
             if is_label {
                 self.pos += 2;
             }
@@ -361,18 +364,14 @@ impl Parser {
                     Some(Token::Gt) => Cmp::Gt,
                     other => {
                         self.pos = self.pos.saturating_sub(1);
-                        return Err(self.error_at(format!(
-                            "expected `<` or `>`, found {other:?}"
-                        )));
+                        return Err(self.error_at(format!("expected `<` or `>`, found {other:?}")));
                     }
                 };
                 let threshold = match self.advance() {
                     Some(Token::Number(n)) => n,
                     other => {
                         self.pos = self.pos.saturating_sub(1);
-                        return Err(
-                            self.error_at(format!("expected a threshold, found {other:?}"))
-                        );
+                        return Err(self.error_at(format!("expected a threshold, found {other:?}")));
                     }
                 };
                 Ok(Condition::Compare {

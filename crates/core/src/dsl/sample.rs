@@ -119,12 +119,32 @@ fn sample_condition_at_depth(
             depth_left - 1,
         ))),
         1 => Condition::And(
-            Box::new(sample_condition_at_depth(rng, dims, grammar, depth_left - 1)),
-            Box::new(sample_condition_at_depth(rng, dims, grammar, depth_left - 1)),
+            Box::new(sample_condition_at_depth(
+                rng,
+                dims,
+                grammar,
+                depth_left - 1,
+            )),
+            Box::new(sample_condition_at_depth(
+                rng,
+                dims,
+                grammar,
+                depth_left - 1,
+            )),
         ),
         _ => Condition::Or(
-            Box::new(sample_condition_at_depth(rng, dims, grammar, depth_left - 1)),
-            Box::new(sample_condition_at_depth(rng, dims, grammar, depth_left - 1)),
+            Box::new(sample_condition_at_depth(
+                rng,
+                dims,
+                grammar,
+                depth_left - 1,
+            )),
+            Box::new(sample_condition_at_depth(
+                rng,
+                dims,
+                grammar,
+                depth_left - 1,
+            )),
         ),
     }
 }
@@ -217,7 +237,13 @@ pub fn mutate_in(
             mutate_first_atom(rng, &mut out.conditions[i], dims, grammar, AtomSite::Func);
         }
         MutationSite::Threshold(i) => {
-            mutate_first_atom(rng, &mut out.conditions[i], dims, grammar, AtomSite::Threshold);
+            mutate_first_atom(
+                rng,
+                &mut out.conditions[i],
+                dims,
+                grammar,
+                AtomSite::Threshold,
+            );
         }
     }
     out
@@ -329,7 +355,10 @@ mod tests {
         }
         // Resampling can reproduce the same value occasionally, but the
         // overwhelming majority of mutations must differ.
-        assert!(changed > 80, "only {changed}/100 mutations changed anything");
+        assert!(
+            changed > 80,
+            "only {changed}/100 mutations changed anything"
+        );
     }
 
     #[test]

@@ -11,7 +11,9 @@ use crate::oracle::argmax;
 use std::fmt;
 
 /// What counts as a successful adversarial example.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum AttackGoal {
     /// Any misclassification: `argmax(N(x')) ≠ c_x` (the paper's setting).
     #[default]
@@ -134,7 +136,11 @@ mod tests {
 
     #[test]
     fn margins_are_negative_exactly_on_success() {
-        for goal in [AttackGoal::Untargeted, AttackGoal::Targeted(1), AttackGoal::Targeted(3)] {
+        for goal in [
+            AttackGoal::Untargeted,
+            AttackGoal::Targeted(1),
+            AttackGoal::Targeted(3),
+        ] {
             for true_class in 0..4 {
                 if let AttackGoal::Targeted(t) = goal {
                     if t == true_class {

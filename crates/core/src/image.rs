@@ -97,7 +97,10 @@ impl Image {
     /// Panics if `loc` is out of bounds.
     pub fn pixel(&self, loc: Location) -> Pixel {
         let (row, col) = (loc.row as usize, loc.col as usize);
-        assert!(row < self.height && col < self.width, "location out of bounds");
+        assert!(
+            row < self.height && col < self.width,
+            "location out of bounds"
+        );
         let area = self.height * self.width;
         let off = row * self.width + col;
         Pixel([
@@ -127,7 +130,10 @@ impl Image {
     /// `[0, 1]`.
     pub fn set_pixel(&mut self, loc: Location, pixel: Pixel) {
         let (row, col) = (loc.row as usize, loc.col as usize);
-        assert!(row < self.height && col < self.width, "location out of bounds");
+        assert!(
+            row < self.height && col < self.width,
+            "location out of bounds"
+        );
         assert!(
             pixel.0.iter().all(|v| (0.0..=1.0).contains(v)),
             "pixel values must lie in [0, 1]"

@@ -53,6 +53,41 @@ pub trait Classifier {
         let perturbed = base.with_pixel(location, pixel);
         self.scores_into(&perturbed, out);
     }
+
+    /// Writes `N(x)` for every image, appending each score vector to
+    /// `out` (cleared first) in image order. The default loops over
+    /// [`Classifier::scores_into`]; batched backends override this to run
+    /// all images through one layer-major forward. Overrides must return
+    /// bit-identical scores, per image, to the sequential default.
+    fn scores_batch_into(&self, images: &[Image], out: &mut Vec<f32>) {
+        out.clear();
+        let mut buf = Vec::new();
+        for image in images {
+            self.scores_into(image, &mut buf);
+            out.extend_from_slice(&buf);
+        }
+    }
+
+    /// Writes `N(x')` for every one-pixel candidate against the same
+    /// `base`, appending each score vector to `out` (cleared first) in
+    /// candidate order. The default loops over
+    /// [`Classifier::scores_pixel_delta_into`]; incremental backends
+    /// override this to share one cached base across the batch and run
+    /// the delta steps layer-major. Overrides must return bit-identical
+    /// scores, per candidate, to the sequential default.
+    fn scores_pixel_delta_batch_into(
+        &self,
+        base: &Image,
+        candidates: &[(Location, Pixel)],
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        let mut buf = Vec::new();
+        for &(location, pixel) in candidates {
+            self.scores_pixel_delta_into(base, location, pixel, &mut buf);
+            out.extend_from_slice(&buf);
+        }
+    }
 }
 
 /// A classifier that can be queried from many threads at once.
@@ -93,6 +128,19 @@ impl Classifier for SharedSession<'_> {
         // Forward explicitly so a wrapped incremental backend keeps its
         // fast path (the default would re-derive via `scores_into`).
         self.0.scores_pixel_delta_into(base, location, pixel, out);
+    }
+
+    fn scores_batch_into(&self, images: &[Image], out: &mut Vec<f32>) {
+        self.0.scores_batch_into(images, out);
+    }
+
+    fn scores_pixel_delta_batch_into(
+        &self,
+        base: &Image,
+        candidates: &[(Location, Pixel)],
+        out: &mut Vec<f32>,
+    ) {
+        self.0.scores_pixel_delta_batch_into(base, candidates, out);
     }
 }
 
@@ -199,6 +247,30 @@ impl fmt::Display for BudgetExhausted {
 
 impl std::error::Error for BudgetExhausted {}
 
+/// Speculatively pre-evaluated one-pixel candidates, waiting to be
+/// consumed (and only then counted) by
+/// [`Oracle::query_pixel_delta_into`]. See
+/// [`Oracle::prefetch_pixel_batch`] for the protocol.
+struct PixelBatch {
+    /// Address of the base `Image` the batch was evaluated against,
+    /// stored as `usize` (never dereferenced) so the oracle stays `Send`.
+    base_addr: usize,
+    /// Unserved candidates (pixels as exact bit patterns) with the index
+    /// of their score block in `flat`; serving removes the entry.
+    items: Vec<(Location, [u32; 3], usize)>,
+    /// `num_classes` scores per candidate, in the original batch order.
+    flat: Vec<f32>,
+}
+
+/// True when `OPPSLA_SEQUENTIAL` is set (to anything but `0`): disables
+/// all speculative prefetching so every candidate runs the sequential
+/// path — the A/B switch used to verify that batching changes neither
+/// stdout nor query counts. Read once per process.
+fn sequential_only() -> bool {
+    static SEQ: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SEQ.get_or_init(|| std::env::var_os("OPPSLA_SEQUENTIAL").is_some_and(|v| v != *"0"))
+}
+
 /// A query-counting, budget-enforcing wrapper around a [`Classifier`].
 ///
 /// # Examples
@@ -219,6 +291,12 @@ pub struct Oracle<'a> {
     classifier: &'a dyn Classifier,
     queries: u64,
     budget: Option<u64>,
+    /// Speculatively evaluated candidates (none until the first
+    /// [`Oracle::prefetch_pixel_batch`]).
+    batch: Option<PixelBatch>,
+    /// When false, [`Oracle::prefetch_pixel_batch`] is a no-op (see
+    /// [`Oracle::without_speculation`]).
+    speculate: bool,
     /// Candidates scored since the last [`Oracle::begin_candidate_scope`],
     /// used by the `query-guard` feature to catch accidental double
     /// queries that would silently inflate reported query counts.
@@ -233,6 +311,8 @@ impl<'a> Oracle<'a> {
             classifier,
             queries: 0,
             budget: None,
+            batch: None,
+            speculate: true,
             #[cfg(feature = "query-guard")]
             scope: std::collections::HashSet::new(),
         }
@@ -244,9 +324,23 @@ impl<'a> Oracle<'a> {
             classifier,
             queries: 0,
             budget: Some(budget),
+            batch: None,
+            speculate: true,
             #[cfg(feature = "query-guard")]
             scope: std::collections::HashSet::new(),
         }
+    }
+
+    /// Disables speculative prefetching for this oracle: every
+    /// [`Oracle::prefetch_pixel_batch`] becomes a no-op, so each candidate
+    /// is evaluated sequentially at consume time. The per-oracle
+    /// equivalent of the process-wide `OPPSLA_SEQUENTIAL` switch — used by
+    /// tests that pin the exact order of classifier submissions, which
+    /// speculation is free to change (consumption order and query
+    /// accounting never differ).
+    pub fn without_speculation(mut self) -> Self {
+        self.speculate = false;
+        self
     }
 
     /// Opens a fresh duplicate-detection scope for pixel-delta candidates
@@ -345,11 +439,8 @@ impl<'a> Oracle<'a> {
         }
         #[cfg(feature = "query-guard")]
         debug_assert!(
-            self.scope.insert((
-                location.row,
-                location.col,
-                pixel.0.map(f32::to_bits),
-            )),
+            self.scope
+                .insert((location.row, location.col, pixel.0.map(f32::to_bits),)),
             "candidate (({}, {}), {:?}) scored twice in one sketch scope",
             location.row,
             location.col,
@@ -357,9 +448,169 @@ impl<'a> Oracle<'a> {
         );
         self.queries += 1;
         crate::telemetry::count(crate::telemetry::Counter::OracleQueryPixelDelta);
+
+        // Serve from the speculative batch when it holds this exact
+        // candidate against the same base, in *any* position — scores are
+        // a pure function of (base, location, pixel) and the base never
+        // changes within a run, so every unserved entry stays valid even
+        // when the caller's consumption order diverges (e.g. an eager
+        // program reordering its queue). A miss leaves the batch intact
+        // for later queries; only a different base discards it. Either
+        // way the accounting above already ran, and the batched backend is
+        // bit-identical, so scores and counts cannot depend on the route.
+        if let Some(batch) = &mut self.batch {
+            if batch.base_addr == base as *const Image as usize {
+                let key = (location, pixel.0.map(f32::to_bits));
+                if let Some(pos) = batch.items.iter().position(|&(l, p, _)| (l, p) == key) {
+                    let idx = batch.items.swap_remove(pos).2;
+                    let classes = self.classifier.num_classes();
+                    out.clear();
+                    out.extend_from_slice(&batch.flat[idx * classes..(idx + 1) * classes]);
+                    crate::telemetry::count(crate::telemetry::Counter::BatchHit);
+                    if batch.items.is_empty() {
+                        self.batch = None;
+                    }
+                    return Ok(());
+                }
+                crate::telemetry::count(crate::telemetry::Counter::BatchMiss);
+            } else {
+                crate::telemetry::count(crate::telemetry::Counter::BatchFlush);
+                self.batch = None;
+            }
+        }
         self.classifier
             .scores_pixel_delta_into(base, location, pixel, out);
         Ok(())
+    }
+
+    /// Speculatively evaluates up to `candidates.len()` one-pixel
+    /// candidates against `base` in one batched classifier call,
+    /// **without counting any queries**. Subsequent
+    /// [`Oracle::query_pixel_delta_into`] calls against the same base are
+    /// served from the cached scores whenever the candidate is still in
+    /// the batch (in any position — consumption order is free to diverge
+    /// from prefetch order), each with the full sequential accounting
+    /// (budget check, duplicate guard, query count) at consume time. A
+    /// query for a candidate *not* in the batch runs sequentially and
+    /// leaves the batch intact; querying against a different base image
+    /// discards it. Callers whose speculation went stale (e.g. a
+    /// stochastic attack accepting a proposal, changing every upcoming
+    /// candidate) simply prefetch again — the pending batch is replaced
+    /// (counted as a flush).
+    ///
+    /// This protocol keeps query counts *identical* to the sequential
+    /// path by construction: speculation changes only *when* the
+    /// classifier computes a score, never whether a query is counted —
+    /// candidates the caller never consumes (early exits) are computed
+    /// but not counted, exactly as if they were never queried. And
+    /// because a batch entry is evaluated once and served at most once,
+    /// callers that consume every prefetched candidate (the sketch's
+    /// removal discipline) submit each candidate to the classifier
+    /// exactly once, reorderings included.
+    ///
+    /// The batch is clamped to the remaining budget, so a prefetched
+    /// candidate can always be consumed. A no-op when the
+    /// `OPPSLA_SEQUENTIAL` environment variable is set — the A/B switch
+    /// for verifying batched-vs-sequential equivalence.
+    pub fn prefetch_pixel_batch(&mut self, base: &Image, candidates: &[(Location, Pixel)]) {
+        if !self.speculate || sequential_only() {
+            return;
+        }
+        let remaining = self
+            .budget
+            .map_or(u64::MAX, |b| b.saturating_sub(self.queries));
+        let n = (candidates.len() as u64).min(remaining) as usize;
+        // Reuse the previous batch's buffers when possible.
+        let mut batch = match self.batch.take() {
+            Some(mut b) => {
+                crate::telemetry::count(crate::telemetry::Counter::BatchFlush);
+                b.items.clear();
+                b.flat.clear();
+                b
+            }
+            None => PixelBatch {
+                base_addr: 0,
+                items: Vec::new(),
+                flat: Vec::new(),
+            },
+        };
+        if n == 0 {
+            return;
+        }
+        crate::telemetry::count(crate::telemetry::Counter::BatchPrefetch);
+        crate::telemetry::count_n(crate::telemetry::Counter::BatchPrefetched, n as u64);
+        self.classifier
+            .scores_pixel_delta_batch_into(base, &candidates[..n], &mut batch.flat);
+        assert_eq!(
+            batch.flat.len(),
+            n * self.classifier.num_classes(),
+            "batched backend returned a wrong-size score block"
+        );
+        batch.base_addr = base as *const Image as usize;
+        batch.items.extend(
+            candidates[..n]
+                .iter()
+                .enumerate()
+                .map(|(i, &(l, p))| (l, p.0.map(f32::to_bits), i)),
+        );
+        self.batch = Some(batch);
+    }
+
+    /// True when a prefetched batch is still pending consumption. Callers
+    /// that prefetch in chunks re-arm when this goes false.
+    pub fn has_prefetched(&self) -> bool {
+        self.batch.as_ref().is_some_and(|b| !b.items.is_empty())
+    }
+
+    /// Scores the first `min(candidates.len(), remaining budget)`
+    /// candidates through the batched classifier path, counting each as
+    /// one query with the same per-candidate accounting as a sequential
+    /// [`Oracle::query_pixel_delta_into`] loop (duplicate guard, query
+    /// count, telemetry). Appends `num_classes` scores per scored
+    /// candidate to `out` (cleared first) and returns how many were
+    /// scored — fewer than requested exactly when the budget ran out
+    /// mid-batch, matching where the sequential loop would have stopped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when the budget is already spent
+    /// before the first candidate (nothing is scored, `out` is cleared).
+    ///
+    /// # Panics
+    ///
+    /// With the `query-guard` feature enabled, panics in debug builds on
+    /// a duplicate candidate within one scope, like the sequential path.
+    pub fn query_batch(
+        &mut self,
+        base: &Image,
+        candidates: &[(Location, Pixel)],
+        out: &mut Vec<f32>,
+    ) -> Result<usize, BudgetExhausted> {
+        let remaining = self
+            .budget
+            .map_or(u64::MAX, |b| b.saturating_sub(self.queries));
+        if remaining == 0 && !candidates.is_empty() {
+            return Err(BudgetExhausted {
+                budget: self.budget.expect("zero remaining implies a budget"),
+            });
+        }
+        let n = (candidates.len() as u64).min(remaining) as usize;
+        for _item in &candidates[..n] {
+            #[cfg(feature = "query-guard")]
+            debug_assert!(
+                self.scope
+                    .insert((_item.0.row, _item.0.col, _item.1 .0.map(f32::to_bits))),
+                "candidate (({}, {}), {:?}) scored twice in one sketch scope",
+                _item.0.row,
+                _item.0.col,
+                _item.1 .0,
+            );
+            self.queries += 1;
+            crate::telemetry::count(crate::telemetry::Counter::OracleQueryPixelDelta);
+        }
+        self.classifier
+            .scores_pixel_delta_batch_into(base, &candidates[..n], out);
+        Ok(n)
     }
 
     /// The number of queries issued so far.
@@ -447,7 +698,10 @@ mod tests {
             scores[nan_at] = f32::NAN;
             let result = std::panic::catch_unwind(move || argmax(&scores));
             if cfg!(debug_assertions) {
-                assert!(result.is_err(), "NaN at {nan_at} must trip the debug assert");
+                assert!(
+                    result.is_err(),
+                    "NaN at {nan_at} must trip the debug assert"
+                );
             } else {
                 assert_eq!(result.unwrap(), nan_at, "first NaN wins under total_cmp");
             }
@@ -559,6 +813,253 @@ mod tests {
         oracle.begin_candidate_scope();
         oracle.query_pixel_delta(&base, loc, px).unwrap();
         assert_eq!(oracle.queries(), 2);
+    }
+
+    /// A classifier whose scores depend on the perturbed pixel, plus a
+    /// call counter so tests can see *when* it actually computes.
+    fn counting_mean_classifier(
+        calls: &std::cell::Cell<u32>,
+    ) -> FnClassifier<impl Fn(&Image) -> Vec<f32> + '_> {
+        FnClassifier::new(2, move |img: &Image| {
+            calls.set(calls.get() + 1);
+            let mean: f32 = img.data().iter().sum::<f32>() / img.data().len() as f32;
+            vec![mean, 1.0 - mean]
+        })
+    }
+
+    fn some_candidates(n: usize) -> Vec<(Location, Pixel)> {
+        (0..n)
+            .map(|i| {
+                (
+                    Location::new((i / 3) as u16, (i % 3) as u16),
+                    Pixel([i as f32 * 0.1, 0.5, 1.0 - i as f32 * 0.1]),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prefetched_queries_match_sequential_scores_and_counts() {
+        let calls = std::cell::Cell::new(0);
+        let clf = counting_mean_classifier(&calls);
+        let base = Image::filled(3, 3, Pixel([0.2; 3]));
+        let candidates = some_candidates(5);
+
+        let mut seq = Oracle::new(&clf);
+        let mut seq_scores = Vec::new();
+        for &(loc, px) in &candidates {
+            seq_scores.push(seq.query_pixel_delta(&base, loc, px).unwrap());
+        }
+
+        let mut spec = Oracle::new(&clf);
+        spec.prefetch_pixel_batch(&base, &candidates);
+        assert!(spec.has_prefetched());
+        assert_eq!(spec.queries(), 0, "prefetching must not count queries");
+        let mut buf = Vec::new();
+        for (i, &(loc, px)) in candidates.iter().enumerate() {
+            spec.query_pixel_delta_into(&base, loc, px, &mut buf)
+                .unwrap();
+            assert_eq!(buf, seq_scores[i], "candidate {i} diverged");
+            assert_eq!(spec.queries(), (i + 1) as u64);
+        }
+        assert!(!spec.has_prefetched(), "batch fully consumed");
+        assert_eq!(seq.queries(), spec.queries());
+    }
+
+    #[test]
+    fn consuming_the_batch_does_not_reinvoke_the_classifier() {
+        let calls = std::cell::Cell::new(0);
+        let clf = counting_mean_classifier(&calls);
+        let base = Image::filled(3, 3, Pixel([0.4; 3]));
+        let candidates = some_candidates(4);
+        let mut oracle = Oracle::new(&clf);
+        oracle.prefetch_pixel_batch(&base, &candidates);
+        let after_prefetch = calls.get();
+        let mut buf = Vec::new();
+        for &(loc, px) in &candidates {
+            oracle
+                .query_pixel_delta_into(&base, loc, px, &mut buf)
+                .unwrap();
+        }
+        assert_eq!(
+            calls.get(),
+            after_prefetch,
+            "batch hits must be served from cache"
+        );
+    }
+
+    #[test]
+    fn batch_serves_candidates_in_any_order() {
+        let calls = std::cell::Cell::new(0);
+        let clf = counting_mean_classifier(&calls);
+        let base = Image::filled(3, 3, Pixel([0.3; 3]));
+        let candidates = some_candidates(4);
+        let mut oracle = Oracle::new(&clf);
+        oracle.prefetch_pixel_batch(&base, &candidates);
+        let after_prefetch = calls.get();
+
+        // Consume in reversed order: every query is still a batch hit.
+        let mut got = Vec::new();
+        let mut seq = Oracle::new(&clf);
+        for &(loc, px) in candidates.iter().rev() {
+            oracle
+                .query_pixel_delta_into(&base, loc, px, &mut got)
+                .unwrap();
+            assert_eq!(got, seq.query_pixel_delta(&base, loc, px).unwrap());
+        }
+        assert_eq!(
+            calls.get() - after_prefetch,
+            candidates.len() as u32,
+            "only the sequential reference oracle recomputed"
+        );
+        assert!(!oracle.has_prefetched(), "batch fully consumed");
+        assert_eq!(oracle.queries(), candidates.len() as u64);
+    }
+
+    #[test]
+    fn missing_the_batch_falls_back_but_keeps_it() {
+        let calls = std::cell::Cell::new(0);
+        let clf = counting_mean_classifier(&calls);
+        let base = Image::filled(3, 3, Pixel([0.3; 3]));
+        let candidates = some_candidates(4);
+        let mut oracle = Oracle::new(&clf);
+        oracle.prefetch_pixel_batch(&base, &candidates);
+        let after_prefetch = calls.get();
+
+        // An outside candidate runs sequentially without discarding the
+        // pending batch...
+        let outside = (Location::new(2, 2), Pixel([0.9, 0.9, 0.9]));
+        let mut got = Vec::new();
+        oracle
+            .query_pixel_delta_into(&base, outside.0, outside.1, &mut got)
+            .unwrap();
+        assert_eq!(
+            calls.get(),
+            after_prefetch + 1,
+            "miss evaluates sequentially"
+        );
+        assert!(oracle.has_prefetched(), "a miss keeps the batch");
+
+        // ...and the batched entries still serve from cache afterwards.
+        for &(loc, px) in &candidates {
+            oracle
+                .query_pixel_delta_into(&base, loc, px, &mut got)
+                .unwrap();
+        }
+        assert_eq!(calls.get(), after_prefetch + 1, "hits served from cache");
+        assert_eq!(oracle.queries(), 1 + candidates.len() as u64);
+    }
+
+    #[test]
+    fn querying_a_different_base_flushes_the_batch() {
+        let calls = std::cell::Cell::new(0);
+        let clf = counting_mean_classifier(&calls);
+        let base = Image::filled(3, 3, Pixel([0.3; 3]));
+        let other = Image::filled(3, 3, Pixel([0.6; 3]));
+        let candidates = some_candidates(3);
+        let mut oracle = Oracle::new(&clf);
+        oracle.prefetch_pixel_batch(&base, &candidates);
+
+        let (loc, px) = candidates[0];
+        let mut got = Vec::new();
+        oracle
+            .query_pixel_delta_into(&other, loc, px, &mut got)
+            .unwrap();
+        assert!(!oracle.has_prefetched(), "a new base discards the batch");
+
+        let mut seq = Oracle::new(&clf);
+        assert_eq!(got, seq.query_pixel_delta(&other, loc, px).unwrap());
+    }
+
+    #[test]
+    fn prefetch_is_clamped_to_the_remaining_budget() {
+        let calls = std::cell::Cell::new(0);
+        let clf = counting_mean_classifier(&calls);
+        let base = Image::filled(3, 3, Pixel([0.1; 3]));
+        let candidates = some_candidates(6);
+        let mut oracle = Oracle::with_budget(&clf, 2);
+        oracle.prefetch_pixel_batch(&base, &candidates);
+        let mut buf = Vec::new();
+        for &(loc, px) in &candidates[..2] {
+            oracle
+                .query_pixel_delta_into(&base, loc, px, &mut buf)
+                .unwrap();
+        }
+        assert!(!oracle.has_prefetched(), "only 2 of 6 fit the budget");
+        let (loc, px) = candidates[2];
+        assert!(oracle
+            .query_pixel_delta_into(&base, loc, px, &mut buf)
+            .is_err());
+        assert_eq!(oracle.queries(), 2);
+    }
+
+    #[test]
+    fn prefetch_with_exhausted_budget_is_inert() {
+        let calls = std::cell::Cell::new(0);
+        let clf = counting_mean_classifier(&calls);
+        let base = Image::filled(3, 3, Pixel([0.1; 3]));
+        let mut oracle = Oracle::with_budget(&clf, 0);
+        oracle.prefetch_pixel_batch(&base, &some_candidates(3));
+        assert!(!oracle.has_prefetched());
+        assert_eq!(calls.get(), 0, "no budget, no speculative evaluation");
+    }
+
+    #[test]
+    fn query_batch_matches_sequential_scores_and_counts() {
+        let calls = std::cell::Cell::new(0);
+        let clf = counting_mean_classifier(&calls);
+        let base = Image::filled(3, 3, Pixel([0.25; 3]));
+        let candidates = some_candidates(5);
+
+        let mut seq = Oracle::new(&clf);
+        let mut want = Vec::new();
+        for &(loc, px) in &candidates {
+            want.extend(seq.query_pixel_delta(&base, loc, px).unwrap());
+        }
+
+        let mut batched = Oracle::new(&clf);
+        let mut got = Vec::new();
+        let n = batched.query_batch(&base, &candidates, &mut got).unwrap();
+        assert_eq!(n, candidates.len());
+        assert_eq!(got, want);
+        assert_eq!(batched.queries(), seq.queries());
+    }
+
+    #[test]
+    fn query_batch_stops_where_the_sequential_loop_would() {
+        let calls = std::cell::Cell::new(0);
+        let clf = counting_mean_classifier(&calls);
+        let base = Image::filled(3, 3, Pixel([0.25; 3]));
+        let candidates = some_candidates(5);
+        let mut oracle = Oracle::with_budget(&clf, 3);
+        let mut got = Vec::new();
+        let n = oracle.query_batch(&base, &candidates, &mut got).unwrap();
+        assert_eq!(n, 3, "budget of 3 scores exactly 3 of 5");
+        assert_eq!(got.len(), 3 * 2);
+        assert_eq!(oracle.queries(), 3);
+        let err = oracle
+            .query_batch(&base, &candidates[3..], &mut got)
+            .unwrap_err();
+        assert_eq!(err, BudgetExhausted { budget: 3 });
+    }
+
+    #[cfg(all(feature = "query-guard", debug_assertions))]
+    #[test]
+    #[should_panic(expected = "scored twice")]
+    fn guard_catches_duplicates_served_from_a_prefetched_batch() {
+        // Consuming from the speculative batch must run the same
+        // duplicate guard as the sequential path.
+        let clf = constant_classifier();
+        let base = Image::filled(2, 2, Pixel([0.0; 3]));
+        let loc = crate::pair::Location::new(1, 0);
+        let px = Pixel([1.0, 0.0, 1.0]);
+        let mut oracle = Oracle::new(&clf);
+        oracle.begin_candidate_scope();
+        oracle.query_pixel_delta(&base, loc, px).unwrap();
+        // Re-prefetch the same candidate: the consume (a batch hit) must
+        // still trip the guard.
+        oracle.prefetch_pixel_batch(&base, &[(loc, px)]);
+        oracle.query_pixel_delta(&base, loc, px).unwrap();
     }
 
     #[test]

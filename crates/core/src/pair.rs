@@ -5,7 +5,9 @@
 use std::fmt;
 
 /// A pixel location `(row, col)` in an image (`l = (i, j)` in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Location {
     /// Row index (`i`).
     pub row: u16,
@@ -33,8 +35,7 @@ impl Location {
         let (h, w) = (height as i32, width as i32);
         DELTAS.iter().filter_map(move |&(dr, dc)| {
             let (nr, nc) = (row + dr, col + dc);
-            (nr >= 0 && nr < h && nc >= 0 && nc < w)
-                .then(|| Location::new(nr as u16, nc as u16))
+            (nr >= 0 && nr < h && nc >= 0 && nc < w).then(|| Location::new(nr as u16, nc as u16))
         })
     }
 }
@@ -97,7 +98,9 @@ impl fmt::Display for Pixel {
 /// one-pixel perturbations use a cube corner, shrinking the candidate space
 /// to `8 · d₁ · d₂`. The index encodes the channels bitwise: bit 2 = red,
 /// bit 1 = green, bit 0 = blue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Corner(u8);
 
 impl Corner {

@@ -120,10 +120,20 @@ mod tests {
         // path exactly one.
         let built = AtomicUsize::new(0);
         let items = [0u8; 8];
-        parallel_map_with(4, &items, || built.fetch_add(1, Ordering::SeqCst), |_, _, _| ());
+        parallel_map_with(
+            4,
+            &items,
+            || built.fetch_add(1, Ordering::SeqCst),
+            |_, _, _| (),
+        );
         assert_eq!(built.load(Ordering::SeqCst), 4);
         built.store(0, Ordering::SeqCst);
-        parallel_map_with(1, &items, || built.fetch_add(1, Ordering::SeqCst), |_, _, _| ());
+        parallel_map_with(
+            1,
+            &items,
+            || built.fetch_add(1, Ordering::SeqCst),
+            |_, _, _| (),
+        );
         assert_eq!(built.load(Ordering::SeqCst), 1);
     }
 

@@ -174,8 +174,7 @@ impl PairQueue {
 
     fn id(&self, pair: Pair) -> PairId {
         debug_assert!(
-            (pair.location.row as usize) < self.height
-                && (pair.location.col as usize) < self.width,
+            (pair.location.row as usize) < self.height && (pair.location.col as usize) < self.width,
             "pair location out of bounds"
         );
         ((self.loc_index(pair.location) * 8) + pair.corner.index() as usize) as PairId
@@ -281,7 +280,11 @@ mod tests {
         let q = PairQueue::for_image(&img);
         let pairs: Vec<Pair> = q.iter().collect();
         for p in &pairs[..9] {
-            assert_eq!(p.corner, Corner::new(7), "first block is the farthest corner");
+            assert_eq!(
+                p.corner,
+                Corner::new(7),
+                "first block is the farthest corner"
+            );
         }
         assert_eq!(pairs[0].location, Location::new(1, 1), "centre first");
         // Within a block, centre distance is non-decreasing.
@@ -387,7 +390,8 @@ mod tests {
     fn corner_location_has_three_neighbors() {
         let q = PairQueue::for_image(&black3());
         assert_eq!(
-            q.location_neighbors(Location::new(0, 0), Corner::new(2)).len(),
+            q.location_neighbors(Location::new(0, 0), Corner::new(2))
+                .len(),
             3
         );
     }

@@ -156,7 +156,31 @@ pub fn run_sketch_with_goal(
         Ok::<bool, ()>(goal.is_adversarial(buf, true_class))
     };
 
-    while let Some(pair) = queue.pop() {
+    // Speculative prefetch: batch the next few init-scan candidates so a
+    // batched backend evaluates them in one layer-major sweep. The peek
+    // reflects queue order *now*; if a condition reorders the queue (B1/B2
+    // push-backs) or B3/B4 queries a refined candidate first, the oracle
+    // serves whichever batch entries still match (membership, not order)
+    // and evaluates the others sequentially — query counts and scores are
+    // unaffected either way, and because every batched pair is eventually
+    // popped exactly once, the removal discipline's no-duplicate-queries
+    // guarantee survives speculation.
+    const PREFETCH_BATCH: usize = 8;
+    let mut upcoming: Vec<(crate::pair::Location, crate::pair::Pixel)> =
+        Vec::with_capacity(PREFETCH_BATCH);
+
+    loop {
+        if !oracle.has_prefetched() {
+            upcoming.clear();
+            upcoming.extend(
+                queue
+                    .iter()
+                    .take(PREFETCH_BATCH)
+                    .map(|p| (p.location, p.corner.as_pixel())),
+            );
+            oracle.prefetch_pixel_batch(image, &upcoming);
+        }
+        let Some(pair) = queue.pop() else { break };
         match try_pair(oracle, &mut buf, pair, Counter::QueryInitScan) {
             Ok(false) => {}
             Ok(true) => {

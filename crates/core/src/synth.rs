@@ -250,10 +250,7 @@ pub fn acceptance_probability(beta: f64, q_old: f64, q_new: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if `train` is empty or a true class is out of range.
-pub fn filter_attackable(
-    classifier: &dyn Classifier,
-    train: &[Labeled],
-) -> (Vec<Labeled>, u64) {
+pub fn filter_attackable(classifier: &dyn Classifier, train: &[Labeled]) -> (Vec<Labeled>, u64) {
     assert!(!train.is_empty(), "training set is empty");
     let fixed = Program::constant(false);
     let probes = train
@@ -301,10 +298,7 @@ fn probe_one(
 
 /// Zips probe results back onto `train`, keeping the attackable pairs and
 /// summing queries (exact, order-independent).
-fn keep_attackable(
-    train: &[Labeled],
-    probes: Vec<(u64, bool)>,
-) -> (Vec<Labeled>, u64) {
+fn keep_attackable(train: &[Labeled], probes: Vec<(u64, bool)>) -> (Vec<Labeled>, u64) {
     let mut kept = Vec::with_capacity(train.len());
     let mut queries = 0u64;
     for ((image, true_class), (spent, attackable)) in train.iter().zip(probes) {
@@ -700,7 +694,11 @@ mod tests {
         let dims = ImageDims::new(9, 9);
         assert!(crate::dsl::is_well_typed(&report.program, dims));
         for rec in &report.iterations {
-            assert!(crate::dsl::is_well_typed(&rec.candidate, dims), "{}", rec.candidate);
+            assert!(
+                crate::dsl::is_well_typed(&rec.candidate, dims),
+                "{}",
+                rec.candidate
+            );
         }
         // And the result still attacks the training set.
         let eval = evaluate_program(&report.program, &clf, &train, None);
@@ -722,9 +720,11 @@ mod tests {
         for budget in [None, Some(10)] {
             let reference = evaluate_program(&program, &clf, &train, budget);
             for threads in [1, 2, 4, 16] {
-                let parallel =
-                    evaluate_program_parallel(&program, &clf, &train, budget, threads);
-                assert_eq!(parallel, reference, "threads = {threads}, budget = {budget:?}");
+                let parallel = evaluate_program_parallel(&program, &clf, &train, budget, threads);
+                assert_eq!(
+                    parallel, reference,
+                    "threads = {threads}, budget = {budget:?}"
+                );
             }
         }
     }

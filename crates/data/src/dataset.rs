@@ -301,13 +301,8 @@ mod tests {
         };
         let m0 = mean(0);
         let m5 = mean(5);
-        let diff: f32 = m0
-            .sub(&m5)
-            .data()
-            .iter()
-            .map(|v| v.abs())
-            .sum::<f32>()
-            / (3.0 * 32.0 * 32.0);
+        let diff: f32 =
+            m0.sub(&m5).data().iter().map(|v| v.abs()).sum::<f32>() / (3.0 * 32.0 * 32.0);
         assert!(diff > 0.05, "class means too similar: {diff}");
     }
 

@@ -245,7 +245,10 @@ mod tests {
         assert_eq!(c.get(0, 0), BLACK, "corner stays background");
         let area = count_colored(&c, RED) as f32;
         let expected = std::f32::consts::PI * 16.0;
-        assert!((area - expected).abs() < 16.0, "disc area {area} vs {expected}");
+        assert!(
+            (area - expected).abs() < 16.0,
+            "disc area {area} vs {expected}"
+        );
     }
 
     #[test]
@@ -308,12 +311,17 @@ mod tests {
     fn all_kinds_render_without_panicking() {
         for kind in ShapeKind::ALL {
             let mut c = Canvas::filled(32, 32, [0.2, 0.2, 0.2]);
-            draw(&mut c, kind, [0.8, 0.5, 0.1], Placement {
-                center_row: 16.0,
-                center_col: 16.0,
-                radius: 8.0,
-                period: 5,
-            });
+            draw(
+                &mut c,
+                kind,
+                [0.8, 0.5, 0.1],
+                Placement {
+                    center_row: 16.0,
+                    center_col: 16.0,
+                    radius: 8.0,
+                    period: 5,
+                },
+            );
             let t = c.into_tensor();
             assert!(t.is_finite());
             assert!(t.max() <= 1.0 && t.min() >= 0.0);

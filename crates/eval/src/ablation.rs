@@ -7,7 +7,9 @@ use crate::report::{fmt_rate, fmt_stat, Table};
 use oppsla_attacks::{Attack, SketchProgramAttack, SparseRs, SparseRsConfig};
 use oppsla_core::dsl::{random_program, ImageDims, Program};
 use oppsla_core::oracle::{BatchClassifier, Classifier};
-use oppsla_core::synth::{evaluate_program, evaluate_program_parallel, Evaluation, FilterFn, Labeled, SynthConfig};
+use oppsla_core::synth::{
+    evaluate_program, evaluate_program_parallel, Evaluation, FilterFn, Labeled, SynthConfig,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -144,9 +146,13 @@ pub fn run_ablation(
         config.synth.seed.wrapping_add(0x5EED),
         config.synth.per_image_budget,
     );
-    ablation_core(label, config, oppsla_report.program, random_prog, &mut |a| {
-        evaluate_attack(a, classifier, test, config.eval_budget, config.seed)
-    })
+    ablation_core(
+        label,
+        config,
+        oppsla_report.program,
+        random_prog,
+        &mut |a| evaluate_attack(a, classifier, test, config.eval_budget, config.seed),
+    )
 }
 
 /// [`run_ablation`] with synthesis, random search and the test-set
@@ -173,9 +179,22 @@ pub fn run_ablation_parallel(
         config.synth.per_image_budget,
         threads,
     );
-    ablation_core(label, config, oppsla_report.program, random_prog, &mut |a| {
-        evaluate_attack_parallel(a, classifier, test, config.eval_budget, config.seed, threads)
-    })
+    ablation_core(
+        label,
+        config,
+        oppsla_report.program,
+        random_prog,
+        &mut |a| {
+            evaluate_attack_parallel(
+                a,
+                classifier,
+                test,
+                config.eval_budget,
+                config.seed,
+                threads,
+            )
+        },
+    )
 }
 
 /// [`run_ablation_parallel`] with telemetry plumbing: counters recorded
@@ -312,10 +331,7 @@ mod tests {
 
     fn sets() -> (Vec<Labeled>, Vec<Labeled>) {
         let mk = |v: f32| (Image::filled(7, 7, Pixel([v, v, v])), 0usize);
-        (
-            vec![mk(0.3), mk(0.4)],
-            vec![mk(0.35), mk(0.45), mk(0.5)],
-        )
+        (vec![mk(0.3), mk(0.4)], vec![mk(0.35), mk(0.45), mk(0.5)])
     }
 
     #[test]

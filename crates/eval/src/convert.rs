@@ -22,10 +22,7 @@ pub fn tensor_to_image(tensor: &Tensor) -> Image {
 
 /// Converts an attack-core image back into a `[3, h, w]` tensor.
 pub fn image_to_tensor(image: &Image) -> Tensor {
-    Tensor::from_vec(
-        [3, image.height(), image.width()],
-        image.data().to_vec(),
-    )
+    Tensor::from_vec([3, image.height(), image.width()], image.data().to_vec())
 }
 
 /// Copies an attack-core image into an existing `[3, h, w]` tensor without

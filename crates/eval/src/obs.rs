@@ -42,10 +42,7 @@ pub fn telemetry_table(title: &str, snap: &Snapshot) -> Table {
         }
     }
     if let Some(rate) = snap.delta_cache_hit_rate() {
-        table.push_row(vec![
-            "delta_cache_hit_rate".into(),
-            format!("{:.4}", rate),
-        ]);
+        table.push_row(vec!["delta_cache_hit_rate".into(), format!("{:.4}", rate)]);
     }
     for (bucket, &n) in snap.query_hist.iter().enumerate() {
         if n != 0 {

@@ -148,10 +148,20 @@ pub fn render_chart(series: &[Series], config: &ChartConfig) -> String {
         pad = w.saturating_sub(x_lo.len())
     );
     if !config.x_label.is_empty() || !config.y_label.is_empty() {
-        let _ = writeln!(out, "{:margin$}  x: {}  y: {}", "", config.x_label, config.y_label);
+        let _ = writeln!(
+            out,
+            "{:margin$}  x: {}  y: {}",
+            "", config.x_label, config.y_label
+        );
     }
     for (si, s) in series.iter().enumerate() {
-        let _ = writeln!(out, "{:margin$}  {} {}", "", GLYPHS[si % GLYPHS.len()], s.label);
+        let _ = writeln!(
+            out,
+            "{:margin$}  {} {}",
+            "",
+            GLYPHS[si % GLYPHS.len()],
+            s.label
+        );
     }
     out
 }
@@ -218,10 +228,7 @@ mod tests {
 
     #[test]
     fn nan_and_infinite_points_are_skipped() {
-        let s = Series::new(
-            "s",
-            vec![(1.0, f64::NAN), (2.0, 0.3), (f64::INFINITY, 0.9)],
-        );
+        let s = Series::new("s", vec![(1.0, f64::NAN), (2.0, 0.3), (f64::INFINITY, 0.9)]);
         let chart = render_chart(&[s], &cfg());
         assert!(chart.contains("s"), "{chart}");
     }

@@ -136,10 +136,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Table {
-        let mut t = Table::new(
-            "Demo",
-            vec!["Attack".into(), "Avg".into(), "Median".into()],
-        );
+        let mut t = Table::new("Demo", vec!["Attack".into(), "Avg".into(), "Median".into()]);
         t.push_row(vec!["oppsla".into(), "104.07".into(), "9.0".into()]);
         t.push_row(vec!["sparse-rs".into(), "557.20".into(), "62.0".into()]);
         t
@@ -151,7 +148,10 @@ mod tests {
         assert!(s.contains("| Attack    |"), "{s}");
         assert!(s.contains("| oppsla    |"), "{s}");
         let widths: Vec<usize> = s.lines().skip(1).map(str::len).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table:\n{s}");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "ragged table:\n{s}"
+        );
     }
 
     #[test]

@@ -65,9 +65,12 @@ pub fn synthesize_suite(
     num_classes: usize,
     config: &SynthConfig,
 ) -> (ProgramSuite, Vec<Option<SynthReport>>) {
-    suite_core(train, num_classes, config, &mut |class_train, class_config| {
-        synthesize(classifier, class_train, class_config)
-    })
+    suite_core(
+        train,
+        num_classes,
+        config,
+        &mut |class_train, class_config| synthesize(classifier, class_train, class_config),
+    )
 }
 
 /// [`synthesize_suite`] with each class's OPPSLA run evaluating candidates
@@ -80,9 +83,12 @@ pub fn synthesize_suite_parallel(
     num_classes: usize,
     config: &SynthConfig,
 ) -> (ProgramSuite, Vec<Option<SynthReport>>) {
-    suite_core(train, num_classes, config, &mut |class_train, class_config| {
-        synthesize_parallel(classifier, class_train, class_config)
-    })
+    suite_core(
+        train,
+        num_classes,
+        config,
+        &mut |class_train, class_config| synthesize_parallel(classifier, class_train, class_config),
+    )
 }
 
 /// [`synthesize_suite_parallel`] with telemetry plumbing: counters
@@ -119,11 +125,8 @@ fn suite_core(
     let mut programs = Vec::with_capacity(num_classes);
     let mut reports = Vec::with_capacity(num_classes);
     for class in 0..num_classes {
-        let class_train: Vec<Labeled> = train
-            .iter()
-            .filter(|(_, c)| *c == class)
-            .cloned()
-            .collect();
+        let class_train: Vec<Labeled> =
+            train.iter().filter(|(_, c)| *c == class).cloned().collect();
         if class_train.is_empty() {
             programs.push(Program::constant(false));
             reports.push(None);
@@ -378,8 +381,7 @@ mod tests {
         };
         let dir = std::env::temp_dir().join(format!("oppsla-suite-hit-{}", std::process::id()));
         let path = dir.join("cached.json");
-        let (first, first_reports) =
-            synthesize_suite_cached(&clf, &train, 2, &config, Some(&path));
+        let (first, first_reports) = synthesize_suite_cached(&clf, &train, 2, &config, Some(&path));
         assert!(first_reports.is_some(), "cold cache synthesizes");
         let (second, second_reports) =
             synthesize_suite_cached(&clf, &train, 2, &config, Some(&path));

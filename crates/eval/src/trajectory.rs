@@ -105,7 +105,14 @@ pub fn run_trajectory_parallel_with_sink(
         ("eval_budget", FieldValue::U64(eval_budget)),
     ];
     crate::obs::with_phase(sink, "trajectory", &labels, || {
-        run_trajectory_parallel(classifier, train, test, synth_config, eval_budget, eval_seed)
+        run_trajectory_parallel(
+            classifier,
+            train,
+            test,
+            synth_config,
+            eval_budget,
+            eval_seed,
+        )
     })
 }
 
@@ -198,7 +205,10 @@ mod tests {
             ..SynthConfig::default()
         };
         let result = run_trajectory(&clf, &train, &test, &config, 10_000, 0);
-        assert!(!result.points.is_empty(), "initial program is always a point");
+        assert!(
+            !result.points.is_empty(),
+            "initial program is always a point"
+        );
         assert_eq!(result.points[0].iteration, 0);
         for w in result.points.windows(2) {
             assert!(w[0].iteration < w[1].iteration);

@@ -59,7 +59,14 @@ pub fn run_transfer_parallel(
     threads: usize,
 ) -> TransferResult {
     transfer_core(labels, classifiers.len(), suites, &mut |target, attack| {
-        evaluate_attack_parallel(attack, classifiers[target], test, eval_budget, seed, threads)
+        evaluate_attack_parallel(
+            attack,
+            classifiers[target],
+            test,
+            eval_budget,
+            seed,
+            threads,
+        )
     })
 }
 
@@ -102,11 +109,7 @@ pub fn transfer_table(result: &TransferResult) -> Table {
     );
     for (target, label) in result.labels.iter().enumerate() {
         let mut row = vec![label.clone()];
-        row.extend(
-            result.avg_queries[target]
-                .iter()
-                .map(|&v| fmt_stat(v)),
-        );
+        row.extend(result.avg_queries[target].iter().map(|&v| fmt_stat(v)));
         table.push_row(row);
     }
     table

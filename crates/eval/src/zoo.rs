@@ -9,11 +9,11 @@ use crate::convert::{image_into_tensor, image_to_tensor};
 use oppsla_core::image::Image;
 use oppsla_core::oracle::{BatchClassifier, Classifier};
 use oppsla_core::pair::{Location, Pixel};
+use oppsla_core::telemetry::{self, Counter};
 use oppsla_data::{Dataset, DatasetSpec};
-use oppsla_nn::delta::{BaseActivations, DeltaPlan, DeltaWorkspace};
+use oppsla_nn::delta::{BaseActivations, DeltaBatchScratch, DeltaPlan, DeltaWorkspace};
 use oppsla_nn::infer::{ForwardWorkspace, InferenceEngine, InferencePlan};
 use oppsla_nn::models::{Arch, ConvNet, InputSpec};
-use oppsla_core::telemetry::{self, Counter};
 use oppsla_nn::serialize::{load_weights, save_weights, WeightError};
 use oppsla_nn::trainer::{evaluate_accuracy, fit, TrainConfig};
 use oppsla_tensor::Tensor;
@@ -246,7 +246,10 @@ impl Classifier for ZooClassifier {
 
 impl BatchClassifier for ZooClassifier {
     fn session(&self) -> Box<dyn Classifier + '_> {
-        Box::new(ZooSession::new(self.engine.plan(), self.engine.delta_plan()))
+        Box::new(ZooSession::new(
+            self.engine.plan(),
+            self.engine.delta_plan(),
+        ))
     }
 }
 
@@ -268,12 +271,22 @@ struct SessionState {
     ws: ForwardWorkspace,
     input: Tensor,
     cache: Option<SessionDeltaCache>,
+    /// Lazily sized workspace for batched full forwards.
+    bws: Option<oppsla_nn::batched::BatchedWorkspace>,
+    /// Reusable tensor conversions for batched full forwards.
+    batch_inputs: Vec<Tensor>,
+    /// Reusable candidate buffer for batched delta queries.
+    batch_candidates: Vec<(usize, usize, [f32; 3])>,
 }
 
 struct SessionDeltaCache {
     base_image: Image,
     base: BaseActivations,
     dws: DeltaWorkspace,
+    /// One workspace per in-flight batched candidate, grown on demand.
+    batch_dws: Vec<DeltaWorkspace>,
+    /// Shared im2col/GEMM scratch for the batched delta route.
+    batch_scratch: DeltaBatchScratch,
 }
 
 impl<'a> ZooSession<'a> {
@@ -286,8 +299,53 @@ impl<'a> ZooSession<'a> {
                 ws: plan.workspace(),
                 input: Tensor::zeros([spec.channels, spec.height, spec.width]),
                 cache: None,
+                bws: None,
+                batch_inputs: Vec::new(),
+                batch_candidates: Vec::new(),
             }),
         }
+    }
+
+    /// Ensures the delta cache tracks `base` (capture / recapture /
+    /// cache-hit, with telemetry), returning the live cache. Batch
+    /// workspaces are re-seeded on a rebase so stale activations from the
+    /// previous base can never leak into a batched candidate.
+    fn ensure_cache<'c>(
+        &self,
+        ws: &mut ForwardWorkspace,
+        input: &mut Tensor,
+        cache: &'c mut Option<SessionDeltaCache>,
+        base: &Image,
+    ) -> &'c mut SessionDeltaCache {
+        match cache {
+            Some(c) if c.base_image == *base => {
+                telemetry::count(Counter::DeltaCacheHit);
+            }
+            Some(c) => {
+                telemetry::count(Counter::DeltaCacheRebase);
+                image_into_tensor(base, input);
+                c.base.recapture(self.plan, ws, input);
+                c.dws.reset_from(&c.base);
+                for dws in &mut c.batch_dws {
+                    dws.reset_from(&c.base);
+                }
+                c.base_image.clone_from(base);
+            }
+            None => {
+                telemetry::count(Counter::DeltaCacheCold);
+                image_into_tensor(base, input);
+                let acts = BaseActivations::capture(self.plan, ws, input);
+                let dws = self.delta.workspace(&acts);
+                *cache = Some(SessionDeltaCache {
+                    base_image: base.clone(),
+                    base: acts,
+                    dws,
+                    batch_dws: Vec::new(),
+                    batch_scratch: DeltaBatchScratch::new(),
+                });
+            }
+        }
+        cache.as_mut().expect("delta cache populated above")
     }
 }
 
@@ -315,31 +373,10 @@ impl Classifier for ZooSession<'_> {
         pixel: Pixel,
         out: &mut Vec<f32>,
     ) {
-        let SessionState { ws, input, cache } = &mut *self.state.borrow_mut();
-        match cache {
-            Some(c) if c.base_image == *base => {
-                telemetry::count(Counter::DeltaCacheHit);
-            }
-            Some(c) => {
-                telemetry::count(Counter::DeltaCacheRebase);
-                image_into_tensor(base, input);
-                c.base.recapture(self.plan, ws, input);
-                c.dws.reset_from(&c.base);
-                c.base_image.clone_from(base);
-            }
-            None => {
-                telemetry::count(Counter::DeltaCacheCold);
-                image_into_tensor(base, input);
-                let acts = BaseActivations::capture(self.plan, ws, input);
-                let dws = self.delta.workspace(&acts);
-                *cache = Some(SessionDeltaCache {
-                    base_image: base.clone(),
-                    base: acts,
-                    dws,
-                });
-            }
-        }
-        let c = cache.as_mut().expect("delta cache populated above");
+        let SessionState {
+            ws, input, cache, ..
+        } = &mut *self.state.borrow_mut();
+        let c = self.ensure_cache(ws, input, cache, base);
         self.delta.scores_pixel_delta_into(
             self.plan,
             &c.base,
@@ -347,6 +384,69 @@ impl Classifier for ZooSession<'_> {
             location.row as usize,
             location.col as usize,
             pixel.0,
+            out,
+        );
+    }
+
+    fn scores_batch_into(&self, images: &[Image], out: &mut Vec<f32>) {
+        out.clear();
+        if images.is_empty() {
+            return;
+        }
+        let SessionState {
+            bws, batch_inputs, ..
+        } = &mut *self.state.borrow_mut();
+        let batched = self.plan.batched();
+        let spec = self.plan.input_spec();
+        if bws.as_ref().is_none_or(|w| w.max_batch() < images.len()) {
+            *bws = Some(batched.workspace(images.len()));
+        }
+        batch_inputs.resize_with(images.len(), || {
+            Tensor::zeros([spec.channels, spec.height, spec.width])
+        });
+        for (image, tensor) in images.iter().zip(batch_inputs.iter_mut()) {
+            image_into_tensor(image, tensor);
+        }
+        batched.scores_batch_into(
+            bws.as_mut().expect("sized above"),
+            &batch_inputs[..images.len()],
+            out,
+        );
+    }
+
+    fn scores_pixel_delta_batch_into(
+        &self,
+        base: &Image,
+        candidates: &[(Location, Pixel)],
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        if candidates.is_empty() {
+            return;
+        }
+        let SessionState {
+            ws,
+            input,
+            cache,
+            batch_candidates,
+            ..
+        } = &mut *self.state.borrow_mut();
+        let c = self.ensure_cache(ws, input, cache, base);
+        while c.batch_dws.len() < candidates.len() {
+            c.batch_dws.push(self.delta.workspace(&c.base));
+        }
+        batch_candidates.clear();
+        batch_candidates.extend(
+            candidates
+                .iter()
+                .map(|&(location, pixel)| (location.row as usize, location.col as usize, pixel.0)),
+        );
+        self.delta.scores_pixel_delta_batch_into(
+            self.plan,
+            &c.base,
+            &mut c.batch_dws[..candidates.len()],
+            batch_candidates,
+            &mut c.batch_scratch,
             out,
         );
     }
@@ -425,7 +525,10 @@ pub fn train_or_load(arch: Arch, scale: Scale, config: &ZooConfig) -> ZooModel {
     if let Some(path) = &cache_path {
         // Cache failures are non-fatal: the model is still usable.
         if let Err(e) = save_weights(&net, path) {
-            eprintln!("warning: failed to cache weights at {}: {e}", path.display());
+            eprintln!(
+                "warning: failed to cache weights at {}: {e}",
+                path.display()
+            );
         }
     }
     let engine = InferenceEngine::new(&net);
@@ -568,6 +671,47 @@ mod tests {
         assert_eq!(delta_buf, full_buf);
         classifier.scores_pixel_delta_into(img, location, pixel, &mut full_buf);
         assert_eq!(delta_buf, full_buf);
+    }
+
+    #[test]
+    fn session_batch_paths_match_sequential() {
+        let model = train_or_load(Arch::VggSmall, Scale::Cifar, &fast_config(false));
+        let classifier = model.classifier();
+        let session = classifier.session();
+        let test = attack_test_set(Scale::Cifar, 1, 8);
+        let images: Vec<Image> = test.iter().take(4).map(|(img, _)| img.clone()).collect();
+
+        // Batched full forward: per image bit-identical to scores_into.
+        let mut got = Vec::new();
+        session.scores_batch_into(&images, &mut got);
+        let classes = session.num_classes();
+        let mut want = Vec::new();
+        for (b, img) in images.iter().enumerate() {
+            session.scores_into(img, &mut want);
+            assert_eq!(&got[b * classes..(b + 1) * classes], &want[..], "image {b}");
+        }
+
+        // Batched pixel-delta: bit-identical to the sequential incremental
+        // path, including across a delta-cache rebase (base switch).
+        for base in [&images[0], &images[1]] {
+            let candidates: Vec<(Location, Pixel)> = (0..6u16)
+                .map(|i| {
+                    (
+                        Location::new(i * 5, 31 - i),
+                        Pixel([1.0, 0.1 * i as f32, 0.0]),
+                    )
+                })
+                .collect();
+            session.scores_pixel_delta_batch_into(base, &candidates, &mut got);
+            for (i, &(location, pixel)) in candidates.iter().enumerate() {
+                session.scores_pixel_delta_into(base, location, pixel, &mut want);
+                assert_eq!(
+                    &got[i * classes..(i + 1) * classes],
+                    &want[..],
+                    "candidate {i} diverged"
+                );
+            }
+        }
     }
 
     #[test]

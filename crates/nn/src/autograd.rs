@@ -96,7 +96,6 @@ impl Param {
     fn accumulate_grad(&self, g: &Tensor) {
         self.inner.borrow_mut().grad.add_scaled_inplace(g, 1.0);
     }
-
 }
 
 impl fmt::Debug for Param {
@@ -116,8 +115,12 @@ enum Step {
     /// Input or (in no-grad mode) any node: no backward propagation.
     Leaf,
     /// A parameter leaf: gradient is routed into the shared cell.
-    ParamLeaf { param: Param },
-    Relu { x: usize },
+    ParamLeaf {
+        param: Param,
+    },
+    Relu {
+        x: usize,
+    },
     Conv2d {
         x: usize,
         w: usize,
@@ -126,18 +129,29 @@ enum Step {
         /// im2col matrices, one per batch item, saved from the forward pass.
         cols: Vec<Tensor>,
     },
-    Linear { x: usize, w: usize, b: usize },
+    Linear {
+        x: usize,
+        w: usize,
+        b: usize,
+    },
     MaxPool {
         x: usize,
         argmax: Vec<usize>,
     },
-    GlobalAvgPool { x: usize },
-    Add { x: usize, y: usize },
+    GlobalAvgPool {
+        x: usize,
+    },
+    Add {
+        x: usize,
+        y: usize,
+    },
     ConcatChannels {
         inputs: Vec<usize>,
         channels: Vec<usize>,
     },
-    Reshape { x: usize },
+    Reshape {
+        x: usize,
+    },
     SoftmaxCrossEntropy {
         logits: usize,
         probs: Tensor,
@@ -378,7 +392,10 @@ impl Tape {
     /// Panics if inputs are not rank 4 with matching batch and spatial dims,
     /// or if `inputs` is empty.
     pub fn concat_channels(&mut self, inputs: &[Var]) -> Var {
-        assert!(!inputs.is_empty(), "concat_channels needs at least one input");
+        assert!(
+            !inputs.is_empty(),
+            "concat_channels needs at least one input"
+        );
         let first = self.value(inputs[0]).shape().clone();
         assert_eq!(first.rank(), 4, "concat_channels expects [n,c,h,w] inputs");
         let (n, h, w) = (first.dim(0), first.dim(2), first.dim(3));
@@ -452,7 +469,10 @@ impl Tape {
         let probs = softmax_rows(lt);
         let mut loss = 0.0f32;
         for (row, &label) in labels.iter().enumerate() {
-            assert!(label < classes, "label {label} out of range ({classes} classes)");
+            assert!(
+                label < classes,
+                "label {label} out of range ({classes} classes)"
+            );
             let p = probs.data()[row * classes + label].max(1e-12);
             loss -= p.ln();
         }
@@ -491,7 +511,9 @@ impl Tape {
                 Step::Leaf => {}
                 Step::ParamLeaf { param } => param.accumulate_grad(&grad),
                 Step::Relu { x } => {
-                    let gi = self.nodes[*x].value.zip(&grad, |xv, g| if xv > 0.0 { g } else { 0.0 });
+                    let gi = self.nodes[*x]
+                        .value
+                        .zip(&grad, |xv, g| if xv > 0.0 { g } else { 0.0 });
                     accumulate(&mut grads, *x, gi);
                 }
                 Step::Add { x, y } => {
@@ -499,7 +521,13 @@ impl Tape {
                     accumulate(&mut grads, x, grad.clone());
                     accumulate(&mut grads, y, grad);
                 }
-                Step::Conv2d { x, w, b, geom, cols } => {
+                Step::Conv2d {
+                    x,
+                    w,
+                    b,
+                    geom,
+                    cols,
+                } => {
                     let (x, w, b, geom) = (*x, *w, *b, *geom);
                     let cols = cols.clone();
                     let (gx, gw, gb) = self.conv2d_backward(&grad, x, w, &geom, &cols);
@@ -526,8 +554,7 @@ impl Tape {
                 }
                 Step::MaxPool { x, argmax } => {
                     let x = *x;
-                    let gi =
-                        ops::max_pool2d_backward(&grad, argmax, self.nodes[x].value.shape());
+                    let gi = ops::max_pool2d_backward(&grad, argmax, self.nodes[x].value.shape());
                     accumulate(&mut grads, x, gi);
                 }
                 Step::GlobalAvgPool { x } => {
@@ -559,7 +586,11 @@ impl Tape {
                     let gi = grad.reshape(self.nodes[x].value.shape().clone());
                     accumulate(&mut grads, x, gi);
                 }
-                Step::SoftmaxCrossEntropy { logits, probs, labels } => {
+                Step::SoftmaxCrossEntropy {
+                    logits,
+                    probs,
+                    labels,
+                } => {
                     let logits = *logits;
                     let n = labels.len();
                     let classes = probs.shape().dim(1);
@@ -631,7 +662,11 @@ fn accumulate(grads: &mut [Option<Tensor>], id: usize, g: Tensor) {
 
 /// Row-wise softmax of a `[n, classes]` tensor with max-shift stabilization.
 pub fn softmax_rows(logits: &Tensor) -> Tensor {
-    assert_eq!(logits.shape().rank(), 2, "softmax_rows expects [n, classes]");
+    assert_eq!(
+        logits.shape().rank(),
+        2,
+        "softmax_rows expects [n, classes]"
+    );
     let n = logits.shape().dim(0);
     let classes = logits.shape().dim(1);
     let mut out = vec![0.0f32; n * classes];
@@ -691,7 +726,10 @@ mod tests {
 
     #[test]
     fn linear_gradients_match_finite_differences() {
-        let w = Param::new("w", Tensor::from_vec([2, 3], vec![0.1, -0.2, 0.3, 0.5, 0.4, -0.1]));
+        let w = Param::new(
+            "w",
+            Tensor::from_vec([2, 3], vec![0.1, -0.2, 0.3, 0.5, 0.4, -0.1]),
+        );
         let b = Param::new("b", Tensor::from_vec([2], vec![0.05, -0.07]));
         let x = Tensor::from_vec([2, 3], vec![1.0, 2.0, -1.0, 0.5, -0.5, 2.0]);
         let labels = [0usize, 1];

@@ -1,0 +1,337 @@
+//! Batched full-image inference: K images through one forward sweep.
+//!
+//! The sequential hot path ([`InferencePlan::scores_into`]) streams every
+//! layer's weights from memory once *per image*. When K images are
+//! available at once — distinct test images, or K one-pixel variants that
+//! fell off the incremental fast path — running them **layer-major**
+//! amortizes that weight traffic: each op executes over the whole batch
+//! before the next op starts, with the conv GEMMs reusing the plan's
+//! pre-packed weight panels ([`oppsla_tensor::gemm::PackedA`]) and the
+//! elementwise / pooling / linear kernels operating on the contiguous
+//! `[K, …]` batch buffers in a single call.
+//!
+//! # Determinism contract
+//!
+//! Per image, the arithmetic is **bit-identical** to the sequential plan:
+//! the batch buffers are plain NCHW concatenations, every batched kernel
+//! call decomposes into the same per-image (per-row, per-channel) scalar
+//! op sequences the sequential path runs — the batched GEMM-path conv
+//! runs per-image im2col + packed GEMM (itself bit-identical to the naive
+//! multiply), [`ops::matmul_nt_into`] with `m = K` computes row `i`
+//! exactly as `m = 1` does, and pooling over `K·c` channels equals K
+//! independent `c`-channel calls. Verified exactly in
+//! `tests/batched_matches_sequential.rs`.
+
+use crate::infer::{InferOp, InferencePlan};
+use oppsla_tensor::gemm;
+use oppsla_tensor::ops::{self, Rect};
+use oppsla_tensor::Tensor;
+
+/// A thin batched view over a compiled [`InferencePlan`]: the plan
+/// already owns the packed conv weights, so batching adds no per-model
+/// state — only the batch-sized workspace. Obtain via
+/// [`InferencePlan::batched`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchedInferencePlan<'a> {
+    plan: &'a InferencePlan,
+}
+
+/// Pre-allocated `[max_batch, …]` activation buffers for one
+/// [`BatchedInferencePlan`]. Steady-state forwards are allocation-free;
+/// smaller batches run on a prefix of each buffer.
+#[derive(Debug)]
+pub struct BatchedWorkspace {
+    max_batch: usize,
+    bufs: Vec<Vec<f32>>,
+    /// Per-image im2col scratch for the largest GEMM-path conv.
+    cols: Vec<f32>,
+    /// B-panel packing scratch for the blocked GEMM.
+    pack_buf: Vec<f32>,
+}
+
+impl BatchedWorkspace {
+    /// The largest batch this workspace can hold.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+}
+
+impl InferencePlan {
+    /// The batched view of this plan (shares its packed weights).
+    pub fn batched(&self) -> BatchedInferencePlan<'_> {
+        BatchedInferencePlan { plan: self }
+    }
+}
+
+impl BatchedInferencePlan<'_> {
+    /// Allocates buffers for forwards of up to `max_batch` images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn workspace(&self, max_batch: usize) -> BatchedWorkspace {
+        assert!(max_batch > 0, "batched workspace needs a non-zero batch");
+        let scratch = self
+            .plan
+            .ops
+            .iter()
+            .map(|op| match op {
+                InferOp::Conv2d {
+                    cols_len,
+                    direct: false,
+                    ..
+                } => *cols_len,
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        BatchedWorkspace {
+            max_batch,
+            bufs: self
+                .plan
+                .buf_lens
+                .iter()
+                .map(|&l| vec![0.0; max_batch * l])
+                .collect(),
+            cols: vec![0.0; scratch],
+            pack_buf: vec![0.0; if scratch > 0 { gemm::KC * gemm::NC } else { 0 }],
+        }
+    }
+
+    /// Runs `images.len()` forwards in one layer-major sweep and appends
+    /// each image's `num_classes` softmax scores to `out` (cleared
+    /// first), in image order. Bit-identical per image to
+    /// [`InferencePlan::scores_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is empty or exceeds the workspace's
+    /// `max_batch`, or any image disagrees with the plan's input spec.
+    pub fn scores_batch_into(
+        &self,
+        ws: &mut BatchedWorkspace,
+        images: &[Tensor],
+        out: &mut Vec<f32>,
+    ) {
+        let plan = self.plan;
+        let k = images.len();
+        assert!(k > 0, "scores_batch_into needs at least one image");
+        assert!(
+            k <= ws.max_batch,
+            "batch of {k} exceeds workspace capacity {}",
+            ws.max_batch
+        );
+        assert_eq!(
+            ws.bufs.len(),
+            plan.buf_lens.len(),
+            "workspace does not belong to this plan"
+        );
+        let spec = plan.input_spec();
+        let chw = spec.channels * spec.height * spec.width;
+        for (b, image) in images.iter().enumerate() {
+            assert_eq!(
+                image.shape().dims(),
+                &[spec.channels, spec.height, spec.width],
+                "image geometry disagrees with the plan's input spec"
+            );
+            ws.bufs[0][b * chw..(b + 1) * chw].copy_from_slice(image.data());
+        }
+        oppsla_obs::count_n(oppsla_obs::Counter::BatchedForwardImages, k as u64);
+        for op in &plan.ops {
+            self.run_op_batch(ws, op, k);
+        }
+        out.clear();
+        let classes = plan.num_classes();
+        for b in 0..k {
+            let logits = &ws.bufs[plan.output_buf][b * classes..(b + 1) * classes];
+            softmax_append(logits, out);
+        }
+    }
+
+    /// Executes one op over the first `k` images of the batch buffers.
+    fn run_op_batch(&self, ws: &mut BatchedWorkspace, op: &InferOp, k: usize) {
+        let plan = self.plan;
+        let BatchedWorkspace {
+            bufs,
+            cols,
+            pack_buf,
+            ..
+        } = ws;
+        let _op_timing = oppsla_obs::op_timer(match op {
+            InferOp::Conv2d { .. } => oppsla_obs::OpKind::Conv,
+            InferOp::Linear { .. } => oppsla_obs::OpKind::Linear,
+            InferOp::Relu { .. } => oppsla_obs::OpKind::Relu,
+            InferOp::MaxPool { .. } => oppsla_obs::OpKind::MaxPool,
+            InferOp::GlobalAvgPool { .. } => oppsla_obs::OpKind::Gap,
+            InferOp::Add { .. } => oppsla_obs::OpKind::Add,
+            InferOp::CopySeg { .. } => oppsla_obs::OpKind::CopySeg,
+        });
+        match op {
+            InferOp::Conv2d {
+                x,
+                out,
+                packed,
+                weight,
+                bias,
+                geom,
+                out_c,
+                cols_len,
+                direct,
+            } => {
+                let in_len = plan.buf_lens[*x];
+                let out_len = plan.buf_lens[*out];
+                let (xb, ob) = buf_pair(bufs, *x, *out);
+                if *direct {
+                    let full = Rect::full(geom.out_h(), geom.out_w());
+                    for (image, oimg) in xb
+                        .chunks_exact(in_len)
+                        .zip(ob.chunks_exact_mut(out_len))
+                        .take(k)
+                    {
+                        ops::conv2d_region_into(image, weight, bias, geom, *out_c, full, oimg);
+                    }
+                } else {
+                    gemm::conv2d_batch_into(
+                        &xb[..k * in_len],
+                        k,
+                        packed,
+                        bias,
+                        geom,
+                        *out_c,
+                        &mut cols[..*cols_len],
+                        pack_buf,
+                        &mut ob[..k * out_len],
+                    );
+                }
+            }
+            InferOp::Linear {
+                x,
+                out,
+                weight,
+                bias,
+                in_f,
+                out_f,
+            } => {
+                let (xb, ob) = buf_pair(bufs, *x, *out);
+                // One GEMM for the whole batch: row b is computed exactly
+                // as the sequential m = 1 call computes it.
+                ops::matmul_nt_into(
+                    &xb[..k * in_f],
+                    weight,
+                    k,
+                    *in_f,
+                    *out_f,
+                    &mut ob[..k * out_f],
+                );
+                for orow in ob[..k * out_f].chunks_exact_mut(*out_f) {
+                    for (o, &bv) in orow.iter_mut().zip(bias) {
+                        *o += bv;
+                    }
+                }
+            }
+            InferOp::Relu { x, out } => {
+                let len = k * plan.buf_lens[*x];
+                let (xb, ob) = buf_pair(bufs, *x, *out);
+                for (o, &v) in ob[..len].iter_mut().zip(&xb[..len]) {
+                    *o = v.max(0.0);
+                }
+            }
+            InferOp::MaxPool {
+                x,
+                out,
+                channels,
+                h,
+                w,
+                window,
+            } => {
+                let in_len = k * plan.buf_lens[*x];
+                let out_len = k * plan.buf_lens[*out];
+                let (xb, ob) = buf_pair(bufs, *x, *out);
+                // The batch dim folds into channels: [k, c, h, w] pools as
+                // k·c independent planes.
+                ops::max_pool2d_into(
+                    &xb[..in_len],
+                    k * channels,
+                    *h,
+                    *w,
+                    *window,
+                    &mut ob[..out_len],
+                    None,
+                );
+            }
+            InferOp::GlobalAvgPool {
+                x,
+                out,
+                channels,
+                h,
+                w,
+            } => {
+                let in_len = k * plan.buf_lens[*x];
+                let (xb, ob) = buf_pair(bufs, *x, *out);
+                ops::global_avg_pool_into(
+                    &xb[..in_len],
+                    k * channels,
+                    *h,
+                    *w,
+                    &mut ob[..k * channels],
+                );
+            }
+            InferOp::Add { x, y, out } => {
+                let len = k * plan.buf_lens[*out];
+                {
+                    let (xb, ob) = buf_pair(bufs, *x, *out);
+                    ob[..len].copy_from_slice(&xb[..len]);
+                }
+                let (yb, ob) = buf_pair(bufs, *y, *out);
+                for (o, &v) in ob[..len].iter_mut().zip(&yb[..len]) {
+                    *o += v;
+                }
+            }
+            InferOp::CopySeg {
+                x,
+                out,
+                offset,
+                len,
+            } => {
+                let in_len = plan.buf_lens[*x];
+                let out_len = plan.buf_lens[*out];
+                let (xb, ob) = buf_pair(bufs, *x, *out);
+                for (src, dst) in xb
+                    .chunks_exact(in_len)
+                    .zip(ob.chunks_exact_mut(out_len))
+                    .take(k)
+                {
+                    dst[*offset..*offset + *len].copy_from_slice(src);
+                }
+            }
+        }
+    }
+}
+
+/// Appends the max-shift softmax of `logits` to `out`, mirroring
+/// [`InferencePlan::scores_into`] exactly.
+fn softmax_append(logits: &[f32], out: &mut Vec<f32>) {
+    let start = out.len();
+    let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for &v in logits {
+        let e = (v - m).exp();
+        sum += e;
+        out.push(e);
+    }
+    for o in out[start..].iter_mut() {
+        *o /= sum;
+    }
+}
+
+/// Splits simultaneous shared/exclusive borrows of two distinct buffers.
+fn buf_pair(bufs: &mut [Vec<f32>], x: usize, out: usize) -> (&[f32], &mut [f32]) {
+    assert_ne!(x, out, "an op cannot read and write the same buffer");
+    if x < out {
+        let (lo, hi) = bufs.split_at_mut(out);
+        (&lo[x], &mut hi[0])
+    } else {
+        let (lo, hi) = bufs.split_at_mut(x);
+        (&hi[0], &mut lo[out])
+    }
+}

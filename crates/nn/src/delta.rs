@@ -46,8 +46,19 @@
 //! `tests/delta_matches_full.rs`).
 
 use crate::infer::{ForwardWorkspace, InferOp, InferencePlan};
+use oppsla_tensor::gemm;
 use oppsla_tensor::ops::{self, Rect};
 use oppsla_tensor::Tensor;
+
+/// Column-count ceiling for one shared-GEMM group in the batched conv
+/// route: groups larger than this are split so the concatenated column
+/// matrix stays a few MiB even for full-extent 64×64 recomputes.
+const MAX_GEMM_COLS: usize = 4096;
+
+/// Below this many total columns a group runs the direct region kernel
+/// per candidate — the im2col + packing overhead of a tiny GEMM costs
+/// more than it saves.
+const MIN_GEMM_COLS: usize = 32;
 
 /// Dirty state of one activation buffer during a delta pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,6 +170,27 @@ impl DeltaWorkspace {
     }
 }
 
+/// Reusable scratch for the shared-GEMM convolution route of
+/// [`DeltaPlan::scores_pixel_delta_batch_into`]: the column matrix that
+/// concatenates every candidate's dirty columns, the GEMM output panel,
+/// the GEMM's B-panel packing buffer, and the per-step work list. One
+/// scratch serves any batch size; after it has grown to the largest
+/// group the batched path is allocation-free.
+#[derive(Debug, Default)]
+pub struct DeltaBatchScratch {
+    cols: Vec<f32>,
+    gemm_out: Vec<f32>,
+    pack_buf: Vec<f32>,
+    work: Vec<(usize, Rect, Region)>,
+}
+
+impl DeltaBatchScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The incremental counterpart of an [`InferencePlan`]: delta steps plus
 /// the per-buffer spatial metadata needed to propagate dirty rectangles.
 ///
@@ -195,8 +227,8 @@ impl DeltaPlan {
                 InferOp::GlobalAvgPool { .. } => Step::Gap { op: i },
                 InferOp::Add { x, y, out } => Step::Add { x, y, out },
                 InferOp::CopySeg { x, out, offset, .. } => {
-                    let [_, h, w] = buf_chw[out]
-                        .expect("concat output must be a spatial [c, h, w] buffer");
+                    let [_, h, w] =
+                        buf_chw[out].expect("concat output must be a spatial [c, h, w] buffer");
                     Step::CopySeg {
                         x,
                         out,
@@ -251,16 +283,210 @@ impl DeltaPlan {
         rgb: [f32; 3],
         out: &mut Vec<f32>,
     ) {
-        assert_eq!(plan.ops.len(), self.num_ops, "plan does not match delta plan");
+        assert_eq!(
+            plan.ops.len(),
+            self.num_ops,
+            "plan does not match delta plan"
+        );
         assert_eq!(ws.bufs.len(), self.num_bufs, "workspace does not match");
         assert_eq!(base.bufs.len(), self.num_bufs, "base does not match");
+        oppsla_obs::count(oppsla_obs::Counter::DeltaQueries);
+        self.begin_candidate(base, ws, row, col, rgb);
+        for &step in &self.steps {
+            self.run_step(plan, ws, step);
+        }
+        out.clear();
+        softmax_append(&ws.bufs[self.output_buf], out);
+    }
+
+    /// Scores `candidates.len()` one-pixel variants of the same base image
+    /// in one pass: each candidate gets its own [`DeltaWorkspace`] (all
+    /// seeded from `base`), and the delta steps run **layer-major** —
+    /// every workspace advances through step `i` before any touches step
+    /// `i + 1` — so a layer's weights stay cache-resident across the whole
+    /// batch instead of being re-streamed per candidate. Convolution
+    /// steps additionally concatenate every candidate's dirty columns
+    /// into one shared im2col matrix and run a single blocked GEMM
+    /// against the layer's pre-packed kernel bank (see
+    /// [`run_conv_batch`](DeltaPlan::scores_pixel_delta_batch_into)),
+    /// which is where the batched path's throughput win comes from.
+    /// Both the direct region kernel and the GEMM accumulate taps in the
+    /// same `(ch, ky, kx)` order with the bias added last, so each
+    /// candidate's result stays bit-identical to its sequential run
+    /// (asserted exactly in `tests/batched_matches_sequential.rs`).
+    ///
+    /// Appends `num_classes` softmax scores per candidate to `out`
+    /// (cleared first), in candidate order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are fewer workspaces than candidates, or any
+    /// plan/base/workspace disagrees with this delta plan, or a pixel is
+    /// out of range.
+    pub fn scores_pixel_delta_batch_into(
+        &self,
+        plan: &InferencePlan,
+        base: &BaseActivations,
+        workspaces: &mut [DeltaWorkspace],
+        candidates: &[(usize, usize, [f32; 3])],
+        scratch: &mut DeltaBatchScratch,
+        out: &mut Vec<f32>,
+    ) {
+        assert_eq!(
+            plan.ops.len(),
+            self.num_ops,
+            "plan does not match delta plan"
+        );
+        assert_eq!(base.bufs.len(), self.num_bufs, "base does not match");
+        assert!(
+            candidates.len() <= workspaces.len(),
+            "{} candidates need at least as many delta workspaces, got {}",
+            candidates.len(),
+            workspaces.len()
+        );
+        let workspaces = &mut workspaces[..candidates.len()];
+        for (ws, &(row, col, rgb)) in workspaces.iter_mut().zip(candidates) {
+            assert_eq!(ws.bufs.len(), self.num_bufs, "workspace does not match");
+            oppsla_obs::count(oppsla_obs::Counter::DeltaQueries);
+            self.begin_candidate(base, ws, row, col, rgb);
+        }
+        for &step in &self.steps {
+            if let Step::Conv { op } = step {
+                self.run_conv_batch(plan, workspaces, op, scratch);
+            } else {
+                for ws in workspaces.iter_mut() {
+                    self.run_step(plan, ws, step);
+                }
+            }
+        }
+        out.clear();
+        for ws in workspaces.iter() {
+            softmax_append(&ws.bufs[self.output_buf], out);
+        }
+    }
+
+    /// Runs one convolution step for every candidate in the batch through
+    /// a shared im2col + blocked-GEMM pipeline: each candidate's dirty
+    /// output columns are packed side by side into one `[k, n_total]`
+    /// matrix (candidates' rectangles are independent, so their columns
+    /// simply concatenate), multiplied against the op's pre-packed kernel
+    /// bank in a single [`gemm::matmul_packed_into`] call, and scattered
+    /// back (plus bias) into each workspace's output rectangle. Groups
+    /// are capped at [`MAX_GEMM_COLS`] columns to bound scratch memory,
+    /// and groups below [`MIN_GEMM_COLS`] fall back to the per-candidate
+    /// direct kernel where a GEMM's fixed costs would dominate. Either
+    /// kernel accumulates taps in `(ch, ky, kx)` order with bias last, so
+    /// the route chosen never changes a single output bit.
+    fn run_conv_batch(
+        &self,
+        plan: &InferencePlan,
+        workspaces: &mut [DeltaWorkspace],
+        op: usize,
+        scratch: &mut DeltaBatchScratch,
+    ) {
+        let InferOp::Conv2d {
+            x,
+            out,
+            ref weight,
+            ref packed,
+            ref bias,
+            ref geom,
+            out_c,
+            ..
+        } = plan.ops[op]
+        else {
+            unreachable!("Step::Conv points at a non-conv op");
+        };
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let k = geom.in_channels * geom.kernel_h * geom.kernel_w;
+        let area = |r: &Rect| (r.y1 - r.y0) * (r.x1 - r.x0);
+        let DeltaBatchScratch {
+            cols,
+            gemm_out,
+            pack_buf,
+            work,
+        } = scratch;
+
+        work.clear();
+        for (i, ws) in workspaces.iter().enumerate() {
+            let region = conv_out_region(ws.dirty[x], geom);
+            let rect = match region {
+                Region::Clean => continue,
+                Region::Full => Rect::full(oh, ow),
+                Region::Dirty(r) => r,
+            };
+            work.push((i, rect, region));
+        }
+
+        let mut g0 = 0;
+        while g0 < work.len() {
+            let mut g1 = g0 + 1;
+            let mut total = area(&work[g0].1);
+            while g1 < work.len() && total + area(&work[g1].1) <= MAX_GEMM_COLS {
+                total += area(&work[g1].1);
+                g1 += 1;
+            }
+            if total < MIN_GEMM_COLS {
+                for &(i, rect, _) in &work[g0..g1] {
+                    let (xb, ob) = buf_pair(&mut workspaces[i].bufs, x, out);
+                    ops::conv2d_region_into(xb, weight, bias, geom, out_c, rect, ob);
+                }
+            } else {
+                cols.resize(k * total, 0.0);
+                gemm_out.resize(out_c * total, 0.0);
+                let mut col0 = 0;
+                for &(i, rect, _) in &work[g0..g1] {
+                    ops::im2col_region_into(&workspaces[i].bufs[x], geom, rect, col0, total, cols);
+                    col0 += area(&rect);
+                }
+                gemm::matmul_packed_into(packed, cols, total, pack_buf, gemm_out);
+                let mut col0 = 0;
+                for &(i, rect, _) in &work[g0..g1] {
+                    let ob = &mut workspaces[i].bufs[out];
+                    let rw = rect.x1 - rect.x0;
+                    let ra = area(&rect);
+                    for oc in 0..out_c {
+                        let g = &gemm_out[oc * total + col0..oc * total + col0 + ra];
+                        let b = bias[oc];
+                        let mut src = 0;
+                        for oy in rect.y0..rect.y1 {
+                            let obase = (oc * oh + oy) * ow;
+                            for (o, &v) in ob[obase + rect.x0..obase + rect.x1]
+                                .iter_mut()
+                                .zip(&g[src..src + rw])
+                            {
+                                *o = v + b;
+                            }
+                            src += rw;
+                        }
+                    }
+                    col0 += ra;
+                }
+            }
+            g0 = g1;
+        }
+
+        for &(i, _, region) in work.iter() {
+            self.mark(&mut workspaces[i], out, region);
+        }
+    }
+
+    /// Restores the previous candidate's dirty regions from the base,
+    /// pokes the new candidate pixel, and seeds its 1×1 dirty rectangle.
+    fn begin_candidate(
+        &self,
+        base: &BaseActivations,
+        ws: &mut DeltaWorkspace,
+        row: usize,
+        col: usize,
+        rgb: [f32; 3],
+    ) {
         let [in_c, in_h, in_w] = self.buf_chw[0].expect("input buffer must be [c, h, w]");
         assert_eq!(in_c, 3, "pixel-delta queries need a 3-channel input");
         assert!(
             row < in_h && col < in_w,
             "pixel ({row}, {col}) out of range for {in_h}x{in_w} input"
         );
-        oppsla_obs::count(oppsla_obs::Counter::DeltaQueries);
 
         // Lazily undo the previous query: restore exactly the regions it
         // dirtied from the base snapshot.
@@ -293,9 +519,15 @@ impl DeltaPlan {
             x1: col + 1,
         };
         self.mark(ws, 0, Region::Dirty(seed));
+    }
 
-        for step in &self.steps {
-            match *step {
+    /// Advances one workspace through one delta step (dirty-region
+    /// propagation plus the region-restricted kernel call). All candidate
+    /// state lives in `ws`, so steps can be interleaved across workspaces
+    /// in any order — the batched path runs them layer-major.
+    fn run_step(&self, plan: &InferencePlan, ws: &mut DeltaWorkspace, step: Step) {
+        {
+            match step {
                 Step::Conv { op } => {
                     let InferOp::Conv2d {
                         x,
@@ -309,30 +541,11 @@ impl DeltaPlan {
                     else {
                         unreachable!("Step::Conv points at a non-conv op");
                     };
-                    let region = match ws.dirty[x] {
-                        Region::Clean => continue,
-                        Region::Full => Region::Full,
-                        Region::Dirty(r) => {
-                            let (s, p) = (geom.stride, geom.padding);
-                            let (oh, ow) = (geom.out_h(), geom.out_w());
-                            let o = Rect {
-                                y0: (r.y0 + p).saturating_sub(geom.kernel_h - 1).div_ceil(s),
-                                y1: ((r.y1 - 1 + p) / s + 1).min(oh),
-                                x0: (r.x0 + p).saturating_sub(geom.kernel_w - 1).div_ceil(s),
-                                x1: ((r.x1 - 1 + p) / s + 1).min(ow),
-                            };
-                            if o.covers(oh, ow) {
-                                oppsla_obs::count(oppsla_obs::Counter::DeltaFullPromotions);
-                                Region::Full
-                            } else {
-                                Region::Dirty(o)
-                            }
-                        }
-                    };
+                    let region = conv_out_region(ws.dirty[x], geom);
                     let rect = match region {
+                        Region::Clean => return,
                         Region::Full => Rect::full(geom.out_h(), geom.out_w()),
                         Region::Dirty(r) => r,
-                        Region::Clean => unreachable!(),
                     };
                     let (xb, ob) = buf_pair(&mut ws.bufs, x, out);
                     ops::conv2d_region_into(xb, weight, bias, geom, out_c, rect, ob);
@@ -341,12 +554,10 @@ impl DeltaPlan {
                 Step::Relu { x, out } => {
                     let region = ws.dirty[x];
                     if region.is_clean() {
-                        continue;
+                        return;
                     }
                     let (xb, ob) = buf_pair(&mut ws.bufs, x, out);
-                    for (lo, hi) in
-                        RegionRows::new(region, self.buf_chw[out], ob.len())
-                    {
+                    for (lo, hi) in RegionRows::new(region, self.buf_chw[out], ob.len()) {
                         for (o, &v) in ob[lo..hi].iter_mut().zip(&xb[lo..hi]) {
                             *o = v.max(0.0);
                         }
@@ -367,7 +578,7 @@ impl DeltaPlan {
                     };
                     let (oh, ow) = (h / window, w / window);
                     let region = match ws.dirty[x] {
-                        Region::Clean => continue,
+                        Region::Clean => return,
                         Region::Full => Region::Full,
                         Region::Dirty(r) => {
                             let o = Rect {
@@ -405,7 +616,7 @@ impl DeltaPlan {
                         unreachable!("Step::Gap points at a non-gap op");
                     };
                     if ws.dirty[x].is_clean() {
-                        continue;
+                        return;
                     }
                     let (xb, ob) = buf_pair(&mut ws.bufs, x, out);
                     ops::global_avg_pool_into(xb, channels, h, w, ob);
@@ -414,13 +625,11 @@ impl DeltaPlan {
                 Step::Add { x, y, out } => {
                     let region = union_region(ws.dirty[x], ws.dirty[y]);
                     if region.is_clean() {
-                        continue;
+                        return;
                     }
                     // Elementwise over the merged region: both inputs are
                     // valid everywhere (clean cells hold base values).
-                    for (lo, hi) in
-                        RegionRows::new(region, self.buf_chw[out], ws.bufs[out].len())
-                    {
+                    for (lo, hi) in RegionRows::new(region, self.buf_chw[out], ws.bufs[out].len()) {
                         let (xb, ob) = buf_pair(&mut ws.bufs, x, out);
                         ob[lo..hi].copy_from_slice(&xb[lo..hi]);
                         let (yb, ob) = buf_pair(&mut ws.bufs, y, out);
@@ -433,10 +642,9 @@ impl DeltaPlan {
                 Step::CopySeg { x, out, ch_offset } => {
                     let region = ws.dirty[x];
                     if region.is_clean() {
-                        continue;
+                        return;
                     }
-                    let [xc, xh, xw] =
-                        self.buf_chw[x].expect("concat input must be [c, h, w]");
+                    let [xc, xh, xw] = self.buf_chw[x].expect("concat input must be [c, h, w]");
                     let [_, oh, ow] = self.buf_chw[out].expect("concat out must be [c, h, w]");
                     debug_assert_eq!((xh, xw), (oh, ow), "concat spatial dims");
                     let rect = match region {
@@ -481,7 +689,7 @@ impl DeltaPlan {
                         unreachable!("Step::Linear points at a non-linear op");
                     };
                     if ws.dirty[x].is_clean() {
-                        continue;
+                        return;
                     }
                     let (xb, ob) = buf_pair(&mut ws.bufs, x, out);
                     ops::matmul_nt_into(xb, weight, 1, in_f, out_f, ob);
@@ -491,20 +699,6 @@ impl DeltaPlan {
                     self.mark(ws, out, Region::Full);
                 }
             }
-        }
-
-        // Mirror `InferencePlan::scores_into` exactly: max-shift softmax.
-        let logits = &ws.bufs[self.output_buf];
-        out.clear();
-        let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for &v in logits {
-            let e = (v - m).exp();
-            sum += e;
-            out.push(e);
-        }
-        for o in out.iter_mut() {
-            *o /= sum;
         }
     }
 
@@ -524,6 +718,48 @@ impl DeltaPlan {
         } else if let Some(entry) = ws.pending.iter_mut().rev().find(|(b, _)| *b == buf) {
             entry.1 = region;
         }
+    }
+}
+
+/// Appends the max-shift softmax of `logits` to `out`, mirroring
+/// `autograd::softmax_rows` (and [`InferencePlan::scores_into`]) exactly.
+/// Propagates a convolution input region to its output region: the
+/// dirty-region algebra's kernel-radius dilation step, with full-extent
+/// rectangles promoted to [`Region::Full`] (counted as a promotion).
+fn conv_out_region(dirty: Region, geom: &ops::Conv2dGeometry) -> Region {
+    match dirty {
+        Region::Clean => Region::Clean,
+        Region::Full => Region::Full,
+        Region::Dirty(r) => {
+            let (s, p) = (geom.stride, geom.padding);
+            let (oh, ow) = (geom.out_h(), geom.out_w());
+            let o = Rect {
+                y0: (r.y0 + p).saturating_sub(geom.kernel_h - 1).div_ceil(s),
+                y1: ((r.y1 - 1 + p) / s + 1).min(oh),
+                x0: (r.x0 + p).saturating_sub(geom.kernel_w - 1).div_ceil(s),
+                x1: ((r.x1 - 1 + p) / s + 1).min(ow),
+            };
+            if o.covers(oh, ow) {
+                oppsla_obs::count(oppsla_obs::Counter::DeltaFullPromotions);
+                Region::Full
+            } else {
+                Region::Dirty(o)
+            }
+        }
+    }
+}
+
+fn softmax_append(logits: &[f32], out: &mut Vec<f32>) {
+    let start = out.len();
+    let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for &v in logits {
+        let e = (v - m).exp();
+        sum += e;
+        out.push(e);
+    }
+    for o in out[start..].iter_mut() {
+        *o /= sum;
     }
 }
 

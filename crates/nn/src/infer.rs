@@ -40,6 +40,7 @@
 
 use crate::layers::Layer;
 use crate::models::{ConvNet, InputSpec};
+use oppsla_tensor::gemm::{self, PackedA};
 use oppsla_tensor::ops::{self, Conv2dGeometry, Rect};
 use oppsla_tensor::Tensor;
 use std::sync::Mutex;
@@ -75,6 +76,10 @@ pub(crate) enum InferOp {
         x: usize,
         out: usize,
         weight: Vec<f32>,
+        /// The same kernel bank repacked once at plan-compile time into
+        /// [`PackedA`] row panels for the blocked GEMM (GEMM-path convs
+        /// only; the direct kernel reads the row-major `weight`).
+        packed: PackedA,
         bias: Vec<f32>,
         geom: Conv2dGeometry,
         out_c: usize,
@@ -228,9 +233,11 @@ impl InferencePlanner {
         if !direct {
             self.scratch_len = self.scratch_len.max(cols_len);
         }
+        let k = in_channels * kernel * kernel;
         self.ops.push(InferOp::Conv2d {
             x: self.buf(x),
             out: self.buf(out),
+            packed: gemm::pack_a(weight.data(), out_c, k),
             weight: weight.data().to_vec(),
             bias: bias.data().to_vec(),
             geom,
@@ -308,7 +315,11 @@ impl InferencePlanner {
     /// Panics if the slot is not `[c, h, w]`.
     pub fn global_avg_pool(&mut self, x: SlotId) -> SlotId {
         let dims = self.dims(x).to_vec();
-        assert_eq!(dims.len(), 3, "global_avg_pool input slot must be [c, h, w]");
+        assert_eq!(
+            dims.len(),
+            3,
+            "global_avg_pool input slot must be [c, h, w]"
+        );
         let (c, h, w) = (dims[0], dims[1], dims[2]);
         let out = self.new_slot(vec![c]);
         self.ops.push(InferOp::GlobalAvgPool {
@@ -344,7 +355,10 @@ impl InferencePlanner {
     ///
     /// Panics if `inputs` is empty or spatial extents disagree.
     pub fn concat_channels(&mut self, inputs: &[SlotId]) -> SlotId {
-        assert!(!inputs.is_empty(), "concat_channels needs at least one input");
+        assert!(
+            !inputs.is_empty(),
+            "concat_channels needs at least one input"
+        );
         let first = self.dims(inputs[0]).to_vec();
         assert_eq!(first.len(), 3, "concat_channels expects [c, h, w] inputs");
         let (h, w) = (first[1], first[2]);
@@ -443,6 +457,16 @@ impl InferencePlan {
         ForwardWorkspace {
             bufs: self.buf_lens.iter().map(|&l| vec![0.0; l]).collect(),
             scratch: vec![0.0; self.scratch_len],
+            // Pre-grown to the blocked GEMM's fixed panel capacity so the
+            // first query is as allocation-free as the rest.
+            pack_buf: vec![
+                0.0;
+                if self.scratch_len > 0 {
+                    gemm::KC * gemm::NC
+                } else {
+                    0
+                }
+            ],
         }
     }
 
@@ -485,7 +509,11 @@ impl InferencePlan {
             self.buf_lens.len(),
             "workspace does not belong to this plan"
         );
-        let ForwardWorkspace { bufs, scratch } = ws;
+        let ForwardWorkspace {
+            bufs,
+            scratch,
+            pack_buf,
+        } = ws;
         bufs[0].copy_from_slice(image.data());
         for op in &self.ops {
             // Per-layer timing hook: the guard records call count and
@@ -504,6 +532,7 @@ impl InferencePlan {
                 InferOp::Conv2d {
                     x,
                     out,
+                    packed,
                     weight,
                     bias,
                     geom,
@@ -519,8 +548,10 @@ impl InferencePlan {
                         let cols = &mut scratch[..*cols_len];
                         ops::im2col_into(xb, geom, cols);
                         let area = geom.out_h() * geom.out_w();
-                        let k = geom.in_channels * geom.kernel_h * geom.kernel_w;
-                        ops::matmul_into(weight, cols, *out_c, k, area, ob);
+                        // Blocked, panel-packed GEMM — bit-identical to
+                        // the naive `matmul_into` it replaced (see
+                        // `oppsla_tensor::gemm`).
+                        gemm::matmul_packed_into(packed, cols, area, pack_buf, ob);
                         for oc in 0..*out_c {
                             let b = bias[oc];
                             for v in &mut ob[oc * area..(oc + 1) * area] {
@@ -580,7 +611,12 @@ impl InferencePlan {
                         *o += v;
                     }
                 }
-                InferOp::CopySeg { x, out, offset, len } => {
+                InferOp::CopySeg {
+                    x,
+                    out,
+                    offset,
+                    len,
+                } => {
                     let (xb, ob) = buf_pair(bufs, *x, *out);
                     ob[*offset..*offset + *len].copy_from_slice(xb);
                 }
@@ -611,6 +647,9 @@ fn buf_pair(bufs: &mut [Vec<f32>], x: usize, out: usize) -> (&[f32], &mut [f32])
 pub struct ForwardWorkspace {
     pub(crate) bufs: Vec<Vec<f32>>,
     scratch: Vec<f32>,
+    /// B-panel packing scratch for the blocked GEMM (fixed `KC·NC`
+    /// capacity; empty when every conv runs the direct kernel).
+    pack_buf: Vec<f32>,
 }
 
 /// An [`InferencePlan`] bundled with a mutex-guarded workspace: a drop-in,

@@ -273,7 +273,9 @@ impl Sequential {
 
 impl Layer for Sequential {
     fn forward(&self, tape: &mut Tape, x: Var) -> Var {
-        self.layers.iter().fold(x, |v, layer| layer.forward(tape, v))
+        self.layers
+            .iter()
+            .fold(x, |v, layer| layer.forward(tape, v))
     }
 
     fn plan(&self, p: &mut InferencePlanner, x: SlotId) -> SlotId {
@@ -355,7 +357,10 @@ pub struct ParallelConcat {
 impl ParallelConcat {
     /// Creates an inception-style block (branch outputs only).
     pub fn new(branches: Vec<Sequential>) -> Self {
-        assert!(!branches.is_empty(), "ParallelConcat needs at least one branch");
+        assert!(
+            !branches.is_empty(),
+            "ParallelConcat needs at least one branch"
+        );
         ParallelConcat {
             branches,
             include_input: false,
@@ -365,7 +370,10 @@ impl ParallelConcat {
     /// Creates a dense-connectivity block that also passes the input
     /// through to the concatenation.
     pub fn with_input(branches: Vec<Sequential>) -> Self {
-        assert!(!branches.is_empty(), "ParallelConcat needs at least one branch");
+        assert!(
+            !branches.is_empty(),
+            "ParallelConcat needs at least one branch"
+        );
         ParallelConcat {
             branches,
             include_input: true,

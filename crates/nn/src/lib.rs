@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod autograd;
+pub mod batched;
 pub mod delta;
 pub mod infer;
 pub mod init;

@@ -189,7 +189,11 @@ impl ConvNet {
     pub fn logits(&self, batch: &Tensor) -> Tensor {
         assert_eq!(batch.shape().rank(), 4, "logits expects an [n,c,h,w] batch");
         assert_eq!(
-            (batch.shape().dim(1), batch.shape().dim(2), batch.shape().dim(3)),
+            (
+                batch.shape().dim(1),
+                batch.shape().dim(2),
+                batch.shape().dim(3)
+            ),
             (self.input.channels, self.input.height, self.input.width),
             "batch geometry disagrees with network input spec"
         );
@@ -206,12 +210,7 @@ impl ConvNet {
     /// Panics if the image geometry disagrees with the input spec.
     pub fn scores(&self, image: &Tensor) -> Vec<f32> {
         assert_eq!(image.shape().rank(), 3, "scores expects a [c,h,w] image");
-        let batch = image.reshape([
-            1,
-            self.input.channels,
-            self.input.height,
-            self.input.width,
-        ]);
+        let batch = image.reshape([1, self.input.channels, self.input.height, self.input.width]);
         let logits = self.logits(&batch);
         softmax_rows(&logits).into_vec()
     }
@@ -268,7 +267,13 @@ fn build_vgg(input: InputSpec, classes: usize, rng: &mut impl Rng) -> Sequential
         .push(Linear::new(rng, "vgg.fc2", 48, classes))
 }
 
-fn head(rng: &mut impl Rng, name: &str, channels: usize, input: InputSpec, classes: usize) -> Sequential {
+fn head(
+    rng: &mut impl Rng,
+    name: &str,
+    channels: usize,
+    input: InputSpec,
+    classes: usize,
+) -> Sequential {
     // Pool once more, then flatten into a fully connected head. The real
     // architectures end in global average pooling, but at this reproduction's
     // scale (tens of channels instead of hundreds) GAP averages a single
@@ -308,17 +313,52 @@ fn build_resnet(input: InputSpec, classes: usize, rng: &mut impl Rng) -> Sequent
 
 fn inception(rng: &mut impl Rng, name: &str, in_c: usize, per_branch: usize) -> ParallelConcat {
     let b1 = Sequential::new()
-        .push(Conv2d::new(rng, &format!("{name}.b1x1"), in_c, per_branch, 1, 0))
+        .push(Conv2d::new(
+            rng,
+            &format!("{name}.b1x1"),
+            in_c,
+            per_branch,
+            1,
+            0,
+        ))
         .push(Relu);
     let b3 = Sequential::new()
-        .push(Conv2d::new(rng, &format!("{name}.b3r"), in_c, per_branch, 1, 0))
+        .push(Conv2d::new(
+            rng,
+            &format!("{name}.b3r"),
+            in_c,
+            per_branch,
+            1,
+            0,
+        ))
         .push(Relu)
-        .push(Conv2d::new(rng, &format!("{name}.b3x3"), per_branch, per_branch, 3, 1))
+        .push(Conv2d::new(
+            rng,
+            &format!("{name}.b3x3"),
+            per_branch,
+            per_branch,
+            3,
+            1,
+        ))
         .push(Relu);
     let b5 = Sequential::new()
-        .push(Conv2d::new(rng, &format!("{name}.b5r"), in_c, per_branch, 1, 0))
+        .push(Conv2d::new(
+            rng,
+            &format!("{name}.b5r"),
+            in_c,
+            per_branch,
+            1,
+            0,
+        ))
         .push(Relu)
-        .push(Conv2d::new(rng, &format!("{name}.b5x5"), per_branch, per_branch, 5, 2))
+        .push(Conv2d::new(
+            rng,
+            &format!("{name}.b5x5"),
+            per_branch,
+            per_branch,
+            5,
+            2,
+        ))
         .push(Relu);
     ParallelConcat::new(vec![b1, b3, b5])
 }

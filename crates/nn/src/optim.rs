@@ -149,7 +149,12 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
-        for ((p, m), v) in self.params.iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+        for ((p, m), v) in self
+            .params
+            .iter()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
             p.apply_update(|value, grad| {
                 let md = m.data_mut();
                 let vd = v.data_mut();
@@ -212,21 +217,30 @@ mod tests {
     #[test]
     fn adam_descends_logistic_loss() {
         let p = train_logistic(|params| Box::new(Adam::new(params, 0.05)));
-        assert!(p > 1.0, "adam failed to increase the separating weight: {p}");
+        assert!(
+            p > 1.0,
+            "adam failed to increase the separating weight: {p}"
+        );
     }
 
     #[test]
     fn momentum_accelerates_over_plain_sgd() {
         let plain = train_logistic(|params| Box::new(Sgd::new(params, 0.1, 0.0, 0.0)));
         let momentum = train_logistic(|params| Box::new(Sgd::new(params, 0.1, 0.9, 0.0)));
-        assert!(momentum > plain, "momentum {momentum} not ahead of plain {plain}");
+        assert!(
+            momentum > plain,
+            "momentum {momentum} not ahead of plain {plain}"
+        );
     }
 
     #[test]
     fn weight_decay_shrinks_weights() {
         let free = train_logistic(|params| Box::new(Sgd::new(params, 0.5, 0.0, 0.0)));
         let decayed = train_logistic(|params| Box::new(Sgd::new(params, 0.5, 0.0, 0.5)));
-        assert!(decayed < free, "decay {decayed} not smaller than free {free}");
+        assert!(
+            decayed < free,
+            "decay {decayed} not smaller than free {free}"
+        );
     }
 
     #[test]

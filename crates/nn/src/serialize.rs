@@ -77,11 +77,7 @@ pub fn save_weights(net: &ConvNet, path: &Path) -> Result<(), WeightError> {
         arch: net.arch(),
         input: net.input_spec(),
         num_classes: net.num_classes(),
-        params: net
-            .params()
-            .iter()
-            .map(|p| (p.name(), p.value()))
-            .collect(),
+        params: net.params().iter().map(|p| (p.name(), p.value())).collect(),
     };
     let json = serde_json::to_string(&file)?;
     fs::write(path, json)?;
@@ -146,7 +142,8 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("oppsla-serialize-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("oppsla-serialize-{name}-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         dir
     }

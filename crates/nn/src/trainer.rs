@@ -160,8 +160,7 @@ fn count_correct(logits: &Tensor, labels: &[usize]) -> usize {
         .iter()
         .enumerate()
         .filter(|(row, &label)| {
-            crate::models::argmax_slice(&logits.data()[row * classes..(row + 1) * classes])
-                == label
+            crate::models::argmax_slice(&logits.data()[row * classes..(row + 1) * classes]) == label
         })
         .count()
 }

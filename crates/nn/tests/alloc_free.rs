@@ -86,14 +86,30 @@ fn steady_state_queries_do_not_allocate() {
     let acts = BaseActivations::capture(&plan, &mut ws, &image);
     let mut dws = delta.workspace(&acts);
     for i in 0..2 {
-        delta.scores_pixel_delta_into(&plan, &acts, &mut dws, i, 31 - i, [1.0, 0.0, 0.5], &mut scores);
+        delta.scores_pixel_delta_into(
+            &plan,
+            &acts,
+            &mut dws,
+            i,
+            31 - i,
+            [1.0, 0.0, 0.5],
+            &mut scores,
+        );
     }
 
     ALLOCATIONS.store(0, Ordering::SeqCst);
     ARMED.store(true, Ordering::SeqCst);
     for i in 0..100 {
         let (row, col) = (i % 32, (i * 7) % 32);
-        delta.scores_pixel_delta_into(&plan, &acts, &mut dws, row, col, [0.9, 0.1, 0.4], &mut scores);
+        delta.scores_pixel_delta_into(
+            &plan,
+            &acts,
+            &mut dws,
+            row,
+            col,
+            [0.9, 0.1, 0.4],
+            &mut scores,
+        );
     }
     ARMED.store(false, Ordering::SeqCst);
 

@@ -1,0 +1,180 @@
+//! The batched paths' determinism contract: the layer-major batched full
+//! forward and the batched pixel-delta pass produce **bit-identical**
+//! scores to their sequential counterparts, per image / per candidate,
+//! across every architecture family (exercising the GEMM conv path, the
+//! direct conv path at 64x64, residual adds, concats, and the MLP's flat
+//! fallback).
+
+use oppsla_nn::delta::{BaseActivations, DeltaBatchScratch};
+use oppsla_nn::infer::InferencePlan;
+use oppsla_nn::models::{Arch, ConvNet, InputSpec};
+use oppsla_tensor::Tensor;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const ARCHS: [Arch; 5] = [
+    Arch::VggSmall,
+    Arch::ResNetSmall,
+    Arch::GoogLeNetSmall,
+    Arch::DenseNetSmall,
+    Arch::Mlp,
+];
+
+fn build(arch: Arch, spec: InputSpec) -> InferencePlan {
+    let mut rng = ChaCha8Rng::seed_from_u64(29);
+    InferencePlan::compile(&ConvNet::build(arch, spec, 6, &mut rng))
+}
+
+fn test_images(spec: InputSpec, n: usize) -> Vec<Tensor> {
+    (0..n)
+        .map(|b| {
+            Tensor::from_fn([spec.channels, spec.height, spec.width], |i| {
+                (((i + 113 * b) as f32) * 0.137).sin().abs()
+            })
+        })
+        .collect()
+}
+
+fn check_forward(arch: Arch, spec: InputSpec) {
+    let plan = build(arch, spec);
+    let batched = plan.batched();
+    let images = test_images(spec, 5);
+    let mut bws = batched.workspace(images.len());
+    let mut got = Vec::new();
+    batched.scores_batch_into(&mut bws, &images, &mut got);
+
+    let mut ws = plan.workspace();
+    let mut want = Vec::new();
+    for (b, image) in images.iter().enumerate() {
+        plan.scores_into(&mut ws, image, &mut want);
+        let chunk = &got[b * plan.num_classes()..(b + 1) * plan.num_classes()];
+        assert_eq!(chunk, &want[..], "{arch} image {b} diverged in the batch");
+    }
+
+    // A smaller batch through the same (now dirty) workspace must not see
+    // stale lanes.
+    let mut again = Vec::new();
+    batched.scores_batch_into(&mut bws, &images[..2], &mut again);
+    assert_eq!(
+        again,
+        got[..2 * plan.num_classes()],
+        "{arch} prefix rerun diverged"
+    );
+}
+
+fn check_delta(arch: Arch, spec: InputSpec) {
+    let plan = build(arch, spec);
+    let delta = oppsla_nn::delta::DeltaPlan::compile(&plan);
+    let mut ws = plan.workspace();
+    let image = test_images(spec, 1).pop().unwrap();
+    let base = BaseActivations::capture(&plan, &mut ws, &image);
+    let (h, w) = (spec.height, spec.width);
+    let candidates: Vec<(usize, usize, [f32; 3])> = (0..7)
+        .map(|i| {
+            (
+                (i * 13) % h,
+                (i * 29) % w,
+                [1.0, (i % 2) as f32, 0.1 * i as f32],
+            )
+        })
+        .collect();
+
+    let mut batch_ws: Vec<_> = (0..candidates.len())
+        .map(|_| delta.workspace(&base))
+        .collect();
+    let mut scratch = DeltaBatchScratch::new();
+    let mut got = Vec::new();
+    delta.scores_pixel_delta_batch_into(
+        &plan,
+        &base,
+        &mut batch_ws,
+        &candidates,
+        &mut scratch,
+        &mut got,
+    );
+
+    let mut dws = delta.workspace(&base);
+    let mut want = Vec::new();
+    for (i, &(row, col, rgb)) in candidates.iter().enumerate() {
+        delta.scores_pixel_delta_into(&plan, &base, &mut dws, row, col, rgb, &mut want);
+        let chunk = &got[i * plan.num_classes()..(i + 1) * plan.num_classes()];
+        assert_eq!(
+            chunk,
+            &want[..],
+            "{arch} candidate {i} diverged in the batch"
+        );
+    }
+
+    // Reusing the batch workspaces for a second batch (their pending
+    // regions restored lazily) must stay exact.
+    let rerun: Vec<(usize, usize, [f32; 3])> = candidates
+        .iter()
+        .rev()
+        .map(|&(r, c, _)| (r, c, [0.25, 0.5, 0.75]))
+        .collect();
+    delta.scores_pixel_delta_batch_into(
+        &plan,
+        &base,
+        &mut batch_ws,
+        &rerun,
+        &mut scratch,
+        &mut got,
+    );
+    for (i, &(row, col, rgb)) in rerun.iter().enumerate() {
+        delta.scores_pixel_delta_into(&plan, &base, &mut dws, row, col, rgb, &mut want);
+        let chunk = &got[i * plan.num_classes()..(i + 1) * plan.num_classes()];
+        assert_eq!(chunk, &want[..], "{arch} rerun candidate {i} diverged");
+    }
+}
+
+#[test]
+fn batched_forward_matches_sequential_at_32x32() {
+    for arch in ARCHS {
+        check_forward(arch, InputSpec::RGB32);
+    }
+}
+
+#[test]
+fn batched_forward_matches_sequential_at_64x64_direct_convs() {
+    // 64x64 feature maps cross DIRECT_CONV_MIN_PIXELS, exercising the
+    // per-image direct-kernel branch of the batched conv.
+    check_forward(Arch::ResNetSmall, InputSpec::RGB64);
+}
+
+#[test]
+fn batched_delta_matches_sequential_at_32x32() {
+    for arch in ARCHS {
+        check_delta(arch, InputSpec::RGB32);
+    }
+}
+
+#[test]
+fn batched_delta_matches_sequential_at_64x64() {
+    check_delta(Arch::DenseNetSmall, InputSpec::RGB64);
+}
+
+#[test]
+fn batched_delta_handles_partial_workspace_use() {
+    // More workspaces than candidates: only the prefix runs.
+    let plan = build(Arch::VggSmall, InputSpec::RGB32);
+    let delta = oppsla_nn::delta::DeltaPlan::compile(&plan);
+    let mut ws = plan.workspace();
+    let image = test_images(InputSpec::RGB32, 1).pop().unwrap();
+    let base = BaseActivations::capture(&plan, &mut ws, &image);
+    let mut batch_ws: Vec<_> = (0..8).map(|_| delta.workspace(&base)).collect();
+    let candidates = [(3usize, 4usize, [1.0f32, 0.0, 0.0])];
+    let mut scratch = DeltaBatchScratch::new();
+    let mut got = Vec::new();
+    delta.scores_pixel_delta_batch_into(
+        &plan,
+        &base,
+        &mut batch_ws,
+        &candidates,
+        &mut scratch,
+        &mut got,
+    );
+    let mut dws = delta.workspace(&base);
+    let mut want = Vec::new();
+    delta.scores_pixel_delta_into(&plan, &base, &mut dws, 3, 4, [1.0, 0.0, 0.0], &mut want);
+    assert_eq!(got, want);
+}

@@ -168,9 +168,7 @@ fn corner_edge_center_sweep_all_families_both_sizes() {
             let area = spec.height * spec.width;
             for (row, col) in placements {
                 let rgb = [1.0, 0.0, 0.5];
-                delta.scores_pixel_delta_into(
-                    plan, &acts, &mut dws, row, col, rgb, &mut delta_out,
-                );
+                delta.scores_pixel_delta_into(plan, &acts, &mut dws, row, col, rgb, &mut delta_out);
                 let mut poked = base.clone();
                 for (c, v) in rgb.iter().enumerate() {
                     poked.data_mut()[c * area + row * spec.width + col] = *v;

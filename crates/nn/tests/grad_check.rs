@@ -131,13 +131,16 @@ fn gradient_of_wrong_direction_fails_the_check() {
     let unit = 1.0 / (dim as f32).sqrt();
     let stepped = |sign: f32| {
         for (p, base) in params.iter().zip(&bases) {
-            let dir = Tensor::from_fn(base.shape().clone(), |i| {
-                if i % 2 == 0 {
-                    unit
-                } else {
-                    -unit
-                }
-            });
+            let dir = Tensor::from_fn(
+                base.shape().clone(),
+                |i| {
+                    if i % 2 == 0 {
+                        unit
+                    } else {
+                        -unit
+                    }
+                },
+            );
             let mut v = base.clone();
             v.add_scaled_inplace(&dir, sign * eps);
             p.set_value(v);

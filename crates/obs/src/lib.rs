@@ -104,6 +104,26 @@ counters! {
     SynthPrograms => "synth_programs",
     /// Metropolis–Hastings proposals accepted.
     SynthAccepted => "synth_accepted",
+    /// Speculative candidate batches evaluated ahead of consumption by a
+    /// prefetching oracle (one per batched classifier call).
+    BatchPrefetch => "batch_prefetch",
+    /// Candidates evaluated inside those batches. Mean batch size is
+    /// `batch_prefetched / batch_prefetch`.
+    BatchPrefetched => "batch_prefetched",
+    /// Prefetched candidates actually consumed by a later sequential
+    /// query (served from the batch). Batch occupancy — the fraction of
+    /// speculative work that paid off — is `batch_hit / batch_prefetched`.
+    BatchHit => "batch_hit",
+    /// Sequential queries that found no matching candidate in the pending
+    /// batch (the caller diverged from its speculation); the query runs
+    /// sequentially and the batch is kept for later hits.
+    BatchMiss => "batch_miss",
+    /// Prefetched batches discarded before being fully consumed — the
+    /// caller prefetched again (stale speculation) or queried against a
+    /// different base image — counted per discarded batch.
+    BatchFlush => "batch_flush",
+    /// Images run through the layer-major batched full forward.
+    BatchedForwardImages => "batched_forward_images",
 }
 
 /// Declares [`OpKind`] with stable wire names.
@@ -477,8 +497,7 @@ impl Snapshot {
     /// or `None` when no pixel-delta query ran.
     pub fn delta_cache_hit_rate(&self) -> Option<f64> {
         let hit = self.get(Counter::DeltaCacheHit);
-        let total =
-            hit + self.get(Counter::DeltaCacheRebase) + self.get(Counter::DeltaCacheCold);
+        let total = hit + self.get(Counter::DeltaCacheRebase) + self.get(Counter::DeltaCacheCold);
         (total > 0).then(|| hit as f64 / total as f64)
     }
 
@@ -664,10 +683,28 @@ pub fn emit_snapshot(
         fields.push(("delta_cache_hit_rate", FieldValue::F64(rate)));
     }
     let hist_names: [&str; QUERY_HIST_BUCKETS] = [
-        "qhist_0", "qhist_1", "qhist_2", "qhist_4", "qhist_8", "qhist_16", "qhist_32",
-        "qhist_64", "qhist_128", "qhist_256", "qhist_512", "qhist_1024", "qhist_2048",
-        "qhist_4096", "qhist_8192", "qhist_16384", "qhist_32768", "qhist_65536",
-        "qhist_131072", "qhist_262144", "qhist_524288", "qhist_1048576",
+        "qhist_0",
+        "qhist_1",
+        "qhist_2",
+        "qhist_4",
+        "qhist_8",
+        "qhist_16",
+        "qhist_32",
+        "qhist_64",
+        "qhist_128",
+        "qhist_256",
+        "qhist_512",
+        "qhist_1024",
+        "qhist_2048",
+        "qhist_4096",
+        "qhist_8192",
+        "qhist_16384",
+        "qhist_32768",
+        "qhist_65536",
+        "qhist_131072",
+        "qhist_262144",
+        "qhist_524288",
+        "qhist_1048576",
     ];
     for (name, &n) in hist_names.iter().zip(&snap.query_hist) {
         if n != 0 {

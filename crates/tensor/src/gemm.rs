@@ -1,0 +1,270 @@
+//! Cache-blocked, panel-packed matrix multiplication for the inference
+//! hot path.
+//!
+//! [`ops::matmul_into`](crate::ops::matmul_into) walks `A` and `B` in
+//! their natural row-major layouts, so for the im2col convolution shapes
+//! (`A = [out_c, c·kh·kw]` weights, `B = [c·kh·kw, oh·ow]` columns) every
+//! sweep over `k` re-streams both operands from memory. The kernels here
+//! follow the classic BLIS decomposition instead: `A` is repacked once
+//! into row panels of [`MR`] ([`pack_a`], reusable across every query
+//! against the same weights), `B` is repacked per call into column panels
+//! of [`NR`] inside a caller-owned scratch buffer, and a register-tiled
+//! `MR×NR` micro-kernel accumulates `KC`-deep slabs that stay resident in
+//! cache.
+//!
+//! # Determinism contract
+//!
+//! [`matmul_packed_into`] is **bit-identical** to
+//! [`ops::matmul_into`](crate::ops::matmul_into) — not merely close. The
+//! naive kernel gives every output element the add sequence
+//! `((0 + a·b)₀ + a·b)₁ …` in strictly ascending `k`. The blocked kernel
+//! preserves that exact sequence: `k` slabs are processed in ascending
+//! order, each micro-tile accumulator starts from zero on the first slab
+//! and reloads the previously stored `f32` values (an exact round trip —
+//! no extended precision) on later slabs, and within a slab each element
+//! accumulates in ascending `k` with a separate multiply and add (Rust
+//! never contracts to FMA). The speedup comes from packing, cache
+//! residency, and register reuse — not from reassociation — so tests can
+//! (and do) assert exact equality on every shape, including shapes that
+//! are not multiples of the block sizes.
+
+use crate::ops::{im2col_into, Conv2dGeometry};
+
+/// Micro-kernel row count: each micro-tile covers `MR` rows of `A`.
+pub const MR: usize = 4;
+/// Micro-kernel column count: each micro-tile covers `NR` columns of `B`.
+pub const NR: usize = 16;
+/// Slab depth: the shared `k` dimension is processed in blocks of `KC`.
+pub const KC: usize = 256;
+/// Row block: `MC` rows of packed `A` are swept per packed `B` panel.
+pub const MC: usize = 64;
+/// Column block: `NC` columns of `B` are packed at a time.
+pub const NC: usize = 256;
+
+/// The left-hand operand of [`matmul_packed_into`], repacked into
+/// `MR`-row micro-panels (k-major within each panel, zero-padded to a
+/// multiple of [`MR`] rows). Pack once per weight matrix and reuse for
+/// every multiplication against it.
+#[derive(Debug, Clone)]
+pub struct PackedA {
+    m: usize,
+    k: usize,
+    data: Vec<f32>,
+}
+
+impl PackedA {
+    /// Row count of the original matrix.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Shared-dimension length of the original matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// Repacks a row-major `A: [m, k]` into [`PackedA`] panels: `KC`-deep
+/// slabs outermost, then `MR`-row micro-panels, each stored k-major so
+/// the micro-kernel reads both operands with unit stride.
+///
+/// # Panics
+///
+/// Panics if the slice length disagrees with the given dimensions.
+pub fn pack_a(a: &[f32], m: usize, k: usize) -> PackedA {
+    assert_eq!(a.len(), m * k, "pack_a input length");
+    let panels = m.div_ceil(MR);
+    let mut data = vec![0.0f32; panels * MR * k];
+    let mut pos = 0;
+    for k0 in (0..k).step_by(KC) {
+        let kc = KC.min(k - k0);
+        for p in 0..panels {
+            for kk in 0..kc {
+                for r in 0..MR {
+                    let i = p * MR + r;
+                    data[pos] = if i < m { a[i * k + k0 + kk] } else { 0.0 };
+                    pos += 1;
+                }
+            }
+        }
+    }
+    PackedA { m, k, data }
+}
+
+/// Matrix product `A · B` into `out` for a pre-packed `A: [m, k]`,
+/// row-major `B: [k, n]`, `out: [m, n]`. Overwrites `out`. Bit-identical
+/// to [`ops::matmul_into`](crate::ops::matmul_into) (see the module
+/// docs for why).
+///
+/// `pack_buf` is scratch for the `B` panels; it is grown to a fixed
+/// capacity (`KC·NC` floats) on first use and never after, so reusing it
+/// across calls makes the steady state allocation-free.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the packed dimensions.
+pub fn matmul_packed_into(
+    pa: &PackedA,
+    b: &[f32],
+    n: usize,
+    pack_buf: &mut Vec<f32>,
+    out: &mut [f32],
+) {
+    let (m, k) = (pa.m, pa.k);
+    assert_eq!(b.len(), k * n, "matmul_packed_into rhs length");
+    assert_eq!(out.len(), m * n, "matmul_packed_into out length");
+    if k == 0 {
+        // Degenerate: the naive kernel zero-fills and adds nothing.
+        out.fill(0.0);
+        return;
+    }
+    let panels = m.div_ceil(MR);
+    pack_buf.resize(KC * NC, 0.0);
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        let npanels = nc.div_ceil(NR);
+        for (kb, k0) in (0..k).step_by(KC).enumerate() {
+            let kc = KC.min(k - k0);
+            // Pack this B slab: `npanels` column panels, k-major, the
+            // ragged last panel zero-padded to NR lanes.
+            for q in 0..npanels {
+                let j0 = jc + q * NR;
+                let ncols = NR.min(n - j0);
+                let dst = &mut pack_buf[q * kc * NR..(q + 1) * kc * NR];
+                for kk in 0..kc {
+                    let brow = &b[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + ncols];
+                    let lane = &mut dst[kk * NR..(kk + 1) * NR];
+                    lane[..ncols].copy_from_slice(brow);
+                    lane[ncols..].fill(0.0);
+                }
+            }
+            let first = kb == 0;
+            let a_block = &pa.data[panels * MR * k0..panels * MR * (k0 + kc)];
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                for q in 0..npanels {
+                    let j0 = jc + q * NR;
+                    let ncols = NR.min(n - j0);
+                    let b_panel = &pack_buf[q * kc * NR..(q + 1) * kc * NR];
+                    for ir in (0..mc).step_by(MR) {
+                        let i0 = ic + ir;
+                        // MC is a multiple of MR, so i0 always starts a panel.
+                        let a_panel = &a_block[(i0 / MR) * kc * MR..(i0 / MR + 1) * kc * MR];
+                        let nrows = MR.min(m - i0);
+                        micro_kernel(a_panel, b_panel, kc, first, out, n, i0, j0, nrows, ncols);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `MR×NR` register tile: load the partial `C` tile (zero on the first
+/// `k` slab), accumulate `kc` ascending rank-1 updates, store back the
+/// valid lanes. Padded lanes compute garbage that is never stored.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel(
+    a_panel: &[f32],
+    b_panel: &[f32],
+    kc: usize,
+    first: bool,
+    out: &mut [f32],
+    n: usize,
+    i0: usize,
+    j0: usize,
+    nrows: usize,
+    ncols: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    if !first {
+        for (r, row) in acc.iter_mut().enumerate().take(nrows) {
+            let off = (i0 + r) * n + j0;
+            row[..ncols].copy_from_slice(&out[off..off + ncols]);
+        }
+    }
+    for kk in 0..kc {
+        let av: &[f32; MR] = a_panel[kk * MR..(kk + 1) * MR].try_into().unwrap();
+        let bv: &[f32; NR] = b_panel[kk * NR..(kk + 1) * NR].try_into().unwrap();
+        for (row, &a) in acc.iter_mut().zip(av.iter()) {
+            for (o, &x) in row.iter_mut().zip(bv.iter()) {
+                *o += a * x;
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate().take(nrows) {
+        let off = (i0 + r) * n + j0;
+        out[off..off + ncols].copy_from_slice(&row[..ncols]);
+    }
+}
+
+/// Unfolds a batch of NCHW images `[batch, c, h, w]` into `batch`
+/// consecutive `[c·kh·kw, oh·ow]` column matrices (one
+/// [`im2col_into`] result per image). Overwrites `out`.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with `batch` and `geom`.
+pub fn im2col_batch_into(images: &[f32], batch: usize, geom: &Conv2dGeometry, out: &mut [f32]) {
+    let chw = geom.in_channels * geom.in_h * geom.in_w;
+    assert_eq!(images.len(), batch * chw, "im2col_batch_into images length");
+    let cols = geom.in_channels * geom.kernel_h * geom.kernel_w * geom.out_h() * geom.out_w();
+    assert_eq!(out.len(), batch * cols, "im2col_batch_into out length");
+    for (image, cols) in images.chunks_exact(chw).zip(out.chunks_exact_mut(cols)) {
+        im2col_into(image, geom, cols);
+    }
+}
+
+/// Convolves a batch of NCHW images `[batch, c, h, w]` with a pre-packed
+/// kernel bank (`weight = pack_a` of the flattened `[out_c, c·kh·kw]`
+/// filters) into `out: [batch, out_c, oh, ow]` via per-image im2col +
+/// [`matmul_packed_into`] + bias broadcast — the exact op sequence of the
+/// single-image im2col pipeline, so each image's result is bit-identical
+/// to processing it alone.
+///
+/// `cols` is per-image im2col scratch (`c·kh·kw · oh·ow` floats) and
+/// `pack_buf` the GEMM packing scratch; both are reused across the batch.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with `batch`, `geom`, or the
+/// packed weight dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_batch_into(
+    images: &[f32],
+    batch: usize,
+    weight: &PackedA,
+    bias: &[f32],
+    geom: &Conv2dGeometry,
+    out_c: usize,
+    cols: &mut [f32],
+    pack_buf: &mut Vec<f32>,
+    out: &mut [f32],
+) {
+    let chw = geom.in_channels * geom.in_h * geom.in_w;
+    assert_eq!(images.len(), batch * chw, "conv2d_batch_into images length");
+    let k = geom.in_channels * geom.kernel_h * geom.kernel_w;
+    assert_eq!(weight.m(), out_c, "conv2d_batch_into weight rows");
+    assert_eq!(weight.k(), k, "conv2d_batch_into weight depth");
+    assert_eq!(bias.len(), out_c, "conv2d_batch_into bias length");
+    let area = geom.out_h() * geom.out_w();
+    assert_eq!(cols.len(), k * area, "conv2d_batch_into cols length");
+    assert_eq!(
+        out.len(),
+        batch * out_c * area,
+        "conv2d_batch_into out length"
+    );
+    for (image, ob) in images
+        .chunks_exact(chw)
+        .zip(out.chunks_exact_mut(out_c * area))
+    {
+        im2col_into(image, geom, cols);
+        matmul_packed_into(weight, cols, area, pack_buf, ob);
+        for (oc, orow) in ob.chunks_exact_mut(area).enumerate() {
+            let b = bias[oc];
+            for o in orow.iter_mut() {
+                *o += b;
+            }
+        }
+    }
+}

@@ -22,6 +22,7 @@
 mod shape;
 mod tensor;
 
+pub mod gemm;
 pub mod ops;
 
 pub use shape::Shape;

@@ -364,6 +364,78 @@ pub fn im2col_into(image: &[f32], geom: &Conv2dGeometry, out: &mut [f32]) {
     }
 }
 
+/// Unfolds only the output cells inside `rect` into columns of a shared
+/// `[c·kh·kw, n]` column matrix, starting at column `col0`. Columns are
+/// laid out row-major over the rectangle (`(oy, ox)` ascending), each in
+/// the `(ch, ky, kx)`-major tap order of [`im2col_into`]; padding taps
+/// are written as zero. Only the `rect.area()` columns starting at `col0`
+/// are touched, so several callers can pack disjoint column ranges of the
+/// same matrix — the batched delta path packs one range per candidate and
+/// multiplies them with a single blocked GEMM.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with `geom`, the rectangle exceeds
+/// the output extents, or the column range `[col0, col0 + rect.area())`
+/// does not fit in `n`.
+pub fn im2col_region_into(
+    image: &[f32],
+    geom: &Conv2dGeometry,
+    rect: Rect,
+    col0: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    assert_eq!(image.len(), c * h * w, "im2col_region_into image length");
+    let (kh, kw) = (geom.kernel_h, geom.kernel_w);
+    let rows = c * kh * kw;
+    assert_eq!(out.len(), rows * n, "im2col_region_into out length");
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    assert!(
+        rect.y1 <= oh && rect.x1 <= ow,
+        "rect {rect:?} exceeds output extents {oh}x{ow}"
+    );
+    if rect.is_empty() {
+        return;
+    }
+    let area = (rect.y1 - rect.y0) * (rect.x1 - rect.x0);
+    assert!(
+        col0 + area <= n,
+        "columns [{col0}, {}) exceed matrix width {n}",
+        col0 + area
+    );
+    let (s, p) = (geom.stride, geom.padding);
+    let rw = rect.x1 - rect.x0;
+    for ch in 0..c {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (ch * kh + ky) * kw + kx;
+                let orow = &mut out[row * n..(row + 1) * n];
+                let mut j = col0;
+                for oy in rect.y0..rect.y1 {
+                    let iy = (oy * s + ky) as isize - p as isize;
+                    if iy < 0 || iy as usize >= h {
+                        orow[j..j + rw].fill(0.0);
+                        j += rw;
+                        continue;
+                    }
+                    let irow = &image[(ch * h + iy as usize) * w..(ch * h + iy as usize + 1) * w];
+                    for ox in rect.x0..rect.x1 {
+                        let ix = (ox * s + kx) as isize - p as isize;
+                        orow[j] = if ix < 0 || ix as usize >= w {
+                            0.0
+                        } else {
+                            irow[ix as usize]
+                        };
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Unfolds one NCHW image `[c, h, w]` into a `[c·kh·kw, oh·ow]` column
 /// matrix so convolution lowers to a matrix product.
 ///
@@ -459,7 +531,11 @@ pub fn max_pool2d_into(
         h.is_multiple_of(window) && w.is_multiple_of(window),
         "pool window {window} does not divide spatial extent {h}x{w}"
     );
-    assert_eq!(input.len(), channels * h * w, "max_pool2d_into input length");
+    assert_eq!(
+        input.len(),
+        channels * h * w,
+        "max_pool2d_into input length"
+    );
     let (oh, ow) = (h / window, w / window);
     assert_eq!(out.len(), channels * oh * ow, "max_pool2d_into out length");
     if let Some(am) = argmax.as_deref() {
@@ -567,7 +643,15 @@ pub fn max_pool2d(input: &Tensor, window: usize) -> MaxPoolOutput {
     let mut argmax = vec![0usize; out.len()];
     // Flat winner indices from the batched call match the per-tensor ones
     // because `channels = n·c` preserves the flat NCHW layout.
-    max_pool2d_into(input.data(), n * c, h, w, window, &mut out, Some(&mut argmax));
+    max_pool2d_into(
+        input.data(),
+        n * c,
+        h,
+        w,
+        window,
+        &mut out,
+        Some(&mut argmax),
+    );
     MaxPoolOutput {
         output: Tensor::from_vec([n, c, oh, ow], out),
         argmax,
@@ -607,7 +691,11 @@ pub fn max_pool2d_backward(
 ///
 /// Panics if a slice length disagrees with the given dimensions.
 pub fn global_avg_pool_into(input: &[f32], channels: usize, h: usize, w: usize, out: &mut [f32]) {
-    assert_eq!(input.len(), channels * h * w, "global_avg_pool_into input length");
+    assert_eq!(
+        input.len(),
+        channels * h * w,
+        "global_avg_pool_into input length"
+    );
     assert_eq!(out.len(), channels, "global_avg_pool_into out length");
     let area = (h * w) as f32;
     for (ch, o) in out.iter_mut().enumerate() {
@@ -659,12 +747,22 @@ pub fn global_avg_pool_backward(grad_out: &Tensor, input_shape: &crate::Shape) -
 }
 
 fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
-    assert_eq!(t.shape().rank(), 2, "{what} expects a rank-2 tensor, got {}", t.shape());
+    assert_eq!(
+        t.shape().rank(),
+        2,
+        "{what} expects a rank-2 tensor, got {}",
+        t.shape()
+    );
     (t.shape().dim(0), t.shape().dim(1))
 }
 
 fn dims4(t: &Tensor, what: &str) -> (usize, usize, usize, usize) {
-    assert_eq!(t.shape().rank(), 4, "{what} expects a rank-4 tensor, got {}", t.shape());
+    assert_eq!(
+        t.shape().rank(),
+        4,
+        "{what} expects a rank-4 tensor, got {}",
+        t.shape()
+    );
     (
         t.shape().dim(0),
         t.shape().dim(1),
@@ -773,15 +871,15 @@ mod tests {
         let aty = col2im(&y, &g);
         let lhs: f32 = ax.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
         let rhs: f32 = x.data().iter().zip(aty.data()).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-3, "adjoint identity violated: {lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-3,
+            "adjoint identity violated: {lhs} vs {rhs}"
+        );
     }
 
     #[test]
     fn max_pool_picks_window_maxima() {
-        let img = Tensor::from_vec(
-            [1, 1, 2, 4],
-            vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, -1.0, 9.0],
-        );
+        let img = Tensor::from_vec([1, 1, 2, 4], vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, -1.0, 9.0]);
         let pooled = max_pool2d(&img, 2);
         assert_eq!(pooled.output.data(), &[5.0, 9.0]);
         assert_eq!(pooled.argmax, vec![1, 7]);
@@ -928,8 +1026,7 @@ mod tests {
             for oy in 0..oh {
                 for ox in 0..ow {
                     let idx = (oc * oh + oy) * ow + ox;
-                    let inside =
-                        oy >= rect.y0 && oy < rect.y1 && ox >= rect.x0 && ox < rect.x1;
+                    let inside = oy >= rect.y0 && oy < rect.y1 && ox >= rect.x0 && ox < rect.x1;
                     if inside {
                         assert_eq!(out[idx], expected[idx], "({oc},{oy},{ox})");
                     } else {

@@ -87,7 +87,10 @@ impl Shape {
         let mut off = 0;
         let strides = self.strides();
         for (axis, (&i, &d)) in index.iter().zip(self.0.iter()).enumerate() {
-            assert!(i < d, "index {i} out of bounds for axis {axis} (extent {d})");
+            assert!(
+                i < d,
+                "index {i} out of bounds for axis {axis} (extent {d})"
+            );
             off += i * strides[axis];
         }
         off

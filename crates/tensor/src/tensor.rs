@@ -127,7 +127,12 @@ impl Tensor {
     ///
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.numel(), 1, "item() on tensor with {} elements", self.numel());
+        assert_eq!(
+            self.numel(),
+            1,
+            "item() on tensor with {} elements",
+            self.numel()
+        );
         self.data[0]
     }
 

@@ -2,9 +2,7 @@
 //! the matmul variants and the im2col/col2im adjoint pair, over random
 //! shapes and data.
 
-use oppsla_tensor::ops::{
-    self, col2im, im2col, matmul, matmul_nt, matmul_tn, Conv2dGeometry,
-};
+use oppsla_tensor::ops::{self, col2im, im2col, matmul, matmul_nt, matmul_tn, Conv2dGeometry};
 use oppsla_tensor::Tensor;
 use proptest::prelude::*;
 

@@ -11,8 +11,8 @@
 //! `target/oppsla-models/`.
 
 use oppsla_attacks::{Attack, SketchProgramAttack, SparseRs, SparseRsConfig};
-use oppsla_core::dsl::Program;
 use oppsla_core::dsl::GrammarConfig;
+use oppsla_core::dsl::Program;
 use oppsla_core::synth::SynthConfig;
 use oppsla_eval::curves::evaluate_attack;
 use oppsla_eval::report::{fmt_rate, fmt_stat, Table};
@@ -39,7 +39,10 @@ fn main() {
         grammar: GrammarConfig::paper(),
         threads: 1,
     };
-    println!("synthesizing per-class programs ({} MH iterations each)…", synth.max_iterations);
+    println!(
+        "synthesizing per-class programs ({} MH iterations each)…",
+        synth.max_iterations
+    );
     let (suite, _) = synthesize_suite(&model, &train, 10, &synth);
     for (class, program) in suite.programs().iter().enumerate().take(3) {
         println!("  class {class}: {program}");
@@ -50,7 +53,10 @@ fn main() {
     let budget = 4096;
     let attacks: Vec<Box<dyn Attack>> = vec![
         Box::new(SuiteAttack::new(suite)),
-        Box::new(SketchProgramAttack::named(Program::constant(false), "sketch+false")),
+        Box::new(SketchProgramAttack::named(
+            Program::constant(false),
+            "sketch+false",
+        )),
         Box::new(SparseRs::new(SparseRsConfig {
             max_iterations: budget,
             ..SparseRsConfig::default()
@@ -58,7 +64,11 @@ fn main() {
     ];
 
     let mut table = Table::new(
-        format!("one-pixel attacks on {} ({} test images, budget {budget})", model.arch(), test.len()),
+        format!(
+            "one-pixel attacks on {} ({} test images, budget {budget})",
+            model.arch(),
+            test.len()
+        ),
         vec![
             "Attack".into(),
             "Success rate".into(),

@@ -6,9 +6,7 @@
 //! cargo run --release --example program_playground
 //! ```
 
-use oppsla_core::dsl::{
-    is_well_typed, mutate, parse_program, random_program, ImageDims, Program,
-};
+use oppsla_core::dsl::{is_well_typed, mutate, parse_program, random_program, ImageDims, Program};
 use oppsla_core::image::Image;
 use oppsla_core::oracle::{FnClassifier, Oracle};
 use oppsla_core::pair::{Location, Pixel};
@@ -68,7 +66,11 @@ fn main() {
     for (name, program) in &programs {
         let mut oracle = Oracle::new(&classifier);
         let outcome = run_sketch(program, &mut oracle, &victim, 0);
-        println!("  {name:<14} -> {} queries (success: {})", outcome.queries(), outcome.is_success());
+        println!(
+            "  {name:<14} -> {} queries (success: {})",
+            outcome.queries(),
+            outcome.is_success()
+        );
         assert!(outcome.is_success(), "the sketch is exhaustive");
     }
 }

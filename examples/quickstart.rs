@@ -6,12 +6,12 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use oppsla_core::dsl::GrammarConfig;
 use oppsla_core::dsl::Program;
 use oppsla_core::image::Image;
 use oppsla_core::oracle::{Classifier, FnClassifier, Oracle};
 use oppsla_core::pair::{Location, Pixel};
 use oppsla_core::sketch::run_sketch;
-use oppsla_core::dsl::GrammarConfig;
 use oppsla_core::synth::{evaluate_program, synthesize, SynthConfig};
 
 fn main() {
@@ -41,7 +41,10 @@ fn main() {
     //    set to false.
     let fixed = Program::constant(false);
     let fixed_eval = evaluate_program(&fixed, &classifier, &train, None);
-    println!("Sketch+False baseline: avg {:.1} queries", fixed_eval.avg_queries);
+    println!(
+        "Sketch+False baseline: avg {:.1} queries",
+        fixed_eval.avg_queries
+    );
 
     // 2. Synthesize a program with OPPSLA (Metropolis-Hastings over the
     //    condition language).
@@ -65,15 +68,25 @@ fn main() {
 
     // 3. Attack a fresh image with the synthesized program.
     let victim = Image::filled(9, 9, Pixel([0.45, 0.45, 0.45]));
-    assert_eq!(classifier.classify(&victim), 0, "victim starts correctly classified");
+    assert_eq!(
+        classifier.classify(&victim),
+        0,
+        "victim starts correctly classified"
+    );
     let mut oracle = Oracle::new(&classifier);
     let outcome = run_sketch(&report.program, &mut oracle, &victim, 0);
     match outcome {
         oppsla_core::sketch::SketchOutcome::Success { pair, queries } => {
-            println!("attack succeeded: set pixel {} -> {} ({queries} queries)", pair.location, pair.corner);
+            println!(
+                "attack succeeded: set pixel {} -> {} ({queries} queries)",
+                pair.location, pair.corner
+            );
             let adversarial = victim.with_pixel(pair.location, pair.corner.as_pixel());
             assert_ne!(classifier.classify(&adversarial), 0);
-            println!("classifier now answers class {}", classifier.classify(&adversarial));
+            println!(
+                "classifier now answers class {}",
+                classifier.classify(&adversarial)
+            );
         }
         other => println!("attack did not succeed: {other:?}"),
     }

@@ -10,9 +10,7 @@
 //! cargo run --release --example targeted_and_extended
 //! ```
 
-use oppsla::core::dsl::{
-    parse_condition, random_program_in, GrammarConfig, ImageDims, Program,
-};
+use oppsla::core::dsl::{parse_condition, random_program_in, GrammarConfig, ImageDims, Program};
 use oppsla::core::goal::AttackGoal;
 use oppsla::core::image::Image;
 use oppsla::core::oracle::{FnClassifier, Oracle};
@@ -47,7 +45,10 @@ fn main() {
             run_sketch_with_goal(&Program::constant(false), &mut oracle, &victim, 0, goal);
         match outcome {
             oppsla::core::sketch::SketchOutcome::Success { pair, queries } => {
-                println!("  {goal:<12} -> pixel {} = {} after {queries} queries", pair.location, pair.corner);
+                println!(
+                    "  {goal:<12} -> pixel {} = {} after {queries} queries",
+                    pair.location, pair.corner
+                );
             }
             other => println!("  {goal:<12} -> {other:?}"),
         }
@@ -56,10 +57,8 @@ fn main() {
     // --- Extended grammar -------------------------------------------------
     println!("\nextended-grammar conditions (boolean combinators):");
     // Hand-written, in concrete syntax:
-    let fancy = parse_condition(
-        "(center(l) < 4 || center(l) > 10) && !(avg(x_l) > 0.9)",
-    )
-    .expect("extended syntax parses");
+    let fancy = parse_condition("(center(l) < 4 || center(l) > 10) && !(avg(x_l) > 0.9)")
+        .expect("extended syntax parses");
     println!("  parsed: {fancy}");
     println!("  depth {} / {} AST nodes", fancy.depth(), fancy.size());
 
@@ -74,7 +73,14 @@ fn main() {
         let mut oracle = Oracle::new(&classifier);
         let outcome =
             run_sketch_with_goal(&program, &mut oracle, &victim, 0, AttackGoal::Untargeted);
-        println!("    -> success {} in {} queries", outcome.is_success(), outcome.queries());
-        assert!(outcome.is_success(), "the sketch stays exhaustive under any grammar");
+        println!(
+            "    -> success {} in {} queries",
+            outcome.is_success(),
+            outcome.queries()
+        );
+        assert!(
+            outcome.is_success(),
+            "the sketch stays exhaustive under any grammar"
+        );
     }
 }

@@ -6,8 +6,8 @@
 //! cargo run --release --example transfer_programs
 //! ```
 
-use oppsla_core::oracle::Classifier;
 use oppsla_core::dsl::GrammarConfig;
+use oppsla_core::oracle::Classifier;
 use oppsla_core::synth::SynthConfig;
 use oppsla_eval::suite::synthesize_suite;
 use oppsla_eval::transfer::{run_transfer, transfer_table};
@@ -21,7 +21,11 @@ fn main() {
         .iter()
         .map(|&arch| {
             let m = train_or_load(arch, Scale::Cifar, &config);
-            println!("{}: clean accuracy {:.1}%", m.arch(), m.test_accuracy * 100.0);
+            println!(
+                "{}: clean accuracy {:.1}%",
+                m.arch(),
+                m.test_accuracy * 100.0
+            );
             m
         })
         .collect();
@@ -45,8 +49,7 @@ fn main() {
         .collect();
 
     let labels: Vec<String> = archs.iter().map(|a| a.id().to_owned()).collect();
-    let classifiers: Vec<&dyn Classifier> =
-        models.iter().map(|m| m as &dyn Classifier).collect();
+    let classifiers: Vec<&dyn Classifier> = models.iter().map(|m| m as &dyn Classifier).collect();
     let test = attack_test_set(Scale::Cifar, 1, 999);
     let result = run_transfer(&labels, &classifiers, &suites, &test, 4096, 0);
     println!("{}", transfer_table(&result));

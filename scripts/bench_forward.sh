@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Builds the workspace in release mode and writes the forward-pass
-# microbenchmark reports to BENCH_forward.json and
-# BENCH_incremental.json at the repo root.
+# microbenchmark reports to BENCH_forward.json, BENCH_incremental.json
+# and BENCH_batched.json at the repo root.
 #
 # Usage: scripts/bench_forward.sh [extra forward_bench flags...]
 # e.g.:  scripts/bench_forward.sh --iters 1000 --threads 4
@@ -10,4 +10,4 @@ set -eu
 cd "$(dirname "$0")/.."
 cargo build --release -p oppsla-bench
 exec target/release/forward_bench --out BENCH_forward.json \
-    --inc-out BENCH_incremental.json "$@"
+    --inc-out BENCH_incremental.json --batched-out BENCH_batched.json "$@"

@@ -1,0 +1,96 @@
+#!/usr/bin/env sh
+# Gates a freshly measured forward_bench report against a committed
+# baseline. Absolute nanoseconds depend on the machine, so the gate
+# compares only the relative `*_speedup` ratios (engine vs. tape,
+# incremental vs. full forward, batched vs. sequential delta), which
+# divide machine speed out.
+#
+# Individual rows are noisy at the short CI config (single ratios swing
+# by 2x run-to-run on one machine), but a real regression — losing a
+# fast path rather than a scheduler hiccup — drags every row down at
+# once. So per-row drops only warn; the gate FAILS when the geometric
+# mean of new/baseline ratios across a report drops more than 25%, or
+# when a baseline row is missing from the new report.
+#
+# Usage: scripts/bench_gate.sh NEW.json BASELINE.json
+# e.g.:  scripts/bench_gate.sh fresh/BENCH_batched.json BENCH_batched.json
+#
+# The reports are the one-row-per-line JSON emitted by forward_bench;
+# parsing sticks to POSIX awk so the gate runs anywhere sh does.
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 NEW.json BASELINE.json" >&2
+    exit 2
+fi
+new=$1
+base=$2
+[ -r "$new" ] || { echo "bench_gate: cannot read $new" >&2; exit 2; }
+[ -r "$base" ] || { echo "bench_gate: cannot read $base" >&2; exit 2; }
+
+awk -v newfile="$new" -v basefile="$base" '
+function extract(line, field,    tmp) {
+    tmp = line
+    sub(".*\"" field "\": *\"", "", tmp)
+    sub("\".*", "", tmp)
+    return tmp
+}
+function scan(file, vals,    line, arch, input, rest, pair, k, a) {
+    while ((getline line < file) > 0) {
+        if (line !~ /"arch"/) continue
+        arch = extract(line, "arch")
+        input = extract(line, "input")
+        rest = line
+        while (match(rest, /"[a-z_]*_speedup": *-?[0-9.eE+]+/)) {
+            pair = substr(rest, RSTART, RLENGTH)
+            rest = substr(rest, RSTART + RLENGTH)
+            split(pair, a, /: */)
+            k = a[1]
+            gsub(/"/, "", k)
+            vals[arch "|" input "|" k] = a[2] + 0
+        }
+    }
+    close(file)
+}
+BEGIN {
+    scan(basefile, basevals)
+    scan(newfile, newvals)
+    status = 0
+    compared = 0
+    logsum = 0
+    for (key in basevals) {
+        if (!(key in newvals)) {
+            printf "MISSING  %s (in baseline, not in %s)\n", key, newfile
+            status = 1
+            continue
+        }
+        b = basevals[key]
+        n = newvals[key]
+        if (b <= 0 || n <= 0) continue
+        compared++
+        ratio = n / b
+        logsum += log(ratio)
+        if (ratio < 0.75) {
+            printf "WARN     %-60s %.3f -> %.3f (%.0f%% of baseline)\n", key, b, n, ratio * 100
+        } else if (ratio < 1.0) {
+            printf "warn     %-60s %.3f -> %.3f (%.0f%% of baseline)\n", key, b, n, ratio * 100
+        } else {
+            printf "ok       %-60s %.3f -> %.3f\n", key, b, n
+        }
+    }
+    if (compared == 0) {
+        print "bench_gate: no comparable *_speedup metrics found" > "/dev/stderr"
+        exit 1
+    }
+    geomean = exp(logsum / compared)
+    if (geomean < 0.75) {
+        printf "FAIL     geometric mean of %d speedup ratios is %.0f%% of baseline (>25%% regression)\n", compared, geomean * 100
+        status = 1
+    } else if (geomean < 1.0) {
+        printf "WARN     geometric mean of %d speedup ratios is %.0f%% of baseline\n", compared, geomean * 100
+    } else {
+        printf "OK       geometric mean of %d speedup ratios is %.0f%% of baseline\n", compared, geomean * 100
+    }
+    exit status
+}
+'

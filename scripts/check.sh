@@ -1,16 +1,23 @@
 #!/usr/bin/env sh
-# The full local gate: release build, test suite (including the opt-in
-# query-guard feature), and clippy with warnings denied.
+# The full local gate: formatting, release build (including the
+# examples), test suite (including the opt-in query-guard feature), and
+# clippy with warnings denied.
 #
-# Clippy is scoped to the oppsla crates: the vendored stubs under
-# vendor/ are workspace members but not ours to lint.
+# Formatting and clippy are scoped to the oppsla crates: the vendored
+# stubs under vendor/ are workspace members but not ours to lint.
 #
 # Usage: scripts/check.sh
 set -eu
 
 cd "$(dirname "$0")/.."
 
+OPPSLA_PKGS="-p oppsla -p oppsla-tensor -p oppsla-obs -p oppsla-core \
+    -p oppsla-nn -p oppsla-data -p oppsla-attacks -p oppsla-eval \
+    -p oppsla-bench"
+
+cargo fmt $OPPSLA_PKGS --check
 cargo build --release
+cargo build --release --examples
 cargo test -q --workspace
 cargo test -q -p oppsla-core --features query-guard
 # The telemetry feature is additive but changes what is compiled in, so
@@ -18,7 +25,10 @@ cargo test -q -p oppsla-core --features query-guard
 # --workspace): the vendored stubs have no such feature.
 cargo test -q -p oppsla-obs -p oppsla-core -p oppsla-nn -p oppsla-attacks \
     -p oppsla-eval -p oppsla-bench --features telemetry
-cargo clippy -p oppsla-tensor -p oppsla-obs -p oppsla-core -p oppsla-nn \
-    -p oppsla-data -p oppsla-attacks -p oppsla-eval -p oppsla-bench \
-    --tests -- -D warnings
+# One clippy pass over every target (lib, bins, tests, benches,
+# examples) with the feature-matrix union enabled, so warnings in
+# feature-gated code are also denied.
+cargo clippy $OPPSLA_PKGS --all-targets \
+    --features oppsla-core/query-guard,oppsla-obs/telemetry,oppsla-core/telemetry,oppsla-nn/telemetry,oppsla-attacks/telemetry,oppsla-eval/telemetry,oppsla-bench/telemetry \
+    -- -D warnings
 echo "check.sh: all green"

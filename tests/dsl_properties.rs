@@ -37,8 +37,13 @@ fn arb_condition() -> impl Strategy<Value = Condition> {
 }
 
 fn arb_program() -> impl Strategy<Value = Program> {
-    [arb_condition(), arb_condition(), arb_condition(), arb_condition()]
-        .prop_map(Program::new)
+    [
+        arb_condition(),
+        arb_condition(),
+        arb_condition(),
+        arb_condition(),
+    ]
+    .prop_map(Program::new)
 }
 
 proptest! {

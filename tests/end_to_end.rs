@@ -3,9 +3,9 @@
 //! bookkeeping against each other.
 
 use oppsla::attacks::{Attack, RandomPairs, SketchProgramAttack, SparseRs, SparseRsConfig};
+use oppsla::core::dsl::GrammarConfig;
 use oppsla::core::dsl::Program;
 use oppsla::core::oracle::Classifier;
-use oppsla::core::dsl::GrammarConfig;
 use oppsla::core::synth::{evaluate_program, SynthConfig};
 use oppsla::eval::curves::evaluate_attack;
 use oppsla::eval::suite::{synthesize_suite, SuiteAttack};

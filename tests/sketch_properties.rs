@@ -174,5 +174,8 @@ fn success_is_program_independent_cost_is_not() {
         assert!(outcome.is_success(), "program {i} failed");
         costs.insert(outcome.queries());
     }
-    assert!(costs.len() > 1, "all programs cost the same — conditions are inert");
+    assert!(
+        costs.len() > 1,
+        "all programs cost the same — conditions are inert"
+    );
 }

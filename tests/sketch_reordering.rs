@@ -87,7 +87,12 @@ const AT_CENTER: &str = "center(l) < 0.5";
 fn run(program: &Program, size: u16) -> (Vec<Pair>, Image) {
     let base = Image::filled(size as usize, size as usize, Pixel([0.3, 0.4, 0.5]));
     let clf = TranscriptClassifier::new(base.clone());
-    let mut oracle = Oracle::new(&clf);
+    // The transcript observes the order of classifier *submissions*, which
+    // must equal Algorithm 1's consumption order — so speculative
+    // prefetching (which evaluates candidates ahead of consumption without
+    // changing what is consumed when) is disabled for these tests;
+    // `tests/batched_equivalence.rs` covers the speculative route.
+    let mut oracle = Oracle::new(&clf).without_speculation();
     let outcome = run_sketch(program, &mut oracle, &base, 0);
     assert!(matches!(outcome, SketchOutcome::Exhausted { .. }));
     let pairs = clf.queried_pairs();
@@ -113,7 +118,11 @@ fn b1_pushes_location_neighbors_to_the_back() {
     }
     // And the non-tail prefix contains no ring-1 pair.
     for p in &pairs[..pairs.len() - 64] {
-        assert_ne!(p.location.distance(center), 1, "neighbour {p} escaped the push-back");
+        assert_ne!(
+            p.location.distance(center),
+            1,
+            "neighbour {p} escaped the push-back"
+        );
     }
 }
 
@@ -165,7 +174,10 @@ fn b3_checks_location_neighbors_immediately() {
     // The flood is breadth-first from the centre: ring distances are
     // non-decreasing.
     let center = Location::new(2, 2);
-    let dists: Vec<u16> = pairs[..25].iter().map(|p| p.location.distance(center)).collect();
+    let dists: Vec<u16> = pairs[..25]
+        .iter()
+        .map(|p| p.location.distance(center))
+        .collect();
     for w in dists.windows(2) {
         assert!(w[0] <= w[1], "eager flood not breadth-first: {dists:?}");
     }
@@ -181,7 +193,10 @@ fn b4_drains_all_corners_at_the_center_first() {
     let center = Location::new(1, 1);
     let ranked = Corner::ranked_by_distance(base.pixel(center));
     for (i, p) in pairs[..8].iter().enumerate() {
-        assert_eq!(p.location, center, "query {i} left the centre too early: {p}");
+        assert_eq!(
+            p.location, center,
+            "query {i} left the centre too early: {p}"
+        );
         assert_eq!(p.corner, ranked[i], "query {i} out of rank order: {p}");
     }
 }
@@ -196,8 +211,16 @@ fn false_program_follows_the_initial_order_exactly() {
     for (block, chunk) in pairs.chunks(9).enumerate() {
         let rank_dist = pix.distance(chunk[0].corner.as_pixel());
         for p in chunk {
-            assert_eq!(pix.distance(p.corner.as_pixel()), rank_dist, "block {block}");
+            assert_eq!(
+                pix.distance(p.corner.as_pixel()),
+                rank_dist,
+                "block {block}"
+            );
         }
-        assert_eq!(chunk[0].location, Location::new(1, 1), "block {block} starts centre");
+        assert_eq!(
+            chunk[0].location,
+            Location::new(1, 1),
+            "block {block} starts centre"
+        );
     }
 }

@@ -73,7 +73,10 @@ fn targeted_sketch_exhausts_when_target_unreachable() {
         0,
         AttackGoal::Targeted(1),
     );
-    assert!(matches!(outcome, SketchOutcome::Exhausted { .. }), "{outcome:?}");
+    assert!(
+        matches!(outcome, SketchOutcome::Exhausted { .. }),
+        "{outcome:?}"
+    );
     // Untargeted succeeds on the same classifier (via class 2).
     let mut oracle = Oracle::new(&clf);
     let outcome = run_sketch_with_goal(

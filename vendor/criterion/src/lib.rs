@@ -49,6 +49,12 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
+    /// Sets the sample count (kept for API compatibility; the calibrated
+    /// loop in [`Bencher::iter`] ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
     /// Runs one benchmark within the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         run_bench(&format!("{}/{}", self.name, name), &mut f);
@@ -81,6 +87,31 @@ impl Bencher {
             }
             // Scale towards the target with headroom, at least doubling.
             let scale = (TARGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil() as u64;
+            iters = iters.saturating_mul(scale.clamp(2, 100));
+        };
+        self.mean_ns = total.as_secs_f64() * 1e9 / iters as f64;
+    }
+
+    /// Measures `routine` on fresh input from `setup`, excluding the
+    /// setup time from the mean.
+    pub fn iter_with_setup<S, I, O, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut iters: u64 = 1;
+        let total = loop {
+            let mut measured = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                measured += start.elapsed();
+            }
+            if measured >= TARGET || iters >= 1 << 30 {
+                break measured;
+            }
+            let scale = (TARGET.as_secs_f64() / measured.as_secs_f64().max(1e-9)).ceil() as u64;
             iters = iters.saturating_mul(scale.clamp(2, 100));
         };
         self.mean_ns = total.as_secs_f64() * 1e9 / iters as f64;
