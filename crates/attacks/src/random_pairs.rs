@@ -8,6 +8,7 @@ use oppsla_core::image::Image;
 use oppsla_core::oracle::{argmax, Oracle};
 use oppsla_core::pair::{Corner, Location, Pair};
 use oppsla_core::telemetry::{self, Counter};
+use oppsla_core::tracing::record_oracle_query;
 use rand::seq::SliceRandom;
 use rand::RngCore;
 
@@ -49,6 +50,14 @@ impl Attack for RandomPairs {
             }
         };
         telemetry::count(Counter::QueryBaseline);
+        record_oracle_query(
+            "baseline",
+            spent(oracle),
+            None,
+            &clean,
+            true_class,
+            self.goal,
+        );
         self.goal.validate(oracle.num_classes(), true_class);
         if argmax(&clean) != true_class {
             return AttackOutcome::AlreadyMisclassified {
@@ -99,6 +108,14 @@ impl Attack for RandomPairs {
             ) {
                 Ok(()) => {
                     telemetry::count(Counter::QueryInitScan);
+                    record_oracle_query(
+                        "init_scan",
+                        spent(oracle),
+                        Some((pair.location, pair.corner.as_pixel())),
+                        &scores,
+                        true_class,
+                        self.goal,
+                    );
                     if self.goal.is_adversarial(&scores, true_class) {
                         return AttackOutcome::Success {
                             location: pair.location,

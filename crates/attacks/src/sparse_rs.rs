@@ -16,6 +16,7 @@ use oppsla_core::image::Image;
 use oppsla_core::oracle::Oracle;
 use oppsla_core::pair::{Corner, Location};
 use oppsla_core::telemetry::{self, Counter};
+use oppsla_core::tracing::record_oracle_query;
 use rand::Rng;
 use rand::RngCore;
 
@@ -109,6 +110,14 @@ impl Attack for SparseRs {
             }
         };
         telemetry::count(Counter::QueryBaseline);
+        record_oracle_query(
+            "baseline",
+            spent(oracle),
+            None,
+            &clean,
+            true_class,
+            self.goal,
+        );
         self.goal.validate(oracle.num_classes(), true_class);
         if oppsla_core::oracle::argmax(&clean) != true_class {
             return AttackOutcome::AlreadyMisclassified {
@@ -176,10 +185,16 @@ impl Attack for SparseRs {
                 }));
                 oracle.prefetch_pixel_batch(image, &upcoming);
             }
-            let (loc, corner, phase) = match drawn.pop_front().expect("refilled above") {
-                Draw::Current => (current_loc, current_corner, Counter::QueryInitScan),
-                Draw::Loc(l) => (l, current_corner, Counter::QueryInitScan),
-                Draw::Corner(c) => (current_loc, c, Counter::QueryRefine),
+            let (loc, corner, phase, trace_phase) = match drawn.pop_front().expect("refilled above")
+            {
+                Draw::Current => (
+                    current_loc,
+                    current_corner,
+                    Counter::QueryInitScan,
+                    "init_scan",
+                ),
+                Draw::Loc(l) => (l, current_corner, Counter::QueryInitScan, "init_scan"),
+                Draw::Corner(c) => (current_loc, c, Counter::QueryRefine, "refine"),
             };
             oracle.begin_candidate_scope();
             if oracle
@@ -191,6 +206,14 @@ impl Attack for SparseRs {
                 };
             }
             telemetry::count(phase);
+            record_oracle_query(
+                trace_phase,
+                spent(oracle),
+                Some((loc, corner.as_pixel())),
+                &scores,
+                true_class,
+                self.goal,
+            );
             let m = self.goal.margin(&scores, true_class);
             if m < 0.0 {
                 return AttackOutcome::Success {

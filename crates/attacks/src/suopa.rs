@@ -17,6 +17,7 @@ use oppsla_core::image::Image;
 use oppsla_core::oracle::Oracle;
 use oppsla_core::pair::{Location, Pixel};
 use oppsla_core::telemetry::{self, Counter};
+use oppsla_core::tracing::record_oracle_query;
 use rand::Rng;
 use rand::RngCore;
 
@@ -126,6 +127,14 @@ impl Attack for SuOpa {
             }
         };
         telemetry::count(Counter::QueryBaseline);
+        record_oracle_query(
+            "baseline",
+            spent(oracle),
+            None,
+            &clean,
+            true_class,
+            self.goal,
+        );
         self.goal.validate(oracle.num_classes(), true_class);
         if oppsla_core::oracle::argmax(&clean) != true_class {
             return AttackOutcome::AlreadyMisclassified {
@@ -151,6 +160,19 @@ impl Attack for SuOpa {
             match oracle.query_pixel_delta_into(image, gene.location(), gene.pixel(), &mut scores) {
                 Ok(()) => {
                     telemetry::count(phase);
+                    let trace_phase = if matches!(phase, Counter::QueryInitScan) {
+                        "init_scan"
+                    } else {
+                        "refine"
+                    };
+                    record_oracle_query(
+                        trace_phase,
+                        spent(oracle),
+                        Some((gene.location(), gene.pixel())),
+                        &scores,
+                        true_class,
+                        self.goal,
+                    );
                     if self.goal.is_adversarial(&scores, true_class) {
                         Eval::Success(gene)
                     } else {

@@ -15,6 +15,8 @@
 //!     [--fresh]                      (ignore cached program suites)
 //!     [--threads N]                  (worker threads; 0 = auto, default 0)
 //!     [--telemetry PATH]             (append per-phase telemetry events as JSONL)
+//!     [--trace PATH]                 (record per-query trace records as JSONL;
+//!                                     build with --features trace)
 //! ```
 //!
 //! Results are bit-identical for any `--threads` value; the knob only
@@ -30,13 +32,13 @@
 use oppsla_attacks::{Attack, SparseRs, SparseRsConfig, SuOpa, SuOpaConfig};
 use oppsla_bench::cli::Args;
 use oppsla_bench::{
-    cifar_archs, imagenet_archs, print_telemetry_summary, reports_dir, suites_dir, telemetry_sink,
-    threads_from,
+    cifar_archs, finish_trace, imagenet_archs, print_telemetry_summary, reports_dir, start_trace,
+    suites_dir, telemetry_sink, threads_from,
 };
 use oppsla_core::dsl::GrammarConfig;
 use oppsla_core::oracle::Classifier;
 use oppsla_core::synth::SynthConfig;
-use oppsla_core::telemetry::FieldValue;
+use oppsla_core::telemetry::{trace, FieldValue};
 use oppsla_eval::curves::{evaluate_attack_parallel_with_sink, AttackEval};
 use oppsla_eval::obs::with_phase;
 use oppsla_eval::plot::{render_chart, ChartConfig, Series};
@@ -73,6 +75,7 @@ fn main() {
     let synth_train_per_class = args.get_usize("synth-train", 3);
     let seed = args.get_u64("seed", 0);
     let mut sink = telemetry_sink(&args);
+    let tracing = start_trace(&args);
 
     let checkpoints: Vec<u64> = [100u64, 500, 1000, budget]
         .into_iter()
@@ -124,6 +127,17 @@ fn main() {
                 ("arch", FieldValue::Str(arch.id().to_owned())),
                 ("train_images", FieldValue::U64(train.len() as u64)),
             ];
+            trace::begin_section(trace::SectionMeta {
+                label: format!("fig3/{scale}/{}/synthesis", arch.id()),
+                scale: scale.id().to_owned(),
+                arch: arch.id().to_owned(),
+                set: "synth_train".to_owned(),
+                per_class: synth_train_per_class as u32,
+                set_seed: seed.wrapping_add(10),
+                budget: synth.per_image_budget.unwrap_or(0),
+                attack: "synthesis".to_owned(),
+                attack_seed: synth.seed,
+            });
             let (suite, reports) = with_phase(&mut *sink, "suite_synthesis", &synth_labels, || {
                 synthesize_suite_cached_parallel(
                     &classifier,
@@ -156,6 +170,17 @@ fn main() {
             ];
             for attack in &attacks {
                 let t2 = Instant::now();
+                trace::begin_section(trace::SectionMeta {
+                    label: format!("fig3/{scale}/{}/{}", arch.id(), attack.name()),
+                    scale: scale.id().to_owned(),
+                    arch: arch.id().to_owned(),
+                    set: "test".to_owned(),
+                    per_class: test_per_class as u32,
+                    set_seed: seed.wrapping_add(999),
+                    budget,
+                    attack: attack.name().to_owned(),
+                    attack_seed: seed,
+                });
                 let eval: AttackEval = evaluate_attack_parallel_with_sink(
                     attack.as_ref(),
                     &classifier,
@@ -244,4 +269,5 @@ fn main() {
         }
     }
     print_telemetry_summary();
+    finish_trace(tracing);
 }

@@ -319,7 +319,36 @@ fn main() {
         }
         th.elapsed().as_nanos() as f64 / f64::from(hook_iters)
     };
-    eprintln!("telemetry enabled: {telemetry_enabled}, op-timer hook ~{hook_ns:.0} ns");
+    // Cost of one disarmed trace hook (route tag + query record): the
+    // trace recorder's hot-path sites each start with one relaxed atomic
+    // load, so with the feature compiled in but no `--trace` given the
+    // per-query cost must stay in single-digit nanoseconds — and with the
+    // feature off the hooks are `const false` branches, reported as an
+    // exact 0.0 so the CI gate can assert zero-cost-when-off.
+    let trace_enabled = oppsla_core::telemetry::trace::enabled();
+    let trace_hook_ns = if !trace_enabled {
+        0.0
+    } else {
+        use oppsla_core::telemetry::trace;
+        let hook_iters = 200_000u32;
+        let th = Instant::now();
+        for i in 0..hook_iters {
+            trace::tag_route(trace::RouteTag::Delta);
+            trace::record_query(trace::QueryInfo {
+                phase: "bench",
+                seq: u64::from(i),
+                pixel: None,
+                margin: 0.0,
+                pred: 0,
+                flip: false,
+            });
+        }
+        th.elapsed().as_nanos() as f64 / f64::from(hook_iters)
+    };
+    eprintln!(
+        "telemetry enabled: {telemetry_enabled}, op-timer hook ~{hook_ns:.0} ns; \
+         trace enabled: {trace_enabled}, disarmed query hook ~{trace_hook_ns:.1} ns"
+    );
 
     let mut json = String::from("{\n");
     json.push_str("  \"benchmark\": \"forward_pass\",\n");
@@ -328,6 +357,10 @@ fn main() {
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"telemetry_enabled\": {telemetry_enabled},\n"));
     json.push_str(&format!("  \"telemetry_hook_ns_per_op\": {hook_ns:.1},\n"));
+    json.push_str(&format!("  \"trace_enabled\": {trace_enabled},\n"));
+    json.push_str(&format!(
+        "  \"trace_hook_ns_per_op\": {trace_hook_ns:.1},\n"
+    ));
     json.push_str("  \"results\": [\n");
     for (i, row) in rows.iter().enumerate() {
         json.push_str(&format!(

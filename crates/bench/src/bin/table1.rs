@@ -13,6 +13,8 @@
 //!     [--fresh]
 //!     [--threads N]          (worker threads; 0 = auto, default 0)
 //!     [--telemetry PATH]     (append per-phase telemetry events as JSONL)
+//!     [--trace PATH]         (record per-query trace records as JSONL;
+//!                             build with --features trace)
 //! ```
 //!
 //! Results are bit-identical for any `--threads` value and with or
@@ -20,15 +22,16 @@
 
 use oppsla_bench::cli::Args;
 use oppsla_bench::{
-    cifar_archs, print_telemetry_summary, reports_dir, suites_dir, telemetry_sink, threads_from,
+    cifar_archs, finish_trace, print_telemetry_summary, reports_dir, start_trace, suites_dir,
+    telemetry_sink, threads_from,
 };
 use oppsla_core::dsl::GrammarConfig;
 use oppsla_core::oracle::{BatchClassifier, Classifier};
 use oppsla_core::synth::SynthConfig;
-use oppsla_core::telemetry::FieldValue;
+use oppsla_core::telemetry::{trace, FieldValue};
 use oppsla_eval::obs::with_phase;
 use oppsla_eval::suite::{synthesize_suite_cached_parallel, ProgramSuite};
-use oppsla_eval::transfer::{run_transfer_parallel, transfer_table};
+use oppsla_eval::transfer::{run_transfer_parallel_traced, transfer_table};
 use oppsla_eval::zoo::{attack_test_set, train_or_load, Scale, ZooClassifier, ZooConfig};
 use std::time::Instant;
 
@@ -50,6 +53,7 @@ fn main() {
     let synth_train_per_class = args.get_usize("synth-train", 3);
     let seed = args.get_u64("seed", 0);
     let mut sink = telemetry_sink(&args);
+    let tracing = start_trace(&args);
 
     let scale = Scale::Cifar;
     let mut labels = Vec::new();
@@ -82,6 +86,17 @@ fn main() {
             ("arch", FieldValue::Str(arch.id().to_owned())),
             ("train_images", FieldValue::U64(train.len() as u64)),
         ];
+        trace::begin_section(trace::SectionMeta {
+            label: format!("table1/{}/synthesis", arch.id()),
+            scale: scale.id().to_owned(),
+            arch: arch.id().to_owned(),
+            set: "synth_train".to_owned(),
+            per_class: synth_train_per_class as u32,
+            set_seed: seed.wrapping_add(10),
+            budget: synth.per_image_budget.unwrap_or(0),
+            attack: "synthesis".to_owned(),
+            attack_seed: synth.seed,
+        });
         let (suite, reports) = with_phase(&mut *sink, "suite_synthesis", &synth_labels, || {
             synthesize_suite_cached_parallel(
                 &classifier,
@@ -116,8 +131,19 @@ fn main() {
         ("test_images", FieldValue::U64(test.len() as u64)),
         ("budget", FieldValue::U64(budget)),
     ];
+    let transfer_meta = trace::SectionMeta {
+        label: "table1/transfer".to_owned(),
+        scale: scale.id().to_owned(),
+        arch: String::new(), // stamped per (source, target) cell
+        set: "test".to_owned(),
+        per_class: test_per_class as u32,
+        set_seed: seed.wrapping_add(999),
+        budget,
+        attack: String::new(), // stamped per (source, target) cell
+        attack_seed: seed,
+    };
     let result = with_phase(&mut *sink, "transfer", &transfer_labels, || {
-        run_transfer_parallel(
+        run_transfer_parallel_traced(
             &labels,
             &classifier_refs,
             &suites,
@@ -125,6 +151,7 @@ fn main() {
             budget,
             seed,
             threads,
+            &transfer_meta,
         )
     });
     eprintln!("transfer matrix computed in {:.1?}", t2.elapsed());
@@ -157,4 +184,5 @@ fn main() {
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
     print_telemetry_summary();
+    finish_trace(tracing);
 }

@@ -55,6 +55,48 @@ pub fn telemetry_sink(args: &cli::Args) -> Box<dyn MetricsSink> {
     }
 }
 
+/// Resolves the shared `--trace PATH` knob: arms the per-query trace
+/// recorder spilling JSONL records to `PATH`. Returns whether a trace was
+/// armed, so the binary knows to call [`finish_trace`] at the end of the
+/// run. Tracing writes only to `PATH` and stderr, never stdout, so
+/// experiment results stay byte-identical with or without the flag.
+pub fn start_trace(args: &cli::Args) -> bool {
+    use oppsla_core::telemetry::trace;
+    let Some(path) = args.get_opt_str("trace") else {
+        return false;
+    };
+    if !trace::enabled() {
+        eprintln!(
+            "warning: --trace given but this binary was built without the `trace` feature; \
+             no records will be written (rebuild with --features trace)"
+        );
+        return false;
+    }
+    match trace::start(trace::TraceConfig {
+        path: Some(PathBuf::from(path)),
+        mem_cap: 0,
+    }) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("warning: could not create trace file {path}: {e}; tracing disabled");
+            false
+        }
+    }
+}
+
+/// Finishes an active trace (no-op when [`start_trace`] returned false)
+/// and prints its accounting to **stderr**.
+pub fn finish_trace(active: bool) {
+    if !active {
+        return;
+    }
+    let stats = oppsla_core::telemetry::trace::finish();
+    eprintln!(
+        "trace: {} record(s) written, {} dropped, {} I/O error(s)",
+        stats.records, stats.dropped, stats.io_errors
+    );
+}
+
 /// Prints the end-of-run telemetry summary to **stderr** (wall-clock op
 /// timings must never reach stdout). No output when nothing was recorded.
 pub fn print_telemetry_summary() {

@@ -48,6 +48,7 @@ pub mod parallel;
 pub mod queue;
 pub mod sketch;
 pub mod synth;
+pub mod tracing;
 
 /// Query-path telemetry (re-export of [`oppsla_obs`]): phase counters,
 /// per-image query histograms, and metric sinks. Recording is inert

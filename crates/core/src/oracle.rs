@@ -384,6 +384,7 @@ impl<'a> Oracle<'a> {
         }
         self.queries += 1;
         crate::telemetry::count(crate::telemetry::Counter::OracleQueryFull);
+        crate::telemetry::trace::tag_route(crate::telemetry::trace::RouteTag::Full);
         self.classifier.scores_into(image, out);
         Ok(())
     }
@@ -448,6 +449,10 @@ impl<'a> Oracle<'a> {
         );
         self.queries += 1;
         crate::telemetry::count(crate::telemetry::Counter::OracleQueryPixelDelta);
+        // Default routing for the trace; overwritten below when a
+        // speculative batch serves or misses. The incremental backend
+        // adds the delta-cache tag when it actually runs.
+        crate::telemetry::trace::tag_route(crate::telemetry::trace::RouteTag::Delta);
 
         // Serve from the speculative batch when it holds this exact
         // candidate against the same base, in *any* position — scores are
@@ -467,12 +472,14 @@ impl<'a> Oracle<'a> {
                     out.clear();
                     out.extend_from_slice(&batch.flat[idx * classes..(idx + 1) * classes]);
                     crate::telemetry::count(crate::telemetry::Counter::BatchHit);
+                    crate::telemetry::trace::tag_route(crate::telemetry::trace::RouteTag::BatchHit);
                     if batch.items.is_empty() {
                         self.batch = None;
                     }
                     return Ok(());
                 }
                 crate::telemetry::count(crate::telemetry::Counter::BatchMiss);
+                crate::telemetry::trace::tag_route(crate::telemetry::trace::RouteTag::BatchMiss);
             } else {
                 crate::telemetry::count(crate::telemetry::Counter::BatchFlush);
                 self.batch = None;
@@ -608,6 +615,7 @@ impl<'a> Oracle<'a> {
             self.queries += 1;
             crate::telemetry::count(crate::telemetry::Counter::OracleQueryPixelDelta);
         }
+        crate::telemetry::trace::tag_route(crate::telemetry::trace::RouteTag::Batch);
         self.classifier
             .scores_pixel_delta_batch_into(base, &candidates[..n], out);
         Ok(n)

@@ -67,8 +67,11 @@ where
                 // global aggregate before the scope joins, so a snapshot
                 // taken right after the fan-out sees every worker's
                 // counts. Counter merges are commutative sums, so the
-                // aggregate is identical for any thread count.
+                // aggregate is identical for any thread count. Trace
+                // records merge the same way; their canonical addressing
+                // (not arrival order) makes the stream deterministic.
                 crate::telemetry::flush();
+                crate::telemetry::trace::flush();
                 out
             }));
         }

@@ -25,7 +25,8 @@ use crate::image::Image;
 use crate::oracle::{argmax, Oracle};
 use crate::pair::Pair;
 use crate::queue::PairQueue;
-use crate::telemetry::{self, Counter};
+use crate::telemetry::{self, trace, Counter};
+use crate::tracing::record_oracle_query;
 use std::collections::VecDeque;
 
 /// Result of running the sketch on one image.
@@ -128,6 +129,14 @@ pub fn run_sketch_with_goal(
         }
     };
     telemetry::count(Counter::QueryBaseline);
+    record_oracle_query(
+        "baseline",
+        spent(oracle),
+        None,
+        &orig_scores,
+        true_class,
+        goal,
+    );
     if argmax(&orig_scores) != true_class {
         return SketchOutcome::AlreadyMisclassified {
             queries: spent(oracle),
@@ -147,12 +156,25 @@ pub fn run_sketch_with_goal(
     // Submits a candidate; `Ok(true)` = adversarial (scores in `buf`),
     // `Ok(false)` = failed attack (scores in `buf`), `Err` = budget.
     // `phase` attributes the query to the sketch phase that issued it
-    // (initial scan vs. eager refinement) for telemetry.
-    let try_pair = |oracle: &mut Oracle<'_>, buf: &mut Vec<f32>, pair: Pair, phase: Counter| {
+    // (initial scan vs. eager refinement) for telemetry; `trace_phase` is
+    // the finer-grained trace attribution (B3 vs. B4 refinement).
+    let try_pair = |oracle: &mut Oracle<'_>,
+                    buf: &mut Vec<f32>,
+                    pair: Pair,
+                    phase: Counter,
+                    trace_phase: &'static str| {
         oracle
             .query_pixel_delta_into(image, pair.location, pair.corner.as_pixel(), buf)
             .map_err(|_| ())?;
         telemetry::count(phase);
+        record_oracle_query(
+            trace_phase,
+            spent(oracle),
+            Some((pair.location, pair.corner.as_pixel())),
+            buf,
+            true_class,
+            goal,
+        );
         Ok::<bool, ()>(goal.is_adversarial(buf, true_class))
     };
 
@@ -181,7 +203,7 @@ pub fn run_sketch_with_goal(
             oracle.prefetch_pixel_batch(image, &upcoming);
         }
         let Some(pair) = queue.pop() else { break };
-        match try_pair(oracle, &mut buf, pair, Counter::QueryInitScan) {
+        match try_pair(oracle, &mut buf, pair, Counter::QueryInitScan, "init_scan") {
             Ok(false) => {}
             Ok(true) => {
                 return SketchOutcome::Success {
@@ -208,6 +230,7 @@ pub fn run_sketch_with_goal(
         // B1: push back the closest pairs with respect to the location.
         if program.condition(1, &ctx) {
             telemetry::count(Counter::ReprioritizeB1);
+            trace::record_cond("b1");
             for neighbor in queue.location_neighbors(pair.location, pair.corner) {
                 queue.push_back(neighbor);
             }
@@ -215,6 +238,7 @@ pub fn run_sketch_with_goal(
         // B2: push back the closest pair with respect to the perturbation.
         if program.condition(2, &ctx) {
             telemetry::count(Counter::ReprioritizeB2);
+            trace::record_cond("b2");
             if let Some(next) = queue.next_at_location(pair.location) {
                 queue.push_back(next);
             }
@@ -241,9 +265,16 @@ pub fn run_sketch_with_goal(
                 if !program.condition(3, &ctx) {
                     continue;
                 }
+                trace::record_cond("b3");
                 for candidate in queue.location_neighbors(failed.location, failed.corner) {
                     queue.remove(candidate);
-                    match try_pair(oracle, &mut buf, candidate, Counter::QueryRefine) {
+                    match try_pair(
+                        oracle,
+                        &mut buf,
+                        candidate,
+                        Counter::QueryRefine,
+                        "refine_b3",
+                    ) {
                         Ok(false) => {
                             loc_q.push_back((candidate, buf.clone()));
                             pert_q.push_back((candidate, buf.clone()));
@@ -274,9 +305,16 @@ pub fn run_sketch_with_goal(
                 if !program.condition(4, &ctx) {
                     continue;
                 }
+                trace::record_cond("b4");
                 if let Some(candidate) = queue.next_at_location(failed.location) {
                     queue.remove(candidate);
-                    match try_pair(oracle, &mut buf, candidate, Counter::QueryRefine) {
+                    match try_pair(
+                        oracle,
+                        &mut buf,
+                        candidate,
+                        Counter::QueryRefine,
+                        "refine_b4",
+                    ) {
                         Ok(false) => {
                             loc_q.push_back((candidate, buf.clone()));
                             pert_q.push_back((candidate, buf.clone()));

@@ -13,6 +13,7 @@ use crate::image::Image;
 use crate::oracle::{BatchClassifier, Classifier, Oracle};
 use crate::parallel::parallel_map_with;
 use crate::sketch::{run_sketch, SketchOutcome};
+use crate::telemetry::trace;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -159,6 +160,23 @@ fn attack_one(
     }
 }
 
+/// [`attack_one`] bracketed by trace addressing: tags the worker's
+/// subsequent records with the training-set index and closes the run
+/// with its query count and outcome.
+fn attack_one_traced(
+    program: &Program,
+    classifier: &dyn Classifier,
+    index: usize,
+    image: &Image,
+    true_class: usize,
+    per_image_budget: Option<u64>,
+) -> (u64, Option<u64>) {
+    trace::set_image(index);
+    let result = attack_one(program, classifier, image, true_class, per_image_budget);
+    trace::record_run(result.0, result.1.is_some());
+    result
+}
+
 /// Reduces per-image attack results into an [`Evaluation`]. All sums are
 /// exact integers, so the result is independent of the order (and thus the
 /// thread assignment) the per-image results were produced in.
@@ -198,11 +216,9 @@ pub fn evaluate_program(
     per_image_budget: Option<u64>,
 ) -> Evaluation {
     assert!(!train.is_empty(), "training set is empty");
-    reduce_evaluation(
-        train
-            .iter()
-            .map(|(image, c)| attack_one(program, classifier, image, *c, per_image_budget)),
-    )
+    reduce_evaluation(train.iter().enumerate().map(|(i, (image, c))| {
+        attack_one_traced(program, classifier, i, image, *c, per_image_budget)
+    }))
 }
 
 /// [`evaluate_program`] fanned out over `threads` workers, each querying
@@ -225,7 +241,9 @@ pub fn evaluate_program_parallel(
         threads,
         train,
         || classifier.session(),
-        |session, _, (image, c)| attack_one(program, &**session, image, *c, per_image_budget),
+        |session, i, (image, c)| {
+            attack_one_traced(program, &**session, i, image, *c, per_image_budget)
+        },
     ))
 }
 
@@ -255,7 +273,8 @@ pub fn filter_attackable(classifier: &dyn Classifier, train: &[Labeled]) -> (Vec
     let fixed = Program::constant(false);
     let probes = train
         .iter()
-        .map(|(image, c)| probe_one(&fixed, classifier, image, *c))
+        .enumerate()
+        .map(|(i, (image, c))| probe_one_traced(&fixed, classifier, i, image, *c))
         .collect::<Vec<_>>();
     keep_attackable(train, probes)
 }
@@ -278,7 +297,7 @@ pub fn filter_attackable_parallel(
         threads,
         train,
         || classifier.session(),
-        |session, _, (image, c)| probe_one(&fixed, &**session, image, *c),
+        |session, i, (image, c)| probe_one_traced(&fixed, &**session, i, image, *c),
     );
     keep_attackable(train, probes)
 }
@@ -296,17 +315,34 @@ fn probe_one(
     (outcome.queries(), outcome.is_success())
 }
 
+/// [`probe_one`] bracketed by trace addressing, like [`attack_one_traced`].
+fn probe_one_traced(
+    fixed: &Program,
+    classifier: &dyn Classifier,
+    index: usize,
+    image: &Image,
+    true_class: usize,
+) -> (u64, bool) {
+    trace::set_image(index);
+    let result = probe_one(fixed, classifier, image, true_class);
+    trace::record_run(result.0, result.1);
+    result
+}
+
 /// Zips probe results back onto `train`, keeping the attackable pairs and
 /// summing queries (exact, order-independent).
 fn keep_attackable(train: &[Labeled], probes: Vec<(u64, bool)>) -> (Vec<Labeled>, u64) {
     let mut kept = Vec::with_capacity(train.len());
+    let mut kept_idx = Vec::with_capacity(train.len());
     let mut queries = 0u64;
-    for ((image, true_class), (spent, attackable)) in train.iter().zip(probes) {
+    for (i, ((image, true_class), (spent, attackable))) in train.iter().zip(probes).enumerate() {
         queries += spent;
         if attackable {
+            kept_idx.push(i);
             kept.push((image.clone(), *true_class));
         }
     }
+    trace::record_filter(&kept_idx);
     (kept, queries)
 }
 
@@ -383,6 +419,7 @@ fn run_mh(
     let mut prefiltered = 0usize;
     let filtered: Vec<Labeled>;
     let train: &[Labeled] = if config.prefilter {
+        trace::begin_sweep("prefilter", train.len(), "");
         let (kept, queries) = filter(train);
         prefilter_queries = queries;
         if kept.is_empty() {
@@ -401,19 +438,37 @@ fn run_mh(
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let mut incumbent = random_program_in(&mut rng, dims, config.grammar);
     let initial_program = incumbent.clone();
+    if trace::armed() {
+        trace::begin_sweep("eval", train.len(), &incumbent.to_string());
+    }
     let initial = eval(&incumbent, train);
     crate::telemetry::count(crate::telemetry::Counter::SynthPrograms);
+    if trace::armed() {
+        // The initial program is the step-0 incumbent by definition.
+        trace::record_synth(0, &initial_program.to_string(), initial.avg_queries, true);
+    }
     let mut incumbent_avg = initial.avg_queries;
     let mut cumulative = prefilter_queries + initial.queries_spent;
     let mut iterations = Vec::with_capacity(config.max_iterations);
 
     for iteration in 1..=config.max_iterations {
         let candidate = mutate_in(&mut rng, &incumbent, dims, config.grammar);
+        if trace::armed() {
+            trace::begin_sweep("eval", train.len(), &candidate.to_string());
+        }
         let evaluation = eval(&candidate, train);
         crate::telemetry::count(crate::telemetry::Counter::SynthPrograms);
         cumulative += evaluation.queries_spent;
         let p = acceptance_probability(config.beta, incumbent_avg, evaluation.avg_queries);
         let accepted = rng.gen::<f64>() < p;
+        if trace::armed() {
+            trace::record_synth(
+                iteration,
+                &candidate.to_string(),
+                evaluation.avg_queries,
+                accepted,
+            );
+        }
         if accepted {
             crate::telemetry::count(crate::telemetry::Counter::SynthAccepted);
             incumbent = candidate.clone();

@@ -6,7 +6,7 @@ use oppsla_attacks::{Attack, AttackOutcome};
 use oppsla_core::image::Image;
 use oppsla_core::oracle::{BatchClassifier, Classifier, Oracle};
 use oppsla_core::parallel::parallel_map_with;
-use oppsla_core::telemetry::{FieldValue, MetricsSink};
+use oppsla_core::telemetry::{trace, FieldValue, MetricsSink};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -107,13 +107,19 @@ pub fn evaluate_attack(
     budget: u64,
     seed: u64,
 ) -> AttackEval {
+    trace::begin_sweep("attack_eval", test.len(), attack.name());
     let outcomes = test
         .iter()
         .enumerate()
         .map(|(i, (image, true_class))| {
             let mut oracle = Oracle::with_budget(classifier, budget);
             let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
+            trace::set_image(i);
             let outcome = attack.attack(&mut oracle, image, *true_class, &mut rng);
+            trace::record_run(
+                outcome.queries(),
+                matches!(outcome, AttackOutcome::Success { .. }),
+            );
             oppsla_core::telemetry::observe_image_queries(outcome.queries());
             outcome
         })
@@ -137,6 +143,7 @@ pub fn evaluate_attack_parallel(
     seed: u64,
     threads: usize,
 ) -> AttackEval {
+    trace::begin_sweep("attack_eval", test.len(), attack.name());
     let outcomes = parallel_map_with(
         threads,
         test,
@@ -144,7 +151,12 @@ pub fn evaluate_attack_parallel(
         |session, i, (image, true_class)| {
             let mut oracle = Oracle::with_budget(&**session, budget);
             let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
+            trace::set_image(i);
             let outcome = attack.attack(&mut oracle, image, *true_class, &mut rng);
+            trace::record_run(
+                outcome.queries(),
+                matches!(outcome, AttackOutcome::Success { .. }),
+            );
             oppsla_core::telemetry::observe_image_queries(outcome.queries());
             outcome
         },

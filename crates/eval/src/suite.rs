@@ -125,6 +125,7 @@ fn suite_core(
     let mut programs = Vec::with_capacity(num_classes);
     let mut reports = Vec::with_capacity(num_classes);
     for class in 0..num_classes {
+        oppsla_core::telemetry::trace::begin_class(class as u32);
         let class_train: Vec<Labeled> =
             train.iter().filter(|(_, c)| *c == class).cloned().collect();
         if class_train.is_empty() {

@@ -11,6 +11,7 @@ use crate::report::{fmt_stat, Table};
 use crate::suite::{ProgramSuite, SuiteAttack};
 use oppsla_core::image::Image;
 use oppsla_core::oracle::{BatchClassifier, Classifier};
+use oppsla_core::telemetry::trace;
 
 /// The transferability matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,9 +42,14 @@ pub fn run_transfer(
     eval_budget: u64,
     seed: u64,
 ) -> TransferResult {
-    transfer_core(labels, classifiers.len(), suites, &mut |target, attack| {
-        evaluate_attack(attack, classifiers[target], test, eval_budget, seed)
-    })
+    transfer_core(
+        labels,
+        classifiers.len(),
+        suites,
+        &mut |_, target, attack| {
+            evaluate_attack(attack, classifiers[target], test, eval_budget, seed)
+        },
+    )
 }
 
 /// [`run_transfer`] with each (source, target) evaluation fanned out over
@@ -58,16 +64,61 @@ pub fn run_transfer_parallel(
     seed: u64,
     threads: usize,
 ) -> TransferResult {
-    transfer_core(labels, classifiers.len(), suites, &mut |target, attack| {
-        evaluate_attack_parallel(
-            attack,
-            classifiers[target],
-            test,
-            eval_budget,
-            seed,
-            threads,
-        )
-    })
+    transfer_core(
+        labels,
+        classifiers.len(),
+        suites,
+        &mut |_, target, attack| {
+            evaluate_attack_parallel(
+                attack,
+                classifiers[target],
+                test,
+                eval_budget,
+                seed,
+                threads,
+            )
+        },
+    )
+}
+
+/// [`run_transfer_parallel`] with trace sectioning: each (source, target)
+/// cell becomes its own trace section, cloned from `meta` with the label,
+/// target architecture, and attack provenance filled per cell (so
+/// `trace_replay` can rebuild the target model and image set). The
+/// returned matrix is identical to the untraced call.
+#[allow(clippy::too_many_arguments)]
+pub fn run_transfer_parallel_traced(
+    labels: &[String],
+    classifiers: &[&dyn BatchClassifier],
+    suites: &[ProgramSuite],
+    test: &[(Image, usize)],
+    eval_budget: u64,
+    seed: u64,
+    threads: usize,
+    meta: &trace::SectionMeta,
+) -> TransferResult {
+    transfer_core(
+        labels,
+        classifiers.len(),
+        suites,
+        &mut |source, target, attack| {
+            if trace::armed() {
+                let mut m = meta.clone();
+                m.label = format!("{}/{}<-{}", meta.label, labels[target], labels[source]);
+                m.arch.clone_from(&labels[target]);
+                m.attack = format!("oppsla[{}]", labels[source]);
+                trace::begin_section(m);
+            }
+            evaluate_attack_parallel(
+                attack,
+                classifiers[target],
+                test,
+                eval_budget,
+                seed,
+                threads,
+            )
+        },
+    )
 }
 
 /// The (source, target) sweep shared by the sequential and parallel
@@ -76,7 +127,7 @@ fn transfer_core(
     labels: &[String],
     n: usize,
     suites: &[ProgramSuite],
-    eval: &mut dyn FnMut(usize, &SuiteAttack) -> AttackEval,
+    eval: &mut dyn FnMut(usize, usize, &SuiteAttack) -> AttackEval,
 ) -> TransferResult {
     assert!(n > 0, "no classifiers");
     assert_eq!(labels.len(), n, "one label per classifier");
@@ -87,7 +138,7 @@ fn transfer_core(
     for (source, suite) in suites.iter().enumerate() {
         let attack = SuiteAttack::new(suite.clone());
         for target in 0..n {
-            let result = eval(target, &attack);
+            let result = eval(source, target, &attack);
             avg_queries[target][source] = result.avg_queries();
             success_rate[target][source] = result.success_rate();
         }

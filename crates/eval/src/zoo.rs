@@ -320,9 +320,11 @@ impl<'a> ZooSession<'a> {
         match cache {
             Some(c) if c.base_image == *base => {
                 telemetry::count(Counter::DeltaCacheHit);
+                telemetry::trace::tag_cache(telemetry::trace::CacheTag::Hit);
             }
             Some(c) => {
                 telemetry::count(Counter::DeltaCacheRebase);
+                telemetry::trace::tag_cache(telemetry::trace::CacheTag::Rebase);
                 image_into_tensor(base, input);
                 c.base.recapture(self.plan, ws, input);
                 c.dws.reset_from(&c.base);
@@ -333,6 +335,7 @@ impl<'a> ZooSession<'a> {
             }
             None => {
                 telemetry::count(Counter::DeltaCacheCold);
+                telemetry::trace::tag_cache(telemetry::trace::CacheTag::Cold);
                 image_into_tensor(base, input);
                 let acts = BaseActivations::capture(self.plan, ws, input);
                 let dws = self.delta.workspace(&acts);

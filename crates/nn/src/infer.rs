@@ -736,15 +736,18 @@ impl InferenceEngine {
         match cache {
             Some(c) if c.base_image == *base => {
                 oppsla_obs::count(oppsla_obs::Counter::DeltaCacheHit);
+                oppsla_obs::trace::tag_cache(oppsla_obs::trace::CacheTag::Hit);
             }
             Some(c) => {
                 oppsla_obs::count(oppsla_obs::Counter::DeltaCacheRebase);
+                oppsla_obs::trace::tag_cache(oppsla_obs::trace::CacheTag::Rebase);
                 c.base.recapture(&self.plan, ws, base);
                 c.dws.reset_from(&c.base);
                 c.base_image.data_mut().copy_from_slice(base.data());
             }
             None => {
                 oppsla_obs::count(oppsla_obs::Counter::DeltaCacheCold);
+                oppsla_obs::trace::tag_cache(oppsla_obs::trace::CacheTag::Cold);
                 let acts = crate::delta::BaseActivations::capture(&self.plan, ws, base);
                 let dws = self.delta.workspace(&acts);
                 *cache = Some(EngineDeltaCache {

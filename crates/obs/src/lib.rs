@@ -35,6 +35,8 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
+pub mod trace;
+
 /// Declares [`Counter`] with stable snake_case wire names.
 macro_rules! counters {
     ($($(#[$doc:meta])* $variant:ident => $name:literal,)*) => {
@@ -586,8 +588,13 @@ impl MetricsSink for NoopSink {
 
 /// A sink appending one JSON object per event to a writer (the experiment
 /// binaries' `--telemetry out.jsonl`).
+///
+/// Event I/O failures never abort a run: failed writes are counted (see
+/// [`JsonlSink::dropped_writes`]) and surfaced once on stderr when the
+/// sink is consumed or dropped.
 pub struct JsonlSink<W: Write = BufWriter<File>> {
-    out: W,
+    out: Option<W>,
+    dropped: u64,
 }
 
 impl JsonlSink {
@@ -597,22 +604,82 @@ impl JsonlSink {
     ///
     /// Propagates the file-creation error.
     pub fn create(path: &Path) -> io::Result<Self> {
-        Ok(JsonlSink {
-            out: BufWriter::new(File::create(path)?),
-        })
+        Ok(JsonlSink::from_writer(BufWriter::new(File::create(path)?)))
     }
 }
 
 impl<W: Write> JsonlSink<W> {
     /// Wraps an arbitrary writer (for tests).
     pub fn from_writer(out: W) -> Self {
-        JsonlSink { out }
+        JsonlSink {
+            out: Some(out),
+            dropped: 0,
+        }
     }
 
-    /// The wrapped writer, flushing buffered events.
+    /// Events whose write (or flush) failed and were therefore dropped
+    /// from the output.
+    pub fn dropped_writes(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Warns on stderr about dropped events, at most once per sink.
+    fn warn_if_dropped(&mut self) {
+        if self.dropped > 0 {
+            eprintln!(
+                "warning: telemetry sink dropped {} event write(s) due to I/O errors",
+                self.dropped
+            );
+            self.dropped = 0;
+        }
+    }
+
+    /// The wrapped writer, flushing buffered events. Infallible: a flush
+    /// failure is reported like a dropped event (use
+    /// [`JsonlSink::try_into_inner`] to observe it).
     pub fn into_inner(mut self) -> W {
-        let _ = self.out.flush();
-        self.out
+        let out = self.out.as_mut().expect("writer present until consumed");
+        if out.flush().is_err() {
+            self.dropped += 1;
+        }
+        self.warn_if_dropped();
+        self.out.take().expect("writer present until consumed")
+    }
+
+    /// The wrapped writer, propagating the final flush error instead of
+    /// swallowing it (the writer is lost on failure).
+    ///
+    /// # Errors
+    ///
+    /// Returns the flush error.
+    pub fn try_into_inner(mut self) -> io::Result<W> {
+        let result = self
+            .out
+            .as_mut()
+            .expect("writer present until consumed")
+            .flush();
+        match result {
+            Ok(()) => {
+                self.warn_if_dropped();
+                Ok(self.out.take().expect("writer present until consumed"))
+            }
+            Err(e) => {
+                self.dropped += 1;
+                self.warn_if_dropped();
+                Err(e)
+            }
+        }
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        if let Some(out) = self.out.as_mut() {
+            if out.flush().is_err() {
+                self.dropped += 1;
+            }
+        }
+        self.warn_if_dropped();
     }
 }
 
@@ -657,9 +724,16 @@ impl<W: Write> MetricsSink for JsonlSink<W> {
             }
         }
         line.push_str("}\n");
-        // Sink I/O failures must never abort an experiment run.
-        let _ = self.out.write_all(line.as_bytes());
-        let _ = self.out.flush();
+        // Sink I/O failures must never abort an experiment run; they are
+        // counted and surfaced once when the sink is consumed or dropped.
+        let out = self.out.as_mut().expect("writer present until consumed");
+        if out
+            .write_all(line.as_bytes())
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            self.dropped += 1;
+        }
     }
 }
 
@@ -763,6 +837,27 @@ mod tests {
     }
 
     #[test]
+    fn hist_bounds_cover_zero_boundaries_and_max() {
+        assert_eq!(query_hist_bounds(0), (0, 1));
+        assert_eq!(query_hist_bounds(1), (1, 2));
+        assert_eq!(query_hist_bounds(2), (2, 4));
+        let (lo, hi) = query_hist_bounds(QUERY_HIST_BUCKETS - 1);
+        assert_eq!(lo, 1 << (QUERY_HIST_BUCKETS - 2));
+        assert_eq!(hi, u64::MAX, "last bucket absorbs everything above");
+        assert_eq!(query_hist_bucket(u64::MAX), QUERY_HIST_BUCKETS - 1);
+        // Adjacent buckets tile the counts with no gaps or overlaps.
+        for b in 1..QUERY_HIST_BUCKETS - 1 {
+            assert_eq!(query_hist_bounds(b).0, query_hist_bounds(b - 1).1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket out of range")]
+    fn hist_bounds_reject_out_of_range_buckets() {
+        let _ = query_hist_bounds(QUERY_HIST_BUCKETS);
+    }
+
+    #[test]
     fn snapshot_since_is_a_saturating_delta() {
         let mut later = Snapshot::zero();
         let mut earlier = Snapshot::zero();
@@ -796,6 +891,91 @@ mod tests {
             "{\"event\":\"unit \\\"test\\\"\",\"n\":3,\"rate\":0.5,\"nan\":null,\"who\":\"a\\nb\",\"on\":true}"
         );
         assert_eq!(lines[1], "{\"event\":\"second\"}");
+    }
+
+    #[test]
+    fn emit_snapshot_field_values_round_trip_through_json() {
+        // Hostile label values (quotes, backslashes, control characters,
+        // non-ASCII) must survive a parse of the emitted line.
+        let nasty = "a\"b\\c\nd\re\tf\u{1}g é";
+        let mut snap = Snapshot::zero();
+        snap.counters[Counter::QueryRefine as usize] = 123;
+        let mut sink = JsonlSink::from_writer(Vec::new());
+        emit_snapshot(
+            &mut sink,
+            "escape \"test\"",
+            &[
+                ("label", FieldValue::Str(nasty.into())),
+                ("rate", FieldValue::F64(0.125)),
+            ],
+            &snap,
+        );
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let fields = trace::parse_flat_json(text.trim_end()).unwrap();
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing {key} in {text}"))
+        };
+        assert_eq!(
+            get("event"),
+            trace::JsonScalar::Str("escape \"test\"".into())
+        );
+        assert_eq!(get("label"), trace::JsonScalar::Str(nasty.into()));
+        assert_eq!(get("rate"), trace::JsonScalar::Num("0.125".into()));
+        assert_eq!(get("query_refine"), trace::JsonScalar::Num("123".into()));
+    }
+
+    /// A writer whose writes fail after the first `ok_writes` calls.
+    struct FlakyWriter {
+        ok_writes: usize,
+        flush_fails: bool,
+    }
+
+    impl Write for FlakyWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.ok_writes == 0 {
+                return Err(io::Error::other("disk full"));
+            }
+            self.ok_writes -= 1;
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            if self.flush_fails {
+                Err(io::Error::other("flush failed"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_counts_dropped_writes() {
+        let mut sink = JsonlSink::from_writer(FlakyWriter {
+            ok_writes: 1,
+            flush_fails: false,
+        });
+        sink.emit("first", &[]);
+        assert_eq!(sink.dropped_writes(), 0);
+        sink.emit("second", &[]);
+        sink.emit("third", &[]);
+        assert_eq!(sink.dropped_writes(), 2, "failed writes are counted");
+        let _ = sink.into_inner();
+    }
+
+    #[test]
+    fn jsonl_sink_try_into_inner_propagates_flush_errors() {
+        let sink = JsonlSink::from_writer(FlakyWriter {
+            ok_writes: usize::MAX,
+            flush_fails: true,
+        });
+        assert!(sink.try_into_inner().is_err());
+
+        let sink = JsonlSink::from_writer(Vec::new());
+        assert!(sink.try_into_inner().is_ok(), "healthy writer is returned");
     }
 
     #[test]

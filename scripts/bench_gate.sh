@@ -28,6 +28,16 @@ base=$2
 [ -r "$new" ] || { echo "bench_gate: cannot read $new" >&2; exit 2; }
 [ -r "$base" ] || { echo "bench_gate: cannot read $base" >&2; exit 2; }
 
+# Zero-cost-when-off gate for the trace hooks: a forward report built
+# without the `trace` feature must report the disarmed query hook as an
+# exact 0.0 ns — anything else means the hooks stopped compiling out.
+# (Reports without the field, or built with the feature, are exempt.)
+if grep -q '"trace_enabled": false' "$new" \
+    && ! grep -q '"trace_hook_ns_per_op": 0.0' "$new"; then
+    echo "FAIL     trace feature is off but trace_hook_ns_per_op is nonzero in $new" >&2
+    exit 1
+fi
+
 awk -v newfile="$new" -v basefile="$base" '
 function extract(line, field,    tmp) {
     tmp = line

@@ -25,10 +25,15 @@ cargo test -q -p oppsla-core --features query-guard
 # --workspace): the vendored stubs have no such feature.
 cargo test -q -p oppsla-obs -p oppsla-core -p oppsla-nn -p oppsla-attacks \
     -p oppsla-eval -p oppsla-bench --features telemetry
+# Same again for the trace feature (additive over telemetry): the
+# per-query recorder, its hooks in core/nn/attacks/eval, and the
+# thread-count-invariance test only compile under it.
+cargo test -q -p oppsla-obs -p oppsla-core -p oppsla-nn -p oppsla-attacks \
+    -p oppsla-eval -p oppsla-bench --features trace
 # One clippy pass over every target (lib, bins, tests, benches,
 # examples) with the feature-matrix union enabled, so warnings in
 # feature-gated code are also denied.
 cargo clippy $OPPSLA_PKGS --all-targets \
-    --features oppsla-core/query-guard,oppsla-obs/telemetry,oppsla-core/telemetry,oppsla-nn/telemetry,oppsla-attacks/telemetry,oppsla-eval/telemetry,oppsla-bench/telemetry \
+    --features oppsla-core/query-guard,oppsla-obs/trace,oppsla-core/trace,oppsla-nn/trace,oppsla-attacks/trace,oppsla-eval/trace,oppsla-bench/trace \
     -- -D warnings
 echo "check.sh: all green"
