@@ -14,6 +14,8 @@
 //!     [--batch N]     (images per throughput measurement, default 64)
 //!     [--batch-k N]   (candidates per batched sweep, default 8)
 //!     [--threads N]   (worker threads; 0 = auto, default 0)
+//!     [--gemm-threads N] (GEMM worker fan-out; 0 = leave process default)
+//!     [--tune MODE]   (conv route tuning: measure | off, default measure)
 //!     [--out PATH]    (default BENCH_forward.json)
 //!     [--inc-out PATH] (default BENCH_incremental.json)
 //!     [--batched-out PATH] (default BENCH_batched.json)
@@ -28,19 +30,20 @@
 //! pattern (one cached base, many single-pixel candidates).
 
 use oppsla_bench::cli::Args;
-use oppsla_bench::threads_from;
+use oppsla_bench::{threads_from, tune_from};
 use oppsla_core::parallel::parallel_map_with;
 use oppsla_nn::delta::BaseActivations;
 use oppsla_nn::infer::InferenceEngine;
 use oppsla_nn::models::{Arch, ConvNet, InputSpec};
-use oppsla_tensor::Tensor;
+use oppsla_tensor::{gemm, Tensor};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
 use std::time::Instant;
 
 /// One architecture's measurements, all in nanoseconds per query or
-/// queries per second.
+/// queries per second, plus the tuner's route decisions so regressions
+/// are attributable to dispatch vs kernel.
 struct Row {
     arch: &'static str,
     input: String,
@@ -51,6 +54,30 @@ struct Row {
     batched_forward_ns: f64,
     sequential_qps: f64,
     parallel_qps: f64,
+    /// Full-forward conv routes, e.g. `direct:2,gemm:6` (`none` = no convs).
+    fwd_routes: String,
+    /// Batched-delta group thresholds, e.g. `g8:5,g32:3`.
+    delta_routes: String,
+}
+
+/// Compacts per-conv route labels into `label:count` pairs in first-seen
+/// order (`none` for conv-free plans like the MLP).
+fn route_summary(labels: impl Iterator<Item = String>) -> String {
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for l in labels {
+        match counts.iter_mut().find(|(k, _)| *k == l) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((l, 1)),
+        }
+    }
+    if counts.is_empty() {
+        return "none".to_owned();
+    }
+    counts
+        .iter()
+        .map(|(k, c)| format!("{k}:{c}"))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 impl Row {
@@ -79,12 +106,22 @@ fn main() {
     let batch = args.get_usize("batch", 64).max(1);
     let batch_k = args.get_usize("batch-k", 8).max(1);
     let threads = threads_from(&args);
+    let tune = tune_from(&args);
+    // GEMM fan-out inside a single product: 0 (default) leaves the
+    // process-wide setting (OPPSLA_GEMM_THREADS or 1) untouched.
+    let gemm_threads_arg = args.get_usize("gemm-threads", 0);
+    if gemm_threads_arg > 0 {
+        gemm::set_gemm_threads(gemm_threads_arg);
+    }
+    let gemm_threads = gemm::gemm_threads();
+    let simd_isa = gemm::simd_isa();
     let out_path = args.get_str("out", "BENCH_forward.json");
     let inc_out_path = args.get_str("inc-out", "BENCH_incremental.json");
     let batched_out_path = args.get_str("batched-out", "BENCH_batched.json");
 
     eprintln!(
-        "{iters} iters, {batch}-image batches, {batch_k}-candidate sweeps, {threads} worker thread(s)"
+        "{iters} iters, {batch}-image batches, {batch_k}-candidate sweeps, {threads} worker \
+         thread(s), simd {simd_isa}, {gemm_threads} GEMM thread(s), --tune {tune}"
     );
 
     let cases: [(Arch, InputSpec, usize); 7] = [
@@ -279,6 +316,8 @@ fn main() {
             batched_forward_ns,
             sequential_qps,
             parallel_qps,
+            fwd_routes: route_summary(plan.tuner_report().iter().map(|d| d.route().to_owned())),
+            delta_routes: route_summary(delta.tuner_report().iter().map(|d| d.route())),
         };
         eprintln!(
             "[{arch} {}] tape {:.0} ns/q, engine {:.0} ns/q ({:.2}x), incr {:.0} ns/q ({:.2}x), batched-delta {:.0} ns/q ({:.2}x), batched-fwd {:.0} ns/q ({:.2}x), {:.0} q/s seq, {:.0} q/s x{threads}",
@@ -355,6 +394,9 @@ fn main() {
     json.push_str(&format!("  \"iters\": {iters},\n"));
     json.push_str(&format!("  \"batch\": {batch},\n"));
     json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"simd_isa\": \"{simd_isa}\",\n"));
+    json.push_str(&format!("  \"gemm_threads\": {gemm_threads},\n"));
+    json.push_str(&format!("  \"tune\": \"{tune}\",\n"));
     json.push_str(&format!("  \"telemetry_enabled\": {telemetry_enabled},\n"));
     json.push_str(&format!("  \"telemetry_hook_ns_per_op\": {hook_ns:.1},\n"));
     json.push_str(&format!("  \"trace_enabled\": {trace_enabled},\n"));
@@ -368,7 +410,7 @@ fn main() {
                 "    {{\"arch\": \"{}\", \"input\": \"{}\", ",
                 "\"tape_ns_per_query\": {:.1}, \"engine_ns_per_query\": {:.1}, ",
                 "\"engine_speedup\": {:.3}, \"sequential_queries_per_sec\": {:.1}, ",
-                "\"parallel_queries_per_sec\": {:.1}}}{}\n"
+                "\"parallel_queries_per_sec\": {:.1}, \"tuned_route\": \"{}\"}}{}\n"
             ),
             row.arch,
             row.input,
@@ -377,6 +419,7 @@ fn main() {
             row.speedup(),
             row.sequential_qps,
             row.parallel_qps,
+            row.fwd_routes,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -395,6 +438,9 @@ fn main() {
     let mut inc = String::from("{\n");
     inc.push_str("  \"benchmark\": \"incremental_pixel_delta\",\n");
     inc.push_str(&format!("  \"iters\": {iters},\n"));
+    inc.push_str(&format!("  \"simd_isa\": \"{simd_isa}\",\n"));
+    inc.push_str(&format!("  \"gemm_threads\": {gemm_threads},\n"));
+    inc.push_str(&format!("  \"tune\": \"{tune}\",\n"));
     inc.push_str(&format!("  \"telemetry_enabled\": {telemetry_enabled},\n"));
     inc.push_str("  \"results\": [\n");
     for (i, row) in rows.iter().enumerate() {
@@ -402,13 +448,14 @@ fn main() {
             concat!(
                 "    {{\"arch\": \"{}\", \"input\": \"{}\", ",
                 "\"full_ns_per_query\": {:.1}, \"incremental_ns_per_query\": {:.1}, ",
-                "\"incremental_speedup\": {:.3}}}{}\n"
+                "\"incremental_speedup\": {:.3}, \"tuned_route\": \"{}\"}}{}\n"
             ),
             row.arch,
             row.input,
             row.engine_ns,
             row.incremental_ns,
             row.incremental_speedup(),
+            row.fwd_routes,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -429,6 +476,9 @@ fn main() {
     bat.push_str("  \"benchmark\": \"batched_inference\",\n");
     bat.push_str(&format!("  \"iters\": {iters},\n"));
     bat.push_str(&format!("  \"batch_k\": {batch_k},\n"));
+    bat.push_str(&format!("  \"simd_isa\": \"{simd_isa}\",\n"));
+    bat.push_str(&format!("  \"gemm_threads\": {gemm_threads},\n"));
+    bat.push_str(&format!("  \"tune\": \"{tune}\",\n"));
     bat.push_str(&format!("  \"telemetry_enabled\": {telemetry_enabled},\n"));
     bat.push_str("  \"results\": [\n");
     for (i, row) in rows.iter().enumerate() {
@@ -441,7 +491,7 @@ fn main() {
                 "\"batched_speedup\": {:.3}, ",
                 "\"sequential_forward_ns_per_image\": {:.1}, ",
                 "\"batched_forward_ns_per_image\": {:.1}, ",
-                "\"batched_forward_speedup\": {:.3}}}{}\n"
+                "\"batched_forward_speedup\": {:.3}, \"tuned_route\": \"{}\"}}{}\n"
             ),
             row.arch,
             row.input,
@@ -452,6 +502,7 @@ fn main() {
             row.engine_ns,
             row.batched_forward_ns,
             row.batched_forward_speedup(),
+            row.delta_routes,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }

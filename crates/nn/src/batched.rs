@@ -207,23 +207,19 @@ impl BatchedInferencePlan<'_> {
             InferOp::Linear {
                 x,
                 out,
-                weight,
+                weight_t,
                 bias,
                 in_f,
                 out_f,
             } => {
                 let (xb, ob) = buf_pair(bufs, *x, *out);
-                // One GEMM for the whole batch: row b is computed exactly
-                // as the sequential m = 1 call computes it.
-                ops::matmul_nt_into(
-                    &xb[..k * in_f],
-                    weight,
-                    k,
-                    *in_f,
-                    *out_f,
-                    &mut ob[..k * out_f],
-                );
-                for orow in ob[..k * out_f].chunks_exact_mut(*out_f) {
+                // Row b runs the same SIMD vector-matrix kernel the
+                // sequential m = 1 call runs — identical per-row bits.
+                for (xrow, orow) in xb[..k * in_f]
+                    .chunks_exact(*in_f)
+                    .zip(ob[..k * out_f].chunks_exact_mut(*out_f))
+                {
+                    gemm::linear_nt_into(xrow, weight_t, *in_f, *out_f, orow);
                     for (o, &bv) in orow.iter_mut().zip(bias) {
                         *o += bv;
                     }

@@ -46,6 +46,7 @@
 //! `tests/delta_matches_full.rs`).
 
 use crate::infer::{ForwardWorkspace, InferOp, InferencePlan};
+use crate::tune::{self, BatchRouteDecision, TunePolicy};
 use oppsla_tensor::gemm;
 use oppsla_tensor::ops::{self, Rect};
 use oppsla_tensor::Tensor;
@@ -54,11 +55,6 @@ use oppsla_tensor::Tensor;
 /// route: groups larger than this are split so the concatenated column
 /// matrix stays a few MiB even for full-extent 64×64 recomputes.
 const MAX_GEMM_COLS: usize = 4096;
-
-/// Below this many total columns a group runs the direct region kernel
-/// per candidate — the im2col + packing overhead of a tiny GEMM costs
-/// more than it saves.
-const MIN_GEMM_COLS: usize = 32;
 
 /// Dirty state of one activation buffer during a delta pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,7 +80,14 @@ impl Region {
 #[derive(Debug, Clone, Copy)]
 enum Step {
     /// Region-restricted convolution (op index into the plan).
-    Conv { op: usize },
+    /// The booleans and span cut are this conv's tuned batched-route
+    /// regime winners ([`BatchRouteDecision::use_direct`]).
+    Conv {
+        op: usize,
+        direct_small: bool,
+        direct_large: bool,
+        span_cut: usize,
+    },
     /// Elementwise ReLU over the dirty region.
     Relu { x: usize, out: usize },
     /// Region-restricted max pool (op index into the plan).
@@ -204,10 +207,13 @@ pub struct DeltaPlan {
     num_bufs: usize,
     num_ops: usize,
     output_buf: usize,
+    /// Per-conv batched-route decisions (step order), from the tuner.
+    tuned: Vec<BatchRouteDecision>,
 }
 
 impl DeltaPlan {
-    /// Compiles the delta steps for `plan`.
+    /// Compiles the delta steps for `plan`, tuning each conv's batched
+    /// route threshold (per unique shape) unless tuning is off.
     pub fn compile(plan: &InferencePlan) -> Self {
         let buf_chw: Vec<Option<[usize; 3]>> = plan
             .buf_dims
@@ -218,9 +224,50 @@ impl DeltaPlan {
             })
             .collect();
         let mut steps = Vec::with_capacity(plan.ops.len());
+        let mut tuned = Vec::new();
+        let mut cache: Vec<((ops::Conv2dGeometry, usize), BatchRouteDecision)> = Vec::new();
         for (i, op) in plan.ops.iter().enumerate() {
             steps.push(match *op {
-                InferOp::Conv2d { .. } => Step::Conv { op: i },
+                InferOp::Conv2d {
+                    ref weight,
+                    ref packed,
+                    ref bias,
+                    ref geom,
+                    out_c,
+                    ..
+                } => {
+                    let decision = match cache.iter().find(|((g, oc), _)| g == geom && *oc == out_c)
+                    {
+                        Some((_, d)) => d.clone(),
+                        None => {
+                            let k = geom.in_channels * geom.kernel_h * geom.kernel_w;
+                            let d = match tune::policy() {
+                                TunePolicy::Off => BatchRouteDecision::unmeasured(
+                                    out_c,
+                                    k,
+                                    geom.out_h() * geom.out_w(),
+                                ),
+                                TunePolicy::Measure => {
+                                    tune::tune_batch_route(weight, bias, packed, geom, out_c)
+                                }
+                            };
+                            cache.push(((*geom, out_c), d.clone()));
+                            d
+                        }
+                    };
+                    let (direct_small, direct_large, span_cut) = (
+                        decision.direct_small,
+                        decision.direct_large,
+                        decision.span_cut,
+                    );
+                    tuned.push(decision);
+                    Step::Conv {
+                        op: i,
+                        direct_small,
+                        direct_large,
+                        span_cut,
+                    }
+                }
                 InferOp::Linear { .. } => Step::Linear { op: i },
                 InferOp::Relu { x, out } => Step::Relu { x, out },
                 InferOp::MaxPool { .. } => Step::Pool { op: i },
@@ -243,7 +290,14 @@ impl DeltaPlan {
             num_bufs: plan.buf_lens.len(),
             num_ops: plan.ops.len(),
             output_buf: plan.output_buf,
+            tuned,
         }
+    }
+
+    /// The tuner's per-conv batched-route decisions, in step order — one
+    /// entry per convolution. Empty for conv-free plans (the MLP).
+    pub fn tuner_report(&self) -> &[BatchRouteDecision] {
+        &self.tuned
     }
 
     /// Allocates a delta workspace seeded with `base`'s activations.
@@ -313,7 +367,9 @@ impl DeltaPlan {
     /// Both the direct region kernel and the GEMM accumulate taps in the
     /// same `(ch, ky, kx)` order with the bias added last, so each
     /// candidate's result stays bit-identical to its sequential run
-    /// (asserted exactly in `tests/batched_matches_sequential.rs`).
+    /// (asserted exactly in `tests/batched_matches_sequential.rs`). The
+    /// per-conv direct-vs-GEMM group threshold is the tuned
+    /// `min_gemm_cols` from [`DeltaPlan::compile`].
     ///
     /// Appends `num_classes` softmax scores per candidate to `out`
     /// (cleared first), in candidate order.
@@ -351,8 +407,20 @@ impl DeltaPlan {
             self.begin_candidate(base, ws, row, col, rgb);
         }
         for &step in &self.steps {
-            if let Step::Conv { op } = step {
-                self.run_conv_batch(plan, workspaces, op, scratch);
+            if let Step::Conv {
+                op,
+                direct_small,
+                direct_large,
+                span_cut,
+            } = step
+            {
+                self.run_conv_batch(
+                    plan,
+                    workspaces,
+                    op,
+                    (direct_small, direct_large, span_cut),
+                    scratch,
+                );
             } else {
                 for ws in workspaces.iter_mut() {
                     self.run_step(plan, ws, step);
@@ -373,15 +441,18 @@ impl DeltaPlan {
     /// bank in a single [`gemm::matmul_packed_into`] call, and scattered
     /// back (plus bias) into each workspace's output rectangle. Groups
     /// are capped at [`MAX_GEMM_COLS`] columns to bound scratch memory,
-    /// and groups below [`MIN_GEMM_COLS`] fall back to the per-candidate
-    /// direct kernel where a GEMM's fixed costs would dominate. Either
-    /// kernel accumulates taps in `(ch, ky, kx)` order with bias last, so
-    /// the route chosen never changes a single output bit.
+    /// and each group consults the conv's tuned regime winners
+    /// ([`BatchRouteDecision::use_direct`], keyed by the group's mean
+    /// per-candidate rect width) to run the per-candidate direct kernel
+    /// instead where it measured faster. Either kernel accumulates taps
+    /// in `(ch, ky, kx)` order with bias last, so the route chosen never
+    /// changes a single output bit.
     fn run_conv_batch(
         &self,
         plan: &InferencePlan,
         workspaces: &mut [DeltaWorkspace],
         op: usize,
+        (direct_small, direct_large, span_cut): (bool, bool, usize),
         scratch: &mut DeltaBatchScratch,
     ) {
         let InferOp::Conv2d {
@@ -397,6 +468,7 @@ impl DeltaPlan {
         else {
             unreachable!("Step::Conv points at a non-conv op");
         };
+        let _op_timing = oppsla_obs::op_timer(oppsla_obs::OpKind::Conv);
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let k = geom.in_channels * geom.kernel_h * geom.kernel_w;
         let area = |r: &Rect| (r.y1 - r.y0) * (r.x1 - r.x0);
@@ -426,14 +498,34 @@ impl DeltaPlan {
                 total += area(&work[g1].1);
                 g1 += 1;
             }
-            if total < MIN_GEMM_COLS {
+            let mean_span = work[g0..g1]
+                .iter()
+                .map(|(_, r, _)| r.x1 - r.x0)
+                .sum::<usize>()
+                / (g1 - g0);
+            let use_direct = if mean_span <= span_cut {
+                direct_small
+            } else {
+                direct_large
+            };
+            if use_direct {
                 for &(i, rect, _) in &work[g0..g1] {
                     let (xb, ob) = buf_pair(&mut workspaces[i].bufs, x, out);
                     ops::conv2d_region_into(xb, weight, bias, geom, out_c, rect, ob);
                 }
             } else {
-                cols.resize(k * total, 0.0);
-                gemm_out.resize(out_c * total, 0.0);
+                // Grow-only scratch: the gather overwrites every cell of
+                // its `[k, total]` window and the GEMM every output cell,
+                // so shrinking between differently-sized convs (and
+                // re-zero-filling on the next growth, a memset per conv
+                // per sweep) would buy nothing.
+                if cols.len() < k * total {
+                    cols.resize(k * total, 0.0);
+                }
+                if gemm_out.len() < out_c * total {
+                    gemm_out.resize(out_c * total, 0.0);
+                }
+                let (cols, gemm_out) = (&mut cols[..k * total], &mut gemm_out[..out_c * total]);
                 let mut col0 = 0;
                 for &(i, rect, _) in &work[g0..g1] {
                     ops::im2col_region_into(&workspaces[i].bufs[x], geom, rect, col0, total, cols);
@@ -526,9 +618,18 @@ impl DeltaPlan {
     /// state lives in `ws`, so steps can be interleaved across workspaces
     /// in any order — the batched path runs them layer-major.
     fn run_step(&self, plan: &InferencePlan, ws: &mut DeltaWorkspace, step: Step) {
+        let _op_timing = oppsla_obs::op_timer(match step {
+            Step::Conv { .. } => oppsla_obs::OpKind::Conv,
+            Step::Linear { .. } => oppsla_obs::OpKind::Linear,
+            Step::Relu { .. } => oppsla_obs::OpKind::Relu,
+            Step::Pool { .. } => oppsla_obs::OpKind::MaxPool,
+            Step::Gap { .. } => oppsla_obs::OpKind::Gap,
+            Step::Add { .. } => oppsla_obs::OpKind::Add,
+            Step::CopySeg { .. } => oppsla_obs::OpKind::CopySeg,
+        });
         {
             match step {
-                Step::Conv { op } => {
+                Step::Conv { op, .. } => {
                     let InferOp::Conv2d {
                         x,
                         out,
@@ -680,7 +781,7 @@ impl DeltaPlan {
                     let InferOp::Linear {
                         x,
                         out,
-                        ref weight,
+                        ref weight_t,
                         ref bias,
                         in_f,
                         out_f,
@@ -692,7 +793,7 @@ impl DeltaPlan {
                         return;
                     }
                     let (xb, ob) = buf_pair(&mut ws.bufs, x, out);
-                    ops::matmul_nt_into(xb, weight, 1, in_f, out_f, ob);
+                    gemm::linear_nt_into(xb, weight_t, in_f, out_f, ob);
                     for (o, &bv) in ob.iter_mut().zip(bias) {
                         *o += bv;
                     }

@@ -40,6 +40,7 @@
 
 use crate::layers::Layer;
 use crate::models::{ConvNet, InputSpec};
+use crate::tune::{self, ConvRouteDecision, TunePolicy};
 use oppsla_tensor::gemm::{self, PackedA};
 use oppsla_tensor::ops::{self, Conv2dGeometry, Rect};
 use oppsla_tensor::Tensor;
@@ -86,11 +87,15 @@ pub(crate) enum InferOp {
         cols_len: usize,
         direct: bool,
     },
-    /// `x · weightᵀ + bias` for a single row.
+    /// `x · weightᵀ + bias` for a single row. The weight is stored
+    /// pre-transposed (`[in, out]`) so the hot path runs the
+    /// column-lane SIMD kernel [`gemm::linear_nt_into`], which is
+    /// bit-identical to `matmul_nt_into` against the `[out, in]`
+    /// original.
     Linear {
         x: usize,
         out: usize,
-        weight: Vec<f32>,
+        weight_t: Vec<f32>,
         bias: Vec<f32>,
         in_f: usize,
         out_f: usize,
@@ -140,14 +145,20 @@ pub struct InferencePlanner {
     buf_dims: Vec<Vec<usize>>,
     scratch_len: usize,
     ops: Vec<InferOp>,
+    /// One route decision per planned conv, in op order.
+    tuned: Vec<ConvRouteDecision>,
+    /// Decisions already measured this compile, keyed by conv shape, so
+    /// repeated layers (DenseNet blocks) are timed once.
+    tune_cache: Vec<((Conv2dGeometry, usize), ConvRouteDecision)>,
 }
 
-/// Spatial-extent crossover for the per-conv kernel choice: outputs of at
-/// least this many pixels run the fused direct kernel, smaller ones the
-/// im2col GEMM. Measured on the zoo (forward_bench): at 32x32 (<= 1024
-/// output pixels) the GEMM is ~1.4x faster per conv, while at 64x64 the
-/// im2col buffer (432 KB for the DenseNet stem) spills L2 and the direct
-/// kernel wins — it is what fixed the densenet-small 3x64x64 regression.
+/// Static spatial-extent crossover for the per-conv kernel choice when
+/// tuning is off ([`TunePolicy::Off`]): outputs of at least this many
+/// pixels run the fused direct kernel, smaller ones the im2col GEMM.
+/// Measured once on the zoo (forward_bench) with the scalar GEMM; the
+/// default [`TunePolicy::Measure`] re-measures per machine and per conv
+/// shape instead, because the crossover moves with the SIMD level and
+/// cache sizes (it is what mis-routed densenet-small at 64x64).
 const DIRECT_CONV_MIN_PIXELS: usize = 4096;
 
 impl InferencePlanner {
@@ -159,6 +170,8 @@ impl InferencePlanner {
             buf_dims: Vec::new(),
             scratch_len: 0,
             ops: Vec::new(),
+            tuned: Vec::new(),
+            tune_cache: Vec::new(),
         };
         p.new_slot(vec![input.channels, input.height, input.width]);
         p
@@ -229,15 +242,42 @@ impl InferencePlanner {
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let out = self.new_slot(vec![out_c, oh, ow]);
         let cols_len = in_channels * kernel * kernel * oh * ow;
-        let direct = oh * ow >= DIRECT_CONV_MIN_PIXELS;
+        let k = in_channels * kernel * kernel;
+        let packed = gemm::pack_a(weight.data(), out_c, k);
+        // Route choice: measured per unique conv shape (cached within
+        // this compile), or the static pixel-count heuristic when tuning
+        // is off. Both routes are bit-identical, so this only moves time.
+        let decision = match self
+            .tune_cache
+            .iter()
+            .find(|((g, oc), _)| *g == geom && *oc == out_c)
+        {
+            Some((_, d)) => d.clone(),
+            None => {
+                let d = match tune::policy() {
+                    TunePolicy::Off => ConvRouteDecision::unmeasured(
+                        out_c,
+                        k,
+                        oh * ow,
+                        oh * ow >= DIRECT_CONV_MIN_PIXELS,
+                    ),
+                    TunePolicy::Measure => {
+                        tune::tune_conv_route(weight.data(), bias.data(), &packed, &geom, out_c)
+                    }
+                };
+                self.tune_cache.push(((geom, out_c), d.clone()));
+                d
+            }
+        };
+        let direct = decision.direct;
+        self.tuned.push(decision);
         if !direct {
             self.scratch_len = self.scratch_len.max(cols_len);
         }
-        let k = in_channels * kernel * kernel;
         self.ops.push(InferOp::Conv2d {
             x: self.buf(x),
             out: self.buf(out),
-            packed: gemm::pack_a(weight.data(), out_c, k),
+            packed,
             weight: weight.data().to_vec(),
             bias: bias.data().to_vec(),
             geom,
@@ -260,10 +300,17 @@ impl InferencePlanner {
         assert_eq!(dims[0], in_f, "linear input width disagrees with weight");
         assert_eq!(bias.numel(), out_f, "linear bias must be [out]");
         let out = self.new_slot(vec![out_f]);
+        let w = weight.data();
+        let mut weight_t = vec![0.0f32; in_f * out_f];
+        for (j, wrow) in w.chunks_exact(in_f).enumerate() {
+            for (kk, &v) in wrow.iter().enumerate() {
+                weight_t[kk * out_f + j] = v;
+            }
+        }
         self.ops.push(InferOp::Linear {
             x: self.buf(x),
             out: self.buf(out),
-            weight: weight.data().to_vec(),
+            weight_t,
             bias: bias.data().to_vec(),
             in_f,
             out_f,
@@ -417,6 +464,8 @@ pub struct InferencePlan {
     /// im2col scratch floats needed by the largest non-direct conv.
     scratch_len: usize,
     pub(crate) output_buf: usize,
+    /// Per-conv route decisions (op order), recorded by the tuner.
+    tuned: Vec<ConvRouteDecision>,
 }
 
 impl InferencePlan {
@@ -438,12 +487,19 @@ impl InferencePlan {
             buf_lens: p.buf_lens,
             buf_dims: p.buf_dims,
             scratch_len: p.scratch_len,
+            tuned: p.tuned,
         }
     }
 
     /// Expected input geometry.
     pub fn input_spec(&self) -> InputSpec {
         self.input
+    }
+
+    /// The tuner's per-conv route decisions, in op order — one entry per
+    /// planned convolution. Empty for conv-free plans (the MLP).
+    pub fn tuner_report(&self) -> &[ConvRouteDecision] {
+        &self.tuned
     }
 
     /// Number of output classes.
@@ -563,13 +619,13 @@ impl InferencePlan {
                 InferOp::Linear {
                     x,
                     out,
-                    weight,
+                    weight_t,
                     bias,
                     in_f,
                     out_f,
                 } => {
                     let (xb, ob) = buf_pair(bufs, *x, *out);
-                    ops::matmul_nt_into(xb, weight, 1, *in_f, *out_f, ob);
+                    gemm::linear_nt_into(xb, weight_t, *in_f, *out_f, ob);
                     for (o, &bv) in ob.iter_mut().zip(bias) {
                         *o += bv;
                     }

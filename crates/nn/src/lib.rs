@@ -42,3 +42,4 @@ pub mod models;
 pub mod optim;
 pub mod serialize;
 pub mod trainer;
+pub mod tune;

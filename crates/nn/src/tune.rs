@@ -1,0 +1,448 @@
+//! Arch-adaptive kernel-route tuning for compiled plans.
+//!
+//! The inference planner has two bit-identical routes for every
+//! convolution — the fused direct kernel
+//! ([`oppsla_tensor::ops::conv2d_region_into`]) and the im2col + packed
+//! GEMM pipeline — and the batched delta engine additionally chooses per
+//! group between a per-candidate direct kernel and one shared GEMM. Which
+//! route is faster depends on the layer shape, the cache hierarchy, and
+//! the SIMD level the GEMM dispatches to, so a hand-coded threshold tuned
+//! on one machine (the old `DIRECT_CONV_MIN_PIXELS` / `MIN_GEMM_COLS`
+//! constants) silently mis-routes on another — the committed
+//! densenet-small `engine_speedup` 0.968 regression was exactly that.
+//!
+//! This module measures instead: at plan-compile time each unique
+//! `(geometry, out_c)` conv shape runs both routes on a deterministic
+//! synthetic input (best-of-trials wall time) and the plan caches the
+//! winner. Because the routes are bit-identical, tuning can never change
+//! a score — only wall-clock time — so attack stdout stays byte-identical
+//! whatever the tuner decides. `OPPSLA_TUNE=off` (or
+//! [`set_policy`]`(TunePolicy::Off)`, the `--tune off` CLI flag) pins the
+//! static thresholds instead, making plan construction itself
+//! deterministic for A/B timing comparisons.
+//!
+//! Decisions are recorded in the plan ([`crate::infer::InferencePlan::
+//! tuner_report`], [`crate::delta::DeltaPlan::tuner_report`]) so bench
+//! reports can attribute regressions to dispatch vs kernel.
+
+use oppsla_tensor::gemm::{self, PackedA};
+use oppsla_tensor::ops::{self, Conv2dGeometry, Rect};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::Instant;
+
+/// How plan compilation picks conv kernel routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TunePolicy {
+    /// Measure both routes per unique conv shape and take the faster
+    /// (the default).
+    Measure,
+    /// Pin the static hand-tuned thresholds; no timing at compile.
+    Off,
+}
+
+/// `0` = unresolved, otherwise `TunePolicy` discriminant + 1.
+static POLICY: AtomicU8 = AtomicU8::new(0);
+
+/// Whether `OPPSLA_TUNE` pins the static thresholds: `off` or `0`
+/// (case-insensitive) disable measuring. Split out so the policy is
+/// unit-testable without mutating the process environment.
+pub(crate) fn off_env(value: Option<&str>) -> bool {
+    matches!(value, Some(v) if v.eq_ignore_ascii_case("off") || v == "0")
+}
+
+/// The active tuning policy: [`TunePolicy::Measure`] unless
+/// `OPPSLA_TUNE=off` or [`set_policy`] said otherwise.
+pub fn policy() -> TunePolicy {
+    match POLICY.load(Ordering::Relaxed) {
+        0 => {
+            let p = if off_env(std::env::var("OPPSLA_TUNE").ok().as_deref()) {
+                TunePolicy::Off
+            } else {
+                TunePolicy::Measure
+            };
+            POLICY.store(code(p), Ordering::Relaxed);
+            p
+        }
+        1 => TunePolicy::Measure,
+        _ => TunePolicy::Off,
+    }
+}
+
+/// Overrides the tuning policy for subsequently compiled plans. Safe at
+/// any time: routes are bit-identical, so already-compiled plans remain
+/// correct whichever policy chose their routes.
+pub fn set_policy(p: TunePolicy) {
+    POLICY.store(code(p), Ordering::Relaxed);
+}
+
+fn code(p: TunePolicy) -> u8 {
+    match p {
+        TunePolicy::Measure => 1,
+        TunePolicy::Off => 2,
+    }
+}
+
+/// The tuner's verdict for one full-forward convolution: which route the
+/// plan runs and the timings (zero when the static policy decided).
+#[derive(Debug, Clone)]
+pub struct ConvRouteDecision {
+    /// Output channels of the conv.
+    pub out_c: usize,
+    /// Reduction depth `in_c · kh · kw`.
+    pub k: usize,
+    /// Output pixels `oh · ow` (the GEMM's column count).
+    pub out_pixels: usize,
+    /// `true` → fused direct kernel, `false` → im2col + packed GEMM.
+    pub direct: bool,
+    /// Whether the routes were timed (`false` under [`TunePolicy::Off`]).
+    pub measured: bool,
+    /// Best-of-trials nanoseconds for the direct route (0 if unmeasured).
+    pub direct_ns: u64,
+    /// Best-of-trials nanoseconds for the GEMM route (0 if unmeasured).
+    pub gemm_ns: u64,
+}
+
+impl ConvRouteDecision {
+    /// A static (unmeasured) decision under [`TunePolicy::Off`].
+    pub(crate) fn unmeasured(out_c: usize, k: usize, out_pixels: usize, direct: bool) -> Self {
+        ConvRouteDecision {
+            out_c,
+            k,
+            out_pixels,
+            direct,
+            measured: false,
+            direct_ns: 0,
+            gemm_ns: 0,
+        }
+    }
+
+    /// Short route name for bench reports.
+    pub fn route(&self) -> &'static str {
+        if self.direct {
+            "direct"
+        } else {
+            "gemm"
+        }
+    }
+}
+
+/// The tuner's verdict for one convolution on the batched delta path.
+///
+/// The two routes cross over in *both* directions depending on the
+/// kernel shape: tiny dirty rects have sub-register spans (the direct
+/// kernel degrades to its latency-bound scalar core, so the GEMM's
+/// fixed costs can still win), while wide interior rects let the direct
+/// kernel run full-width SIMD with no im2col gather at all (so it beats
+/// the GEMM that wins small rects). A single "GEMM above N columns"
+/// threshold cannot express the second regime, so the decision stores
+/// the measured winner at each probe size and [`Self::use_direct`]
+/// consults whichever probe is nearer the group's rect size.
+#[derive(Debug, Clone)]
+pub struct BatchRouteDecision {
+    /// Output channels of the conv.
+    pub out_c: usize,
+    /// Reduction depth `in_c · kh · kw`.
+    pub k: usize,
+    /// Output pixels of the full conv (upper bound on a group's columns).
+    pub out_pixels: usize,
+    /// Direct won the ~[`SMALL_PROBE_COLS`]-column probe.
+    pub direct_small: bool,
+    /// Direct won the ~[`LARGE_PROBE_COLS`]-column probe.
+    pub direct_large: bool,
+    /// Rect-width watershed between the regimes: groups whose mean rect
+    /// width is at most this consult the small-probe winner. The
+    /// geometric mean of the two probe rects' widths, so each group
+    /// follows the probe nearer (ratio-wise) its own span — span is the
+    /// regime key because it sets the vector width the direct kernel
+    /// can run at, which dominates its per-column cost.
+    pub span_cut: usize,
+    /// Whether the probes were timed (`false` under [`TunePolicy::Off`]).
+    pub measured: bool,
+    /// Direct-route nanoseconds at the ~[`SMALL_PROBE_COLS`]-column probe.
+    pub small_direct_ns: u64,
+    /// GEMM-route nanoseconds at the small probe.
+    pub small_gemm_ns: u64,
+    /// Direct-route nanoseconds at the ~[`LARGE_PROBE_COLS`]-column probe.
+    pub large_direct_ns: u64,
+    /// GEMM-route nanoseconds at the large probe.
+    pub large_gemm_ns: u64,
+}
+
+impl BatchRouteDecision {
+    /// A static (unmeasured) decision under [`TunePolicy::Off`]: the old
+    /// hand-tuned behavior — direct below the static size threshold,
+    /// GEMM above it.
+    pub(crate) fn unmeasured(out_c: usize, k: usize, out_pixels: usize) -> Self {
+        BatchRouteDecision {
+            out_c,
+            k,
+            out_pixels,
+            direct_small: true,
+            direct_large: false,
+            span_cut: 5,
+            measured: false,
+            small_direct_ns: 0,
+            small_gemm_ns: 0,
+            large_direct_ns: 0,
+            large_gemm_ns: 0,
+        }
+    }
+
+    /// Whether a group whose mean per-candidate rectangle is
+    /// `mean_span` cells wide should run the per-candidate direct
+    /// kernel (`true`) or the shared im2col + GEMM (`false`): the
+    /// winner measured at the probe with the nearer span extrapolates,
+    /// because per-column cost tracks span (the direct kernel's vector
+    /// width), not area.
+    pub fn use_direct(&self, mean_span: usize) -> bool {
+        if mean_span <= self.span_cut {
+            self.direct_small
+        } else {
+            self.direct_large
+        }
+    }
+
+    /// Short route label for bench reports: `direct` / `gemm` when one
+    /// route owns both regimes, `d-small` / `d-large` when they split.
+    pub fn route(&self) -> String {
+        match (self.direct_small, self.direct_large) {
+            (true, true) => "direct",
+            (false, false) => "gemm",
+            (true, false) => "d-small",
+            (false, true) => "d-large",
+        }
+        .to_owned()
+    }
+}
+
+/// Per-candidate column count of the small delta probe (a near-minimal
+/// dirty rect).
+const SMALL_PROBE_COLS: usize = 8;
+/// Per-candidate column count of the large delta probe (a deep-layer
+/// dirty rect).
+const LARGE_PROBE_COLS: usize = 256;
+/// Candidates per probe group — the batched path concatenates a group's
+/// columns into one GEMM, which amortizes its fixed and packing costs
+/// across candidates (the direct route gets no such amortization), so a
+/// single-candidate probe would systematically overstate the GEMM's
+/// per-column cost. Matches the typical attack batch width.
+const PROBE_GROUP: usize = 8;
+/// Timed repetitions per route; the minimum is taken. A warmup run
+/// precedes timing so neither route pays first-touch page faults.
+const TRIALS: usize = 2;
+
+/// Deterministic synthetic activations for tuner probes — fixed LCG, so
+/// every compile measures the same arithmetic (values only affect timing
+/// through denormals, which the range here avoids).
+fn probe_input(len: usize, seed: u32) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((state >> 8) as f32 / (1 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Best-of-[`TRIALS`] wall time of `f`, after one untimed warmup.
+fn best_ns<F: FnMut()>(mut f: F) -> u64 {
+    f();
+    let mut best = u64::MAX;
+    for _ in 0..TRIALS {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// Times the direct kernel against the im2col + packed GEMM for one full
+/// conv and returns the faster route. Both routes compute the identical
+/// output, so only wall time is at stake.
+pub(crate) fn tune_conv_route(
+    weight: &[f32],
+    bias: &[f32],
+    packed: &PackedA,
+    geom: &Conv2dGeometry,
+    out_c: usize,
+) -> ConvRouteDecision {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let area = oh * ow;
+    let k = geom.in_channels * geom.kernel_h * geom.kernel_w;
+    let input = probe_input(geom.in_channels * geom.in_h * geom.in_w, 0x7e57);
+    let mut out = vec![0.0f32; out_c * area];
+
+    let full = Rect::full(oh, ow);
+    let direct_ns = best_ns(|| {
+        ops::conv2d_region_into(&input, weight, bias, geom, out_c, full, &mut out);
+    });
+
+    let mut cols = vec![0.0f32; k * area];
+    let mut pack_buf = Vec::new();
+    let gemm_ns = best_ns(|| {
+        ops::im2col_into(&input, geom, &mut cols);
+        gemm::matmul_packed_into(packed, &cols, area, &mut pack_buf, &mut out);
+        for oc in 0..out_c {
+            let b = bias[oc];
+            for v in &mut out[oc * area..(oc + 1) * area] {
+                *v += b;
+            }
+        }
+    });
+
+    ConvRouteDecision {
+        out_c,
+        k,
+        out_pixels: area,
+        direct: direct_ns <= gemm_ns,
+        measured: true,
+        direct_ns,
+        gemm_ns,
+    }
+}
+
+/// A probe rectangle of roughly `cols` output cells, clamped to the
+/// conv's output extent and centered in it. Centering matters: a pixel
+/// delta's dirty rectangle grows around an interior pixel, so the
+/// typical rect is interior-dominated — an origin-anchored probe would
+/// charge the direct route for edge clamping it rarely pays in practice.
+fn probe_rect(oh: usize, ow: usize, cols: usize) -> Rect {
+    let side = (cols as f64).sqrt().round() as usize;
+    let sh = side.clamp(1, oh);
+    let sw = side.clamp(1, ow);
+    let y0 = (oh - sh) / 2;
+    let x0 = (ow - sw) / 2;
+    Rect {
+        y0,
+        y1: y0 + sh,
+        x0,
+        x1: x0 + sw,
+    }
+}
+
+/// Probes the batched delta conv's two routes (per-candidate direct
+/// kernel vs shared im2col + GEMM + scatter) at a small and a large dirty
+/// rectangle and records the winner of each, so
+/// [`BatchRouteDecision::use_direct`] can route every group by the probe
+/// nearer its own rect size.
+pub(crate) fn tune_batch_route(
+    weight: &[f32],
+    bias: &[f32],
+    packed: &PackedA,
+    geom: &Conv2dGeometry,
+    out_c: usize,
+) -> BatchRouteDecision {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let k = geom.in_channels * geom.kernel_h * geom.kernel_w;
+    // One input buffer per group member: the real batched path reads a
+    // distinct workspace per candidate, so a single shared (and thus
+    // cache-resident) buffer would flatter whichever route re-reads its
+    // input more — the direct kernel touches every cell `kh·kw` times.
+    let inputs: Vec<Vec<f32>> = (0..PROBE_GROUP)
+        .map(|i| probe_input(geom.in_channels * geom.in_h * geom.in_w, 0x50b3 + i as u32))
+        .collect();
+    let mut out = vec![0.0f32; out_c * oh * ow];
+    let mut cols = Vec::new();
+    let mut gemm_out = Vec::new();
+    let mut pack_buf = Vec::new();
+
+    // Both routes run a whole [`PROBE_GROUP`]-candidate group per trial:
+    // the direct kernel once per candidate, the GEMM once over the
+    // group's concatenated columns — exactly the shapes
+    // `run_conv_batch` hands each route.
+    let mut probe = |target: usize| -> (u64, u64) {
+        let rect = probe_rect(oh, ow, target);
+        let n = (rect.y1 - rect.y0) * (rect.x1 - rect.x0);
+        let total = n * PROBE_GROUP;
+        let direct_ns = best_ns(|| {
+            for input in &inputs {
+                ops::conv2d_region_into(input, weight, bias, geom, out_c, rect, &mut out);
+            }
+        });
+        cols.resize(k * total, 0.0);
+        gemm_out.resize(out_c * total, 0.0);
+        let rw = rect.x1 - rect.x0;
+        let gemm_ns = best_ns(|| {
+            for (cand, input) in inputs.iter().enumerate() {
+                ops::im2col_region_into(input, geom, rect, cand * n, total, &mut cols);
+            }
+            gemm::matmul_packed_into(packed, &cols, total, &mut pack_buf, &mut gemm_out);
+            // Scatter + bias, mirroring the batched path's write-back.
+            for cand in 0..PROBE_GROUP {
+                for oc in 0..out_c {
+                    let g = &gemm_out[oc * total + cand * n..oc * total + (cand + 1) * n];
+                    let b = bias[oc];
+                    let mut src = 0;
+                    for oy in rect.y0..rect.y1 {
+                        let obase = (oc * oh + oy) * ow;
+                        for (o, &v) in out[obase + rect.x0..obase + rect.x1]
+                            .iter_mut()
+                            .zip(&g[src..src + rw])
+                        {
+                            *o = v + b;
+                        }
+                        src += rw;
+                    }
+                }
+            }
+        });
+        (direct_ns, gemm_ns)
+    };
+
+    let (small_direct_ns, small_gemm_ns) = probe(SMALL_PROBE_COLS);
+    let (large_direct_ns, large_gemm_ns) = probe(LARGE_PROBE_COLS);
+    let small_span = {
+        let r = probe_rect(oh, ow, SMALL_PROBE_COLS);
+        r.x1 - r.x0
+    };
+    let large_span = {
+        let r = probe_rect(oh, ow, LARGE_PROBE_COLS);
+        r.x1 - r.x0
+    };
+
+    BatchRouteDecision {
+        out_c,
+        k,
+        out_pixels: oh * ow,
+        direct_small: small_direct_ns < small_gemm_ns,
+        direct_large: large_direct_ns < large_gemm_ns,
+        span_cut: ((small_span * large_span) as f64).sqrt().round() as usize,
+        measured: true,
+        small_direct_ns,
+        small_gemm_ns,
+        large_direct_ns,
+        large_gemm_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_env_policy() {
+        assert!(!off_env(None));
+        assert!(!off_env(Some("")));
+        assert!(!off_env(Some("1")));
+        assert!(!off_env(Some("measure")));
+        assert!(off_env(Some("off")));
+        assert!(off_env(Some("OFF")));
+        assert!(off_env(Some("0")));
+    }
+
+    #[test]
+    fn probe_rects_clamp_to_the_output() {
+        let r = probe_rect(2, 3, 256);
+        assert_eq!((r.y0, r.y1, r.x0, r.x1), (0, 2, 0, 3));
+        let r = probe_rect(32, 32, 8);
+        assert!((r.y1 - r.y0) * (r.x1 - r.x0) >= 4);
+    }
+
+    #[test]
+    fn probe_rects_are_centered() {
+        // 16x16 probe in a 30x30 output sits 7 cells from every edge —
+        // interior-dominated, like a real deep-layer dirty rect.
+        let r = probe_rect(30, 30, 256);
+        assert_eq!((r.y0, r.y1, r.x0, r.x1), (7, 23, 7, 23));
+    }
+}

@@ -27,8 +27,41 @@
 //! residency, and register reuse — not from reassociation — so tests can
 //! (and do) assert exact equality on every shape, including shapes that
 //! are not multiples of the block sizes.
+//!
+//! # SIMD microkernels
+//!
+//! The `MR×NR` micro-kernel is vectorized **across the `NR` output
+//! columns**: each SIMD lane owns one output column of the tile, so a
+//! lane runs exactly the scalar recurrence `acc += a·b` in the same
+//! ascending-`k` order — independent accumulators, no horizontal
+//! reduction, no reassociation, explicit mul-then-add intrinsics (never
+//! FMA). IEEE-754 arithmetic is identical lane-by-lane to the scalar
+//! loop, so every SIMD level is bit-identical by construction (enforced
+//! against the scalar kernel by `tests/gemm_simd.rs` proptests).
+//!
+//! The widest level the CPU supports is picked once at runtime
+//! ([`active_level`]; AVX-512F/AVX2/SSE2 on x86_64 via
+//! `is_x86_feature_detected!`, NEON on aarch64, scalar anywhere else).
+//! Setting `OPPSLA_NO_SIMD=1` in the environment pins the scalar kernel;
+//! [`force_simd_level`] overrides the choice programmatically (tests,
+//! benchmarks — safe at any time precisely because all levels agree
+//! bit-for-bit).
+//!
+//! # Threading
+//!
+//! [`matmul_packed_into`] splits the outer `NC` column loop across up to
+//! [`gemm_threads`] scoped workers for sufficiently large products. Each
+//! worker owns a disjoint, contiguous range of `NC`-aligned output
+//! columns — it packs its own `B` panels and writes only its own columns
+//! — so the arithmetic per output element is exactly the serial kernel's
+//! and results are byte-identical for any thread count (also proptested).
+//! Threading defaults to 1 (`OPPSLA_GEMM_THREADS` or [`set_gemm_threads`]
+//! raise it); threaded calls allocate one `KC·NC` pack buffer per worker,
+//! which only large GEMMs amortize, so small products always run serially
+//! on the caller's thread.
 
 use crate::ops::{im2col_into, Conv2dGeometry};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
 /// Micro-kernel row count: each micro-tile covers `MR` rows of `A`.
 pub const MR: usize = 4;
@@ -40,6 +73,180 @@ pub const KC: usize = 256;
 pub const MC: usize = 64;
 /// Column block: `NC` columns of `B` are packed at a time.
 pub const NC: usize = 256;
+
+/// One ISA level of the `MR×NR` micro-kernel. Every level computes
+/// bit-identical results (column-lane vectorization preserves the scalar
+/// per-element mul-then-add recurrence exactly); levels differ only in
+/// throughput. Variants for other architectures exist everywhere so level
+/// names serialize portably, but run the scalar kernel when the host
+/// cannot execute them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimdLevel {
+    /// Portable scalar loop (any architecture, and the `OPPSLA_NO_SIMD=1`
+    /// escape hatch).
+    Scalar,
+    /// x86_64 SSE2: 4 f32 lanes (baseline on every x86_64).
+    Sse2,
+    /// x86_64 AVX2: 8 f32 lanes.
+    Avx2,
+    /// x86_64 AVX-512F: 16 f32 lanes — one register per tile row.
+    Avx512,
+    /// aarch64 NEON: 4 f32 lanes (baseline on every aarch64).
+    Neon,
+}
+
+impl SimdLevel {
+    /// Stable lower-case name for reports (`simd_isa` bench field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512f",
+            SimdLevel::Neon => "neon",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            SimdLevel::Scalar => 0,
+            SimdLevel::Sse2 => 1,
+            SimdLevel::Avx2 => 2,
+            SimdLevel::Avx512 => 3,
+            SimdLevel::Neon => 4,
+        }
+    }
+
+    fn from_code(code: u8) -> SimdLevel {
+        match code {
+            1 => SimdLevel::Sse2,
+            2 => SimdLevel::Avx2,
+            3 => SimdLevel::Avx512,
+            4 => SimdLevel::Neon,
+            _ => SimdLevel::Scalar,
+        }
+    }
+}
+
+/// Every micro-kernel level this host can execute, narrowest to widest.
+/// Always starts with [`SimdLevel::Scalar`]; the last entry is the level
+/// [`active_level`] picks unless overridden.
+pub fn available_levels() -> Vec<SimdLevel> {
+    #[allow(unused_mut)]
+    let mut levels = vec![SimdLevel::Scalar];
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SSE2 is part of the x86_64 baseline — no detection needed.
+        levels.push(SimdLevel::Sse2);
+        if std::arch::is_x86_feature_detected!("avx2") {
+            levels.push(SimdLevel::Avx2);
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            levels.push(SimdLevel::Avx512);
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // NEON is part of the aarch64 baseline.
+        levels.push(SimdLevel::Neon);
+    }
+    levels
+}
+
+/// Whether `OPPSLA_NO_SIMD` disables SIMD: set to anything but `0` or the
+/// empty string counts as "on". Split out so the policy is unit-testable
+/// without mutating the process environment.
+pub(crate) fn no_simd_env(value: Option<&str>) -> bool {
+    matches!(value, Some(v) if !v.is_empty() && v != "0")
+}
+
+/// Resolves `OPPSLA_SIMD_LEVEL` (a level name such as `avx2`) against the
+/// host's available levels: the named level if the host can execute it,
+/// otherwise the widest available. `None`/empty means no cap. Split out
+/// so the policy is unit-testable without mutating the environment.
+pub(crate) fn level_cap_env(value: Option<&str>, available: &[SimdLevel]) -> SimdLevel {
+    let widest = *available.last().expect("scalar always available");
+    match value {
+        Some(name) if !name.is_empty() => available
+            .iter()
+            .copied()
+            .find(|l| l.as_str() == name)
+            .unwrap_or(widest),
+        _ => widest,
+    }
+}
+
+/// Lazily resolved dispatch state. `LEVEL` holds `SimdLevel::code() + 1`
+/// (0 = not yet resolved); `THREADS` holds the configured worker count
+/// (0 = not yet resolved).
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The micro-kernel level [`matmul_packed_into`] dispatches to: the
+/// widest available level, unless `OPPSLA_NO_SIMD=1` pinned the scalar
+/// kernel, `OPPSLA_SIMD_LEVEL=<name>` pinned a specific level, or
+/// [`force_simd_level`] overrode the choice.
+pub fn active_level() -> SimdLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => {
+            let level = if no_simd_env(std::env::var("OPPSLA_NO_SIMD").ok().as_deref()) {
+                SimdLevel::Scalar
+            } else {
+                level_cap_env(
+                    std::env::var("OPPSLA_SIMD_LEVEL").ok().as_deref(),
+                    &available_levels(),
+                )
+            };
+            // A racing first call resolves to the same value, so a plain
+            // store is fine.
+            LEVEL.store(level.code() + 1, Ordering::Relaxed);
+            level
+        }
+        code => SimdLevel::from_code(code - 1),
+    }
+}
+
+/// The detected ISA name reported in the bench JSONs.
+pub fn simd_isa() -> &'static str {
+    active_level().as_str()
+}
+
+/// Overrides the dispatched micro-kernel level (tests, A/B benchmarks).
+/// Safe at any time — every level is bit-identical, so concurrent GEMMs
+/// merely change speed, never results. A level the host cannot execute
+/// falls back to the scalar kernel.
+pub fn force_simd_level(level: SimdLevel) {
+    LEVEL.store(level.code() + 1, Ordering::Relaxed);
+}
+
+/// The worker-thread count [`matmul_packed_into`] may fan out to
+/// (default 1; `OPPSLA_GEMM_THREADS` sets the initial value).
+pub fn gemm_threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::env::var("OPPSLA_GEMM_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(1);
+            THREADS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Sets the GEMM worker-thread count (clamped to at least 1). Results are
+/// byte-identical for any value; only wall-clock time changes.
+pub fn set_gemm_threads(n: usize) {
+    THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Minimum multiply-add count before a GEMM fans out to worker threads:
+/// below this, scoped-thread spawn and per-worker pack buffers cost more
+/// than they save. 4M madds ≈ a 64×576×128-column conv product.
+const PAR_MIN_MADDS: usize = 4_000_000;
 
 /// The left-hand operand of [`matmul_packed_into`], repacked into
 /// `MR`-row micro-panels (k-major within each panel, zero-padded to a
@@ -110,6 +317,27 @@ pub fn matmul_packed_into(
     pack_buf: &mut Vec<f32>,
     out: &mut [f32],
 ) {
+    matmul_packed_into_with(active_level(), gemm_threads(), pa, b, n, pack_buf, out);
+}
+
+/// [`matmul_packed_into`] with the micro-kernel level and worker-thread
+/// count given explicitly instead of read from the process-global
+/// dispatch state. The workhorse behind the SIMD-vs-scalar equivalence
+/// tests and the kernel microbenchmark; every `(level, threads)`
+/// combination produces byte-identical output.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the packed dimensions.
+pub fn matmul_packed_into_with(
+    level: SimdLevel,
+    threads: usize,
+    pa: &PackedA,
+    b: &[f32],
+    n: usize,
+    pack_buf: &mut Vec<f32>,
+    out: &mut [f32],
+) {
     let (m, k) = (pa.m, pa.k);
     assert_eq!(b.len(), k * n, "matmul_packed_into rhs length");
     assert_eq!(out.len(), m * n, "matmul_packed_into out length");
@@ -118,10 +346,74 @@ pub fn matmul_packed_into(
         out.fill(0.0);
         return;
     }
+    // Fan out only when each worker gets at least one whole NC column
+    // block and the product is big enough to amortize thread spawns.
+    let blocks = n.div_ceil(NC);
+    let threads = threads.max(1).min(blocks);
+    if threads <= 1 || m * k * n < PAR_MIN_MADDS {
+        pack_buf.resize(KC * NC, 0.0);
+        // SAFETY: the full column range [0, n) on the caller's thread is
+        // exactly the exclusive borrow `out` already grants.
+        unsafe { gemm_col_range(level, pa, b, n, 0, n, pack_buf, out.as_mut_ptr()) };
+        return;
+    }
+
+    struct OutPtr(*mut f32);
+    // SAFETY: workers write disjoint column ranges of `out` (see below).
+    unsafe impl Send for OutPtr {}
+    unsafe impl Sync for OutPtr {}
+    let out_ptr = OutPtr(out.as_mut_ptr());
+    let per = blocks / threads;
+    let extra = blocks % threads;
+    std::thread::scope(|scope| {
+        let out_ptr = &out_ptr;
+        let mut block0 = 0;
+        for w in 0..threads {
+            let nblocks = per + usize::from(w < extra);
+            let j_lo = block0 * NC;
+            let j_hi = ((block0 + nblocks) * NC).min(n);
+            block0 += nblocks;
+            scope.spawn(move || {
+                let mut local_pack = vec![0.0f32; KC * NC];
+                // SAFETY: each worker's [j_lo, j_hi) range is disjoint
+                // (contiguous NC-aligned partition of [0, n)), and a
+                // micro-tile only reads/writes `out` columns inside its
+                // own range — so no two threads touch the same element.
+                unsafe { gemm_col_range(level, pa, b, n, j_lo, j_hi, &mut local_pack, out_ptr.0) };
+            });
+        }
+    });
+}
+
+/// The blocked GEMM restricted to output columns `[j_lo, j_hi)`: packs
+/// `B` column panels for that range and sweeps the `KC`/`MC` blocking
+/// loops over them. Column `j`'s arithmetic is independent of the range
+/// it is computed in, so any partition of `[0, n)` reproduces the
+/// full-range result bit for bit — this is what makes the threaded path
+/// deterministic.
+///
+/// # Safety
+///
+/// `out` must point to an `m·n` f32 buffer; the caller must guarantee no
+/// other thread reads or writes columns `[j_lo, j_hi)` of it for the
+/// duration of the call. `j_lo` must be NC-aligned and `j_lo <= j_hi <=
+/// n`.
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_col_range(
+    level: SimdLevel,
+    pa: &PackedA,
+    b: &[f32],
+    n: usize,
+    j_lo: usize,
+    j_hi: usize,
+    pack_buf: &mut Vec<f32>,
+    out: *mut f32,
+) {
+    let (m, k) = (pa.m, pa.k);
     let panels = m.div_ceil(MR);
     pack_buf.resize(KC * NC, 0.0);
-    for jc in (0..n).step_by(NC) {
-        let nc = NC.min(n - jc);
+    for jc in (j_lo..j_hi).step_by(NC) {
+        let nc = NC.min(j_hi - jc);
         let npanels = nc.div_ceil(NR);
         for (kb, k0) in (0..k).step_by(KC).enumerate() {
             let kc = KC.min(k - k0);
@@ -129,7 +421,7 @@ pub fn matmul_packed_into(
             // ragged last panel zero-padded to NR lanes.
             for q in 0..npanels {
                 let j0 = jc + q * NR;
-                let ncols = NR.min(n - j0);
+                let ncols = NR.min(j_hi - j0);
                 let dst = &mut pack_buf[q * kc * NR..(q + 1) * kc * NR];
                 for kk in 0..kc {
                     let brow = &b[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + ncols];
@@ -144,14 +436,16 @@ pub fn matmul_packed_into(
                 let mc = MC.min(m - ic);
                 for q in 0..npanels {
                     let j0 = jc + q * NR;
-                    let ncols = NR.min(n - j0);
+                    let ncols = NR.min(j_hi - j0);
                     let b_panel = &pack_buf[q * kc * NR..(q + 1) * kc * NR];
                     for ir in (0..mc).step_by(MR) {
                         let i0 = ic + ir;
                         // MC is a multiple of MR, so i0 always starts a panel.
                         let a_panel = &a_block[(i0 / MR) * kc * MR..(i0 / MR + 1) * kc * MR];
                         let nrows = MR.min(m - i0);
-                        micro_kernel(a_panel, b_panel, kc, first, out, n, i0, j0, nrows, ncols);
+                        micro_kernel(
+                            level, a_panel, b_panel, kc, first, out, n, i0, j0, nrows, ncols,
+                        );
                     }
                 }
             }
@@ -160,16 +454,23 @@ pub fn matmul_packed_into(
 }
 
 /// `MR×NR` register tile: load the partial `C` tile (zero on the first
-/// `k` slab), accumulate `kc` ascending rank-1 updates, store back the
-/// valid lanes. Padded lanes compute garbage that is never stored.
+/// `k` slab), accumulate `kc` ascending rank-1 updates via the level's
+/// lane kernel, store back the valid lanes. Padded lanes compute garbage
+/// that is never stored.
+///
+/// # Safety
+///
+/// `out` must point to an `m·n` buffer whose tile
+/// `[i0, i0+nrows) × [j0, j0+ncols)` this thread exclusively owns.
 #[inline]
 #[allow(clippy::too_many_arguments)]
-fn micro_kernel(
+unsafe fn micro_kernel(
+    level: SimdLevel,
     a_panel: &[f32],
     b_panel: &[f32],
     kc: usize,
     first: bool,
-    out: &mut [f32],
+    out: *mut f32,
     n: usize,
     i0: usize,
     j0: usize,
@@ -180,9 +481,54 @@ fn micro_kernel(
     if !first {
         for (r, row) in acc.iter_mut().enumerate().take(nrows) {
             let off = (i0 + r) * n + j0;
-            row[..ncols].copy_from_slice(&out[off..off + ncols]);
+            std::ptr::copy_nonoverlapping(out.add(off), row.as_mut_ptr(), ncols);
         }
     }
+    accumulate(level, a_panel, b_panel, kc, &mut acc);
+    for (r, row) in acc.iter().enumerate().take(nrows) {
+        let off = (i0 + r) * n + j0;
+        std::ptr::copy_nonoverlapping(row.as_ptr(), out.add(off), ncols);
+    }
+}
+
+/// Dispatches the `kc` rank-1 updates of one tile to the level's lane
+/// kernel. A level the host cannot execute (foreign architecture) runs
+/// the scalar kernel — results are identical either way.
+#[inline]
+fn accumulate(
+    level: SimdLevel,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    kc: usize,
+    acc: &mut [[f32; NR]; MR],
+) {
+    debug_assert!(a_panel.len() >= kc * MR && b_panel.len() >= kc * NR);
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86_64 baseline.
+        SimdLevel::Sse2 => unsafe { accumulate_sse2(a_panel, b_panel, kc, acc) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 if std::arch::is_x86_feature_detected!("avx2") => {
+            // SAFETY: guarded by the runtime feature check.
+            unsafe { accumulate_avx2(a_panel, b_panel, kc, acc) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 if std::arch::is_x86_feature_detected!("avx512f") => {
+            // SAFETY: guarded by the runtime feature check.
+            unsafe { accumulate_avx512(a_panel, b_panel, kc, acc) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is part of the aarch64 baseline.
+        SimdLevel::Neon => unsafe { accumulate_neon(a_panel, b_panel, kc, acc) },
+        _ => accumulate_scalar(a_panel, b_panel, kc, acc),
+    }
+}
+
+/// The reference lane kernel: per accumulator, `kc` ascending mul-then-add
+/// updates. Every SIMD kernel below reproduces exactly this recurrence per
+/// lane.
+#[inline]
+fn accumulate_scalar(a_panel: &[f32], b_panel: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
     for kk in 0..kc {
         let av: &[f32; MR] = a_panel[kk * MR..(kk + 1) * MR].try_into().unwrap();
         let bv: &[f32; NR] = b_panel[kk * NR..(kk + 1) * NR].try_into().unwrap();
@@ -192,11 +538,671 @@ fn micro_kernel(
             }
         }
     }
-    for (r, row) in acc.iter().enumerate().take(nrows) {
-        let off = (i0 + r) * n + j0;
-        out[off..off + ncols].copy_from_slice(&row[..ncols]);
+}
+
+/// SSE2 lane kernel: 4 rows × four 4-lane registers. Explicit
+/// `_mm_mul_ps` + `_mm_add_ps` (never FMA) in ascending `k`, so each lane
+/// is bit-identical to the scalar recurrence.
+///
+/// # Safety
+///
+/// Caller must ensure the panels hold at least `kc` steps (checked by the
+/// dispatcher's debug assert) and that SSE2 is available (x86_64
+/// baseline).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn accumulate_sse2(a_panel: &[f32], b_panel: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+    let mut c = [[_mm_setzero_ps(); 4]; MR];
+    for (r, row) in acc.iter().enumerate() {
+        for (v, cv) in row.chunks_exact(4).zip(c[r].iter_mut()) {
+            *cv = _mm_loadu_ps(v.as_ptr());
+        }
+    }
+    for kk in 0..kc {
+        let bp = b_panel.as_ptr().add(kk * NR);
+        let b = [
+            _mm_loadu_ps(bp),
+            _mm_loadu_ps(bp.add(4)),
+            _mm_loadu_ps(bp.add(8)),
+            _mm_loadu_ps(bp.add(12)),
+        ];
+        let ap = a_panel.as_ptr().add(kk * MR);
+        for (r, crow) in c.iter_mut().enumerate() {
+            let a = _mm_set1_ps(*ap.add(r));
+            for (cv, &bv) in crow.iter_mut().zip(b.iter()) {
+                *cv = _mm_add_ps(*cv, _mm_mul_ps(a, bv));
+            }
+        }
+    }
+    for (r, row) in acc.iter_mut().enumerate() {
+        for (v, cv) in row.chunks_exact_mut(4).zip(c[r].iter()) {
+            _mm_storeu_ps(v.as_mut_ptr(), *cv);
+        }
     }
 }
+
+/// AVX2 lane kernel: 4 rows × two 8-lane registers, mul-then-add.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available and the panels hold `kc` steps.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn accumulate_avx2(a_panel: &[f32], b_panel: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+    let mut c = [[_mm256_setzero_ps(); 2]; MR];
+    for (r, row) in acc.iter().enumerate() {
+        c[r][0] = _mm256_loadu_ps(row.as_ptr());
+        c[r][1] = _mm256_loadu_ps(row.as_ptr().add(8));
+    }
+    for kk in 0..kc {
+        let bp = b_panel.as_ptr().add(kk * NR);
+        let b0 = _mm256_loadu_ps(bp);
+        let b1 = _mm256_loadu_ps(bp.add(8));
+        let ap = a_panel.as_ptr().add(kk * MR);
+        for (r, crow) in c.iter_mut().enumerate() {
+            let a = _mm256_set1_ps(*ap.add(r));
+            crow[0] = _mm256_add_ps(crow[0], _mm256_mul_ps(a, b0));
+            crow[1] = _mm256_add_ps(crow[1], _mm256_mul_ps(a, b1));
+        }
+    }
+    for (r, row) in acc.iter_mut().enumerate() {
+        _mm256_storeu_ps(row.as_mut_ptr(), c[r][0]);
+        _mm256_storeu_ps(row.as_mut_ptr().add(8), c[r][1]);
+    }
+}
+
+/// AVX-512F lane kernel: 4 rows × one 16-lane register (a full NR tile
+/// row per register), mul-then-add.
+///
+/// # Safety
+///
+/// Caller must ensure AVX-512F is available and the panels hold `kc`
+/// steps.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn accumulate_avx512(
+    a_panel: &[f32],
+    b_panel: &[f32],
+    kc: usize,
+    acc: &mut [[f32; NR]; MR],
+) {
+    use std::arch::x86_64::*;
+    let mut c = [_mm512_setzero_ps(); MR];
+    for (r, row) in acc.iter().enumerate() {
+        c[r] = _mm512_loadu_ps(row.as_ptr());
+    }
+    for kk in 0..kc {
+        let b = _mm512_loadu_ps(b_panel.as_ptr().add(kk * NR));
+        let ap = a_panel.as_ptr().add(kk * MR);
+        for (r, cv) in c.iter_mut().enumerate() {
+            let a = _mm512_set1_ps(*ap.add(r));
+            *cv = _mm512_add_ps(*cv, _mm512_mul_ps(a, b));
+        }
+    }
+    for (r, row) in acc.iter_mut().enumerate() {
+        _mm512_storeu_ps(row.as_mut_ptr(), c[r]);
+    }
+}
+
+/// NEON lane kernel: 4 rows × four 4-lane registers, `vmulq`/`vaddq`
+/// (never `vfmaq` — fused multiply-add would change the rounding).
+///
+/// # Safety
+///
+/// Caller must ensure the panels hold `kc` steps (NEON itself is aarch64
+/// baseline).
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn accumulate_neon(a_panel: &[f32], b_panel: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+    use std::arch::aarch64::*;
+    let mut c = [[vdupq_n_f32(0.0); 4]; MR];
+    for (r, row) in acc.iter().enumerate() {
+        for (v, cv) in row.chunks_exact(4).zip(c[r].iter_mut()) {
+            *cv = vld1q_f32(v.as_ptr());
+        }
+    }
+    for kk in 0..kc {
+        let bp = b_panel.as_ptr().add(kk * NR);
+        let b = [
+            vld1q_f32(bp),
+            vld1q_f32(bp.add(4)),
+            vld1q_f32(bp.add(8)),
+            vld1q_f32(bp.add(12)),
+        ];
+        let ap = a_panel.as_ptr().add(kk * MR);
+        for (r, crow) in c.iter_mut().enumerate() {
+            let a = vdupq_n_f32(*ap.add(r));
+            for (cv, &bv) in crow.iter_mut().zip(b.iter()) {
+                *cv = vaddq_f32(*cv, vmulq_f32(a, bv));
+            }
+        }
+    }
+    for (r, row) in acc.iter_mut().enumerate() {
+        for (v, cv) in row.chunks_exact_mut(4).zip(c[r].iter()) {
+            vst1q_f32(v.as_mut_ptr(), *cv);
+        }
+    }
+}
+
+/// Vector–matrix product against a **pre-transposed** weight:
+/// `out[j] = Σ_k x[k] · wt[k·n + j]` for `wt: [k, n]`. With `wt` the
+/// transpose of a `[n, k]` row-major weight `w`, this computes exactly
+/// `ops::matmul_nt_into(x, w, 1, k, n, out)` — per output element the
+/// same ascending-`k` mul-then-add sequence over the same floats — so
+/// the two are bit-identical and a plan may pre-transpose its `Linear`
+/// weights once and route the hot path here. Vectorized across the `n`
+/// output lanes at [`active_level`] (each lane is an independent
+/// accumulator; no horizontal reduction, no FMA).
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with `k`/`n`.
+pub fn linear_nt_into(x: &[f32], wt: &[f32], k: usize, n: usize, out: &mut [f32]) {
+    linear_nt_into_with(active_level(), x, wt, k, n, out);
+}
+
+/// [`linear_nt_into`] with the micro-kernel level given explicitly
+/// (SIMD-vs-scalar equivalence tests). A level the host cannot execute
+/// runs the scalar kernel; every level is bit-identical.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with `k`/`n`.
+pub fn linear_nt_into_with(
+    level: SimdLevel,
+    x: &[f32],
+    wt: &[f32],
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(x.len(), k, "linear_nt_into lhs length");
+    assert_eq!(wt.len(), k * n, "linear_nt_into weight length");
+    assert_eq!(out.len(), n, "linear_nt_into out length");
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86_64 baseline.
+        SimdLevel::Sse2 => unsafe { vecmat_sse2(x, wt, k, n, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 if std::arch::is_x86_feature_detected!("avx2") => {
+            // SAFETY: guarded by the runtime feature check.
+            unsafe { vecmat_avx2(x, wt, k, n, out) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 if std::arch::is_x86_feature_detected!("avx512f") => {
+            // SAFETY: guarded by the runtime feature check.
+            unsafe { vecmat_avx512(x, wt, k, n, out) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is part of the aarch64 baseline.
+        SimdLevel::Neon => unsafe { vecmat_neon(x, wt, k, n, out) },
+        _ => vecmat_scalar(x, wt, k, n, out),
+    }
+}
+
+/// Reference vector–matrix kernel: `k`-outer / `j`-inner so `wt` streams
+/// once and the `out` row stays cache-hot. Per element this is the
+/// ascending-`k` mul-then-add recurrence of `matmul_nt_into`; the
+/// accumulator living in `out` instead of a register changes nothing —
+/// f32 arithmetic rounds identically either way.
+fn vecmat_scalar(x: &[f32], wt: &[f32], k: usize, n: usize, out: &mut [f32]) {
+    out.fill(0.0);
+    for kk in 0..k {
+        let a = x[kk];
+        let row = &wt[kk * n..(kk + 1) * n];
+        for (o, &b) in out.iter_mut().zip(row) {
+            *o += a * b;
+        }
+    }
+}
+
+/// Scalar tail for the SIMD kernels: columns `[j0, n)` that do not fill a
+/// vector register, each accumulated in the same ascending-`k` order.
+fn vecmat_scalar_tail(x: &[f32], wt: &[f32], k: usize, n: usize, j0: usize, out: &mut [f32]) {
+    for (jj, o) in out.iter_mut().enumerate().skip(j0) {
+        let mut acc = 0.0f32;
+        for (kk, &a) in x.iter().enumerate().take(k) {
+            acc += a * wt[kk * n + jj];
+        }
+        *o = acc;
+    }
+}
+
+/// Generates one `vecmat_*` SIMD kernel: blocks of `4·LANES` columns held
+/// in four accumulator registers with `k` innermost (weights stream once,
+/// accumulators stay in registers), then single-register blocks, then the
+/// scalar tail. Explicit mul-then-add per step keeps every lane
+/// bit-identical to [`vecmat_scalar`].
+macro_rules! vecmat_kernel {
+    ($name:ident, $arch:literal, $feature:literal, $lanes:expr, $set1:ident, $load:ident, $store:ident, $zero:expr, $mul:ident, $add:ident) => {
+        #[cfg(target_arch = $arch)]
+        #[target_feature(enable = $feature)]
+        unsafe fn $name(x: &[f32], wt: &[f32], k: usize, n: usize, out: &mut [f32]) {
+            const L: usize = $lanes;
+            let mut j = 0;
+            while j + 4 * L <= n {
+                let (mut c0, mut c1, mut c2, mut c3) = ($zero, $zero, $zero, $zero);
+                for kk in 0..k {
+                    let a = $set1(*x.get_unchecked(kk));
+                    let p = wt.as_ptr().add(kk * n + j);
+                    c0 = $add(c0, $mul(a, $load(p)));
+                    c1 = $add(c1, $mul(a, $load(p.add(L))));
+                    c2 = $add(c2, $mul(a, $load(p.add(2 * L))));
+                    c3 = $add(c3, $mul(a, $load(p.add(3 * L))));
+                }
+                let o = out.as_mut_ptr().add(j);
+                $store(o, c0);
+                $store(o.add(L), c1);
+                $store(o.add(2 * L), c2);
+                $store(o.add(3 * L), c3);
+                j += 4 * L;
+            }
+            while j + L <= n {
+                let mut c = $zero;
+                for kk in 0..k {
+                    let a = $set1(*x.get_unchecked(kk));
+                    c = $add(c, $mul(a, $load(wt.as_ptr().add(kk * n + j))));
+                }
+                $store(out.as_mut_ptr().add(j), c);
+                j += L;
+            }
+            vecmat_scalar_tail(x, wt, k, n, j, out);
+        }
+    };
+}
+
+#[cfg(target_arch = "aarch64")]
+use std::arch::aarch64::{vaddq_f32, vdupq_n_f32, vld1q_f32, vmulq_f32, vst1q_f32};
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::{
+    _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps,
+    _mm256_storeu_ps, _mm512_add_ps, _mm512_loadu_ps, _mm512_mul_ps, _mm512_set1_ps,
+    _mm512_setzero_ps, _mm512_storeu_ps, _mm_add_ps, _mm_loadu_ps, _mm_mul_ps, _mm_set1_ps,
+    _mm_setzero_ps, _mm_storeu_ps,
+};
+
+vecmat_kernel!(
+    vecmat_sse2,
+    "x86_64",
+    "sse2",
+    4,
+    _mm_set1_ps,
+    _mm_loadu_ps,
+    _mm_storeu_ps,
+    _mm_setzero_ps(),
+    _mm_mul_ps,
+    _mm_add_ps
+);
+vecmat_kernel!(
+    vecmat_avx2,
+    "x86_64",
+    "avx2",
+    8,
+    _mm256_set1_ps,
+    _mm256_loadu_ps,
+    _mm256_storeu_ps,
+    _mm256_setzero_ps(),
+    _mm256_mul_ps,
+    _mm256_add_ps
+);
+vecmat_kernel!(
+    vecmat_avx512,
+    "x86_64",
+    "avx512f",
+    16,
+    _mm512_set1_ps,
+    _mm512_loadu_ps,
+    _mm512_storeu_ps,
+    _mm512_setzero_ps(),
+    _mm512_mul_ps,
+    _mm512_add_ps
+);
+vecmat_kernel!(
+    vecmat_neon,
+    "aarch64",
+    "neon",
+    4,
+    vdupq_n_f32,
+    vld1q_f32,
+    vst1q_f32,
+    vdupq_n_f32(0.0),
+    vmulq_f32,
+    vaddq_f32
+);
+
+/// Interior core of a stride-1 direct convolution: for every output
+/// channel `oc < out_c` and lane `j < span`,
+///
+/// ```text
+/// out[oc·out_stride + j] = Σ_{ch,ky,kx} weight[oc·k + tap] ·
+///     image[(ch·h + iy0 + ky)·w + ix0 + j + kx]
+/// ```
+///
+/// — `span` consecutive cells of one output row whose receptive fields
+/// are fully in bounds (the caller carves off padded edge strips first).
+/// Taps accumulate in the `(ch, ky, kx)`-major order of
+/// [`crate::ops::conv2d_region_into`] with separate mul-then-add, and output
+/// lanes are independent columns, so every level is bit-identical to the
+/// scalar accumulation. Bias is **not** added here. The span is walked
+/// greedily through descending vector widths (16 → 8 → 4 → scalar on
+/// x86), so a span-14 row runs as one AVX2 block, one SSE2 block, and
+/// two scalar lanes rather than leaving six lanes to the scalar tail —
+/// the split changes nothing numerically because every lane is an
+/// independent column.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the geometry arguments or the
+/// tap window `[iy0, iy0 + kh) × [ix0, ix0 + span + kw - 1)` leaves the
+/// image.
+#[allow(clippy::too_many_arguments)]
+pub fn conv_direct_core_into(
+    level: SimdLevel,
+    image: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    weight: &[f32],
+    out_c: usize,
+    iy0: usize,
+    ix0: usize,
+    span: usize,
+    out: &mut [f32],
+    out_stride: usize,
+) {
+    assert_eq!(image.len(), c * h * w, "conv_direct_core_into image length");
+    assert_eq!(
+        weight.len(),
+        out_c * c * kh * kw,
+        "conv_direct_core_into weight length"
+    );
+    assert!(
+        iy0 + kh <= h && ix0 + span + kw - 1 <= w,
+        "tap window leaves the {h}x{w} image"
+    );
+    assert!(
+        span > 0 && (out_c - 1) * out_stride + span <= out.len(),
+        "conv_direct_core_into out range"
+    );
+    let mut done = 0usize;
+    while done < span {
+        let rem = span - done;
+        // Widest level whose full register the remaining lanes fill,
+        // capped at the caller's `level`. The chunk is a whole multiple
+        // of that width, so the kernels' scalar lane tails never run —
+        // the final sub-width remainder goes to the scalar core.
+        let eff = match level {
+            SimdLevel::Avx512 if rem >= 16 => SimdLevel::Avx512,
+            SimdLevel::Avx512 | SimdLevel::Avx2 if rem >= 8 => SimdLevel::Avx2,
+            SimdLevel::Avx512 | SimdLevel::Avx2 | SimdLevel::Sse2 if rem >= 4 => SimdLevel::Sse2,
+            SimdLevel::Neon if rem >= 4 => SimdLevel::Neon,
+            _ => SimdLevel::Scalar,
+        };
+        let chunk = match eff {
+            SimdLevel::Avx512 => rem / 16 * 16,
+            SimdLevel::Avx2 => 8,
+            SimdLevel::Sse2 | SimdLevel::Neon => 4,
+            SimdLevel::Scalar => rem,
+        };
+        let (ix, o) = (ix0 + done, &mut out[done..]);
+        match eff {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: SSE2 is part of the x86_64 baseline; ranges asserted.
+            SimdLevel::Sse2 => unsafe {
+                conv_core_sse2(
+                    image, c, h, w, kh, kw, weight, out_c, iy0, ix, chunk, o, out_stride,
+                )
+            },
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 if std::arch::is_x86_feature_detected!("avx2") => {
+                // SAFETY: guarded by the runtime feature check.
+                unsafe {
+                    conv_core_avx2(
+                        image, c, h, w, kh, kw, weight, out_c, iy0, ix, chunk, o, out_stride,
+                    )
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx512 if std::arch::is_x86_feature_detected!("avx512f") => {
+                // SAFETY: guarded by the runtime feature check.
+                unsafe {
+                    conv_core_avx512(
+                        image, c, h, w, kh, kw, weight, out_c, iy0, ix, chunk, o, out_stride,
+                    )
+                }
+            }
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: NEON is part of the aarch64 baseline; ranges asserted.
+            SimdLevel::Neon => unsafe {
+                conv_core_neon(
+                    image, c, h, w, kh, kw, weight, out_c, iy0, ix, chunk, o, out_stride,
+                )
+            },
+            _ => conv_core_scalar(
+                image, c, h, w, kh, kw, weight, out_c, iy0, ix, chunk, o, out_stride,
+            ),
+        }
+        done += chunk;
+    }
+}
+
+/// Reference interior-core kernel: each cell accumulates its taps from
+/// zero in `(ch, ky, kx)` order — exactly the scalar recurrence of
+/// `ops::conv2d_region_into` for cells with no out-of-bounds taps.
+#[allow(clippy::too_many_arguments)]
+fn conv_core_scalar(
+    image: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    weight: &[f32],
+    out_c: usize,
+    iy0: usize,
+    ix0: usize,
+    span: usize,
+    out: &mut [f32],
+    out_stride: usize,
+) {
+    let k = c * kh * kw;
+    for oc in 0..out_c {
+        let wrow = &weight[oc * k..(oc + 1) * k];
+        let orow = &mut out[oc * out_stride..oc * out_stride + span];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            let mut t = 0;
+            for ch in 0..c {
+                for ky in 0..kh {
+                    let base = (ch * h + iy0 + ky) * w + ix0 + j;
+                    for kx in 0..kw {
+                        acc += wrow[t] * image[base + kx];
+                        t += 1;
+                    }
+                }
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// Generates one `conv_core_*` SIMD kernel: four output channels at a
+/// time (four independent accumulator chains hide add latency; the tap
+/// load is shared) over `LANES`-wide column blocks, then scalar lane
+/// tails and a single-channel remainder — all in the exact tap order of
+/// [`conv_core_scalar`], so every lane is bit-identical to it.
+macro_rules! conv_core_kernel {
+    ($name:ident, $arch:literal, $feature:literal, $lanes:expr, $set1:ident, $load:ident, $store:ident, $zero:expr, $mul:ident, $add:ident) => {
+        #[cfg(target_arch = $arch)]
+        #[target_feature(enable = $feature)]
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn $name(
+            image: &[f32],
+            c: usize,
+            h: usize,
+            w: usize,
+            kh: usize,
+            kw: usize,
+            weight: &[f32],
+            out_c: usize,
+            iy0: usize,
+            ix0: usize,
+            span: usize,
+            out: &mut [f32],
+            out_stride: usize,
+        ) {
+            const L: usize = $lanes;
+            let k = c * kh * kw;
+            let img = image.as_ptr();
+            let mut oc = 0;
+            while oc + 4 <= out_c {
+                let w0 = weight.as_ptr().add(oc * k);
+                let (w1, w2, w3) = (w0.add(k), w0.add(2 * k), w0.add(3 * k));
+                let o0 = out.as_mut_ptr().add(oc * out_stride);
+                let (o1, o2, o3) = (
+                    o0.add(out_stride),
+                    o0.add(2 * out_stride),
+                    o0.add(3 * out_stride),
+                );
+                let mut j = 0;
+                while j + L <= span {
+                    let (mut a0, mut a1, mut a2, mut a3) = ($zero, $zero, $zero, $zero);
+                    let mut t = 0;
+                    for ch in 0..c {
+                        for ky in 0..kh {
+                            let base = img.add((ch * h + iy0 + ky) * w + ix0 + j);
+                            for kx in 0..kw {
+                                let xv = $load(base.add(kx));
+                                a0 = $add(a0, $mul($set1(*w0.add(t)), xv));
+                                a1 = $add(a1, $mul($set1(*w1.add(t)), xv));
+                                a2 = $add(a2, $mul($set1(*w2.add(t)), xv));
+                                a3 = $add(a3, $mul($set1(*w3.add(t)), xv));
+                                t += 1;
+                            }
+                        }
+                    }
+                    $store(o0.add(j), a0);
+                    $store(o1.add(j), a1);
+                    $store(o2.add(j), a2);
+                    $store(o3.add(j), a3);
+                    j += L;
+                }
+                while j < span {
+                    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                    let mut t = 0;
+                    for ch in 0..c {
+                        for ky in 0..kh {
+                            let base = img.add((ch * h + iy0 + ky) * w + ix0 + j);
+                            for kx in 0..kw {
+                                let xv = *base.add(kx);
+                                s0 += *w0.add(t) * xv;
+                                s1 += *w1.add(t) * xv;
+                                s2 += *w2.add(t) * xv;
+                                s3 += *w3.add(t) * xv;
+                                t += 1;
+                            }
+                        }
+                    }
+                    *o0.add(j) = s0;
+                    *o1.add(j) = s1;
+                    *o2.add(j) = s2;
+                    *o3.add(j) = s3;
+                    j += 1;
+                }
+                oc += 4;
+            }
+            while oc < out_c {
+                let w0 = weight.as_ptr().add(oc * k);
+                let o0 = out.as_mut_ptr().add(oc * out_stride);
+                let mut j = 0;
+                while j + L <= span {
+                    let mut a0 = $zero;
+                    let mut t = 0;
+                    for ch in 0..c {
+                        for ky in 0..kh {
+                            let base = img.add((ch * h + iy0 + ky) * w + ix0 + j);
+                            for kx in 0..kw {
+                                a0 = $add(a0, $mul($set1(*w0.add(t)), $load(base.add(kx))));
+                                t += 1;
+                            }
+                        }
+                    }
+                    $store(o0.add(j), a0);
+                    j += L;
+                }
+                while j < span {
+                    let mut s0 = 0.0f32;
+                    let mut t = 0;
+                    for ch in 0..c {
+                        for ky in 0..kh {
+                            let base = img.add((ch * h + iy0 + ky) * w + ix0 + j);
+                            for kx in 0..kw {
+                                s0 += *w0.add(t) * *base.add(kx);
+                                t += 1;
+                            }
+                        }
+                    }
+                    *o0.add(j) = s0;
+                    j += 1;
+                }
+                oc += 1;
+            }
+        }
+    };
+}
+
+conv_core_kernel!(
+    conv_core_sse2,
+    "x86_64",
+    "sse2",
+    4,
+    _mm_set1_ps,
+    _mm_loadu_ps,
+    _mm_storeu_ps,
+    _mm_setzero_ps(),
+    _mm_mul_ps,
+    _mm_add_ps
+);
+conv_core_kernel!(
+    conv_core_avx2,
+    "x86_64",
+    "avx2",
+    8,
+    _mm256_set1_ps,
+    _mm256_loadu_ps,
+    _mm256_storeu_ps,
+    _mm256_setzero_ps(),
+    _mm256_mul_ps,
+    _mm256_add_ps
+);
+conv_core_kernel!(
+    conv_core_avx512,
+    "x86_64",
+    "avx512f",
+    16,
+    _mm512_set1_ps,
+    _mm512_loadu_ps,
+    _mm512_storeu_ps,
+    _mm512_setzero_ps(),
+    _mm512_mul_ps,
+    _mm512_add_ps
+);
+conv_core_kernel!(
+    conv_core_neon,
+    "aarch64",
+    "neon",
+    4,
+    vdupq_n_f32,
+    vld1q_f32,
+    vst1q_f32,
+    vdupq_n_f32(0.0),
+    vmulq_f32,
+    vaddq_f32
+);
 
 /// Unfolds a batch of NCHW images `[batch, c, h, w]` into `batch`
 /// consecutive `[c·kh·kw, oh·ow]` column matrices (one
@@ -266,5 +1272,41 @@ pub fn conv2d_batch_into(
                 *o += b;
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_simd_env_policy() {
+        assert!(!no_simd_env(None));
+        assert!(!no_simd_env(Some("")));
+        assert!(!no_simd_env(Some("0")));
+        assert!(no_simd_env(Some("1")));
+        assert!(no_simd_env(Some("true")));
+        assert!(no_simd_env(Some("yes")));
+    }
+
+    #[test]
+    fn level_codes_round_trip() {
+        for level in [
+            SimdLevel::Scalar,
+            SimdLevel::Sse2,
+            SimdLevel::Avx2,
+            SimdLevel::Avx512,
+            SimdLevel::Neon,
+        ] {
+            assert_eq!(SimdLevel::from_code(level.code()), level);
+        }
+    }
+
+    #[test]
+    fn available_levels_start_scalar_and_widen() {
+        let levels = available_levels();
+        assert_eq!(levels[0], SimdLevel::Scalar);
+        // Codes are ordered narrowest-to-widest within an architecture.
+        assert!(!levels.is_empty());
     }
 }

@@ -10,6 +10,7 @@
 //! perform the exact same arithmetic in the exact same order, so both
 //! paths produce bit-identical results.
 
+use crate::gemm;
 use crate::Tensor;
 
 /// Matrix product `A · B` into `out` for `A: [m, k]`, `B: [k, n]`,
@@ -276,6 +277,99 @@ pub fn conv2d_region_into(
         return;
     }
     let (s, p) = (geom.stride, geom.padding);
+    if s == 1 {
+        // Stride 1: cells whose receptive fields are fully in bounds
+        // (`oy, ox ∈ [p, extent + p - kernel + 1)`) have no per-tap
+        // clamping at all, so the bulk of the rectangle runs the SIMD
+        // interior-core kernel and only the padded edge strips take the
+        // scalar reference path. Strips and core partition the rect, and
+        // each cell computes the identical tap sequence either way.
+        let yl = rect.y0.max(p);
+        let yr = rect.y1.min((h + p).saturating_sub(kh - 1));
+        let xl = rect.x0.max(p);
+        let xr = rect.x1.min((w + p).saturating_sub(kw - 1));
+        if yl < yr && xl < xr {
+            let level = gemm::active_level();
+            for strip in [
+                Rect {
+                    y0: rect.y0,
+                    y1: yl,
+                    x0: rect.x0,
+                    x1: rect.x1,
+                },
+                Rect {
+                    y0: yr,
+                    y1: rect.y1,
+                    x0: rect.x0,
+                    x1: rect.x1,
+                },
+                Rect {
+                    y0: yl,
+                    y1: yr,
+                    x0: rect.x0,
+                    x1: xl,
+                },
+                Rect {
+                    y0: yl,
+                    y1: yr,
+                    x0: xr,
+                    x1: rect.x1,
+                },
+            ] {
+                if !strip.is_empty() {
+                    conv2d_region_scalar(image, weight, bias, geom, out_c, strip, out);
+                }
+            }
+            let span = xr - xl;
+            for oy in yl..yr {
+                gemm::conv_direct_core_into(
+                    level,
+                    image,
+                    c,
+                    h,
+                    w,
+                    kh,
+                    kw,
+                    weight,
+                    out_c,
+                    oy - p,
+                    xl - p,
+                    span,
+                    &mut out[oy * ow + xl..],
+                    oh * ow,
+                );
+                for (oc, &b) in bias[..out_c].iter().enumerate() {
+                    let obase = (oc * oh + oy) * ow;
+                    for o in &mut out[obase + xl..obase + xr] {
+                        *o += b;
+                    }
+                }
+            }
+            return;
+        }
+    }
+    conv2d_region_scalar(image, weight, bias, geom, out_c, rect, out);
+}
+
+/// The scalar reference path of [`conv2d_region_into`]: per-tap bounds
+/// clamping, valid-span accumulation, bias last. Kept as the fallback
+/// for strided convolutions, padded edge strips, and the
+/// `OPPSLA_NO_SIMD` escape hatch — and as the semantics the SIMD
+/// interior core is verified against.
+fn conv2d_region_scalar(
+    image: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    geom: &Conv2dGeometry,
+    out_c: usize,
+    rect: Rect,
+    out: &mut [f32],
+) {
+    let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    let (kh, kw) = (geom.kernel_h, geom.kernel_w);
+    let k = c * kh * kw;
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let (s, p) = (geom.stride, geom.padding);
     for oc in 0..out_c {
         let wrow = &weight[oc * k..(oc + 1) * k];
         for oy in rect.y0..rect.y1 {
@@ -341,22 +435,37 @@ pub fn im2col_into(image: &[f32], geom: &Conv2dGeometry, out: &mut [f32]) {
     assert_eq!(out.len(), rows * cols, "im2col_into out length");
     // Zero-fill first so out-of-bounds (padding) taps stay zero.
     out.fill(0.0);
+    let (s, p) = (geom.stride, geom.padding);
     for ch in 0..c {
         for ky in 0..geom.kernel_h {
             for kx in 0..geom.kernel_w {
                 let row = (ch * geom.kernel_h + ky) * geom.kernel_w + kx;
                 for oy in 0..oh {
-                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    let iy = (oy * s + ky) as isize - p as isize;
                     if iy < 0 || iy as usize >= h {
                         continue;
                     }
-                    for ox in 0..ow {
-                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
-                        if ix < 0 || ix as usize >= w {
-                            continue;
+                    let irow = &image[(ch * h + iy as usize) * w..(ch * h + iy as usize + 1) * w];
+                    let orow = &mut out[row * cols + oy * ow..row * cols + (oy + 1) * ow];
+                    if s == 1 {
+                        // Stride 1: `ix = ox + kx - p` walks in lockstep
+                        // with `ox`, so the in-bounds span is one copy.
+                        let lo = (p as isize - kx as isize).clamp(0, ow as isize) as usize;
+                        let hi =
+                            (w as isize + p as isize - kx as isize).clamp(0, ow as isize) as usize;
+                        if lo < hi {
+                            let src = (lo + kx) as isize - p as isize;
+                            orow[lo..hi]
+                                .copy_from_slice(&irow[src as usize..src as usize + hi - lo]);
                         }
-                        out[row * cols + oy * ow + ox] =
-                            image[(ch * h + iy as usize) * w + ix as usize];
+                    } else {
+                        for (ox, o) in orow.iter_mut().enumerate() {
+                            let ix = (ox * s + kx) as isize - p as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            *o = irow[ix as usize];
+                        }
                     }
                 }
             }
@@ -407,6 +516,46 @@ pub fn im2col_region_into(
     );
     let (s, p) = (geom.stride, geom.padding);
     let rw = rect.x1 - rect.x0;
+    if s == 1 {
+        // Stride 1: `ix = ox + kx - p` walks in lockstep with `ox`, so a
+        // (ky, kx) tap has one channel-independent in-bounds x-span and
+        // one valid oy-span. The delta path calls this with tiny rects,
+        // so hoisting the clamp arithmetic out of the channel loop and
+        // emitting each row as zero-flank / copy / zero-flank (with
+        // loop-based tiny fills, see `fill_zero`/`copy_row`) is where
+        // the time goes — not in the copies themselves.
+        for ky in 0..kh {
+            let oy_lo =
+                (p as isize - ky as isize).clamp(rect.y0 as isize, rect.y1 as isize) as usize;
+            let oy_hi = (h as isize + p as isize - ky as isize)
+                .clamp(rect.y0 as isize, rect.y1 as isize) as usize;
+            for kx in 0..kw {
+                let lo =
+                    (p as isize - kx as isize).clamp(rect.x0 as isize, rect.x1 as isize) as usize;
+                let hi = (w as isize + p as isize - kx as isize)
+                    .clamp(rect.x0 as isize, rect.x1 as isize) as usize;
+                let (zl, mid) = (lo - rect.x0, hi - lo);
+                let src_x = if mid > 0 { lo + kx - p } else { 0 };
+                for ch in 0..c {
+                    let row = (ch * kh + ky) * kw + kx;
+                    let orow = &mut out[row * n + col0..row * n + col0 + area];
+                    let mut j = (oy_lo - rect.y0) * rw;
+                    fill_zero(&mut orow[..j]);
+                    for oy in oy_lo..oy_hi {
+                        let isrc = (ch * h + (oy + ky - p)) * w + src_x;
+                        fill_zero(&mut orow[j..j + zl]);
+                        j += zl;
+                        copy_row(&mut orow[j..j + mid], &image[isrc..isrc + mid]);
+                        j += mid;
+                        fill_zero(&mut orow[j..j + rw - zl - mid]);
+                        j += rw - zl - mid;
+                    }
+                    fill_zero(&mut orow[j..]);
+                }
+            }
+        }
+        return;
+    }
     for ch in 0..c {
         for ky in 0..kh {
             for kx in 0..kw {
@@ -432,6 +581,64 @@ pub fn im2col_region_into(
                     }
                 }
             }
+        }
+    }
+}
+
+const ZEROS_16: [f32; 16] = [0.0; 16];
+
+/// Zero-fill tuned for the few-element flank spans the region ops
+/// produce: short spans become two overlapping fixed-width stores (the
+/// overlap rewrites the same zeros, so it is harmless) instead of a
+/// libc `memset` call that costs more than the span itself. Long spans
+/// fall back to `fill`.
+#[inline(always)]
+fn fill_zero(dst: &mut [f32]) {
+    let len = dst.len();
+    if len >= 32 {
+        dst.fill(0.0);
+    } else if len >= 16 {
+        dst[..16].copy_from_slice(&ZEROS_16);
+        dst[len - 16..].copy_from_slice(&ZEROS_16);
+    } else if len >= 8 {
+        dst[..8].copy_from_slice(&ZEROS_16[..8]);
+        let t = len - 8;
+        dst[t..].copy_from_slice(&ZEROS_16[..8]);
+    } else if len >= 4 {
+        dst[..4].copy_from_slice(&ZEROS_16[..4]);
+        let t = len - 4;
+        dst[t..].copy_from_slice(&ZEROS_16[..4]);
+    } else {
+        for o in dst {
+            *o = 0.0;
+        }
+    }
+}
+
+/// Copy tuned like [`fill_zero`]: two overlapping fixed-width moves for
+/// short spans (`src` and `dst` shift together, so the overlapped bytes
+/// carry identical values), `copy_from_slice` for long ones. `dst` and
+/// `src` must have equal lengths.
+#[inline(always)]
+fn copy_row(dst: &mut [f32], src: &[f32]) {
+    let len = dst.len();
+    if len >= 32 {
+        dst.copy_from_slice(src);
+    } else if len >= 16 {
+        dst[..16].copy_from_slice(&src[..16]);
+        let t = len - 16;
+        dst[t..].copy_from_slice(&src[t..len]);
+    } else if len >= 8 {
+        dst[..8].copy_from_slice(&src[..8]);
+        let t = len - 8;
+        dst[t..].copy_from_slice(&src[t..len]);
+    } else if len >= 4 {
+        dst[..4].copy_from_slice(&src[..4]);
+        let t = len - 4;
+        dst[t..].copy_from_slice(&src[t..len]);
+    } else {
+        for (o, &v) in dst.iter_mut().zip(src) {
+            *o = v;
         }
     }
 }
@@ -605,6 +812,32 @@ pub fn max_pool2d_region_into(
         "rect {rect:?} exceeds output extents {oh}x{ow}"
     );
     if rect.is_empty() {
+        return;
+    }
+    if window == 2 {
+        // The ubiquitous 2×2 case: hoist the two input rows per output
+        // row and unroll the window so the per-cell cost is four loads
+        // and three compares, not re-derived index arithmetic. Same
+        // scan order and strict-greater update as the generic loop, so
+        // recomputed cells stay bit-identical (including NaN handling).
+        for ch in 0..channels {
+            let base = ch * h * w;
+            for oy in rect.y0..rect.y1 {
+                let r0 = &input[base + 2 * oy * w..base + 2 * oy * w + w];
+                let r1 = &input[base + (2 * oy + 1) * w..base + (2 * oy + 1) * w + w];
+                let orow = &mut out[(ch * oh + oy) * ow..(ch * oh + oy + 1) * ow];
+                for (o, ox) in orow[rect.x0..rect.x1].iter_mut().zip(rect.x0..) {
+                    let x = 2 * ox;
+                    let mut best = f32::NEG_INFINITY;
+                    for v in [r0[x], r0[x + 1], r1[x], r1[x + 1]] {
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                    *o = best;
+                }
+            }
+        }
         return;
     }
     for ch in 0..channels {

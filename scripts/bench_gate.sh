@@ -12,15 +12,32 @@
 # mean of new/baseline ratios across a report drops more than 25%, or
 # when a baseline row is missing from the new report.
 #
-# Usage: scripts/bench_gate.sh NEW.json BASELINE.json
+# With --require-improvement the gate flips from regression detection to
+# improvement enforcement: the geometric mean of new/baseline ratios must
+# come out strictly above 1.0 or the gate FAILS. CI uses this mode to
+# compare a SIMD-enabled run against a scalar (`OPPSLA_NO_SIMD=1`) run of
+# the same build on the same runner, proving the fast kernels actually
+# pay for themselves rather than merely not regressing.
+#
+# Independently of mode, any `engine_speedup` row for densenet-small in
+# the NEW report must be >= 1.0: the compiled engine losing to the naive
+# tape on any architecture means a dispatch route picked the wrong
+# kernel, which no amount of run-to-run noise excuses.
+#
+# Usage: scripts/bench_gate.sh [--require-improvement] NEW.json BASELINE.json
 # e.g.:  scripts/bench_gate.sh fresh/BENCH_batched.json BENCH_batched.json
 #
 # The reports are the one-row-per-line JSON emitted by forward_bench;
 # parsing sticks to POSIX awk so the gate runs anywhere sh does.
 set -eu
 
+require=0
+if [ "${1:-}" = "--require-improvement" ]; then
+    require=1
+    shift
+fi
 if [ $# -ne 2 ]; then
-    echo "usage: $0 NEW.json BASELINE.json" >&2
+    echo "usage: $0 [--require-improvement] NEW.json BASELINE.json" >&2
     exit 2
 fi
 new=$1
@@ -38,7 +55,7 @@ if grep -q '"trace_enabled": false' "$new" \
     exit 1
 fi
 
-awk -v newfile="$new" -v basefile="$base" '
+awk -v newfile="$new" -v basefile="$base" -v require="$require" '
 function extract(line, field,    tmp) {
     tmp = line
     sub(".*\"" field "\": *\"", "", tmp)
@@ -88,12 +105,23 @@ BEGIN {
             printf "ok       %-60s %.3f -> %.3f\n", key, b, n
         }
     }
+    # The engine must never lose to the naive tape: a sub-1.0
+    # engine_speedup on densenet-small is a routing bug, not noise.
+    for (key in newvals) {
+        if (key ~ /^densenet-small\|/ && key ~ /\|engine_speedup$/ && newvals[key] < 1.0) {
+            printf "FAIL     %-60s %.3f < 1.0 (engine slower than tape)\n", key, newvals[key]
+            status = 1
+        }
+    }
     if (compared == 0) {
         print "bench_gate: no comparable *_speedup metrics found" > "/dev/stderr"
         exit 1
     }
     geomean = exp(logsum / compared)
-    if (geomean < 0.75) {
+    if (require && geomean <= 1.0) {
+        printf "FAIL     geometric mean of %d speedup ratios is %.0f%% of baseline (improvement required)\n", compared, geomean * 100
+        status = 1
+    } else if (geomean < 0.75) {
         printf "FAIL     geometric mean of %d speedup ratios is %.0f%% of baseline (>25%% regression)\n", compared, geomean * 100
         status = 1
     } else if (geomean < 1.0) {

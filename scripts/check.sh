@@ -19,6 +19,11 @@ cargo fmt $OPPSLA_PKGS --check
 cargo build --release
 cargo build --release --examples
 cargo test -q --workspace
+# The SIMD micro-kernels are bit-identical to scalar by construction, so
+# the kernel/engine test surface must stay green with the escape hatch
+# thrown: this covers the env-var resolution path the in-process
+# force_simd_level tests cannot reach.
+OPPSLA_NO_SIMD=1 cargo test -q -p oppsla-tensor -p oppsla-nn -p oppsla
 cargo test -q -p oppsla-core --features query-guard
 # The telemetry feature is additive but changes what is compiled in, so
 # the instrumented crates get their own test pass. Per-package (not
