@@ -232,6 +232,46 @@ impl<F> fmt::Debug for FnClassifier<F> {
     }
 }
 
+/// One counted oracle query, recorded when the query log is enabled
+/// (see [`Oracle::enable_query_log`]).
+///
+/// The entry captures exactly what the black-box interaction exposed:
+/// which candidate was submitted (`pixel`, or `None` for a full-image
+/// query), the resulting decision, and a hash over the exact score bit
+/// patterns. Two query streams are byte-equivalent iff their logs are
+/// equal — the comparison the scheduler equivalence tests run per
+/// tenant, without retaining every score vector.
+// No serde derive on purpose: the vendored serde models numbers as
+// `f64`, which would silently truncate `score_hash` (a full-range u64)
+// on a JSON round-trip. Wire protocols report hashes as hex strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryLogEntry {
+    /// 1-based ordinal of this query in the oracle's counted stream
+    /// (equal to [`Oracle::queries`] right after the query).
+    pub seq: u64,
+    /// The one-pixel candidate `(row, col, rgb bit patterns)`, or `None`
+    /// for a full-image query. Pixels are stored as exact `f32` bit
+    /// patterns so the log is `Eq` and collision-free on content.
+    pub pixel: Option<(u16, u16, [u32; 3])>,
+    /// `argmax` of the returned scores.
+    pub pred: u32,
+    /// FNV-1a 64 over the little-endian bit patterns of every score, in
+    /// order. Bit-identical scores hash identically on every platform.
+    pub score_hash: u64,
+}
+
+/// FNV-1a 64 over the exact bit patterns of `scores`.
+fn hash_scores(scores: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in scores {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
 /// Error returned when an [`Oracle`]'s query budget is exhausted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BudgetExhausted {
@@ -297,6 +337,9 @@ pub struct Oracle<'a> {
     /// When false, [`Oracle::prefetch_pixel_batch`] is a no-op (see
     /// [`Oracle::without_speculation`]).
     speculate: bool,
+    /// Per-query log, recorded at the counted consume sites when enabled
+    /// (see [`Oracle::enable_query_log`]). `None` = disabled (free).
+    log: Option<Vec<QueryLogEntry>>,
     /// Candidates scored since the last [`Oracle::begin_candidate_scope`],
     /// used by the `query-guard` feature to catch accidental double
     /// queries that would silently inflate reported query counts.
@@ -313,6 +356,7 @@ impl<'a> Oracle<'a> {
             budget: None,
             batch: None,
             speculate: true,
+            log: None,
             #[cfg(feature = "query-guard")]
             scope: std::collections::HashSet::new(),
         }
@@ -326,8 +370,43 @@ impl<'a> Oracle<'a> {
             budget: Some(budget),
             batch: None,
             speculate: true,
+            log: None,
             #[cfg(feature = "query-guard")]
             scope: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Starts recording every counted query into an in-memory log,
+    /// retrievable with [`Oracle::take_query_log`]. Each entry is recorded
+    /// at *consume* time — where the query is counted — so the log is
+    /// identical whether candidates are served sequentially, from a
+    /// speculative prefetch, or through [`Oracle::query_batch`]: the
+    /// byte-equivalence witness the scheduler tests compare per tenant.
+    pub fn enable_query_log(&mut self) {
+        if self.log.is_none() {
+            self.log = Some(Vec::new());
+        }
+    }
+
+    /// Takes the recorded query log, leaving an empty (still enabled) log
+    /// behind. Empty if logging was never enabled.
+    pub fn take_query_log(&mut self) -> Vec<QueryLogEntry> {
+        match &mut self.log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Records one counted query when the log is enabled. `seq` is the
+    /// query's 1-based ordinal ([`Oracle::queries`] after counting it).
+    fn log_query(&mut self, seq: u64, pixel: Option<(Location, Pixel)>, scores: &[f32]) {
+        if let Some(log) = &mut self.log {
+            log.push(QueryLogEntry {
+                seq,
+                pixel: pixel.map(|(l, p)| (l.row, l.col, p.0.map(f32::to_bits))),
+                pred: argmax(scores) as u32,
+                score_hash: hash_scores(scores),
+            });
         }
     }
 
@@ -386,6 +465,7 @@ impl<'a> Oracle<'a> {
         crate::telemetry::count(crate::telemetry::Counter::OracleQueryFull);
         crate::telemetry::trace::tag_route(crate::telemetry::trace::RouteTag::Full);
         self.classifier.scores_into(image, out);
+        self.log_query(self.queries, None, out);
         Ok(())
     }
 
@@ -476,6 +556,7 @@ impl<'a> Oracle<'a> {
                     if batch.items.is_empty() {
                         self.batch = None;
                     }
+                    self.log_query(self.queries, Some((location, pixel)), out);
                     return Ok(());
                 }
                 crate::telemetry::count(crate::telemetry::Counter::BatchMiss);
@@ -487,6 +568,7 @@ impl<'a> Oracle<'a> {
         }
         self.classifier
             .scores_pixel_delta_into(base, location, pixel, out);
+        self.log_query(self.queries, Some((location, pixel)), out);
         Ok(())
     }
 
@@ -618,6 +700,16 @@ impl<'a> Oracle<'a> {
         crate::telemetry::trace::tag_route(crate::telemetry::trace::RouteTag::Batch);
         self.classifier
             .scores_pixel_delta_batch_into(base, &candidates[..n], out);
+        if self.log.is_some() {
+            // Per-candidate entries, exactly as the sequential loop would
+            // have recorded them: candidate i was query (queries - n + 1 + i).
+            let classes = self.classifier.num_classes();
+            let first_seq = self.queries - n as u64 + 1;
+            for (i, &(location, pixel)) in candidates[..n].iter().enumerate() {
+                let scores = &out[i * classes..(i + 1) * classes];
+                self.log_query(first_seq + i as u64, Some((location, pixel)), scores);
+            }
+        }
         Ok(n)
     }
 
@@ -1068,6 +1160,77 @@ mod tests {
         // still trip the guard.
         oracle.prefetch_pixel_batch(&base, &[(loc, px)]);
         oracle.query_pixel_delta(&base, loc, px).unwrap();
+    }
+
+    #[test]
+    fn query_log_is_identical_across_serving_routes() {
+        // The log is recorded at the counted consume sites, so the same
+        // query stream yields byte-equal logs whether it is served
+        // sequentially, from a speculative prefetch, or via query_batch —
+        // the witness the scheduler equivalence tests compare per tenant.
+        let calls = std::cell::Cell::new(0);
+        let clf = counting_mean_classifier(&calls);
+        let base = Image::filled(3, 3, Pixel([0.35; 3]));
+        let candidates = some_candidates(5);
+
+        let mut seq = Oracle::new(&clf);
+        seq.enable_query_log();
+        let mut buf = Vec::new();
+        for &(loc, px) in &candidates {
+            seq.query_pixel_delta_into(&base, loc, px, &mut buf)
+                .unwrap();
+        }
+        let want = seq.take_query_log();
+        assert_eq!(want.len(), candidates.len());
+        assert_eq!(want[0].seq, 1, "seq is the 1-based query ordinal");
+        assert_eq!(want[4].seq, 5);
+        assert!(want.iter().all(|e| e.pixel.is_some()));
+
+        let mut spec = Oracle::new(&clf);
+        spec.enable_query_log();
+        spec.prefetch_pixel_batch(&base, &candidates);
+        assert!(spec.take_query_log().is_empty(), "prefetching logs nothing");
+        for &(loc, px) in &candidates {
+            spec.query_pixel_delta_into(&base, loc, px, &mut buf)
+                .unwrap();
+        }
+        assert_eq!(spec.take_query_log(), want, "prefetched route diverged");
+
+        let mut batched = Oracle::new(&clf);
+        batched.enable_query_log();
+        batched.query_batch(&base, &candidates, &mut buf).unwrap();
+        assert_eq!(batched.take_query_log(), want, "query_batch diverged");
+    }
+
+    #[test]
+    fn query_log_distinguishes_full_queries_and_resumes_after_take() {
+        let clf = constant_classifier();
+        let base = Image::filled(2, 2, Pixel([0.1; 3]));
+        let mut oracle = Oracle::new(&clf);
+        oracle.enable_query_log();
+        oracle.query(&base).unwrap();
+        let log = oracle.take_query_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].pixel, None, "full query logs no pixel");
+        assert_eq!(log[0].pred, 1, "argmax of [0.1, 0.7, 0.2]");
+
+        // The log stays enabled after take, and seq keeps counting.
+        let loc = crate::pair::Location::new(1, 1);
+        let px = Pixel([0.5, 0.6, 0.7]);
+        oracle.query_pixel_delta(&base, loc, px).unwrap();
+        let log = oracle.take_query_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].seq, 2);
+        assert_eq!(log[0].pixel, Some((1, 1, px.0.map(f32::to_bits))));
+    }
+
+    #[test]
+    fn disabled_query_log_records_nothing() {
+        let clf = constant_classifier();
+        let base = Image::filled(2, 2, Pixel([0.1; 3]));
+        let mut oracle = Oracle::new(&clf);
+        oracle.query(&base).unwrap();
+        assert!(oracle.take_query_log().is_empty());
     }
 
     #[test]

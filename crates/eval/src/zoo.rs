@@ -246,10 +246,33 @@ impl Classifier for ZooClassifier {
 
 impl BatchClassifier for ZooClassifier {
     fn session(&self) -> Box<dyn Classifier + '_> {
-        Box::new(ZooSession::new(
-            self.engine.plan(),
-            self.engine.delta_plan(),
-        ))
+        self.session_with_cache_capacity(1)
+    }
+}
+
+impl ZooClassifier {
+    /// A session whose delta cache keeps up to `capacity` base images
+    /// resident (LRU eviction) instead of the single-slot default — the
+    /// handle for callers that interleave queries against several bases
+    /// (the attack server's batch scheduler) and would otherwise
+    /// rebase-thrash a one-slot cache on every base switch.
+    pub fn session_with_cache_capacity(&self, capacity: usize) -> Box<dyn Classifier + '_> {
+        Box::new(ZooSession {
+            plan: self.engine.plan(),
+            delta: self.engine.delta_plan(),
+            state: RefCell::new(SessionState::new(self.engine.plan(), capacity)),
+        })
+    }
+
+    /// An owned session over an `Arc`-shared classifier: the same
+    /// incremental machinery as [`BatchClassifier::session`], but with no
+    /// borrow of the classifier, so it can move into a long-lived worker
+    /// thread. Methods take `&mut self` (a worker owns its session).
+    pub fn owned_session(self: &std::sync::Arc<Self>, cache_capacity: usize) -> OwnedZooSession {
+        OwnedZooSession {
+            state: SessionState::new(self.engine.plan(), cache_capacity),
+            classifier: std::sync::Arc::clone(self),
+        }
     }
 }
 
@@ -261,27 +284,58 @@ impl BatchClassifier for ZooClassifier {
 /// served incrementally: the first query against a new base image
 /// captures a [`BaseActivations`] snapshot (one full forward), and every
 /// further candidate against that base recomputes only its dirty region.
+/// The session keeps an LRU of such snapshots (capacity 1 by default; see
+/// [`ZooClassifier::session_with_cache_capacity`]), so callers serving
+/// several interleaved bases don't pay a full recapture per switch.
 pub struct ZooSession<'a> {
     plan: &'a InferencePlan,
     delta: &'a DeltaPlan,
     state: RefCell<SessionState>,
 }
 
+/// One candidate group of a cross-tenant grouped delta call: a base image
+/// and the one-pixel candidates perturbing it (see
+/// [`OwnedZooSession::scores_pixel_delta_grouped_into`]).
+#[derive(Debug)]
+pub struct DeltaGroup<'a> {
+    /// The base image every candidate of this group perturbs.
+    pub base: &'a Image,
+    /// The group's candidates.
+    pub candidates: &'a [(Location, Pixel)],
+}
+
 struct SessionState {
     ws: ForwardWorkspace,
     input: Tensor,
-    cache: Option<SessionDeltaCache>,
+    /// Resident base snapshots, most recently used first.
+    caches: Vec<SessionDeltaCache>,
+    /// Maximum resident snapshots before LRU eviction (≥ 1).
+    cache_capacity: usize,
+    /// Monotonic id generator for cache contents: bumped whenever a slot
+    /// captures or recaptures, so pooled grouped workspaces can tell
+    /// whether their buffers still track the snapshot they were seeded
+    /// from.
+    next_cache_gen: u64,
     /// Lazily sized workspace for batched full forwards.
     bws: Option<oppsla_nn::batched::BatchedWorkspace>,
     /// Reusable tensor conversions for batched full forwards.
     batch_inputs: Vec<Tensor>,
     /// Reusable candidate buffer for batched delta queries.
     batch_candidates: Vec<(usize, usize, [f32; 3])>,
+    /// Workspace pool for grouped (multi-base) delta calls, parallel to
+    /// `grouped_tags`.
+    grouped_dws: Vec<DeltaWorkspace>,
+    /// The cache generation each pooled workspace currently tracks.
+    grouped_tags: Vec<u64>,
+    /// Shared im2col/GEMM scratch for grouped delta calls.
+    grouped_scratch: DeltaBatchScratch,
 }
 
 struct SessionDeltaCache {
     base_image: Image,
     base: BaseActivations,
+    /// Content id (see `SessionState::next_cache_gen`).
+    gen: u64,
     dws: DeltaWorkspace,
     /// One workspace per in-flight batched candidate, grown on demand.
     batch_dws: Vec<DeltaWorkspace>,
@@ -289,66 +343,250 @@ struct SessionDeltaCache {
     batch_scratch: DeltaBatchScratch,
 }
 
-impl<'a> ZooSession<'a> {
-    fn new(plan: &'a InferencePlan, delta: &'a DeltaPlan) -> Self {
+impl SessionState {
+    fn new(plan: &InferencePlan, cache_capacity: usize) -> Self {
         let spec = plan.input_spec();
-        ZooSession {
-            plan,
-            delta,
-            state: RefCell::new(SessionState {
-                ws: plan.workspace(),
-                input: Tensor::zeros([spec.channels, spec.height, spec.width]),
-                cache: None,
-                bws: None,
-                batch_inputs: Vec::new(),
-                batch_candidates: Vec::new(),
-            }),
+        SessionState {
+            ws: plan.workspace(),
+            input: Tensor::zeros([spec.channels, spec.height, spec.width]),
+            caches: Vec::new(),
+            cache_capacity: cache_capacity.max(1),
+            next_cache_gen: 0,
+            bws: None,
+            batch_inputs: Vec::new(),
+            batch_candidates: Vec::new(),
+            grouped_dws: Vec::new(),
+            grouped_tags: Vec::new(),
+            grouped_scratch: DeltaBatchScratch::new(),
         }
     }
 
-    /// Ensures the delta cache tracks `base` (capture / recapture /
-    /// cache-hit, with telemetry), returning the live cache. Batch
-    /// workspaces are re-seeded on a rebase so stale activations from the
-    /// previous base can never leak into a batched candidate.
-    fn ensure_cache<'c>(
-        &self,
-        ws: &mut ForwardWorkspace,
-        input: &mut Tensor,
-        cache: &'c mut Option<SessionDeltaCache>,
-        base: &Image,
-    ) -> &'c mut SessionDeltaCache {
-        match cache {
-            Some(c) if c.base_image == *base => {
-                telemetry::count(Counter::DeltaCacheHit);
-                telemetry::trace::tag_cache(telemetry::trace::CacheTag::Hit);
-            }
-            Some(c) => {
-                telemetry::count(Counter::DeltaCacheRebase);
-                telemetry::trace::tag_cache(telemetry::trace::CacheTag::Rebase);
-                image_into_tensor(base, input);
-                c.base.recapture(self.plan, ws, input);
-                c.dws.reset_from(&c.base);
-                for dws in &mut c.batch_dws {
-                    dws.reset_from(&c.base);
-                }
-                c.base_image.clone_from(base);
-            }
-            None => {
-                telemetry::count(Counter::DeltaCacheCold);
-                telemetry::trace::tag_cache(telemetry::trace::CacheTag::Cold);
-                image_into_tensor(base, input);
-                let acts = BaseActivations::capture(self.plan, ws, input);
-                let dws = self.delta.workspace(&acts);
-                *cache = Some(SessionDeltaCache {
+    /// Ensures some resident cache tracks `base` (LRU hit / recapture of
+    /// the least recently used slot / cold capture, with telemetry) and
+    /// moves it to the front (`caches[0]`). Returns the front cache's
+    /// content generation. Batch workspaces are re-seeded on a rebase so
+    /// stale activations from the previous base can never leak into a
+    /// batched candidate.
+    fn ensure_cache(&mut self, plan: &InferencePlan, delta: &DeltaPlan, base: &Image) -> u64 {
+        if let Some(i) = self.caches.iter().position(|c| c.base_image == *base) {
+            telemetry::count(Counter::DeltaCacheHit);
+            telemetry::trace::tag_cache(telemetry::trace::CacheTag::Hit);
+            self.caches[..=i].rotate_right(1);
+        } else if self.caches.len() < self.cache_capacity {
+            telemetry::count(Counter::DeltaCacheCold);
+            telemetry::trace::tag_cache(telemetry::trace::CacheTag::Cold);
+            image_into_tensor(base, &mut self.input);
+            let acts = BaseActivations::capture(plan, &mut self.ws, &self.input);
+            let dws = delta.workspace(&acts);
+            self.next_cache_gen += 1;
+            self.caches.insert(
+                0,
+                SessionDeltaCache {
                     base_image: base.clone(),
                     base: acts,
+                    gen: self.next_cache_gen,
                     dws,
                     batch_dws: Vec::new(),
                     batch_scratch: DeltaBatchScratch::new(),
-                });
+                },
+            );
+        } else {
+            telemetry::count(Counter::DeltaCacheRebase);
+            telemetry::trace::tag_cache(telemetry::trace::CacheTag::Rebase);
+            image_into_tensor(base, &mut self.input);
+            let c = self.caches.last_mut().expect("capacity >= 1");
+            c.base.recapture(plan, &mut self.ws, &self.input);
+            c.dws.reset_from(&c.base);
+            for dws in &mut c.batch_dws {
+                dws.reset_from(&c.base);
+            }
+            c.base_image.clone_from(base);
+            self.next_cache_gen += 1;
+            c.gen = self.next_cache_gen;
+            self.caches.rotate_right(1);
+        }
+        self.caches[0].gen
+    }
+
+    fn scores_into(&mut self, plan: &InferencePlan, image: &Image, out: &mut Vec<f32>) {
+        image_into_tensor(image, &mut self.input);
+        plan.scores_into(&mut self.ws, &self.input, out);
+    }
+
+    fn pixel_delta_into(
+        &mut self,
+        plan: &InferencePlan,
+        delta: &DeltaPlan,
+        base: &Image,
+        location: Location,
+        pixel: Pixel,
+        out: &mut Vec<f32>,
+    ) {
+        self.ensure_cache(plan, delta, base);
+        let c = &mut self.caches[0];
+        delta.scores_pixel_delta_into(
+            plan,
+            &c.base,
+            &mut c.dws,
+            location.row as usize,
+            location.col as usize,
+            pixel.0,
+            out,
+        );
+    }
+
+    fn batch_into(&mut self, plan: &InferencePlan, images: &[Image], out: &mut Vec<f32>) {
+        out.clear();
+        if images.is_empty() {
+            return;
+        }
+        let batched = plan.batched();
+        let spec = plan.input_spec();
+        if self
+            .bws
+            .as_ref()
+            .is_none_or(|w| w.max_batch() < images.len())
+        {
+            self.bws = Some(batched.workspace(images.len()));
+        }
+        self.batch_inputs.resize_with(images.len(), || {
+            Tensor::zeros([spec.channels, spec.height, spec.width])
+        });
+        for (image, tensor) in images.iter().zip(self.batch_inputs.iter_mut()) {
+            image_into_tensor(image, tensor);
+        }
+        batched.scores_batch_into(
+            self.bws.as_mut().expect("sized above"),
+            &self.batch_inputs[..images.len()],
+            out,
+        );
+    }
+
+    fn pixel_delta_batch_into(
+        &mut self,
+        plan: &InferencePlan,
+        delta: &DeltaPlan,
+        base: &Image,
+        candidates: &[(Location, Pixel)],
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        if candidates.is_empty() {
+            return;
+        }
+        self.ensure_cache(plan, delta, base);
+        let SessionState {
+            caches,
+            batch_candidates,
+            ..
+        } = self;
+        let c = &mut caches[0];
+        while c.batch_dws.len() < candidates.len() {
+            c.batch_dws.push(delta.workspace(&c.base));
+        }
+        batch_candidates.clear();
+        batch_candidates.extend(
+            candidates
+                .iter()
+                .map(|&(location, pixel)| (location.row as usize, location.col as usize, pixel.0)),
+        );
+        delta.scores_pixel_delta_batch_into(
+            plan,
+            &c.base,
+            &mut c.batch_dws[..candidates.len()],
+            batch_candidates,
+            &mut c.batch_scratch,
+            out,
+        );
+    }
+
+    /// Scores several groups of one-pixel candidates — each group against
+    /// its own base image — in **one** multi-base batched call, so
+    /// candidates from different groups (different tenants, in the attack
+    /// server) share im2col + GEMM work. Appends `num_classes` softmax
+    /// scores per candidate to `out` (cleared first), group by group in
+    /// order; each candidate's scores are bit-identical to a sequential
+    /// [`Classifier::scores_pixel_delta_into`] against its own base.
+    fn pixel_delta_grouped_into(
+        &mut self,
+        plan: &InferencePlan,
+        delta: &DeltaPlan,
+        groups: &[DeltaGroup<'_>],
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        if groups.is_empty() {
+            return;
+        }
+        let distinct = {
+            let mut n = 0;
+            for (i, g) in groups.iter().enumerate() {
+                if !groups[..i].iter().any(|h| h.base == g.base) {
+                    n += 1;
+                }
+            }
+            n
+        };
+        assert!(
+            distinct <= self.cache_capacity,
+            "a grouped call touches {distinct} distinct bases but the session \
+             holds at most {} — a larger cache capacity is required so the \
+             ensure pass cannot evict a base needed by the same call",
+            self.cache_capacity
+        );
+        // Pass 1: make every group's base resident and record which cache
+        // content (generation) each candidate needs.
+        let total: usize = groups.iter().map(|g| g.candidates.len()).sum();
+        self.batch_candidates.clear();
+        let mut gens = Vec::with_capacity(total);
+        for g in groups {
+            let gen = self.ensure_cache(plan, delta, g.base);
+            for &(location, pixel) in g.candidates {
+                self.batch_candidates
+                    .push((location.row as usize, location.col as usize, pixel.0));
+                gens.push(gen);
             }
         }
-        cache.as_mut().expect("delta cache populated above")
+        // Pass 2: assign pooled workspaces. A workspace whose tag differs
+        // from its candidate's generation is reseeded from that snapshot
+        // (full copy); matching tags only need the incremental restore
+        // `begin_candidate` already performs.
+        let SessionState {
+            caches,
+            grouped_dws,
+            grouped_tags,
+            grouped_scratch,
+            batch_candidates,
+            ..
+        } = self;
+        let find = |gen: u64| -> &SessionDeltaCache {
+            caches
+                .iter()
+                .find(|c| c.gen == gen)
+                .expect("resident: ensured above and capacity covers all groups")
+        };
+        while grouped_dws.len() < total {
+            // Seeding from any snapshot is fine — the tag mismatch below
+            // reseeds from the right one.
+            let c = &caches[0];
+            grouped_dws.push(delta.workspace(&c.base));
+            grouped_tags.push(c.gen);
+        }
+        for i in 0..total {
+            if grouped_tags[i] != gens[i] {
+                grouped_dws[i].reset_from(&find(gens[i]).base);
+                grouped_tags[i] = gens[i];
+            }
+        }
+        let bases: Vec<&BaseActivations> = gens.iter().map(|&g| &find(g).base).collect();
+        delta.scores_pixel_delta_multi_into(
+            plan,
+            &bases,
+            &mut grouped_dws[..total],
+            batch_candidates,
+            grouped_scratch,
+            out,
+        );
     }
 }
 
@@ -364,9 +602,7 @@ impl Classifier for ZooSession<'_> {
     }
 
     fn scores_into(&self, image: &Image, out: &mut Vec<f32>) {
-        let SessionState { ws, input, .. } = &mut *self.state.borrow_mut();
-        image_into_tensor(image, input);
-        self.plan.scores_into(ws, input, out);
+        self.state.borrow_mut().scores_into(self.plan, image, out);
     }
 
     fn scores_pixel_delta_into(
@@ -376,45 +612,13 @@ impl Classifier for ZooSession<'_> {
         pixel: Pixel,
         out: &mut Vec<f32>,
     ) {
-        let SessionState {
-            ws, input, cache, ..
-        } = &mut *self.state.borrow_mut();
-        let c = self.ensure_cache(ws, input, cache, base);
-        self.delta.scores_pixel_delta_into(
-            self.plan,
-            &c.base,
-            &mut c.dws,
-            location.row as usize,
-            location.col as usize,
-            pixel.0,
-            out,
-        );
+        self.state
+            .borrow_mut()
+            .pixel_delta_into(self.plan, self.delta, base, location, pixel, out);
     }
 
     fn scores_batch_into(&self, images: &[Image], out: &mut Vec<f32>) {
-        out.clear();
-        if images.is_empty() {
-            return;
-        }
-        let SessionState {
-            bws, batch_inputs, ..
-        } = &mut *self.state.borrow_mut();
-        let batched = self.plan.batched();
-        let spec = self.plan.input_spec();
-        if bws.as_ref().is_none_or(|w| w.max_batch() < images.len()) {
-            *bws = Some(batched.workspace(images.len()));
-        }
-        batch_inputs.resize_with(images.len(), || {
-            Tensor::zeros([spec.channels, spec.height, spec.width])
-        });
-        for (image, tensor) in images.iter().zip(batch_inputs.iter_mut()) {
-            image_into_tensor(image, tensor);
-        }
-        batched.scores_batch_into(
-            bws.as_mut().expect("sized above"),
-            &batch_inputs[..images.len()],
-            out,
-        );
+        self.state.borrow_mut().batch_into(self.plan, images, out);
     }
 
     fn scores_pixel_delta_batch_into(
@@ -423,33 +627,71 @@ impl Classifier for ZooSession<'_> {
         candidates: &[(Location, Pixel)],
         out: &mut Vec<f32>,
     ) {
-        out.clear();
-        if candidates.is_empty() {
-            return;
-        }
-        let SessionState {
-            ws,
-            input,
-            cache,
-            batch_candidates,
-            ..
-        } = &mut *self.state.borrow_mut();
-        let c = self.ensure_cache(ws, input, cache, base);
-        while c.batch_dws.len() < candidates.len() {
-            c.batch_dws.push(self.delta.workspace(&c.base));
-        }
-        batch_candidates.clear();
-        batch_candidates.extend(
-            candidates
-                .iter()
-                .map(|&(location, pixel)| (location.row as usize, location.col as usize, pixel.0)),
+        self.state
+            .borrow_mut()
+            .pixel_delta_batch_into(self.plan, self.delta, base, candidates, out);
+    }
+}
+
+/// An owned per-worker session over an `Arc`-shared [`ZooClassifier`]:
+/// the attack server's scheduler workers each hold one per model shard.
+/// Same incremental machinery as [`ZooSession`] (LRU of base snapshots,
+/// batched delta routes) plus the cross-tenant grouped entry point.
+pub struct OwnedZooSession {
+    classifier: std::sync::Arc<ZooClassifier>,
+    state: SessionState,
+}
+
+impl OwnedZooSession {
+    /// Class count of the underlying model.
+    pub fn num_classes(&self) -> usize {
+        self.classifier.num_classes()
+    }
+
+    /// Full forward scores for `image` (allocation-free steady state).
+    pub fn scores_into(&mut self, image: &Image, out: &mut Vec<f32>) {
+        self.state
+            .scores_into(self.classifier.engine.plan(), image, out);
+    }
+
+    /// Incremental scores for one one-pixel candidate against `base`.
+    pub fn scores_pixel_delta_into(
+        &mut self,
+        base: &Image,
+        location: Location,
+        pixel: Pixel,
+        out: &mut Vec<f32>,
+    ) {
+        self.state.pixel_delta_into(
+            self.classifier.engine.plan(),
+            self.classifier.engine.delta_plan(),
+            base,
+            location,
+            pixel,
+            out,
         );
-        self.delta.scores_pixel_delta_batch_into(
-            self.plan,
-            &c.base,
-            &mut c.batch_dws[..candidates.len()],
-            batch_candidates,
-            &mut c.batch_scratch,
+    }
+
+    /// Scores several candidate groups — each against its own base — in
+    /// one multi-base batched call (see [`DeltaGroup`]): the cross-tenant
+    /// packing entry of the attack server's batch scheduler. Appends
+    /// `num_classes` softmax scores per candidate to `out` (cleared
+    /// first), group by group in order; every candidate is bit-identical
+    /// to its isolated sequential query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the groups touch more distinct bases than the session's
+    /// cache capacity ([`ZooClassifier::owned_session`]).
+    pub fn scores_pixel_delta_grouped_into(
+        &mut self,
+        groups: &[DeltaGroup<'_>],
+        out: &mut Vec<f32>,
+    ) {
+        self.state.pixel_delta_grouped_into(
+            self.classifier.engine.plan(),
+            self.classifier.engine.delta_plan(),
+            groups,
             out,
         );
     }
@@ -713,6 +955,101 @@ mod tests {
                     &want[..],
                     "candidate {i} diverged"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn lru_session_avoids_rebase_thrash_and_stays_bit_identical() {
+        let model = train_or_load(Arch::VggSmall, Scale::Cifar, &fast_config(false));
+        let classifier = model.classifier();
+        let test = attack_test_set(Scale::Cifar, 1, 9);
+        let images: Vec<Image> = test.iter().take(3).map(|(img, _)| img.clone()).collect();
+        let location = Location { row: 11, col: 22 };
+        let pixel = Pixel([0.9, 0.2, 0.4]);
+
+        // Reference: per-image expected scores from the single-slot path.
+        let single = classifier.session();
+        let mut want = Vec::new();
+        let mut expected = Vec::new();
+        for img in &images {
+            single.scores_pixel_delta_into(img, location, pixel, &mut want);
+            expected.push(want.clone());
+        }
+
+        // A capacity-3 session interleaving three bases: every query after
+        // the three cold captures must be a cache hit (no rebases), and
+        // every score bit-identical.
+        let lru = classifier.session_with_cache_capacity(3);
+        let before = telemetry::snapshot();
+        for round in 0..3 {
+            for (i, img) in images.iter().enumerate() {
+                lru.scores_pixel_delta_into(img, location, pixel, &mut want);
+                assert_eq!(want, expected[i], "round {round} image {i}");
+            }
+        }
+        let after = telemetry::snapshot();
+        let delta =
+            |c: Counter| after.counters[c as usize].saturating_sub(before.counters[c as usize]);
+        if telemetry::enabled() {
+            assert_eq!(
+                delta(Counter::DeltaCacheCold),
+                3,
+                "one cold capture per base"
+            );
+            assert_eq!(delta(Counter::DeltaCacheRebase), 0, "no rebase thrash");
+            assert_eq!(delta(Counter::DeltaCacheHit), 6, "the other rounds all hit");
+        }
+    }
+
+    #[test]
+    fn grouped_scores_match_isolated_sessions() {
+        let model = train_or_load(Arch::VggSmall, Scale::Cifar, &fast_config(false));
+        let classifier = std::sync::Arc::new(model.classifier());
+        let test = attack_test_set(Scale::Cifar, 1, 10);
+        let images: Vec<Image> = test.iter().take(3).map(|(img, _)| img.clone()).collect();
+        let candidates: Vec<Vec<(Location, Pixel)>> = (0..3u16)
+            .map(|g| {
+                (0..4u16)
+                    .map(|i| {
+                        (
+                            Location::new(2 + 7 * i, 30 - g * 5),
+                            Pixel([0.1 * i as f32, 0.9, 0.5]),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut session = classifier.owned_session(4);
+        let groups: Vec<DeltaGroup<'_>> = images
+            .iter()
+            .zip(&candidates)
+            .map(|(base, cands)| DeltaGroup {
+                base,
+                candidates: cands,
+            })
+            .collect();
+        let mut got = Vec::new();
+        // Two rounds: the second exercises pooled-workspace reuse with
+        // matching tags (the scheduler's steady state).
+        for round in 0..2 {
+            session.scores_pixel_delta_grouped_into(&groups, &mut got);
+            let classes = session.num_classes();
+            let mut flat = 0;
+            let mut want = Vec::new();
+            for (base, cands) in images.iter().zip(&candidates) {
+                // Isolated reference: a fresh single-tenant session per group.
+                let isolated = classifier.session();
+                for &(location, pixel) in cands {
+                    isolated.scores_pixel_delta_into(base, location, pixel, &mut want);
+                    assert_eq!(
+                        &got[flat * classes..(flat + 1) * classes],
+                        &want[..],
+                        "round {round} flat candidate {flat} diverged"
+                    );
+                    flat += 1;
+                }
             }
         }
     }

@@ -66,6 +66,12 @@ impl From<serde_json::Error> for WeightError {
 
 /// Writes `net`'s weights to `path`, creating parent directories.
 ///
+/// The write is atomic: the JSON goes to a process-unique temporary file
+/// in the same directory, which is then renamed over `path`. A reader
+/// (another server process warming the same model shard) therefore sees
+/// either the complete old file or the complete new file — never the
+/// truncated prefix a plain `fs::write` exposes mid-write.
+///
 /// # Errors
 ///
 /// Returns [`WeightError::Io`] on filesystem failure.
@@ -80,7 +86,17 @@ pub fn save_weights(net: &ConvNet, path: &Path) -> Result<(), WeightError> {
         params: net.params().iter().map(|p| (p.name(), p.value())).collect(),
     };
     let json = serde_json::to_string(&file)?;
-    fs::write(path, json)?;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    fs::write(&tmp, json)?;
+    if let Err(e) = fs::rename(&tmp, path) {
+        // Don't leave the orphan behind on a failed rename (read-only
+        // target, cross-device cache dir): best-effort cleanup, then
+        // report the rename failure.
+        let _ = fs::remove_file(&tmp);
+        return Err(e.into());
+    }
     Ok(())
 }
 
@@ -161,6 +177,29 @@ mod tests {
         assert_ne!(net.scores(&img), net2.scores(&img));
         load_weights(&net2, &path).unwrap();
         assert_eq!(net.scores(&img), net2.scores(&img));
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_files() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let net = ConvNet::build(Arch::Mlp, InputSpec::RGB32, 4, &mut rng);
+        let dir = tmpdir("atomic");
+        let path = dir.join("mlp.json");
+        // Pre-existing good file: a concurrent reader racing this save
+        // must see either the old bytes or the new bytes, so the save
+        // must replace via rename, never truncate-then-write in place.
+        fs::write(&path, b"{\"old\": true}").unwrap();
+        save_weights(&net, &path).unwrap();
+        load_weights(&net, &path).unwrap();
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
     }
 
     #[test]

@@ -43,19 +43,42 @@ pub enum TunePolicy {
 /// `0` = unresolved, otherwise `TunePolicy` discriminant + 1.
 static POLICY: AtomicU8 = AtomicU8::new(0);
 
-/// Whether `OPPSLA_TUNE` pins the static thresholds: `off` or `0`
-/// (case-insensitive) disable measuring. Split out so the policy is
-/// unit-testable without mutating the process environment.
-pub(crate) fn off_env(value: Option<&str>) -> bool {
-    matches!(value, Some(v) if v.eq_ignore_ascii_case("off") || v == "0")
+/// Resolves `OPPSLA_TUNE`: `off` or `0` (case-insensitive) pin the
+/// static thresholds; unset, empty, `on`, `1` and `measure` keep the
+/// measuring default. Any other value also keeps the default but returns
+/// a warning — in a daemon a typo like `OPPSLA_TUNE=of` should be
+/// visible once on stderr, not silently interpreted as "measure". Split
+/// out so the parse table is unit-testable without mutating the process
+/// environment.
+pub(crate) fn off_env(value: Option<&str>) -> (bool, Option<String>) {
+    match value {
+        None => (false, None),
+        Some(v) => match v.to_ascii_lowercase().as_str() {
+            "off" | "0" => (true, None),
+            "" | "on" | "1" | "measure" => (false, None),
+            other => (
+                false,
+                Some(format!(
+                    "OPPSLA_TUNE={other:?} is not a recognized policy \
+                     (use off or measure); keeping the measuring default"
+                )),
+            ),
+        },
+    }
 }
 
 /// The active tuning policy: [`TunePolicy::Measure`] unless
-/// `OPPSLA_TUNE=off` or [`set_policy`] said otherwise.
+/// `OPPSLA_TUNE=off` or [`set_policy`] said otherwise. An unrecognized
+/// `OPPSLA_TUNE` value warns once on stderr and keeps the default.
 pub fn policy() -> TunePolicy {
     match POLICY.load(Ordering::Relaxed) {
         0 => {
-            let p = if off_env(std::env::var("OPPSLA_TUNE").ok().as_deref()) {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            let (off, warning) = off_env(std::env::var("OPPSLA_TUNE").ok().as_deref());
+            if let Some(msg) = &warning {
+                WARNED.call_once(|| eprintln!("warning: {msg}"));
+            }
+            let p = if off {
                 TunePolicy::Off
             } else {
                 TunePolicy::Measure
@@ -421,13 +444,27 @@ mod tests {
 
     #[test]
     fn off_env_policy() {
-        assert!(!off_env(None));
-        assert!(!off_env(Some("")));
-        assert!(!off_env(Some("1")));
-        assert!(!off_env(Some("measure")));
-        assert!(off_env(Some("off")));
-        assert!(off_env(Some("OFF")));
-        assert!(off_env(Some("0")));
+        // Recognized spellings parse cleanly (no warning).
+        for (value, want_off) in [
+            (None, false),
+            (Some(""), false),
+            (Some("1"), false),
+            (Some("on"), false),
+            (Some("measure"), false),
+            (Some("off"), true),
+            (Some("OFF"), true),
+            (Some("0"), true),
+        ] {
+            let (off, warning) = off_env(value);
+            assert_eq!(off, want_off, "{value:?}");
+            assert!(warning.is_none(), "{value:?} must not warn: {warning:?}");
+        }
+        // Unrecognized values keep the measuring default, with a warning.
+        for value in ["of", "disable", "2"] {
+            let (off, warning) = off_env(Some(value));
+            assert!(!off, "{value:?} keeps the default");
+            assert!(warning.is_some(), "{value:?} must warn");
+        }
     }
 
     #[test]

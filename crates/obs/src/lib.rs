@@ -126,6 +126,12 @@ counters! {
     BatchFlush => "batch_flush",
     /// Images run through the layer-major batched full forward.
     BatchedForwardImages => "batched_forward_images",
+    /// Cross-tenant grouped delta calls issued by the attack server's
+    /// batch scheduler (one per merged GEMM dispatch).
+    SchedGroupedCalls => "sched_grouped_calls",
+    /// Tenant submissions merged into those grouped calls. Mean pack
+    /// density is `sched_grouped_submissions / sched_grouped_calls`.
+    SchedGroupedSubmissions => "sched_grouped_submissions",
 }
 
 /// Declares [`OpKind`] with stable wire names.
@@ -590,11 +596,19 @@ impl MetricsSink for NoopSink {
 /// binaries' `--telemetry out.jsonl`).
 ///
 /// Event I/O failures never abort a run: failed writes are counted (see
-/// [`JsonlSink::dropped_writes`]) and surfaced once on stderr when the
-/// sink is consumed or dropped.
+/// [`JsonlSink::dropped_writes`]). The *first* failure warns on stderr
+/// immediately — a long-lived daemon sink may never be consumed or
+/// dropped, so deferring the only warning to that point would silently
+/// discard events for the life of the process. A final summary with the
+/// total count is printed once when the sink is consumed or dropped.
 pub struct JsonlSink<W: Write = BufWriter<File>> {
     out: Option<W>,
     dropped: u64,
+    /// First-drop stderr warning already printed.
+    warned: bool,
+    /// Final drop-count summary already printed (consume and drop must
+    /// not both report).
+    summarized: bool,
 }
 
 impl JsonlSink {
@@ -614,6 +628,8 @@ impl<W: Write> JsonlSink<W> {
         JsonlSink {
             out: Some(out),
             dropped: 0,
+            warned: false,
+            summarized: false,
         }
     }
 
@@ -623,14 +639,30 @@ impl<W: Write> JsonlSink<W> {
         self.dropped
     }
 
-    /// Warns on stderr about dropped events, at most once per sink.
+    /// Counts a dropped event; the first drop warns on stderr right away
+    /// so a daemon operator learns about a failing sink while it is
+    /// failing, not at process exit.
+    fn note_drop(&mut self) {
+        self.dropped += 1;
+        if !self.warned {
+            self.warned = true;
+            eprintln!(
+                "warning: telemetry sink failed to write an event; \
+                 further failures will be counted and summarized"
+            );
+        }
+    }
+
+    /// Prints the final dropped-event summary on stderr, at most once per
+    /// sink. The count itself stays observable via
+    /// [`JsonlSink::dropped_writes`].
     fn warn_if_dropped(&mut self) {
-        if self.dropped > 0 {
+        if self.dropped > 0 && !self.summarized {
+            self.summarized = true;
             eprintln!(
                 "warning: telemetry sink dropped {} event write(s) due to I/O errors",
                 self.dropped
             );
-            self.dropped = 0;
         }
     }
 
@@ -638,9 +670,14 @@ impl<W: Write> JsonlSink<W> {
     /// failure is reported like a dropped event (use
     /// [`JsonlSink::try_into_inner`] to observe it).
     pub fn into_inner(mut self) -> W {
-        let out = self.out.as_mut().expect("writer present until consumed");
-        if out.flush().is_err() {
-            self.dropped += 1;
+        if self
+            .out
+            .as_mut()
+            .expect("writer present until consumed")
+            .flush()
+            .is_err()
+        {
+            self.note_drop();
         }
         self.warn_if_dropped();
         self.out.take().expect("writer present until consumed")
@@ -664,7 +701,7 @@ impl<W: Write> JsonlSink<W> {
                 Ok(self.out.take().expect("writer present until consumed"))
             }
             Err(e) => {
-                self.dropped += 1;
+                self.note_drop();
                 self.warn_if_dropped();
                 Err(e)
             }
@@ -674,10 +711,8 @@ impl<W: Write> JsonlSink<W> {
 
 impl<W: Write> Drop for JsonlSink<W> {
     fn drop(&mut self) {
-        if let Some(out) = self.out.as_mut() {
-            if out.flush().is_err() {
-                self.dropped += 1;
-            }
+        if self.out.as_mut().is_some_and(|out| out.flush().is_err()) {
+            self.note_drop();
         }
         self.warn_if_dropped();
     }
@@ -732,7 +767,7 @@ impl<W: Write> MetricsSink for JsonlSink<W> {
             .and_then(|()| out.flush())
             .is_err()
         {
-            self.dropped += 1;
+            self.note_drop();
         }
     }
 }
@@ -964,6 +999,30 @@ mod tests {
         sink.emit("third", &[]);
         assert_eq!(sink.dropped_writes(), 2, "failed writes are counted");
         let _ = sink.into_inner();
+    }
+
+    #[test]
+    fn jsonl_sink_drop_count_survives_the_summary() {
+        // Regression: the drop-time summary must report the accumulated
+        // count without discarding it — `dropped_writes` stays accurate
+        // after a consume, and a flush failure at drop is still counted.
+        let mut sink = JsonlSink::from_writer(FlakyWriter {
+            ok_writes: 0,
+            flush_fails: false,
+        });
+        sink.emit("lost", &[]);
+        sink.emit("also lost", &[]);
+        assert_eq!(sink.dropped_writes(), 2);
+        // try_into_inner flushes OK here; the count must not be reset by
+        // the summary it prints.
+        let sink2 = JsonlSink::from_writer(FlakyWriter {
+            ok_writes: 0,
+            flush_fails: true,
+        });
+        // Dropping a sink whose final flush fails must not panic; the
+        // failure joins the count reported by the drop-time summary.
+        drop(sink2);
+        drop(sink);
     }
 
     #[test]

@@ -875,6 +875,15 @@ mod rec {
 
     pub(super) static SINK: Mutex<Option<SinkState>> = Mutex::new(None);
 
+    /// Locks the global sink, recovering from poisoning: a worker that
+    /// panicked while holding the lock leaves the sink in a consistent
+    /// state (every [`SinkState`] mutation is a single append/counter
+    /// bump), so a long-running server must keep tracing rather than
+    /// propagate the panic into every later query of every tenant.
+    pub(super) fn lock_sink() -> std::sync::MutexGuard<'static, Option<SinkState>> {
+        SINK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     struct TlsTrace {
         buf: RefCell<Vec<Record>>,
         image: Cell<u32>,
@@ -907,7 +916,7 @@ mod rec {
         if buf.is_empty() {
             return;
         }
-        let mut guard = SINK.lock().expect("trace sink poisoned");
+        let mut guard = lock_sink();
         match guard.as_mut() {
             Some(state) => {
                 for rec in buf.drain(..) {
@@ -1021,7 +1030,7 @@ pub fn start(config: TraceConfig) -> io::Result<()> {
         } else {
             config.mem_cap
         };
-        *rec::SINK.lock().expect("trace sink poisoned") = Some(rec::SinkState {
+        *rec::lock_sink() = Some(rec::SinkState {
             mode,
             records: 0,
             dropped: 0,
@@ -1052,7 +1061,7 @@ pub fn finish() -> TraceStats {
         }
         rec::flush_tls();
         let snap = crate::snapshot();
-        let mut guard = rec::SINK.lock().expect("trace sink poisoned");
+        let mut guard = rec::lock_sink();
         let Some(state) = guard.as_mut() else {
             return TraceStats::default();
         };
@@ -1104,7 +1113,7 @@ pub fn drain_records() -> Vec<Record> {
     #[cfg(feature = "trace")]
     {
         rec::flush_tls();
-        let mut guard = rec::SINK.lock().expect("trace sink poisoned");
+        let mut guard = rec::lock_sink();
         if let Some(state) = guard.as_mut() {
             if let rec::SinkMode::Mem(buf) = &mut state.mode {
                 return std::mem::take(buf);

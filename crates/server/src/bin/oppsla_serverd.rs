@@ -1,0 +1,56 @@
+//! The attack daemon.
+//!
+//! Binds a TCP address and serves attack jobs until a client sends a
+//! `Shutdown` frame (see `oppsla_server::protocol` for the wire format).
+//!
+//! ```text
+//! oppsla_serverd [--addr 127.0.0.1:7431] [--workers 2] [--max-merge 8]
+//!                [--max-active 16] [--max-waiting 64]
+//!                [--train-per-class 64] [--epochs N] [--test-per-class 4]
+//!                [--cache-dir PATH] [--seed 1]
+//! ```
+
+use oppsla_server::cli::Args;
+use oppsla_server::scheduler::SchedulerConfig;
+use oppsla_server::server::{Server, ServerConfig};
+
+fn main() {
+    let args = Args::parse();
+    let mut zoo = oppsla_eval::zoo::ZooConfig {
+        train_per_class: args.get_usize("train-per-class", 64),
+        seed: args.get_u64("seed", 1),
+        cache_dir: args.get_opt_str("cache-dir").map(std::path::PathBuf::from),
+        ..Default::default()
+    };
+    if let Some(epochs) = args.get_opt_str("epochs") {
+        zoo.epochs = Some(
+            epochs
+                .parse()
+                .unwrap_or_else(|_| panic!("--epochs expects an integer, got {epochs:?}")),
+        );
+    }
+    let cfg = ServerConfig {
+        addr: args.get_str("addr", "127.0.0.1:7431"),
+        scheduler: SchedulerConfig {
+            workers: args.get_usize("workers", 2),
+            max_merge: args.get_usize("max-merge", 8),
+            coalesce: std::time::Duration::from_micros(args.get_u64("coalesce-us", 200)),
+        },
+        zoo,
+        test_per_class: args.get_usize("test-per-class", 4),
+        test_seed: args.get_u64("test-seed", 9),
+        max_active_jobs: args.get_usize("max-active", 16),
+        max_waiting_jobs: args.get_usize("max-waiting", 64),
+    };
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("oppsla_serverd: cannot bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The one stdout line scripts wait for before connecting.
+    println!("oppsla_serverd listening on {}", server.local_addr());
+    server.wait();
+    eprintln!("oppsla_serverd: drained, exiting");
+}

@@ -1,0 +1,347 @@
+//! Multi-tenant load test: boots an in-process daemon, replays synthetic
+//! attack traffic against it over real sockets, and emits the
+//! `BENCH_server.json` report CI gates with `scripts/bench_gate.sh`.
+//!
+//! Every job is first run through a *single* isolated session in-process
+//! (the machine-independent baseline), then through the daemon under
+//! `--tenants` concurrent connections. The report's `server_speedup` is
+//! aggregate candidates/sec over the baseline's — the ratio the gate
+//! compares, since absolute ns depend on the machine. The run also
+//! *asserts determinism*: each job's query-log digest over the shared
+//! scheduler must equal its isolated baseline digest, or the process
+//! exits nonzero.
+//!
+//! ```text
+//! server_loadtest [--tenants 8] [--workers 2] [--max-merge 8]
+//!                 [--jobs-per-tenant 2] [--budget 400]
+//!                 [--archs mlp,vgg-small] [--scale shapes32]
+//!                 [--train-per-class 8] [--epochs 2] [--test-per-class 4]
+//!                 [--trace SAMPLE_trace.jsonl] [--out BENCH_server.json]
+//! ```
+
+use oppsla_attacks::{Attack, SketchProgramAttack};
+use oppsla_core::dsl::Program;
+use oppsla_core::oracle::{BatchClassifier, Oracle};
+use oppsla_server::cli::Args;
+use oppsla_server::protocol::{
+    read_frame, write_frame, ImageSpec, JobOutcome, JobRequest, Request, Response,
+};
+use oppsla_server::scheduler::SchedulerConfig;
+use oppsla_server::server::{Server, ServerConfig};
+use oppsla_server::session::digest_query_log;
+use oppsla_server::zoo::ModelShard;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// One `"k":"run"` record of a recorded attack trace (PR 5 format); the
+/// load test replays the image sequence as synthetic traffic.
+#[derive(Debug, serde::Deserialize)]
+#[allow(dead_code)]
+struct TraceRun {
+    k: String,
+    sec: u64,
+    rnd: u64,
+    lane: u64,
+    img: u64,
+    sub: u64,
+    queries: u64,
+    success: bool,
+}
+
+/// Image indices replayed from a trace file's run records, or `None`
+/// when the file has none / was not given.
+fn trace_images(path: Option<&str>) -> Option<Vec<u64>> {
+    let path = path?;
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("server_loadtest: cannot read trace {path}: {e}; using round-robin images");
+            return None;
+        }
+    };
+    let images: Vec<u64> = text
+        .lines()
+        .filter(|l| l.contains("\"k\":\"run\""))
+        .filter_map(|l| serde_json::from_str::<TraceRun>(l).ok())
+        .map(|r| r.img)
+        .collect();
+    if images.is_empty() {
+        eprintln!("server_loadtest: no run records in {path}; using round-robin images");
+        None
+    } else {
+        Some(images)
+    }
+}
+
+/// The isolated single-session reference: same job, no scheduler, no
+/// sockets. Returns (queries, query-log digest hex).
+fn run_baseline(shard: &ModelShard, job: &JobRequest) -> (u64, String) {
+    let index = job
+        .image
+        .test_index
+        .expect("loadtest jobs index the test set") as usize;
+    let (image, true_class) = shard.test_set[index].clone();
+    let session = shard.classifier.session();
+    let mut oracle = Oracle::with_budget(&*session, job.budget);
+    oracle.enable_query_log();
+    let attack = SketchProgramAttack::new(Program::paper_example());
+    let mut rng = ChaCha8Rng::seed_from_u64(job.seed);
+    let outcome = attack.attack(&mut oracle, &image, true_class, &mut rng);
+    let digest = digest_query_log(&oracle.take_query_log());
+    (outcome.queries(), format!("{digest:016x}"))
+}
+
+/// Submits one job over an open connection, returning the outcome and
+/// the request round-trip latency in seconds.
+fn submit(stream: &mut TcpStream, job: &JobRequest) -> (JobOutcome, f64) {
+    let json = serde_json::to_string(&Request::Attack(job.clone())).expect("serialize request");
+    let t0 = Instant::now();
+    write_frame(stream, &json).expect("send job");
+    let reply = read_frame(stream)
+        .expect("read response")
+        .expect("server closed mid-request");
+    let latency = t0.elapsed().as_secs_f64();
+    match serde_json::from_str::<Response>(&reply).expect("parse response") {
+        Response::Done(outcome) => (outcome, latency),
+        other => panic!("job rejected: {other:?}"),
+    }
+}
+
+fn percentile_ms(sorted: &[f64], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * pct).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx] * 1e3
+}
+
+struct ArchRow {
+    arch: String,
+    input: String,
+    jobs: usize,
+    total_queries: u64,
+    baseline_cps: f64,
+    aggregate_cps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let tenants = args.get_usize("tenants", 8).max(1);
+    let workers = args.get_usize("workers", 2);
+    let max_merge = args.get_usize("max-merge", 8);
+    let jobs_per_tenant = args.get_usize("jobs-per-tenant", 2).max(1);
+    let budget = args.get_u64("budget", 400);
+    let archs = args.get_str("archs", "mlp,vgg-small");
+    let scale_id = args.get_str("scale", "shapes32");
+    let out_path = args.get_str("out", "BENCH_server.json");
+    let trace = trace_images(args.get_opt_str("trace"));
+
+    let mut zoo_cfg = oppsla_eval::zoo::ZooConfig {
+        train_per_class: args.get_usize("train-per-class", 8),
+        epochs: Some(args.get_usize("epochs", 2)),
+        learning_rate: 2e-3,
+        seed: args.get_u64("seed", 1),
+        cache_dir: args.get_opt_str("cache-dir").map(std::path::PathBuf::from),
+    };
+    if args.get_usize("epochs", 2) == 0 {
+        zoo_cfg.epochs = None;
+    }
+
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        scheduler: SchedulerConfig {
+            workers,
+            max_merge,
+            coalesce: std::time::Duration::from_micros(args.get_u64("coalesce-us", 200)),
+        },
+        zoo: zoo_cfg,
+        test_per_class: args.get_usize("test-per-class", 4),
+        test_seed: args.get_u64("test-seed", 9),
+        max_active_jobs: tenants.max(16),
+        max_waiting_jobs: 4 * tenants.max(16),
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let zoo = server.zoo();
+    let scale = oppsla_server::protocol::parse_scale(&scale_id).expect("--scale");
+
+    let mut rows: Vec<ArchRow> = Vec::new();
+    let mut determinism_ok = true;
+
+    for arch_id in archs.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let arch = oppsla_server::protocol::parse_arch(arch_id).expect("--archs");
+        let shard = zoo.shard(arch, scale); // train before timing anything
+        let spec = scale.input_spec();
+        let input = format!("{}x{}x{}", spec.channels, spec.height, spec.width);
+
+        // Job list: tenants × jobs_per_tenant, images replayed from the
+        // trace when given, round-robin over the test set otherwise.
+        let total_jobs = tenants * jobs_per_tenant;
+        let jobs: Vec<JobRequest> = (0..total_jobs)
+            .map(|j| {
+                let img = match &trace {
+                    Some(images) => images[j % images.len()],
+                    None => j as u64,
+                } % shard.test_set.len() as u64;
+                JobRequest {
+                    arch: arch_id.to_owned(),
+                    scale: scale_id.clone(),
+                    image: ImageSpec {
+                        test_index: Some(img),
+                        inline: None,
+                    },
+                    budget,
+                    program: None,
+                    seed: 1000 + j as u64,
+                }
+            })
+            .collect();
+
+        // Phase 1: isolated single-session baseline, sequential.
+        let t0 = Instant::now();
+        let baselines: Vec<(u64, String)> = jobs.iter().map(|j| run_baseline(&shard, j)).collect();
+        let baseline_secs = t0.elapsed().as_secs_f64();
+        let total_queries: u64 = baselines.iter().map(|(q, _)| q).sum();
+        let baseline_cps = total_queries as f64 / baseline_secs.max(1e-9);
+
+        // Phase 2: the same jobs through the daemon, `tenants`
+        // concurrent connections.
+        let jobs = Arc::new(jobs);
+        let barrier = Arc::new(Barrier::new(tenants + 1));
+        let handles: Vec<_> = (0..tenants)
+            .map(|t| {
+                let jobs = Arc::clone(&jobs);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_nodelay(true).ok();
+                    barrier.wait();
+                    let mut results = Vec::new();
+                    for j in (t..jobs.len()).step_by(tenants) {
+                        let (outcome, latency) = submit(&mut stream, &jobs[j]);
+                        results.push((j, outcome, latency));
+                    }
+                    results
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        let mut results: Vec<(usize, JobOutcome, f64)> = Vec::new();
+        for h in handles {
+            results.extend(h.join().expect("tenant thread"));
+        }
+        let server_secs = t0.elapsed().as_secs_f64();
+        let served_queries: u64 = results.iter().map(|(_, o, _)| o.queries).sum();
+        let aggregate_cps = served_queries as f64 / server_secs.max(1e-9);
+
+        // Determinism gate: the shared scheduler must reproduce every
+        // isolated baseline byte-for-byte (queries and log digest).
+        for (j, outcome, _) in &results {
+            let (want_queries, want_digest) = &baselines[*j];
+            if outcome.queries != *want_queries || outcome.log_fnv != *want_digest {
+                determinism_ok = false;
+                eprintln!(
+                    "DETERMINISM FAIL: {arch_id} job {j}: served {} queries (digest {}) \
+                     vs isolated {} ({})",
+                    outcome.queries, outcome.log_fnv, want_queries, want_digest
+                );
+            }
+        }
+
+        let mut latencies: Vec<f64> = results.iter().map(|(_, _, l)| *l).collect();
+        latencies.sort_by(f64::total_cmp);
+        let row = ArchRow {
+            arch: arch_id.to_owned(),
+            input,
+            jobs: total_jobs,
+            total_queries: served_queries,
+            baseline_cps,
+            aggregate_cps,
+            p50_ms: percentile_ms(&latencies, 0.50),
+            p99_ms: percentile_ms(&latencies, 0.99),
+            speedup: aggregate_cps / baseline_cps.max(1e-9),
+        };
+        eprintln!(
+            "{}: {} jobs, {} queries, baseline {:.0} cand/s, server {:.0} cand/s \
+             (x{:.2}), p50 {:.1} ms, p99 {:.1} ms",
+            row.arch,
+            row.jobs,
+            row.total_queries,
+            row.baseline_cps,
+            row.aggregate_cps,
+            row.speedup,
+            row.p50_ms,
+            row.p99_ms
+        );
+        rows.push(row);
+    }
+
+    // One row per line, like the other BENCH_*.json reports, so
+    // bench_gate.sh's line-oriented parser picks up `server_speedup`.
+    let mut report = String::new();
+    report.push_str("{\n");
+    report.push_str("  \"benchmark\": \"attack_server\",\n");
+    report.push_str(&format!("  \"tenants\": {tenants},\n"));
+    report.push_str(&format!("  \"workers\": {workers},\n"));
+    report.push_str(&format!("  \"max_merge\": {max_merge},\n"));
+    report.push_str(&format!("  \"jobs_per_tenant\": {jobs_per_tenant},\n"));
+    report.push_str(&format!("  \"budget\": {budget},\n"));
+    report.push_str(&format!(
+        "  \"determinism\": \"{}\",\n",
+        if determinism_ok { "ok" } else { "FAILED" }
+    ));
+    // Headline serving-capacity figure: the best per-arch aggregate the
+    // scheduler sustained in this run (compare against the batched
+    // inference bench's candidates/sec geomean).
+    let peak = rows.iter().map(|r| r.aggregate_cps).fold(0.0, f64::max);
+    report.push_str(&format!(
+        "  \"peak_aggregate_candidates_per_sec\": {peak:.1},\n"
+    ));
+    report.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        report.push_str(&format!(
+            "    {{\"arch\": \"{}\", \"input\": \"{}\", \"jobs\": {}, \"total_queries\": {}, \
+             \"baseline_candidates_per_sec\": {:.1}, \"aggregate_candidates_per_sec\": {:.1}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"server_speedup\": {:.3}}}{}\n",
+            r.arch,
+            r.input,
+            r.jobs,
+            r.total_queries,
+            r.baseline_cps,
+            r.aggregate_cps,
+            r.p50_ms,
+            r.p99_ms,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    report.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(&out_path).expect("create report");
+    file.write_all(report.as_bytes()).expect("write report");
+    eprintln!("server_loadtest: report written to {out_path}");
+
+    server.request_shutdown();
+    drop(server);
+    #[cfg(feature = "telemetry")]
+    {
+        let snap = oppsla_core::telemetry::snapshot();
+        eprintln!("server_loadtest telemetry: {}", snap.summary());
+        eprintln!(
+            "server_loadtest scheduler: {} grouped calls, {} submissions merged",
+            snap.get(oppsla_core::telemetry::Counter::SchedGroupedCalls),
+            snap.get(oppsla_core::telemetry::Counter::SchedGroupedSubmissions),
+        );
+    }
+    if !determinism_ok {
+        eprintln!("server_loadtest: determinism check FAILED");
+        std::process::exit(1);
+    }
+}

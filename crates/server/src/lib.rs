@@ -1,0 +1,27 @@
+//! Attack-as-a-service: a long-running daemon running many OPPSLA attack
+//! sessions concurrently over one model zoo.
+//!
+//! * [`protocol`] — length-prefixed JSON frames; job and response types.
+//! * [`zoo`] — lazily trained, concurrently shared model shards.
+//! * [`scheduler`] — the cross-session batch scheduler: all tenants'
+//!   candidate queries flow through one shared queue and are packed into
+//!   multi-base grouped GEMM calls, bit-identical per tenant to an
+//!   isolated sequential session.
+//! * [`session`] — per-job validation, budget enforcement, and the
+//!   query-log digest that witnesses determinism.
+//! * [`server`] — the TCP daemon: accept loop, per-connection framing,
+//!   bounded admission control.
+//! * [`cli`] — the tiny `--key value` parser the binaries share.
+//!
+//! The `oppsla_serverd` binary runs the daemon; `server_loadtest` boots
+//! one in-process, replays synthetic multi-tenant traffic against it,
+//! and emits the `BENCH_server.json` report CI gates.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+pub mod session;
+pub mod zoo;

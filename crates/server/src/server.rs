@@ -1,0 +1,356 @@
+//! The daemon: TCP accept loop, per-connection framing, and admission
+//! control.
+//!
+//! Each connection gets its own thread reading [`Request`] frames and
+//! answering with exactly one [`Response`] frame per request. Attack
+//! jobs pass through an admission gate (bounded active + bounded
+//! waiting) before they may submit work to the shared scheduler, so a
+//! burst of tenants degrades into queueing and then *explicit* rejection
+//! — never into unbounded memory growth or a dead daemon.
+//!
+//! Compute never happens on connection threads: they block on the
+//! scheduler's reply channels while the worker pool does the model work,
+//! so a slow tenant costs one parked thread, not a core.
+
+use crate::protocol::{read_frame, write_frame, FrameError, Request, Response};
+use crate::scheduler::{Scheduler, SchedulerConfig, SchedulerHandle};
+use crate::zoo::ShardedZoo;
+use oppsla_eval::zoo::ZooConfig;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Scheduler sizing.
+    pub scheduler: SchedulerConfig,
+    /// Zoo training/caching configuration.
+    pub zoo: ZooConfig,
+    /// Attack test set size per class, per shard.
+    pub test_per_class: usize,
+    /// Attack test set seed.
+    pub test_seed: u64,
+    /// Jobs allowed to run concurrently; further jobs wait.
+    pub max_active_jobs: usize,
+    /// Jobs allowed to wait for a slot; further jobs are rejected with
+    /// an error response.
+    pub max_waiting_jobs: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            scheduler: SchedulerConfig::default(),
+            zoo: ZooConfig::default(),
+            test_per_class: 4,
+            test_seed: 9,
+            max_active_jobs: 16,
+            max_waiting_jobs: 64,
+        }
+    }
+}
+
+/// Bounded two-stage admission: `max_active` jobs run, `max_waiting`
+/// wait, the rest are rejected immediately.
+struct Admission {
+    state: Mutex<AdmissionState>,
+    cv: Condvar,
+    max_active: usize,
+    max_waiting: usize,
+}
+
+struct AdmissionState {
+    active: usize,
+    waiting: usize,
+}
+
+impl Admission {
+    fn new(max_active: usize, max_waiting: usize) -> Self {
+        Admission {
+            state: Mutex::new(AdmissionState {
+                active: 0,
+                waiting: 0,
+            }),
+            cv: Condvar::new(),
+            max_active: max_active.max(1),
+            max_waiting,
+        }
+    }
+
+    /// Blocks until a slot is free, or rejects when the waiting room is
+    /// full. On `Ok` the caller holds a slot and must call
+    /// [`Admission::release`].
+    fn admit(&self) -> Result<(), String> {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if st.active < self.max_active {
+            st.active += 1;
+            return Ok(());
+        }
+        if st.waiting >= self.max_waiting {
+            return Err(format!(
+                "server at capacity: {} jobs active, {} waiting",
+                st.active, st.waiting
+            ));
+        }
+        st.waiting += 1;
+        while st.active >= self.max_active {
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        st.waiting -= 1;
+        st.active += 1;
+        Ok(())
+    }
+
+    fn release(&self) {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        st.active = st.active.saturating_sub(1);
+        drop(st);
+        self.cv.notify_one();
+    }
+}
+
+struct Shared {
+    zoo: Arc<ShardedZoo>,
+    handle: SchedulerHandle,
+    admission: Admission,
+    /// Set by a `Shutdown` request or [`Server::request_shutdown`].
+    shutdown: AtomicBool,
+    /// Live connection threads (accept loop + drain accounting).
+    connections: AtomicUsize,
+}
+
+/// A running attack daemon.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    scheduler: Option<Scheduler>,
+}
+
+impl Server {
+    /// Binds `cfg.addr` and starts the accept loop and scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the address cannot be bound.
+    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let zoo = Arc::new(ShardedZoo::new(
+            cfg.zoo.clone(),
+            cfg.test_per_class,
+            cfg.test_seed,
+        ));
+        let scheduler = Scheduler::start(Arc::clone(&zoo), cfg.scheduler.clone());
+        let shared = Arc::new(Shared {
+            zoo,
+            handle: scheduler.handle(),
+            admission: Admission::new(cfg.max_active_jobs, cfg.max_waiting_jobs),
+            shutdown: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("server-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept thread");
+        Ok(Server {
+            local_addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            scheduler: Some(scheduler),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's model zoo (shared with the scheduler): lets
+    /// in-process harnesses (the load test's single-session baseline)
+    /// reuse the resident shards instead of retraining them.
+    pub fn zoo(&self) -> Arc<ShardedZoo> {
+        Arc::clone(&self.shared.zoo)
+    }
+
+    /// True once a shutdown has been requested (by a client frame or
+    /// [`Server::request_shutdown`]).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown from within the process (same effect as a
+    /// client's `Shutdown` frame).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until shutdown is requested, then drains: stops accepting,
+    /// waits for connection threads to finish their in-flight requests,
+    /// and joins the scheduler workers.
+    pub fn wait(mut self) {
+        while !self.shutdown_requested() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        while self.shared.connections.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if let Some(s) = self.scheduler.take() {
+            s.shutdown();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Responses are small request-reply frames; waiting for
+                // ACKs to batch them only adds delayed-ACK latency.
+                stream.set_nodelay(true).ok();
+                shared.connections.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("server-conn".into())
+                    .spawn(move || {
+                        serve_connection(stream, &conn_shared);
+                        conn_shared.connections.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    // Thread exhaustion: shed the connection, keep serving.
+                    shared.connections.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            // Clean hang-up between frames.
+            Ok(None) => return,
+            Err(e @ (FrameError::TooLong(_) | FrameError::NotUtf8)) => {
+                // The stream position is still frame-aligned only for
+                // TooLong/NotUtf8 if we abandoned the payload — we did
+                // not consume it, so answer once and close.
+                let _ = respond(&mut stream, &Response::Error(e.to_string()));
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+        let request: Request = match serde_json::from_str(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // JSON-level garbage leaves the framing intact: answer
+                // and keep the connection.
+                if respond(&mut stream, &Response::Error(format!("bad request: {e}"))).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = match request {
+            Request::Ping => Response::Pong,
+            Request::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                let _ = respond(&mut stream, &Response::ShuttingDown);
+                return;
+            }
+            Request::Attack(job) => match shared.admission.admit() {
+                Err(reason) => Response::Error(reason),
+                Ok(()) => {
+                    let result = crate::session::run_job(&shared.handle, &shared.zoo, &job);
+                    shared.admission.release();
+                    match result {
+                        Ok(outcome) => Response::Done(outcome),
+                        Err(e) => Response::Error(e),
+                    }
+                }
+            },
+        };
+        if respond(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let json = serde_json::to_string(response)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    write_frame(stream, &json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_runs_then_queues_then_rejects() {
+        let adm = Admission::new(1, 1);
+        adm.admit().unwrap(); // active
+        let adm = Arc::new(adm);
+        let waiter = {
+            let adm = Arc::clone(&adm);
+            std::thread::spawn(move || adm.admit())
+        };
+        // Give the waiter time to enter the waiting room, then a third
+        // job must be rejected outright.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let waiting = {
+                let st = adm.state.lock().unwrap();
+                st.waiting
+            };
+            if waiting == 1 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "waiter never queued");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let err = adm.admit().unwrap_err();
+        assert!(err.contains("capacity"), "{err}");
+        adm.release();
+        waiter.join().unwrap().unwrap();
+        adm.release();
+        assert!(adm.admit().is_ok(), "slots free again after releases");
+    }
+}

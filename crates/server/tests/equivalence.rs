@@ -1,0 +1,165 @@
+//! The scheduler equivalence guarantee, asserted byte-for-byte: N
+//! tenants running concurrently through the shared cross-session batch
+//! scheduler observe *exactly* the oracle interaction stream they would
+//! have observed in private, isolated, sequential sessions — same
+//! outcomes, same query counts, and identical per-query logs (candidate,
+//! prediction, and score-bit hashes), at 1 and at 4 worker threads.
+
+use oppsla_attacks::{Attack, AttackOutcome, SketchProgramAttack};
+use oppsla_core::dsl::Program;
+use oppsla_core::oracle::{BatchClassifier, Classifier, Oracle, QueryLogEntry};
+use oppsla_eval::zoo::{Scale, ZooConfig};
+use oppsla_nn::models::Arch;
+use oppsla_server::scheduler::{Scheduler, SchedulerConfig};
+use oppsla_server::zoo::{ShardKey, ShardedZoo};
+use std::sync::Arc;
+
+const BUDGET: u64 = 150;
+
+fn fast_zoo() -> Arc<ShardedZoo> {
+    Arc::new(ShardedZoo::new(
+        ZooConfig {
+            train_per_class: 8,
+            epochs: Some(2),
+            learning_rate: 2e-3,
+            seed: 1,
+            cache_dir: None,
+        },
+        3,
+        9,
+    ))
+}
+
+struct Tenant {
+    shard: ShardKey,
+    image_index: usize,
+    seed: u64,
+}
+
+struct RunRecord {
+    outcome: AttackOutcome,
+    queries: u64,
+    log: Vec<QueryLogEntry>,
+}
+
+fn run_with(classifier: &dyn Classifier, zoo: &ShardedZoo, tenant: &Tenant) -> RunRecord {
+    let shard = zoo.shard(tenant.shard.0, tenant.shard.1);
+    let (image, true_class) = shard.test_set[tenant.image_index].clone();
+    let mut oracle = Oracle::with_budget(classifier, BUDGET);
+    oracle.enable_query_log();
+    let attack = SketchProgramAttack::new(Program::paper_example());
+    let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(tenant.seed);
+    let outcome = attack.attack(&mut oracle, &image, true_class, &mut rng);
+    RunRecord {
+        queries: outcome.queries(),
+        outcome,
+        log: oracle.take_query_log(),
+    }
+}
+
+fn assert_shared_matches_isolated(tenants: &[Tenant], workers: usize) {
+    let zoo = fast_zoo();
+
+    // Reference: each tenant in a private sequential session.
+    let isolated: Vec<RunRecord> = tenants
+        .iter()
+        .map(|t| {
+            let shard = zoo.shard(t.shard.0, t.shard.1);
+            let session = shard.classifier.session();
+            run_with(&*session, &zoo, t)
+        })
+        .collect();
+
+    // Shared: all tenants concurrently through one scheduler.
+    let scheduler = Scheduler::start(
+        Arc::clone(&zoo),
+        SchedulerConfig {
+            workers,
+            max_merge: 8,
+            ..SchedulerConfig::default()
+        },
+    );
+    let handle = scheduler.handle();
+    let threads: Vec<_> = tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let handle = handle.clone();
+            let zoo = Arc::clone(&zoo);
+            let tenant = Tenant {
+                shard: t.shard,
+                image_index: t.image_index,
+                seed: t.seed,
+            };
+            std::thread::spawn(move || {
+                let classifier = handle.classifier(tenant.shard);
+                (i, run_with(&classifier, &zoo, &tenant))
+            })
+        })
+        .collect();
+    let mut shared: Vec<Option<RunRecord>> = tenants.iter().map(|_| None).collect();
+    for th in threads {
+        let (i, rec) = th.join().expect("tenant thread");
+        shared[i] = Some(rec);
+    }
+    scheduler.shutdown();
+
+    for (i, (want, got)) in isolated.iter().zip(&shared).enumerate() {
+        let got = got.as_ref().expect("every tenant ran");
+        assert_eq!(
+            got.outcome, want.outcome,
+            "tenant {i} outcome diverged at {workers} workers"
+        );
+        assert_eq!(
+            got.queries, want.queries,
+            "tenant {i} query count diverged at {workers} workers"
+        );
+        assert_eq!(
+            got.log, want.log,
+            "tenant {i} query log diverged at {workers} workers"
+        );
+        assert_eq!(
+            got.log.len() as u64,
+            got.queries,
+            "tenant {i}: every counted query must be logged"
+        );
+    }
+}
+
+fn mlp_tenants(n: usize) -> Vec<Tenant> {
+    (0..n)
+        .map(|i| Tenant {
+            shard: (Arch::Mlp, Scale::Cifar),
+            image_index: i % 6,
+            seed: 40 + i as u64,
+        })
+        .collect()
+}
+
+#[test]
+fn shared_scheduler_is_bit_identical_to_isolated_sessions_single_worker() {
+    assert_shared_matches_isolated(&mlp_tenants(5), 1);
+}
+
+#[test]
+fn shared_scheduler_is_bit_identical_to_isolated_sessions_four_workers() {
+    assert_shared_matches_isolated(&mlp_tenants(5), 4);
+}
+
+#[test]
+fn cross_shard_tenants_stay_bit_identical() {
+    // Two model shards in flight at once: packing happens per shard, and
+    // neither shard's tenants may observe the other's existence.
+    let mut tenants = mlp_tenants(3);
+    tenants.push(Tenant {
+        shard: (Arch::VggSmall, Scale::Cifar),
+        image_index: 1,
+        seed: 77,
+    });
+    tenants.push(Tenant {
+        shard: (Arch::VggSmall, Scale::Cifar),
+        image_index: 2,
+        seed: 78,
+    });
+    assert_shared_matches_isolated(&tenants, 4);
+}

@@ -154,26 +154,121 @@ pub fn available_levels() -> Vec<SimdLevel> {
     levels
 }
 
-/// Whether `OPPSLA_NO_SIMD` disables SIMD: set to anything but `0` or the
-/// empty string counts as "on". Split out so the policy is unit-testable
-/// without mutating the process environment.
-pub(crate) fn no_simd_env(value: Option<&str>) -> bool {
-    matches!(value, Some(v) if !v.is_empty() && v != "0")
+/// Whether `OPPSLA_NO_SIMD` disables SIMD. Recognized spellings: unset,
+/// empty, `0`, `false` and `off` leave SIMD on; `1`, `true` and `on`
+/// disable it. Anything else also disables SIMD (the conservative
+/// fallback — the variable was set, so the user wanted *something*) but
+/// returns a warning so a daemon operator sees the typo once on stderr.
+/// Split out so the policy is unit-testable without mutating the process
+/// environment.
+pub(crate) fn no_simd_env(value: Option<&str>) -> (bool, Option<String>) {
+    match value {
+        None => (false, None),
+        Some(v) => match v.to_ascii_lowercase().as_str() {
+            "" | "0" | "false" | "off" => (false, None),
+            "1" | "true" | "on" => (true, None),
+            other => (
+                true,
+                Some(format!(
+                    "OPPSLA_NO_SIMD={other:?} is not a recognized boolean \
+                     (use 0/1); treating it as enabled and pinning the scalar kernel"
+                )),
+            ),
+        },
+    }
 }
+
+/// Every level name `OPPSLA_SIMD_LEVEL` accepts, for diagnostics.
+const LEVEL_NAMES: &[&str] = &["scalar", "sse2", "avx2", "avx512f", "neon"];
 
 /// Resolves `OPPSLA_SIMD_LEVEL` (a level name such as `avx2`) against the
 /// host's available levels: the named level if the host can execute it,
-/// otherwise the widest available. `None`/empty means no cap. Split out
-/// so the policy is unit-testable without mutating the environment.
-pub(crate) fn level_cap_env(value: Option<&str>, available: &[SimdLevel]) -> SimdLevel {
+/// otherwise the widest available. `None`/empty means no cap. A name this
+/// host cannot execute or an unknown name falls back to the widest
+/// available level and returns a warning describing the fallback. Split
+/// out so the policy is unit-testable without mutating the environment.
+pub(crate) fn level_cap_env(
+    value: Option<&str>,
+    available: &[SimdLevel],
+) -> (SimdLevel, Option<String>) {
     let widest = *available.last().expect("scalar always available");
     match value {
-        Some(name) if !name.is_empty() => available
-            .iter()
-            .copied()
-            .find(|l| l.as_str() == name)
-            .unwrap_or(widest),
-        _ => widest,
+        Some(name) if !name.is_empty() => {
+            if let Some(level) = available.iter().copied().find(|l| l.as_str() == name) {
+                (level, None)
+            } else if LEVEL_NAMES.contains(&name) {
+                (
+                    widest,
+                    Some(format!(
+                        "OPPSLA_SIMD_LEVEL={name} is not executable on this host; \
+                         falling back to the widest available level ({})",
+                        widest.as_str()
+                    )),
+                )
+            } else {
+                (
+                    widest,
+                    Some(format!(
+                        "OPPSLA_SIMD_LEVEL={name:?} is not a known level \
+                         (known: {}); falling back to the widest available level ({})",
+                        LEVEL_NAMES.join(", "),
+                        widest.as_str()
+                    )),
+                )
+            }
+        }
+        _ => (widest, None),
+    }
+}
+
+/// Upper bound on `OPPSLA_GEMM_THREADS`: far beyond any sensible host,
+/// low enough that a typo (`400000`) cannot make every GEMM try to spawn
+/// a small city of scoped threads.
+pub(crate) const MAX_GEMM_THREADS: usize = 256;
+
+/// Resolves `OPPSLA_GEMM_THREADS`: a positive integer up to
+/// [`MAX_GEMM_THREADS`]. Unset/empty means 1 (sequential). Invalid or
+/// out-of-range values fall back (0 / unparsable → 1, oversized → the
+/// cap) and return a warning so the fallback is visible once on stderr
+/// instead of silently swallowed. Split out so the parse table is
+/// unit-testable without mutating the environment.
+pub(crate) fn gemm_threads_env(value: Option<&str>) -> (usize, Option<String>) {
+    match value {
+        None => (1, None),
+        Some("") => (1, None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) => (
+                1,
+                Some(
+                    "OPPSLA_GEMM_THREADS=0 is out of range (minimum 1); \
+                     running GEMMs sequentially"
+                        .to_string(),
+                ),
+            ),
+            Ok(n) if n > MAX_GEMM_THREADS => (
+                MAX_GEMM_THREADS,
+                Some(format!(
+                    "OPPSLA_GEMM_THREADS={n} exceeds the supported maximum; \
+                     clamping to {MAX_GEMM_THREADS}"
+                )),
+            ),
+            Ok(n) => (n, None),
+            Err(_) => (
+                1,
+                Some(format!(
+                    "OPPSLA_GEMM_THREADS={v:?} is not a positive integer; \
+                     running GEMMs sequentially"
+                )),
+            ),
+        },
+    }
+}
+
+/// Prints an env-var fallback warning to stderr, once per variable per
+/// process (daemon logs should not repeat it on every lazy re-resolve).
+fn warn_env_once(once: &std::sync::Once, warning: &Option<String>) {
+    if let Some(msg) = warning {
+        once.call_once(|| eprintln!("warning: {msg}"));
     }
 }
 
@@ -190,13 +285,19 @@ static THREADS: AtomicUsize = AtomicUsize::new(0);
 pub fn active_level() -> SimdLevel {
     match LEVEL.load(Ordering::Relaxed) {
         0 => {
-            let level = if no_simd_env(std::env::var("OPPSLA_NO_SIMD").ok().as_deref()) {
+            static NO_SIMD_WARNED: std::sync::Once = std::sync::Once::new();
+            static LEVEL_WARNED: std::sync::Once = std::sync::Once::new();
+            let (no_simd, warning) = no_simd_env(std::env::var("OPPSLA_NO_SIMD").ok().as_deref());
+            warn_env_once(&NO_SIMD_WARNED, &warning);
+            let level = if no_simd {
                 SimdLevel::Scalar
             } else {
-                level_cap_env(
+                let (level, warning) = level_cap_env(
                     std::env::var("OPPSLA_SIMD_LEVEL").ok().as_deref(),
                     &available_levels(),
-                )
+                );
+                warn_env_once(&LEVEL_WARNED, &warning);
+                level
             };
             // A racing first call resolves to the same value, so a plain
             // store is fine.
@@ -221,15 +322,16 @@ pub fn force_simd_level(level: SimdLevel) {
 }
 
 /// The worker-thread count [`matmul_packed_into`] may fan out to
-/// (default 1; `OPPSLA_GEMM_THREADS` sets the initial value).
+/// (default 1; `OPPSLA_GEMM_THREADS` sets the initial value — invalid or
+/// out-of-range values warn once on stderr and fall back per
+/// [`gemm_threads_env`]).
 pub fn gemm_threads() -> usize {
     match THREADS.load(Ordering::Relaxed) {
         0 => {
-            let n = std::env::var("OPPSLA_GEMM_THREADS")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-                .filter(|&n| n > 0)
-                .unwrap_or(1);
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            let (n, warning) =
+                gemm_threads_env(std::env::var("OPPSLA_GEMM_THREADS").ok().as_deref());
+            warn_env_once(&WARNED, &warning);
             THREADS.store(n, Ordering::Relaxed);
             n
         }
@@ -1281,12 +1383,74 @@ mod tests {
 
     #[test]
     fn no_simd_env_policy() {
-        assert!(!no_simd_env(None));
-        assert!(!no_simd_env(Some("")));
-        assert!(!no_simd_env(Some("0")));
-        assert!(no_simd_env(Some("1")));
-        assert!(no_simd_env(Some("true")));
-        assert!(no_simd_env(Some("yes")));
+        // Recognized spellings parse cleanly (no warning).
+        for (value, want) in [
+            (None, false),
+            (Some(""), false),
+            (Some("0"), false),
+            (Some("false"), false),
+            (Some("off"), false),
+            (Some("1"), true),
+            (Some("true"), true),
+            (Some("ON"), true),
+        ] {
+            let (got, warning) = no_simd_env(value);
+            assert_eq!(got, want, "{value:?}");
+            assert!(warning.is_none(), "{value:?} must not warn: {warning:?}");
+        }
+        // Unrecognized spellings disable SIMD (conservative: the variable
+        // was set) but surface a warning instead of silently guessing.
+        for value in ["yes", "2", "simd off please"] {
+            let (got, warning) = no_simd_env(Some(value));
+            assert!(got, "{value:?} falls back to enabled");
+            assert!(warning.is_some(), "{value:?} must warn");
+        }
+    }
+
+    #[test]
+    fn level_cap_env_parse_table() {
+        let available = [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2];
+        // Unset / empty: widest available, silently.
+        for value in [None, Some("")] {
+            let (level, warning) = level_cap_env(value, &available);
+            assert_eq!(level, SimdLevel::Avx2);
+            assert!(warning.is_none());
+        }
+        // A level this host can execute: honored, silently.
+        let (level, warning) = level_cap_env(Some("sse2"), &available);
+        assert_eq!(level, SimdLevel::Sse2);
+        assert!(warning.is_none());
+        // A known level the host cannot execute: widest, with a warning.
+        let (level, warning) = level_cap_env(Some("avx512f"), &available);
+        assert_eq!(level, SimdLevel::Avx2);
+        assert!(warning.expect("must warn").contains("not executable"));
+        // An unknown name: widest, with a warning listing valid names.
+        let (level, warning) = level_cap_env(Some("avx9000"), &available);
+        assert_eq!(level, SimdLevel::Avx2);
+        let warning = warning.expect("must warn");
+        assert!(warning.contains("known:"), "{warning}");
+    }
+
+    #[test]
+    fn gemm_threads_env_parse_table() {
+        // Valid values parse cleanly.
+        for (value, want) in [(None, 1), (Some(""), 1), (Some("1"), 1), (Some("4"), 4)] {
+            let (got, warning) = gemm_threads_env(value);
+            assert_eq!(got, want, "{value:?}");
+            assert!(warning.is_none(), "{value:?} must not warn: {warning:?}");
+        }
+        // Out-of-range and unparsable values fall back with a warning.
+        let (got, warning) = gemm_threads_env(Some("0"));
+        assert_eq!(got, 1);
+        assert!(warning.expect("must warn").contains("out of range"));
+        let (got, warning) = gemm_threads_env(Some("1000000"));
+        assert_eq!(got, MAX_GEMM_THREADS);
+        assert!(warning.expect("must warn").contains("clamping"));
+        for value in ["four", "-2", "3.5", "4 threads"] {
+            let (got, warning) = gemm_threads_env(Some(value));
+            assert_eq!(got, 1, "{value:?} falls back to sequential");
+            assert!(warning.is_some(), "{value:?} must warn");
+        }
     }
 
     #[test]

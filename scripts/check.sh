@@ -13,7 +13,7 @@ cd "$(dirname "$0")/.."
 
 OPPSLA_PKGS="-p oppsla -p oppsla-tensor -p oppsla-obs -p oppsla-core \
     -p oppsla-nn -p oppsla-data -p oppsla-attacks -p oppsla-eval \
-    -p oppsla-bench"
+    -p oppsla-bench -p oppsla-server"
 
 cargo fmt $OPPSLA_PKGS --check
 cargo build --release
@@ -29,16 +29,16 @@ cargo test -q -p oppsla-core --features query-guard
 # the instrumented crates get their own test pass. Per-package (not
 # --workspace): the vendored stubs have no such feature.
 cargo test -q -p oppsla-obs -p oppsla-core -p oppsla-nn -p oppsla-attacks \
-    -p oppsla-eval -p oppsla-bench --features telemetry
+    -p oppsla-eval -p oppsla-bench -p oppsla-server --features telemetry
 # Same again for the trace feature (additive over telemetry): the
 # per-query recorder, its hooks in core/nn/attacks/eval, and the
 # thread-count-invariance test only compile under it.
 cargo test -q -p oppsla-obs -p oppsla-core -p oppsla-nn -p oppsla-attacks \
-    -p oppsla-eval -p oppsla-bench --features trace
+    -p oppsla-eval -p oppsla-bench -p oppsla-server --features trace
 # One clippy pass over every target (lib, bins, tests, benches,
 # examples) with the feature-matrix union enabled, so warnings in
 # feature-gated code are also denied.
 cargo clippy $OPPSLA_PKGS --all-targets \
-    --features oppsla-core/query-guard,oppsla-obs/trace,oppsla-core/trace,oppsla-nn/trace,oppsla-attacks/trace,oppsla-eval/trace,oppsla-bench/trace \
+    --features oppsla-core/query-guard,oppsla-obs/trace,oppsla-core/trace,oppsla-nn/trace,oppsla-attacks/trace,oppsla-eval/trace,oppsla-bench/trace,oppsla-server/trace \
     -- -D warnings
 echo "check.sh: all green"

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Black-box probe of a running oppsla_serverd.
+
+Speaks the length-prefixed JSON frame protocol from a non-Rust client:
+Ping, one valid attack job (budget accounting asserted), a determinism
+re-check, an over-budget rejection, then the Shutdown handshake.
+
+Usage: server_probe.py [port]
+"""
+
+import json
+import socket
+import struct
+import sys
+
+
+def recv_exact(sock, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise EOFError(f"peer closed after {len(buf)}/{n} bytes")
+        buf += chunk
+    return buf
+
+
+def call(sock, obj):
+    payload = json.dumps(obj).encode()
+    sock.sendall(struct.pack("<I", len(payload)) + payload)
+    (n,) = struct.unpack("<I", recv_exact(sock, 4))
+    return json.loads(recv_exact(sock, n).decode())
+
+
+def main():
+    port = int(sys.argv[1]) if len(sys.argv) > 1 else 7431
+    s = socket.create_connection(("127.0.0.1", port))
+    s.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    assert call(s, "Ping") == "Pong"
+
+    # Scan a few test images so at least one job runs the sketch loop for
+    # real (a weakly trained model misclassifies some images outright,
+    # which ends the job after a single query).
+    job = None
+    done = None
+    for index in range(6):
+        candidate = {
+            "arch": "mlp",
+            "scale": "shapes32",
+            "image": {"test_index": index, "inline": None},
+            "budget": 300,
+            "program": None,
+            "seed": 7,
+        }
+        outcome = call(s, {"Attack": candidate})["Done"]
+        assert outcome["queries"] <= 300, outcome
+        assert outcome["log_len"] == outcome["queries"], outcome
+        assert len(outcome["log_fnv"]) == 16, outcome
+        job, done = candidate, outcome
+        if outcome["queries"] > 1:
+            break
+    assert done["queries"] > 1, "every probe image was already misclassified"
+
+    again = call(s, {"Attack": job})["Done"]
+    assert again == done, (again, done)
+
+    err = call(s, {"Attack": {**job, "budget": 10**9}})["Error"]
+    assert "per-job limit" in err, err
+
+    assert call(s, "Shutdown") == "ShuttingDown"
+    print("probe ok:", done)
+
+
+if __name__ == "__main__":
+    main()
