@@ -9,6 +9,9 @@
 //!   al., AAAI 2022), the state-of-the-art query-efficiency baseline.
 //! * [`SuOpa`] — the original differential-evolution one-pixel attack (Su
 //!   et al., 2017), which searches the continuous colour space.
+//! * [`DeepSearch`] — a coarse-to-fine best-first refinement baseline in
+//!   the style of DeepSearch (Zhang et al., 2019), probing image regions
+//!   before pixels.
 //! * [`RandomPairs`] — exhaustive enumeration in uniformly random order.
 //! * [`SparseRsMulti`] — the general few-pixel (`k > 1`) form of
 //!   Sparse-RS, an extension beyond the paper's one-pixel evaluation.
@@ -19,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+mod deepsearch;
 mod multi;
 mod random_pairs;
 mod sketch_attack;
@@ -26,6 +30,7 @@ mod sparse_rs;
 mod suopa;
 mod traits;
 
+pub use deepsearch::DeepSearch;
 pub use multi::{MultiAttackOutcome, SparseRsMulti, SparseRsMultiConfig};
 pub use random_pairs::RandomPairs;
 pub use sketch_attack::SketchProgramAttack;

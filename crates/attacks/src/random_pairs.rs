@@ -41,6 +41,7 @@ impl Attack for RandomPairs {
         let start = oracle.queries();
         let spent = |oracle: &Oracle<'_>| oracle.queries() - start;
 
+        let before_baseline = oracle.queries();
         let clean = match oracle.query(image) {
             Ok(s) => s,
             Err(_) => {
@@ -49,15 +50,19 @@ impl Attack for RandomPairs {
                 }
             }
         };
-        telemetry::count(Counter::QueryBaseline);
-        record_oracle_query(
-            "baseline",
-            spent(oracle),
-            None,
-            &clean,
-            true_class,
-            self.goal,
-        );
+        // A memo-served baseline is not a counted query: no phase
+        // attribution, no trace record.
+        if oracle.queries() > before_baseline {
+            telemetry::count(Counter::QueryBaseline);
+            record_oracle_query(
+                "baseline",
+                spent(oracle),
+                None,
+                &clean,
+                true_class,
+                self.goal,
+            );
+        }
         self.goal.validate(oracle.num_classes(), true_class);
         if argmax(&clean) != true_class {
             return AttackOutcome::AlreadyMisclassified {
@@ -100,6 +105,7 @@ impl Attack for RandomPairs {
                 );
                 oracle.prefetch_pixel_batch(image, &upcoming);
             }
+            let before = oracle.queries();
             match oracle.query_pixel_delta_into(
                 image,
                 pair.location,
@@ -107,15 +113,17 @@ impl Attack for RandomPairs {
                 &mut scores,
             ) {
                 Ok(()) => {
-                    telemetry::count(Counter::QueryInitScan);
-                    record_oracle_query(
-                        "init_scan",
-                        spent(oracle),
-                        Some((pair.location, pair.corner.as_pixel())),
-                        &scores,
-                        true_class,
-                        self.goal,
-                    );
+                    if oracle.queries() > before {
+                        telemetry::count(Counter::QueryInitScan);
+                        record_oracle_query(
+                            "init_scan",
+                            spent(oracle),
+                            Some((pair.location, pair.corner.as_pixel())),
+                            &scores,
+                            true_class,
+                            self.goal,
+                        );
+                    }
                     if self.goal.is_adversarial(&scores, true_class) {
                         return AttackOutcome::Success {
                             location: pair.location,

@@ -6,8 +6,10 @@ use oppsla_core::dsl::Program;
 use oppsla_core::goal::AttackGoal;
 use oppsla_core::image::Image;
 use oppsla_core::oracle::Oracle;
-use oppsla_core::sketch::{run_sketch_with_goal, SketchOutcome};
+use oppsla_core::prior::{Prior, Uniform};
+use oppsla_core::sketch::{run_sketch_with_goal_prior, SketchOutcome};
 use rand::RngCore;
+use std::sync::Arc;
 
 /// An adversarial program run through the one-pixel sketch.
 ///
@@ -34,11 +36,41 @@ use rand::RngCore;
 /// let img = Image::filled(3, 3, Pixel([0.2, 0.2, 0.2]));
 /// assert!(attack.attack(&mut oracle, &img, 0, &mut rng).is_success());
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct SketchProgramAttack {
     program: Program,
     name: &'static str,
     goal: AttackGoal,
+    /// Initial-queue prior; `None` = the paper's uniform order.
+    prior: Option<Arc<dyn Prior>>,
+}
+
+impl std::fmt::Debug for SketchProgramAttack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SketchProgramAttack")
+            .field("program", &self.program)
+            .field("name", &self.name)
+            .field("goal", &self.goal)
+            .field(
+                "prior",
+                &self.prior.as_ref().map_or("uniform", |p| p.name()),
+            )
+            .finish()
+    }
+}
+
+impl PartialEq for SketchProgramAttack {
+    fn eq(&self, other: &Self) -> bool {
+        let same_prior = match (&self.prior, &other.prior) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        self.program == other.program
+            && self.name == other.name
+            && self.goal == other.goal
+            && same_prior
+    }
 }
 
 impl SketchProgramAttack {
@@ -48,6 +80,7 @@ impl SketchProgramAttack {
             program,
             name: "oppsla-program",
             goal: AttackGoal::Untargeted,
+            prior: None,
         }
     }
 
@@ -57,12 +90,21 @@ impl SketchProgramAttack {
             program,
             name,
             goal: AttackGoal::Untargeted,
+            prior: None,
         }
     }
 
     /// Sets the attack goal (untargeted by default).
     pub fn with_goal(mut self, goal: AttackGoal) -> Self {
         self.goal = goal;
+        self
+    }
+
+    /// Sets the initial-queue prior (the paper's uniform centre-out
+    /// order by default). The prior only permutes the starting order;
+    /// success guarantees and accounting are untouched.
+    pub fn with_prior(mut self, prior: Arc<dyn Prior>) -> Self {
+        self.prior = Some(prior);
         self
     }
 
@@ -84,7 +126,12 @@ impl Attack for SketchProgramAttack {
         true_class: usize,
         _rng: &mut dyn RngCore,
     ) -> AttackOutcome {
-        match run_sketch_with_goal(&self.program, oracle, image, true_class, self.goal) {
+        let prior: &dyn Prior = match &self.prior {
+            Some(p) => p.as_ref(),
+            None => &Uniform,
+        };
+        match run_sketch_with_goal_prior(&self.program, oracle, image, true_class, self.goal, prior)
+        {
             SketchOutcome::Success { pair, queries } => AttackOutcome::Success {
                 location: pair.location,
                 pixel: pair.corner.as_pixel(),

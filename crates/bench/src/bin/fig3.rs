@@ -1,6 +1,6 @@
 //! Figure 3 reproduction: success rate vs. query budget for OPPSLA,
-//! Sparse-RS and SuOPA on the CIFAR-scale and ImageNet-scale classifier
-//! rosters.
+//! Sparse-RS, SuOPA and DeepSearch on the CIFAR-scale and ImageNet-scale
+//! classifier rosters.
 //!
 //! ```text
 //! cargo run --release -p oppsla-bench --bin fig3 -- \
@@ -14,6 +14,11 @@
 //!     [--seed S]                     (default 0)
 //!     [--fresh]                      (ignore cached program suites)
 //!     [--threads N]                  (worker threads; 0 = auto, default 0)
+//!     [--memo]                       (share a per-classifier query memo across
+//!                                     the attack roster; build with
+//!                                     --features query-memo)
+//!     [--prior PATH]                 (mined saliency prior JSON reordering the
+//!                                     OPPSLA initial queue; see oppsla_eval::prior)
 //!     [--telemetry PATH]             (append per-phase telemetry events as JSONL)
 //!     [--trace PATH]                 (record per-query trace records as JSONL;
 //!                                     build with --features trace)
@@ -23,23 +28,26 @@
 //! changes wall-clock time. `--telemetry` writes only to `PATH` and
 //! stderr, never stdout — table and chart output stays byte-identical
 //! with or without it (build with `--features telemetry` for non-zero
-//! counters).
+//! counters). Without `--memo` the memo machinery is never touched, so
+//! stdout is byte-identical whether or not `query-memo` was compiled in.
 //!
 //! Defaults are scaled down to finish in minutes on a laptop; the paper's
 //! full setting is `--test-per-class 100 --budget 10000 --synth-train 50
 //! --synth-iters 210`.
 
-use oppsla_attacks::{Attack, SparseRs, SparseRsConfig, SuOpa, SuOpaConfig};
+use oppsla_attacks::{Attack, DeepSearch, SparseRs, SparseRsConfig, SuOpa, SuOpaConfig};
 use oppsla_bench::cli::Args;
 use oppsla_bench::{
     cifar_archs, finish_trace, imagenet_archs, print_telemetry_summary, reports_dir, start_trace,
     suites_dir, telemetry_sink, threads_from,
 };
 use oppsla_core::dsl::GrammarConfig;
-use oppsla_core::oracle::Classifier;
+use oppsla_core::oracle::{Classifier, MemoBank, DEFAULT_MEMO_CAPACITY};
 use oppsla_core::synth::SynthConfig;
 use oppsla_core::telemetry::{trace, FieldValue};
-use oppsla_eval::curves::{evaluate_attack_parallel_with_sink, AttackEval};
+use oppsla_eval::curves::{
+    evaluate_attack_parallel_with_memo, evaluate_attack_parallel_with_sink, AttackEval,
+};
 use oppsla_eval::obs::with_phase;
 use oppsla_eval::plot::{render_chart, ChartConfig, Series};
 use oppsla_eval::report::{fmt_rate, fmt_stat, Table};
@@ -75,6 +83,19 @@ fn main() {
     };
     let synth_train_per_class = args.get_usize("synth-train", 3);
     let seed = args.get_u64("seed", 0);
+    let use_memo = args.has("memo");
+    if use_memo && cfg!(not(feature = "query-memo")) {
+        eprintln!("warning: built without --features query-memo; --memo is inert");
+    }
+    let prior = args.get_opt_str("prior").map(|path| {
+        let prior = oppsla_eval::prior::load_prior(std::path::Path::new(path))
+            .unwrap_or_else(|e| panic!("--prior: {e}"));
+        eprintln!(
+            "loaded saliency prior ({0}x{0} grid) from {path}",
+            prior.grid()
+        );
+        std::sync::Arc::new(prior)
+    });
     let mut sink = telemetry_sink(&args);
     let tracing = start_trace(&args);
 
@@ -161,14 +182,23 @@ fn main() {
             }
 
             let test = attack_test_set(scale, test_per_class, seed.wrapping_add(999));
+            let mut suite_attack = SuiteAttack::new(suite);
+            if let Some(prior) = &prior {
+                suite_attack = suite_attack.with_prior(prior.clone());
+            }
             let attacks: Vec<Box<dyn Attack + Sync>> = vec![
-                Box::new(SuiteAttack::new(suite)),
+                Box::new(suite_attack),
                 Box::new(SparseRs::new(SparseRsConfig {
                     max_iterations: budget,
                     ..SparseRsConfig::default()
                 })),
                 Box::new(SuOpa::new(SuOpaConfig::default())),
+                Box::new(DeepSearch::default()),
             ];
+            // One bank per classifier, shared across the whole roster:
+            // memo keys carry no classifier identity, so the bank must
+            // never outlive this arch.
+            let memo_bank = use_memo.then(|| MemoBank::new(test.len(), DEFAULT_MEMO_CAPACITY));
             for attack in &attacks {
                 let t2 = Instant::now();
                 trace::begin_section(trace::SectionMeta {
@@ -182,15 +212,35 @@ fn main() {
                     attack: attack.name().to_owned(),
                     attack_seed: seed,
                 });
-                let eval: AttackEval = evaluate_attack_parallel_with_sink(
-                    attack.as_ref(),
-                    &classifier,
-                    &test,
-                    budget,
-                    seed,
-                    threads,
-                    &mut *sink,
-                );
+                let eval: AttackEval = match &memo_bank {
+                    Some(bank) => {
+                        let labels = [
+                            ("attack", FieldValue::Str(attack.name().to_owned())),
+                            ("budget", FieldValue::U64(budget)),
+                            ("images", FieldValue::U64(test.len() as u64)),
+                        ];
+                        with_phase(&mut *sink, "attack_eval", &labels, || {
+                            evaluate_attack_parallel_with_memo(
+                                attack.as_ref(),
+                                &classifier,
+                                &test,
+                                budget,
+                                seed,
+                                threads,
+                                bank,
+                            )
+                        })
+                    }
+                    None => evaluate_attack_parallel_with_sink(
+                        attack.as_ref(),
+                        &classifier,
+                        &test,
+                        budget,
+                        seed,
+                        threads,
+                        &mut *sink,
+                    ),
+                };
                 eprintln!(
                     "[{scale}/{arch}] {}: {} valid, success {} in {:.1?}",
                     attack.name(),

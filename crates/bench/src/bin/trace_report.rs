@@ -8,6 +8,10 @@
 //!     --trace PATH        (trace JSONL to analyze)
 //!     [--jsonl PATH]      (append the aggregate rows as JSONL)
 //!     [--canonical PATH]  (write the canonical-sorted record stream)
+//!     [--prior-out PATH]  (mine a per-class pixel-saliency prior from the
+//!                          corpus and save it as JSON; see
+//!                          `oppsla_eval::prior` and `fig3 --prior`)
+//!     [--prior-grid N]    (saliency grid resolution, default 8)
 //! ```
 //!
 //! The human-readable report goes to stdout. `--canonical` writes every
@@ -76,6 +80,23 @@ fn main() -> ExitCode {
             Ok(n) => println!("canonical stream ({n} record(s)) written to {out_path}"),
             Err(e) => {
                 eprintln!("error: cannot write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(prior_path) = args.get_opt_str("prior-out") {
+        let grid = args.get_usize("prior-grid", oppsla_eval::prior::DEFAULT_PRIOR_GRID);
+        let mined = oppsla_eval::prior::mine_saliency_prior_records(&records, grid).and_then(|p| {
+            oppsla_eval::prior::save_prior(&p, std::path::Path::new(prior_path)).map(|()| p)
+        });
+        match mined {
+            Ok(p) => println!(
+                "saliency prior ({grid}x{grid} grid, {} class(es)) written to {prior_path}",
+                p.tables().len()
+            ),
+            Err(e) => {
+                eprintln!("error: cannot mine prior: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -45,6 +45,7 @@ pub mod image;
 pub mod oracle;
 pub mod pair;
 pub mod parallel;
+pub mod prior;
 pub mod queue;
 pub mod sketch;
 pub mod synth;

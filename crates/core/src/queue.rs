@@ -56,6 +56,21 @@ pub struct PairQueue {
 impl PairQueue {
     /// Builds the initial queue for `image` with the paper's ordering.
     pub fn for_image(image: &Image) -> Self {
+        // The uniform prior weighs every location equally, so this is
+        // exactly the paper's order (and byte-identical to the
+        // pre-prior implementation).
+        Self::for_image_with_prior(image, 0, &crate::prior::Uniform)
+    }
+
+    /// Builds the initial queue for an `image` of class `class`, with
+    /// locations ordered by descending `prior` weight. Ties (and the
+    /// [`Uniform`](crate::prior::Uniform) prior, where everything ties)
+    /// fall back to the paper's centre-out order, ties row-major.
+    pub fn for_image_with_prior(
+        image: &Image,
+        class: usize,
+        prior: &dyn crate::prior::Prior,
+    ) -> Self {
         let (h, w) = (image.height(), image.width());
         let num_pairs = 8 * h * w;
         let mut queue = PairQueue {
@@ -75,17 +90,31 @@ impl PairQueue {
             len: 0,
         };
 
-        // Locations sorted centre-out (secondary key), ties row-major.
-        let mut locations: Vec<Location> = (0..h as u16)
+        // Locations sorted by descending prior weight (primary among
+        // locations), centre-out (secondary), ties row-major. Weights
+        // are precomputed once per location: priors are pure, but table
+        // lookups inside a sort comparator would still be paid O(n log n)
+        // times.
+        let mut locations: Vec<(Location, f64)> = (0..h as u16)
             .flat_map(|row| (0..w as u16).map(move |col| Location::new(row, col)))
+            .map(|loc| {
+                let weight = prior.location_weight(class, image, loc);
+                assert!(weight.is_finite(), "prior weight for {loc:?} not finite");
+                (loc, weight)
+            })
             .collect();
-        locations.sort_by(|a, b| {
-            image
-                .center_distance(*a)
-                .partial_cmp(&image.center_distance(*b))
-                .expect("centre distances are finite")
+        locations.sort_by(|(a, wa), (b, wb)| {
+            wb.partial_cmp(wa)
+                .expect("prior weights are finite")
+                .then(
+                    image
+                        .center_distance(*a)
+                        .partial_cmp(&image.center_distance(*b))
+                        .expect("centre distances are finite"),
+                )
                 .then(a.cmp(b))
         });
+        let locations: Vec<Location> = locations.into_iter().map(|(loc, _)| loc).collect();
 
         // Farthness ranking per location (primary key).
         let rankings: Vec<[Corner; 8]> = locations
@@ -394,6 +423,45 @@ mod tests {
                 .len(),
             3
         );
+    }
+
+    #[test]
+    fn uniform_prior_reproduces_the_paper_order_exactly() {
+        let img = black3();
+        let plain: Vec<Pair> = PairQueue::for_image(&img).iter().collect();
+        let uniform: Vec<Pair> = PairQueue::for_image_with_prior(&img, 2, &crate::prior::Uniform)
+            .iter()
+            .collect();
+        assert_eq!(plain, uniform);
+    }
+
+    #[test]
+    fn saliency_prior_orders_hot_cells_first() {
+        // 3x3 image on a 3x3 grid: each location is its own cell. Make
+        // the top-left corner the hottest for class 0.
+        let img = black3();
+        let mut table = vec![0.0; 9];
+        table[0] = 10.0;
+        let prior = crate::prior::SaliencyPrior::new(3, vec![table]);
+        let q = PairQueue::for_image_with_prior(&img, 0, &prior);
+        let pairs: Vec<Pair> = q.iter().collect();
+        // Every rank block (9 locations each) leads with (0, 0).
+        for rank in 0..8 {
+            assert_eq!(
+                pairs[rank * 9].location,
+                Location::new(0, 0),
+                "rank {rank} must lead with the hot cell"
+            );
+        }
+        // Remaining locations keep the centre-out tie-break: the centre
+        // is second.
+        assert_eq!(pairs[1].location, Location::new(1, 1));
+        // A class without a table falls back to the uniform order.
+        let fallback: Vec<Pair> = PairQueue::for_image_with_prior(&img, 5, &prior)
+            .iter()
+            .collect();
+        let plain: Vec<Pair> = PairQueue::for_image(&img).iter().collect();
+        assert_eq!(fallback, plain);
     }
 
     #[test]

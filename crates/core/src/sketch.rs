@@ -110,6 +110,35 @@ pub fn run_sketch_with_goal(
     true_class: usize,
     goal: AttackGoal,
 ) -> SketchOutcome {
+    run_sketch_with_goal_prior(
+        program,
+        oracle,
+        image,
+        true_class,
+        goal,
+        &crate::prior::Uniform,
+    )
+}
+
+/// Prior-aware variant of [`run_sketch_with_goal`]: the initial queue
+/// is ordered by `prior` (see [`crate::prior::Prior`]); the
+/// [`Uniform`](crate::prior::Uniform) prior reproduces
+/// [`run_sketch_with_goal`] exactly. The prior only permutes the
+/// starting order — conditions, removal discipline, and accounting are
+/// identical for every prior.
+///
+/// # Panics
+///
+/// Panics if `true_class` is out of range for the oracle's class count or
+/// the goal is unsatisfiable ([`AttackGoal::validate`]).
+pub fn run_sketch_with_goal_prior(
+    program: &Program,
+    oracle: &mut Oracle<'_>,
+    image: &Image,
+    true_class: usize,
+    goal: AttackGoal,
+    prior: &dyn crate::prior::Prior,
+) -> SketchOutcome {
     assert!(
         true_class < oracle.num_classes(),
         "true class {true_class} out of range ({} classes)",
@@ -119,7 +148,10 @@ pub fn run_sketch_with_goal(
     let start = oracle.queries();
     let spent = |oracle: &Oracle<'_>| oracle.queries() - start;
 
-    // Baseline query: N(x), needed by the score_diff conditions.
+    // Baseline query: N(x), needed by the score_diff conditions. A
+    // memo-attached oracle may serve it without counting; phase
+    // attribution and the trace record belong to counted queries only.
+    let before_baseline = oracle.queries();
     let orig_scores = match oracle.query(image) {
         Ok(s) => s,
         Err(_) => {
@@ -128,22 +160,24 @@ pub fn run_sketch_with_goal(
             }
         }
     };
-    telemetry::count(Counter::QueryBaseline);
-    record_oracle_query(
-        "baseline",
-        spent(oracle),
-        None,
-        &orig_scores,
-        true_class,
-        goal,
-    );
+    if oracle.queries() > before_baseline {
+        telemetry::count(Counter::QueryBaseline);
+        record_oracle_query(
+            "baseline",
+            spent(oracle),
+            None,
+            &orig_scores,
+            true_class,
+            goal,
+        );
+    }
     if argmax(&orig_scores) != true_class {
         return SketchOutcome::AlreadyMisclassified {
             queries: spent(oracle),
         };
     }
 
-    let mut queue = PairQueue::for_image(image);
+    let mut queue = PairQueue::for_image_with_prior(image, true_class, prior);
 
     // Query hot path: every candidate is the base image with one pixel
     // replaced, submitted through [`Oracle::query_pixel_delta_into`] into
@@ -163,18 +197,24 @@ pub fn run_sketch_with_goal(
                     pair: Pair,
                     phase: Counter,
                     trace_phase: &'static str| {
+        let before = oracle.queries();
         oracle
             .query_pixel_delta_into(image, pair.location, pair.corner.as_pixel(), buf)
             .map_err(|_| ())?;
-        telemetry::count(phase);
-        record_oracle_query(
-            trace_phase,
-            spent(oracle),
-            Some((pair.location, pair.corner.as_pixel())),
-            buf,
-            true_class,
-            goal,
-        );
+        // A memo hit is not a counted query: no phase attribution, no
+        // trace record — the trace stays a faithful per-counted-query
+        // stream that replay can re-verify.
+        if oracle.queries() > before {
+            telemetry::count(phase);
+            record_oracle_query(
+                trace_phase,
+                spent(oracle),
+                Some((pair.location, pair.corner.as_pixel())),
+                buf,
+                true_class,
+                goal,
+            );
+        }
         Ok::<bool, ()>(goal.is_adversarial(buf, true_class))
     };
 
@@ -489,6 +529,65 @@ mod tests {
         oracle.query(&grey(3, 3)).unwrap();
         let outcome = run_sketch(&Program::constant(false), &mut oracle, &grey(3, 3), 0);
         assert_eq!(outcome.queries() + 2, oracle.queries());
+    }
+
+    #[test]
+    fn a_good_prior_reduces_queries_without_changing_the_outcome() {
+        // Trigger far from the centre: the uniform (centre-out) order
+        // reaches it late, a prior that marks its cell hot reaches it
+        // early. Success is guaranteed either way — priors only permute
+        // the starting order.
+        let img = grey(6, 6);
+        let target = Location::new(0, 0);
+        let trigger = Corner::ranked_by_distance(img.pixel(target))[0].as_pixel();
+        let clf = trigger_classifier(target, trigger);
+
+        let mut table = vec![0.0; 9];
+        table[0] = 1.0; // top-left cell of a 3x3 grid
+        let prior = crate::prior::SaliencyPrior::new(3, vec![table]);
+
+        let mut with_prior = Oracle::new(&clf);
+        let hot = run_sketch_with_goal_prior(
+            &Program::constant(false),
+            &mut with_prior,
+            &img,
+            0,
+            AttackGoal::Untargeted,
+            &prior,
+        );
+        let mut uniform = Oracle::new(&clf);
+        let cold = run_sketch(&Program::constant(false), &mut uniform, &img, 0);
+        assert!(hot.is_success() && cold.is_success());
+        assert!(
+            hot.queries() < cold.queries(),
+            "prior {} vs uniform {}",
+            hot.queries(),
+            cold.queries()
+        );
+    }
+
+    #[cfg(feature = "query-memo")]
+    #[test]
+    fn a_restart_with_a_shared_memo_repays_nothing() {
+        use crate::oracle::QueryMemo;
+        // No attack exists, so a run visits every candidate. A second
+        // run (restart) over the same image with a shared memo must see
+        // the identical outcome while paying zero fresh queries.
+        let clf = FnClassifier::new(2, |_: &Image| vec![0.9, 0.1]);
+        let img = grey(3, 3);
+        let memo = QueryMemo::new();
+        let mut first = Oracle::new(&clf).with_memo(&memo);
+        let a = run_sketch(&Program::constant(false), &mut first, &img, 0);
+        assert_eq!(a, SketchOutcome::Exhausted { queries: 73 });
+
+        let mut second = Oracle::new(&clf).with_memo(&memo);
+        let b = run_sketch(&Program::constant(false), &mut second, &img, 0);
+        assert_eq!(
+            b,
+            SketchOutcome::Exhausted { queries: 0 },
+            "every candidate served from the memo"
+        );
+        assert_eq!(second.memo_hits(), 73);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::dsl::{mutate_in, random_program_in, GrammarConfig, ImageDims, Program};
 use crate::image::Image;
-use crate::oracle::{BatchClassifier, Classifier, Oracle};
+use crate::oracle::{BatchClassifier, Classifier, MemoBank, Oracle, QueryMemo};
 use crate::parallel::parallel_map_with;
 use crate::sketch::{run_sketch, SketchOutcome};
 use crate::telemetry::trace;
@@ -147,11 +147,15 @@ fn attack_one(
     image: &Image,
     true_class: usize,
     per_image_budget: Option<u64>,
+    memo: Option<&QueryMemo>,
 ) -> (u64, Option<u64>) {
     let mut oracle = match per_image_budget {
         Some(b) => Oracle::with_budget(classifier, b),
         None => Oracle::new(classifier),
     };
+    if let Some(memo) = memo {
+        oracle = oracle.with_memo(memo);
+    }
     let outcome = run_sketch(program, &mut oracle, image, true_class);
     let spent = outcome.queries();
     match outcome {
@@ -170,9 +174,17 @@ fn attack_one_traced(
     image: &Image,
     true_class: usize,
     per_image_budget: Option<u64>,
+    memo: Option<&QueryMemo>,
 ) -> (u64, Option<u64>) {
     trace::set_image(index);
-    let result = attack_one(program, classifier, image, true_class, per_image_budget);
+    let result = attack_one(
+        program,
+        classifier,
+        image,
+        true_class,
+        per_image_budget,
+        memo,
+    );
     trace::record_run(result.0, result.1.is_some());
     result
 }
@@ -217,7 +229,46 @@ pub fn evaluate_program(
 ) -> Evaluation {
     assert!(!train.is_empty(), "training set is empty");
     reduce_evaluation(train.iter().enumerate().map(|(i, (image, c))| {
-        attack_one_traced(program, classifier, i, image, *c, per_image_budget)
+        attack_one_traced(program, classifier, i, image, *c, per_image_budget, None)
+    }))
+}
+
+/// [`evaluate_program`] through a shared [`MemoBank`] (entry `i` serves
+/// training image `i`): candidates already paid for by an earlier
+/// evaluation through the same bank are served from the cache without
+/// counting a query. Success/failure per image is identical to the
+/// memo-less call; `avg_queries` and `queries_spent` measure only the
+/// *marginal* (previously unpaid) queries. Without the `query-memo`
+/// feature the bank is inert and this *is* [`evaluate_program`].
+///
+/// # Panics
+///
+/// Panics if `train` is empty, a true class is out of range, or the bank
+/// has fewer entries than `train`.
+pub fn evaluate_program_with_memo(
+    program: &Program,
+    classifier: &dyn Classifier,
+    train: &[Labeled],
+    per_image_budget: Option<u64>,
+    memo: &MemoBank,
+) -> Evaluation {
+    assert!(!train.is_empty(), "training set is empty");
+    assert!(
+        memo.len() >= train.len(),
+        "memo bank has {} entries for {} training images",
+        memo.len(),
+        train.len()
+    );
+    reduce_evaluation(train.iter().enumerate().map(|(i, (image, c))| {
+        attack_one_traced(
+            program,
+            classifier,
+            i,
+            image,
+            *c,
+            per_image_budget,
+            Some(memo.memo(i)),
+        )
     }))
 }
 
@@ -242,7 +293,49 @@ pub fn evaluate_program_parallel(
         train,
         || classifier.session(),
         |session, i, (image, c)| {
-            attack_one_traced(program, &**session, i, image, *c, per_image_budget)
+            attack_one_traced(program, &**session, i, image, *c, per_image_budget, None)
+        },
+    ))
+}
+
+/// [`evaluate_program_with_memo`] fanned out over `threads` workers. The
+/// bank is indexed by training-set position, so each worker only touches
+/// its current image's memo: the [`Evaluation`] is bit-identical to the
+/// sequential memo call for any thread count.
+///
+/// # Panics
+///
+/// Panics if `train` is empty, a true class is out of range, or the bank
+/// has fewer entries than `train`.
+pub fn evaluate_program_parallel_with_memo(
+    program: &Program,
+    classifier: &dyn BatchClassifier,
+    train: &[Labeled],
+    per_image_budget: Option<u64>,
+    threads: usize,
+    memo: &MemoBank,
+) -> Evaluation {
+    assert!(!train.is_empty(), "training set is empty");
+    assert!(
+        memo.len() >= train.len(),
+        "memo bank has {} entries for {} training images",
+        memo.len(),
+        train.len()
+    );
+    reduce_evaluation(parallel_map_with(
+        threads,
+        train,
+        || classifier.session(),
+        |session, i, (image, c)| {
+            attack_one_traced(
+                program,
+                &**session,
+                i,
+                image,
+                *c,
+                per_image_budget,
+                Some(memo.memo(i)),
+            )
         },
     ))
 }
@@ -388,6 +481,78 @@ pub fn synthesize_parallel(
         config,
         &mut |t| filter_attackable_parallel(classifier, t, threads),
         &mut |p, t| evaluate_program_parallel(p, classifier, t, config.per_image_budget, threads),
+    )
+}
+
+/// [`synthesize`] with every candidate evaluation routed through one
+/// shared [`MemoBank`]: a candidate query any earlier iteration already
+/// paid for is served from the cache without touching the classifier.
+/// Because memo hits are never counted as oracle queries, the MH score
+/// ranks programs by their *marginal* query cost given the cache — a
+/// deliberately different (and much cheaper) search mode than
+/// [`synthesize`], whose trajectory it does not reproduce. Memo keys
+/// carry full image content hashes, so the prefilter reindexing the
+/// training set cannot cause false hits. Without the `query-memo`
+/// feature the bank is inert and this *is* [`synthesize`].
+///
+/// # Panics
+///
+/// Panics like [`synthesize`], or if the bank has fewer entries than
+/// `train`.
+pub fn synthesize_with_memo(
+    classifier: &dyn Classifier,
+    train: &[Labeled],
+    config: &SynthConfig,
+    memo: &MemoBank,
+) -> SynthReport {
+    assert!(
+        memo.len() >= train.len(),
+        "memo bank has {} entries for {} training images",
+        memo.len(),
+        train.len()
+    );
+    run_mh(
+        train,
+        config,
+        &mut |t| filter_attackable(classifier, t),
+        &mut |p, t| evaluate_program_with_memo(p, classifier, t, config.per_image_budget, memo),
+    )
+}
+
+/// [`synthesize_with_memo`] with candidate evaluation fanned out over
+/// [`SynthConfig::threads`] workers; the report is bit-identical to the
+/// sequential memo call for any thread count.
+///
+/// # Panics
+///
+/// Panics like [`synthesize_with_memo`].
+pub fn synthesize_parallel_with_memo(
+    classifier: &dyn BatchClassifier,
+    train: &[Labeled],
+    config: &SynthConfig,
+    memo: &MemoBank,
+) -> SynthReport {
+    assert!(
+        memo.len() >= train.len(),
+        "memo bank has {} entries for {} training images",
+        memo.len(),
+        train.len()
+    );
+    let threads = config.threads;
+    run_mh(
+        train,
+        config,
+        &mut |t| filter_attackable_parallel(classifier, t, threads),
+        &mut |p, t| {
+            evaluate_program_parallel_with_memo(
+                p,
+                classifier,
+                t,
+                config.per_image_budget,
+                threads,
+                memo,
+            )
+        },
     )
 }
 
@@ -543,6 +708,77 @@ mod tests {
         assert_eq!(eval.successes, 0);
         assert!(eval.avg_queries.is_infinite());
         assert_eq!(eval.queries_spent, 73);
+    }
+
+    #[test]
+    fn memo_evaluation_preserves_successes_and_only_cheapens_requeries() {
+        let clf = center_weak_classifier();
+        let train = train_set(3);
+        let program = Program::constant(false);
+        let plain = evaluate_program(&program, &clf, &train, None);
+
+        let bank = MemoBank::new(train.len(), crate::oracle::DEFAULT_MEMO_CAPACITY);
+        let first = evaluate_program_with_memo(&program, &clf, &train, None, &bank);
+        // A cold bank changes nothing: no candidate repeats within a run.
+        assert_eq!(first, plain);
+
+        // Re-evaluating the same program replays the same candidates, so
+        // everything is served from the warm bank: successes unchanged,
+        // counted queries only fall.
+        let second = evaluate_program_with_memo(&program, &clf, &train, None, &bank);
+        assert_eq!(second.successes, first.successes);
+        assert!(second.queries_spent <= first.queries_spent);
+        #[cfg(feature = "query-memo")]
+        assert_eq!(
+            second.queries_spent, 0,
+            "a full replay through a warm memo must be free"
+        );
+
+        // Parallel memo evaluation is thread-count invariant.
+        for threads in [1, 2, 4] {
+            let bank_p = MemoBank::new(train.len(), crate::oracle::DEFAULT_MEMO_CAPACITY);
+            let seq = evaluate_program_with_memo(&program, &clf, &train, None, &bank_p);
+            assert_eq!(seq, first);
+            let par =
+                evaluate_program_parallel_with_memo(&program, &clf, &train, None, threads, &bank_p);
+            // The sequential call warmed bank_p, so the parallel replay is
+            // the "second" evaluation for every thread count.
+            assert_eq!(par, second, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn synthesize_with_memo_runs_and_matches_plain_synthesis_when_inert() {
+        let clf = center_weak_classifier();
+        let train = train_set(2);
+        let config = SynthConfig {
+            max_iterations: 3,
+            beta: 0.01,
+            seed: 5,
+            ..SynthConfig::default()
+        };
+        let bank = MemoBank::new(train.len(), crate::oracle::DEFAULT_MEMO_CAPACITY);
+        let memoed = synthesize_with_memo(&clf, &train, &config, &bank);
+        // The synthesized program still attacks the training set.
+        let check = evaluate_program(&memoed.program, &clf, &train, None);
+        assert!(check.avg_queries.is_finite());
+        if cfg!(not(feature = "query-memo")) {
+            // Inert bank → literally the plain entry point.
+            assert_eq!(memoed, synthesize(&clf, &train, &config));
+        }
+        // And the parallel form agrees with the sequential one for any
+        // thread count (fresh banks: the one above is warm).
+        for threads in [1, 3] {
+            let bank_a = MemoBank::new(train.len(), crate::oracle::DEFAULT_MEMO_CAPACITY);
+            let bank_b = MemoBank::new(train.len(), crate::oracle::DEFAULT_MEMO_CAPACITY);
+            let seq = synthesize_with_memo(&clf, &train, &config, &bank_a);
+            let cfg_threads = SynthConfig {
+                threads,
+                ..config.clone()
+            };
+            let par = synthesize_parallel_with_memo(&clf, &train, &cfg_threads, &bank_b);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
     }
 
     #[test]

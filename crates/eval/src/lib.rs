@@ -6,6 +6,8 @@
 //! * [`curves`] — per-image attack evaluation and success-rate-vs-budget
 //!   curves (**Figure 3**).
 //! * [`suite`] — per-class program synthesis and dispatch.
+//! * [`prior`] — mining per-class pixel-saliency priors from trace
+//!   corpora (the initial-queue reordering of `oppsla_core::prior`).
 //! * [`transfer`] — the transferability matrix (**Table 1**).
 //! * [`trajectory`] — synthesis-cost trajectories (**Figure 4**).
 //! * [`ablation`] — conditions/search ablation (**Table 2**, Appendix C).
@@ -25,6 +27,7 @@ pub mod convert;
 pub mod curves;
 pub mod obs;
 pub mod plot;
+pub mod prior;
 pub mod report;
 pub mod suite;
 pub mod trajectory;

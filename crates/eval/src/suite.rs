@@ -9,10 +9,12 @@ use oppsla_attacks::{Attack, AttackOutcome, SketchProgramAttack};
 use oppsla_core::dsl::Program;
 use oppsla_core::image::Image;
 use oppsla_core::oracle::{BatchClassifier, Classifier, Oracle};
+use oppsla_core::prior::Prior;
 use oppsla_core::synth::{synthesize, synthesize_parallel, Labeled, SynthConfig, SynthReport};
 use rand::RngCore;
 use std::fs;
 use std::path::Path;
+use std::sync::Arc;
 
 /// A set of synthesized programs, one per class (or a single shared one).
 #[derive(Debug, Clone, PartialEq)]
@@ -218,10 +220,36 @@ fn cached_core(
 }
 
 /// An [`Attack`] that runs the suite program matching each image's class.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct SuiteAttack {
     suite: ProgramSuite,
     name: &'static str,
+    /// Initial-queue prior; `None` = the paper's uniform order.
+    prior: Option<Arc<dyn Prior>>,
+}
+
+impl std::fmt::Debug for SuiteAttack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuiteAttack")
+            .field("suite", &self.suite)
+            .field("name", &self.name)
+            .field(
+                "prior",
+                &self.prior.as_ref().map_or("uniform", |p| p.name()),
+            )
+            .finish()
+    }
+}
+
+impl PartialEq for SuiteAttack {
+    fn eq(&self, other: &Self) -> bool {
+        let same_prior = match (&self.prior, &other.prior) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        self.suite == other.suite && self.name == other.name && same_prior
+    }
 }
 
 impl SuiteAttack {
@@ -230,12 +258,25 @@ impl SuiteAttack {
         SuiteAttack {
             suite,
             name: "oppsla",
+            prior: None,
         }
     }
 
     /// Wraps a suite under a custom report name.
     pub fn named(suite: ProgramSuite, name: &'static str) -> Self {
-        SuiteAttack { suite, name }
+        SuiteAttack {
+            suite,
+            name,
+            prior: None,
+        }
+    }
+
+    /// Sets the initial-queue prior applied to every dispatched program
+    /// (the paper's uniform centre-out order by default). The prior only
+    /// permutes the starting order; success guarantees are untouched.
+    pub fn with_prior(mut self, prior: Arc<dyn Prior>) -> Self {
+        self.prior = Some(prior);
+        self
     }
 
     /// The wrapped suite.
@@ -257,7 +298,11 @@ impl Attack for SuiteAttack {
         rng: &mut dyn RngCore,
     ) -> AttackOutcome {
         let program = self.suite.program_for(true_class).clone();
-        SketchProgramAttack::new(program).attack(oracle, image, true_class, rng)
+        let mut attack = SketchProgramAttack::new(program);
+        if let Some(prior) = &self.prior {
+            attack = attack.with_prior(Arc::clone(prior));
+        }
+        attack.attack(oracle, image, true_class, rng)
     }
 }
 

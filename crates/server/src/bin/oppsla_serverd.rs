@@ -7,8 +7,13 @@
 //! oppsla_serverd [--addr 127.0.0.1:7431] [--workers 2] [--max-merge 8]
 //!                [--max-active 16] [--max-waiting 64]
 //!                [--train-per-class 64] [--epochs N] [--test-per-class 4]
-//!                [--cache-dir PATH] [--seed 1]
+//!                [--cache-dir PATH] [--seed 1] [--memo]
 //! ```
+//!
+//! `--memo` shares a cross-tenant query memo per model shard (build with
+//! `--features query-memo`). Leave it off for determinism-witness
+//! deployments: a shared memo makes each job's query count and log
+//! digest depend on other tenants' history.
 
 use oppsla_server::cli::Args;
 use oppsla_server::scheduler::SchedulerConfig;
@@ -41,7 +46,11 @@ fn main() {
         test_seed: args.get_u64("test-seed", 9),
         max_active_jobs: args.get_usize("max-active", 16),
         max_waiting_jobs: args.get_usize("max-waiting", 64),
+        memo: args.flag("memo"),
     };
+    if args.flag("memo") && cfg!(not(feature = "query-memo")) {
+        eprintln!("oppsla_serverd: built without --features query-memo; --memo is inert");
+    }
     let server = match Server::start(cfg) {
         Ok(s) => s,
         Err(e) => {

@@ -166,6 +166,7 @@ fn main() {
         test_seed: args.get_u64("test-seed", 9),
         max_active_jobs: tenants.max(16),
         max_waiting_jobs: 4 * tenants.max(16),
+        memo: false,
     })
     .expect("bind loopback");
     let addr = server.local_addr();

@@ -180,6 +180,10 @@ pub struct JobOutcome {
     pub pixel: Option<[f32; 3]>,
     /// Number of counted queries in the job's query log.
     pub log_len: u64,
+    /// Queries served from the server's per-shard memo (never counted in
+    /// `queries` or logged). Always 0 unless the deployment opted into
+    /// `--memo` and was built with the `query-memo` feature.
+    pub memo_hits: u64,
     /// FNV-1a 64 digest over the job's query log (seq, pixel, pred and
     /// per-query score hashes), as 16 hex digits. Two jobs interacted
     /// with the model identically iff their digests match — the

@@ -42,6 +42,12 @@ pub struct ServerConfig {
     /// Jobs allowed to wait for a slot; further jobs are rejected with
     /// an error response.
     pub max_waiting_jobs: usize,
+    /// Share a cross-tenant query memo per model shard (see
+    /// [`crate::session::ShardMemos`]). Off by default: with a shared
+    /// memo a job's query count and `log_fnv` digest depend on other
+    /// tenants' history, so determinism-witness deployments must leave
+    /// this disabled. Inert without the `query-memo` feature.
+    pub memo: bool,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +60,7 @@ impl Default for ServerConfig {
             test_seed: 9,
             max_active_jobs: 16,
             max_waiting_jobs: 64,
+            memo: false,
         }
     }
 }
@@ -130,6 +137,9 @@ struct Shared {
     zoo: Arc<ShardedZoo>,
     handle: SchedulerHandle,
     admission: Admission,
+    /// Per-shard cross-tenant memos; `None` when the deployment did not
+    /// opt in.
+    memos: Option<crate::session::ShardMemos>,
     /// Set by a `Shutdown` request or [`Server::request_shutdown`].
     shutdown: AtomicBool,
     /// Live connection threads (accept loop + drain accounting).
@@ -164,6 +174,7 @@ impl Server {
             zoo,
             handle: scheduler.handle(),
             admission: Admission::new(cfg.max_active_jobs, cfg.max_waiting_jobs),
+            memos: cfg.memo.then(crate::session::ShardMemos::default),
             shutdown: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
         });
@@ -298,7 +309,12 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
             Request::Attack(job) => match shared.admission.admit() {
                 Err(reason) => Response::Error(reason),
                 Ok(()) => {
-                    let result = crate::session::run_job(&shared.handle, &shared.zoo, &job);
+                    let result = crate::session::run_job(
+                        &shared.handle,
+                        &shared.zoo,
+                        &job,
+                        shared.memos.as_ref(),
+                    );
                     shared.admission.release();
                     match result {
                         Ok(outcome) => Response::Done(outcome),

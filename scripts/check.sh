@@ -25,6 +25,12 @@ cargo test -q --workspace
 # force_simd_level tests cannot reach.
 OPPSLA_NO_SIMD=1 cargo test -q -p oppsla-tensor -p oppsla-nn -p oppsla
 cargo test -q -p oppsla-core --features query-guard
+# The cross-restart query memo is opt-in for the same reason the guard
+# is: the default build must not even compile the machinery. The memoed
+# crates get a dedicated pass (including the A/B monotonicity tests that
+# only mean anything with the feature on).
+cargo test -q -p oppsla-core -p oppsla-eval -p oppsla-bench -p oppsla-server \
+    --features query-memo
 # The telemetry feature is additive but changes what is compiled in, so
 # the instrumented crates get their own test pass. Per-package (not
 # --workspace): the vendored stubs have no such feature.
@@ -38,7 +44,9 @@ cargo test -q -p oppsla-obs -p oppsla-core -p oppsla-nn -p oppsla-attacks \
 # One clippy pass over every target (lib, bins, tests, benches,
 # examples) with the feature-matrix union enabled, so warnings in
 # feature-gated code are also denied.
+# The bench-gate self-test is pure shell; it runs in milliseconds.
+sh scripts/test_bench_gate.sh
 cargo clippy $OPPSLA_PKGS --all-targets \
-    --features oppsla-core/query-guard,oppsla-obs/trace,oppsla-core/trace,oppsla-nn/trace,oppsla-attacks/trace,oppsla-eval/trace,oppsla-bench/trace,oppsla-server/trace \
+    --features oppsla-core/query-guard,oppsla-core/query-memo,oppsla-eval/query-memo,oppsla-bench/query-memo,oppsla-server/query-memo,oppsla-obs/trace,oppsla-core/trace,oppsla-nn/trace,oppsla-attacks/trace,oppsla-eval/trace,oppsla-bench/trace,oppsla-server/trace \
     -- -D warnings
 echo "check.sh: all green"

@@ -1,0 +1,108 @@
+#!/usr/bin/env sh
+# Self-test for scripts/bench_gate.sh, exercising it on synthetic
+# reports. Covers the pass/warn/fail paths the CI jobs rely on, and in
+# particular the forward-compat contract: a report missing an *optional*
+# field (trace_hook_ns_per_op) must WARN, not fail — reports written by
+# binaries from before or after the field was introduced stay gateable.
+#
+# Usage: scripts/test_bench_gate.sh   (exit 0 iff every case behaves)
+set -eu
+
+gate=$(dirname "$0")/bench_gate.sh
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+failures=0
+# expect NAME EXPECTED_STATUS [ARGS...]: run the gate, compare exit codes.
+expect() {
+    name=$1
+    want=$2
+    shift 2
+    got=0
+    out=$(sh "$gate" "$@" 2>&1) || got=$?
+    if [ "$got" -eq "$want" ]; then
+        echo "ok       $name"
+    else
+        echo "FAIL     $name: expected exit $want, got $got"
+        echo "$out" | sed 's/^/         | /'
+        failures=$((failures + 1))
+    fi
+}
+# expect_grep NAME PATTERN [ARGS...]: the gate's output must match.
+expect_grep() {
+    name=$1
+    pat=$2
+    shift 2
+    out=$(sh "$gate" "$@" 2>&1) || true
+    if echo "$out" | grep -q "$pat"; then
+        echo "ok       $name"
+    else
+        echo "FAIL     $name: output does not match '$pat'"
+        echo "$out" | sed 's/^/         | /'
+        failures=$((failures + 1))
+    fi
+}
+
+row() { # row SPEEDUP [EXTRA_JSON]
+    printf '{"bench": "t", "arch": "mlp", "input": "shapes32", "x_speedup": %s%s}\n' "$1" "${2:-}"
+}
+
+row 2.0 > "$tmp/base.json"
+
+# --- happy path: identical reports pass in both modes -----------------
+row 2.0 > "$tmp/same.json"
+expect "identical reports pass" 0 "$tmp/same.json" "$tmp/base.json"
+expect "identical reports fail --require-improvement" 1 \
+    --require-improvement "$tmp/same.json" "$tmp/base.json"
+row 2.5 > "$tmp/better.json"
+expect "improved report passes --require-improvement" 0 \
+    --require-improvement "$tmp/better.json" "$tmp/base.json"
+
+# --- regression thresholds -------------------------------------------
+row 1.0 > "$tmp/half.json" # 50% of baseline
+expect "50% regression fails the default 25% gate" 1 \
+    "$tmp/half.json" "$tmp/base.json"
+expect "50% regression passes --max-regression 60" 0 \
+    --max-regression 60 "$tmp/half.json" "$tmp/base.json"
+row 1.7 > "$tmp/slight.json" # 85% of baseline
+expect "15% regression passes the default gate" 0 \
+    "$tmp/slight.json" "$tmp/base.json"
+expect "15% regression fails --max-regression 10" 1 \
+    --max-regression 10 "$tmp/slight.json" "$tmp/base.json"
+expect "non-numeric --max-regression is a usage error" 2 \
+    --max-regression lots "$tmp/same.json" "$tmp/base.json"
+
+# --- missing rows ----------------------------------------------------
+: > "$tmp/empty.json"
+expect "baseline row missing from new report fails" 1 \
+    "$tmp/empty.json" "$tmp/base.json"
+
+# --- optional fields: unknown ones ignored, absent ones warn ---------
+row 2.0 ', "future_field": 7' > "$tmp/extra.json"
+expect "unknown extra field is ignored" 0 "$tmp/extra.json" "$tmp/base.json"
+
+row 2.0 ', "trace_enabled": false' > "$tmp/nohook.json"
+expect "trace_enabled false without hook field passes" 0 \
+    "$tmp/nohook.json" "$tmp/base.json"
+expect_grep "absent optional hook field warns" \
+    "warn.*trace_hook_ns_per_op" "$tmp/nohook.json" "$tmp/base.json"
+
+row 2.0 ', "trace_enabled": false, "trace_hook_ns_per_op": 0.0' > "$tmp/zerohook.json"
+expect "zero disarmed hook passes" 0 "$tmp/zerohook.json" "$tmp/base.json"
+
+row 2.0 ', "trace_enabled": false, "trace_hook_ns_per_op": 3.5' > "$tmp/hothook.json"
+expect "nonzero disarmed hook fails" 1 "$tmp/hothook.json" "$tmp/base.json"
+
+# --- hard floors -----------------------------------------------------
+printf '{"bench": "t", "arch": "densenet-small", "input": "shapes32", "engine_speedup": 0.8}\n' \
+    > "$tmp/slowengine.json"
+printf '{"bench": "t", "arch": "densenet-small", "input": "shapes32", "engine_speedup": 0.8}\n' \
+    > "$tmp/slowengine-base.json"
+expect "densenet engine_speedup < 1.0 always fails" 1 \
+    "$tmp/slowengine.json" "$tmp/slowengine-base.json"
+
+if [ "$failures" -gt 0 ]; then
+    echo "test_bench_gate: $failures case(s) failed" >&2
+    exit 1
+fi
+echo "test_bench_gate: all cases passed"
