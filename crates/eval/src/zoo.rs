@@ -322,6 +322,11 @@ struct SessionState {
     batch_inputs: Vec<Tensor>,
     /// Reusable candidate buffer for batched delta queries.
     batch_candidates: Vec<(usize, usize, [f32; 3])>,
+    /// Always-on LRU accounting (see [`SessionCacheStats`]): plain u64
+    /// bumps, read by the attack server's live metrics plane. Unlike the
+    /// feature-gated telemetry counts these exist in every build, so a
+    /// default-build daemon can still report its cache behavior.
+    cache_stats: SessionCacheStats,
     /// Workspace pool for grouped (multi-base) delta calls, parallel to
     /// `grouped_tags`.
     grouped_dws: Vec<DeltaWorkspace>,
@@ -329,6 +334,21 @@ struct SessionState {
     grouped_tags: Vec<u64>,
     /// Shared im2col/GEMM scratch for grouped delta calls.
     grouped_scratch: DeltaBatchScratch,
+}
+
+/// Cumulative base-snapshot LRU accounting for one session: how many
+/// pixel-delta dispatches found their base resident (`hits`), recaptured
+/// the least-recently-used slot for a new base (`rebases` — the eviction
+/// path), or populated an empty slot (`colds`). Monotone totals; diff
+/// two readings for a per-interval rate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionCacheStats {
+    /// Dispatches whose base snapshot was already resident.
+    pub hits: u64,
+    /// Dispatches that evicted (recaptured) the LRU slot.
+    pub rebases: u64,
+    /// Dispatches that filled a previously empty slot.
+    pub colds: u64,
 }
 
 struct SessionDeltaCache {
@@ -355,6 +375,7 @@ impl SessionState {
             bws: None,
             batch_inputs: Vec::new(),
             batch_candidates: Vec::new(),
+            cache_stats: SessionCacheStats::default(),
             grouped_dws: Vec::new(),
             grouped_tags: Vec::new(),
             grouped_scratch: DeltaBatchScratch::new(),
@@ -369,10 +390,12 @@ impl SessionState {
     /// batched candidate.
     fn ensure_cache(&mut self, plan: &InferencePlan, delta: &DeltaPlan, base: &Image) -> u64 {
         if let Some(i) = self.caches.iter().position(|c| c.base_image == *base) {
+            self.cache_stats.hits += 1;
             telemetry::count(Counter::DeltaCacheHit);
             telemetry::trace::tag_cache(telemetry::trace::CacheTag::Hit);
             self.caches[..=i].rotate_right(1);
         } else if self.caches.len() < self.cache_capacity {
+            self.cache_stats.colds += 1;
             telemetry::count(Counter::DeltaCacheCold);
             telemetry::trace::tag_cache(telemetry::trace::CacheTag::Cold);
             image_into_tensor(base, &mut self.input);
@@ -391,6 +414,7 @@ impl SessionState {
                 },
             );
         } else {
+            self.cache_stats.rebases += 1;
             telemetry::count(Counter::DeltaCacheRebase);
             telemetry::trace::tag_cache(telemetry::trace::CacheTag::Rebase);
             image_into_tensor(base, &mut self.input);
@@ -670,6 +694,15 @@ impl OwnedZooSession {
             pixel,
             out,
         );
+    }
+
+    /// Cumulative LRU accounting for this session's base-snapshot cache
+    /// (always compiled; see [`SessionCacheStats`]). The attack server's
+    /// scheduler workers diff successive readings to publish per-shard
+    /// hit/eviction rates on their live metrics plane.
+    #[must_use]
+    pub fn cache_stats(&self) -> SessionCacheStats {
+        self.state.cache_stats
     }
 
     /// Scores several candidate groups — each against its own base — in

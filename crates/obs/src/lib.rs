@@ -35,6 +35,7 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
+pub mod metrics;
 pub mod trace;
 
 /// Declares [`Counter`] with stable snake_case wire names.

@@ -1,0 +1,102 @@
+//! Property and concurrency tests of the live metrics registry.
+//!
+//! Two claims the server's observability plane leans on:
+//!  1. partition — the histogram's log2 bucket bounds tile the whole
+//!     `u64` range with no gaps or overlaps, and `hist_bucket` agrees
+//!     with the bounds for every value (property-tested over arbitrary
+//!     u64s, not just the powers of two the unit tests pin);
+//!  2. exact accounting under contention — N threads hammering one
+//!     counter and one histogram concurrently lose nothing: the totals
+//!     are exactly N x M, so a /metrics scrape can be cross-checked
+//!     against ground-truth job counts to the last query.
+
+use oppsla_obs::metrics::{hist_bounds, hist_bucket, Registry, HIST_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every value lands in exactly one bucket, and that bucket's bounds
+    /// contain it. Uniform u64s cluster in the top few buckets, so the
+    /// raw draw is right-shifted by an arbitrary amount to spread the
+    /// tested magnitudes across all 65 buckets.
+    #[test]
+    fn every_u64_lands_in_exactly_one_bucket(raw in any::<u64>(), shift in 0usize..=64) {
+        let v = if shift == 64 { 0 } else { raw >> shift };
+        let b = hist_bucket(v);
+        prop_assert!(b < HIST_BUCKETS);
+        let (lo, hi) = hist_bounds(b);
+        prop_assert!(v >= lo, "{v} below bucket {b} lower bound {lo}");
+        if hi == u64::MAX {
+            // The top bucket is closed: it includes u64::MAX itself.
+            prop_assert!(v >= 1 << 63);
+        } else {
+            prop_assert!(v < hi, "{v} at or above bucket {b} upper bound {hi}");
+        }
+        // No other bucket's bounds contain v.
+        for other in 0..HIST_BUCKETS {
+            if other == b {
+                continue;
+            }
+            let (olo, ohi) = hist_bounds(other);
+            let contains = if ohi == u64::MAX {
+                v >= olo
+            } else {
+                v >= olo && v < ohi
+            };
+            prop_assert!(!contains, "{v} also inside bucket {other}");
+        }
+    }
+
+    /// Adjacent buckets share a boundary: bucket b's upper bound is
+    /// bucket b+1's lower bound, for every pair, so the partition has
+    /// no gaps.
+    #[test]
+    fn adjacent_bounds_tile(b in 0usize..HIST_BUCKETS - 1) {
+        prop_assert_eq!(hist_bounds(b).1, hist_bounds(b + 1).0);
+    }
+}
+
+#[test]
+fn partition_starts_at_zero_and_ends_at_max() {
+    assert_eq!(hist_bounds(0).0, 0);
+    assert_eq!(hist_bounds(HIST_BUCKETS - 1).1, u64::MAX);
+    assert_eq!(hist_bucket(0), 0);
+    assert_eq!(hist_bucket(u64::MAX), HIST_BUCKETS - 1);
+}
+
+#[test]
+fn concurrent_increments_sum_exactly() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    let registry = std::sync::Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = std::sync::Arc::clone(&registry);
+            std::thread::spawn(move || {
+                // Every thread registers by name — all must share cells.
+                let counter = registry.counter("queries_total", &[]);
+                let gauge = registry.gauge("in_flight", &[]);
+                let hist = registry.histogram("latency_us", &[]);
+                for i in 0..PER_THREAD {
+                    gauge.inc();
+                    counter.inc();
+                    hist.observe(t * PER_THREAD + i);
+                    gauge.dec();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let counter = registry.counter("queries_total", &[]);
+    let gauge = registry.gauge("in_flight", &[]);
+    let hist = registry.histogram("latency_us", &[]);
+    assert_eq!(counter.get(), THREADS * PER_THREAD, "no lost increments");
+    assert_eq!(gauge.get(), 0, "gauge returns to zero after drain");
+    assert_eq!(hist.count(), THREADS * PER_THREAD);
+    // Sum of 0..THREADS*PER_THREAD observed exactly once each.
+    let n = THREADS * PER_THREAD;
+    assert_eq!(hist.sum(), n * (n - 1) / 2);
+    let total: u64 = hist.bucket_counts().iter().sum();
+    assert_eq!(total, n, "every observation landed in exactly one bucket");
+}

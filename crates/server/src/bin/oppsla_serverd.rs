@@ -8,12 +8,20 @@
 //!                [--max-active 16] [--max-waiting 64]
 //!                [--train-per-class 64] [--epochs N] [--test-per-class 4]
 //!                [--cache-dir PATH] [--seed 1] [--memo]
+//!                [--metrics-addr 127.0.0.1:9431] [--no-metrics]
 //! ```
 //!
 //! `--memo` shares a cross-tenant query memo per model shard (build with
 //! `--features query-memo`). Leave it off for determinism-witness
 //! deployments: a shared memo makes each job's query count and log
 //! digest depend on other tenants' history.
+//!
+//! The live metrics plane is on by default (it is passive and never
+//! changes job outcomes); `--metrics-addr` additionally serves the
+//! plaintext Prometheus-style `/metrics` page, and the `Stats` frame
+//! (see `server_top`) works either way. On shutdown the daemon flushes a
+//! final metrics snapshot to stderr, so a scripted run keeps the closing
+//! counters even if nothing scraped them.
 
 use oppsla_server::cli::Args;
 use oppsla_server::scheduler::SchedulerConfig;
@@ -47,7 +55,12 @@ fn main() {
         max_active_jobs: args.get_usize("max-active", 16),
         max_waiting_jobs: args.get_usize("max-waiting", 64),
         memo: args.flag("memo"),
+        metrics: !args.flag("no-metrics"),
+        metrics_addr: args.get_opt_str("metrics-addr").map(str::to_owned),
     };
+    if args.flag("no-metrics") && args.get_opt_str("metrics-addr").is_some() {
+        eprintln!("oppsla_serverd: --no-metrics disables the /metrics listener too");
+    }
     if args.flag("memo") && cfg!(not(feature = "query-memo")) {
         eprintln!("oppsla_serverd: built without --features query-memo; --memo is inert");
     }
@@ -60,6 +73,29 @@ fn main() {
     };
     // The one stdout line scripts wait for before connecting.
     println!("oppsla_serverd listening on {}", server.local_addr());
+    if let Some(addr) = server.metrics_addr() {
+        println!("oppsla_serverd metrics on http://{addr}/metrics");
+    }
+    let metrics = server.metrics();
     server.wait();
+    // Final snapshot on the shutdown handshake path: the counters are
+    // settled (accept loop joined, connections drained, scheduler
+    // stopped), so this is the authoritative end-of-run accounting.
+    if let Some(m) = metrics {
+        let report = m.snapshot();
+        eprintln!(
+            "oppsla_serverd: final metrics snapshot ({} series):",
+            report.metrics.len()
+        );
+        for s in &report.metrics {
+            eprintln!("  {} {}", s.key, s.value);
+        }
+        for j in &report.slow_jobs {
+            eprintln!(
+                "  slow_job tenant={} shard={}/{} status={} queries={} wall_us={}",
+                j.tenant, j.arch, j.scale, j.status, j.queries, j.wall_us
+            );
+        }
+    }
     eprintln!("oppsla_serverd: drained, exiting");
 }

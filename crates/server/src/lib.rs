@@ -7,6 +7,13 @@
 //!   candidate queries flow through one shared queue and are packed into
 //!   multi-base grouped GEMM calls, bit-identical per tenant to an
 //!   isolated sequential session.
+//! * [`metrics`] — the live metrics plane: lock-light registry handles
+//!   the hot paths bump, the slow-request log, and the snapshot the
+//!   `Stats` frame answers.
+//! * [`metrics_http`] — the plaintext Prometheus-style `/metrics`
+//!   listener (its own thread, never on the job path).
+//! * [`top`] — rendering for `server_top`, the refreshing console view
+//!   over `Stats` snapshots.
 //! * [`session`] — per-job validation, budget enforcement, and the
 //!   query-log digest that witnesses determinism.
 //! * [`server`] — the TCP daemon: accept loop, per-connection framing,
@@ -20,8 +27,11 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod metrics;
+pub mod metrics_http;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
 pub mod session;
+pub mod top;
 pub mod zoo;

@@ -1,0 +1,156 @@
+//! A dedicated plaintext `/metrics` listener.
+//!
+//! Prometheus-style scrapers speak HTTP, not the daemon's framed
+//! protocol, so the exposition page gets its own tiny listener thread —
+//! deliberately minimal: parse the request line of a `GET`, answer
+//! `/metrics` with `text/plain`, everything else with 404, close the
+//! connection. Scrapes never touch the job path; they read the same
+//! atomics the hot path writes, so a scrape storm costs one thread some
+//! formatting work and nothing else.
+
+use crate::metrics::ServerMetrics;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The running exposition listener; joined on server drain.
+pub struct MetricsServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` and serves `metrics` until [`MetricsServer::stop`].
+    /// Port 0 picks a free port (see [`MetricsServer::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the address cannot be bound.
+    pub fn start(addr: &str, metrics: Arc<ServerMetrics>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let thread = std::thread::Builder::new()
+            .name("metrics-http".into())
+            .spawn(move || {
+                while !flag.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => serve_scrape(stream, &metrics),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            })
+            .expect("spawn metrics listener");
+        Ok(MetricsServer {
+            local_addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting and joins the listener thread.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Answers one scrape. Malformed or slow clients cost at most the read
+/// timeout; every response closes the connection.
+fn serve_scrape(stream: TcpStream, metrics: &ServerMetrics) {
+    stream.set_read_timeout(Some(Duration::from_secs(2))).ok();
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain the headers so the peer's send buffer is consumed before we
+    // answer (some clients treat an early response + close as an error).
+    let mut header = String::new();
+    loop {
+        header.clear();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => {}
+            Err(_) => return,
+        }
+    }
+    let mut stream = reader.into_inner();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let response = if method == "GET" && (path == "/metrics" || path == "/metrics/") {
+        let body = metrics.render_prometheus();
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    } else {
+        let body = "not found; try /metrics\n";
+        format!(
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    };
+    let _ = stream.write_all(response.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn scrape_serves_the_exposition_page() {
+        let metrics = Arc::new(ServerMetrics::new());
+        metrics.queries_total.add(77);
+        let mut server = MetricsServer::start("127.0.0.1:0", Arc::clone(&metrics)).unwrap();
+        let page = http_get(server.local_addr(), "/metrics");
+        assert!(page.starts_with("HTTP/1.1 200 OK"), "{page}");
+        assert!(page.contains("text/plain"), "{page}");
+        assert!(page.contains("queries_total 77"), "{page}");
+        // A second scrape sees updates: the page is live, not cached.
+        metrics.queries_total.add(1);
+        let page = http_get(server.local_addr(), "/metrics");
+        assert!(page.contains("queries_total 78"), "{page}");
+        let missing = http_get(server.local_addr(), "/other");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        server.stop();
+    }
+}

@@ -163,6 +163,11 @@ pub enum Request {
     Attack(JobRequest),
     /// Liveness probe; answered with [`Response::Pong`].
     Ping,
+    /// Snapshot the live metrics plane; answered with
+    /// [`Response::Stats`]. Always available — when the server was
+    /// started with metrics disabled the report is empty (zero metrics,
+    /// no slow jobs) rather than an error.
+    Stats,
     /// Stop accepting connections and exit once in-flight jobs drain.
     Shutdown,
 }
@@ -191,6 +196,63 @@ pub struct JobOutcome {
     pub log_fnv: String,
 }
 
+/// One flattened metric sample in a [`StatsReport`]: the fully-qualified
+/// key (`name{label="value",…}` — same spelling as the Prometheus
+/// exposition) and its current value. Counters and gauges report their
+/// integer value; histograms are pre-flattened into `_count`, `_sum`,
+/// `_p50`, `_p90`, and `_p99` samples. Values stay exact below 2^53.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StatsMetric {
+    /// Fully-qualified metric key, e.g. `queries_total` or
+    /// `sched_queue_depth{shard="mlp/shapes32"}`.
+    pub key: String,
+    /// Current value. Integral for counters/gauges/`_count`.
+    pub value: f64,
+}
+
+/// One entry of the slow-request log: a completed job that ranked among
+/// the N worst by wall time since the server started, with enough
+/// attribution (route split, memoization) to see *why* it was slow.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SlowJob {
+    /// Server-assigned tenant id (`"t0"`, `"t1"`, … in connection order).
+    pub tenant: String,
+    /// Architecture id the job attacked.
+    pub arch: String,
+    /// Scale id the job attacked.
+    pub scale: String,
+    /// Outcome status (`"success"` / `"failure"` /
+    /// `"already_misclassified"`).
+    pub status: String,
+    /// Counted oracle queries the job consumed.
+    pub queries: u64,
+    /// Queries that took the full-image scoring route.
+    pub full_queries: u64,
+    /// Queries that took the sparse delta route.
+    pub delta_queries: u64,
+    /// Queries served from the per-shard memo (uncounted).
+    pub memo_hits: u64,
+    /// End-to-end wall time of the job in microseconds (admission to
+    /// response, as observed by the serving thread).
+    pub wall_us: u64,
+    /// The job's query budget.
+    pub budget: u64,
+}
+
+/// Machine-readable snapshot of the live metrics plane, answered to
+/// [`Request::Stats`]. The same numbers as the Prometheus `/metrics`
+/// page, in a form `server_top` and scripts can consume without a text
+/// parser.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StatsReport {
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Every registered metric, sorted by key.
+    pub metrics: Vec<StatsMetric>,
+    /// Ring of the worst-latency completed jobs, slowest first.
+    pub slow_jobs: Vec<SlowJob>,
+}
+
 /// Server → client frame.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Response {
@@ -200,6 +262,8 @@ pub enum Response {
     Error(String),
     /// Answer to [`Request::Ping`].
     Pong,
+    /// Answer to [`Request::Stats`].
+    Stats(StatsReport),
     /// Acknowledges [`Request::Shutdown`].
     ShuttingDown,
 }
@@ -291,6 +355,47 @@ mod tests {
             "\"Shutdown\""
         );
         assert_eq!(serde_json::to_string(&Response::Pong).unwrap(), "\"Pong\"");
+        assert_eq!(serde_json::to_string(&Request::Stats).unwrap(), "\"Stats\"");
+    }
+
+    #[test]
+    fn stats_report_wire_form_is_stable() {
+        // `server_top`, the CI probe, and the loadtest's scrape
+        // cross-check all consume this frame; its JSON spelling is part
+        // of the protocol like the unit frames above.
+        let report = StatsReport {
+            uptime_ms: 1500,
+            metrics: vec![StatsMetric {
+                key: "queries_total".into(),
+                value: 42.0,
+            }],
+            slow_jobs: vec![SlowJob {
+                tenant: "t0".into(),
+                arch: "mlp".into(),
+                scale: "shapes32".into(),
+                status: "success".into(),
+                queries: 37,
+                full_queries: 5,
+                delta_queries: 32,
+                memo_hits: 0,
+                wall_us: 1234,
+                budget: 600,
+            }],
+        };
+        let json = serde_json::to_string(&Response::Stats(report.clone())).unwrap();
+        assert_eq!(
+            json,
+            concat!(
+                "{\"Stats\":{\"uptime_ms\":1500,",
+                "\"metrics\":[{\"key\":\"queries_total\",\"value\":42}],",
+                "\"slow_jobs\":[{\"tenant\":\"t0\",\"arch\":\"mlp\",",
+                "\"scale\":\"shapes32\",\"status\":\"success\",",
+                "\"queries\":37,\"full_queries\":5,\"delta_queries\":32,",
+                "\"memo_hits\":0,\"wall_us\":1234,\"budget\":600}]}}"
+            )
+        );
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Response::Stats(report));
     }
 
     #[test]

@@ -16,12 +16,13 @@
 //! with a base-snapshot LRU sized to the merge width, so interleaving
 //! tenants does not rebase-thrash a single-slot cache.
 
+use crate::metrics::{ServerMetrics, ShardMetrics};
 use crate::zoo::{ShardKey, ShardedZoo};
 use oppsla_core::image::Image;
 use oppsla_core::oracle::Classifier;
 use oppsla_core::pair::{Location, Pixel};
 use oppsla_core::telemetry;
-use oppsla_eval::zoo::{DeltaGroup, OwnedZooSession};
+use oppsla_eval::zoo::{DeltaGroup, OwnedZooSession, SessionCacheStats};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
@@ -87,6 +88,11 @@ struct Inner {
     /// Live [`ScheduledClassifier`] sessions — the coalescing heuristic's
     /// estimate of how many tenants could still contribute to a batch.
     active_sessions: AtomicUsize,
+    /// The live metrics plane, when the deployment enabled one. Strictly
+    /// write-only from this module (queue-depth gauge, dispatch counters,
+    /// batch-size histogram): scheduling decisions never read a metric,
+    /// so results are identical with metrics on or off.
+    metrics: Option<Arc<ServerMetrics>>,
 }
 
 impl Inner {
@@ -110,8 +116,18 @@ pub struct SchedulerHandle {
 }
 
 impl Scheduler {
-    /// Starts `cfg.workers` worker threads over `zoo`.
+    /// Starts `cfg.workers` worker threads over `zoo`, without metrics.
     pub fn start(zoo: Arc<ShardedZoo>, cfg: SchedulerConfig) -> Scheduler {
+        Scheduler::start_with_metrics(zoo, cfg, None)
+    }
+
+    /// Starts the scheduler, publishing per-shard gauges and counters to
+    /// `metrics` when one is given.
+    pub fn start_with_metrics(
+        zoo: Arc<ShardedZoo>,
+        cfg: SchedulerConfig,
+        metrics: Option<Arc<ServerMetrics>>,
+    ) -> Scheduler {
         let cfg = SchedulerConfig {
             workers: cfg.workers.max(1),
             max_merge: cfg.max_merge.max(1),
@@ -126,6 +142,7 @@ impl Scheduler {
             cv: Condvar::new(),
             cfg: cfg.clone(),
             active_sessions: AtomicUsize::new(0),
+            metrics,
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -182,28 +199,43 @@ impl SchedulerHandle {
             .classifier
             .num_classes();
         self.inner.active_sessions.fetch_add(1, Ordering::Relaxed);
+        // Resolve the shard's metric handles once here, so the per-query
+        // submit path below touches only their atomics.
+        let shard_metrics = self.inner.metrics.as_ref().map(|m| m.shard(shard));
         ScheduledClassifier {
             inner: Arc::clone(&self.inner),
             shard,
             num_classes,
+            shard_metrics,
         }
     }
+}
 
-    fn submit(&self, shard: ShardKey, work: Work) -> Vec<f32> {
-        let (tx, rx) = mpsc::channel();
-        {
-            let mut st = self.inner.lock();
-            assert!(st.open, "submission after scheduler shutdown");
-            st.pending.push_back(Submission {
-                shard,
-                work,
-                reply: tx,
-            });
-        }
-        self.inner.cv.notify_one();
-        rx.recv()
-            .expect("scheduler dropped a submission (worker died mid-job)")
+/// Enqueues one submission and blocks on its reply. `shard_metrics` (the
+/// submitter's cached handles) takes the queue-depth increment; the
+/// worker that dispatches the batch takes the matching decrement.
+fn submit_work(
+    inner: &Inner,
+    shard: ShardKey,
+    work: Work,
+    shard_metrics: Option<&ShardMetrics>,
+) -> Vec<f32> {
+    if let Some(sm) = shard_metrics {
+        sm.queue_depth.inc();
     }
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut st = inner.lock();
+        assert!(st.open, "submission after scheduler shutdown");
+        st.pending.push_back(Submission {
+            shard,
+            work,
+            reply: tx,
+        });
+    }
+    inner.cv.notify_one();
+    rx.recv()
+        .expect("scheduler dropped a submission (worker died mid-job)")
 }
 
 /// A per-tenant [`Classifier`] whose queries run on the scheduler's
@@ -212,14 +244,12 @@ pub struct ScheduledClassifier {
     inner: Arc<Inner>,
     shard: ShardKey,
     num_classes: usize,
+    shard_metrics: Option<Arc<ShardMetrics>>,
 }
 
 impl ScheduledClassifier {
     fn submit(&self, work: Work) -> Vec<f32> {
-        SchedulerHandle {
-            inner: Arc::clone(&self.inner),
-        }
-        .submit(self.shard, work)
+        submit_work(&self.inner, self.shard, work, self.shard_metrics.as_deref())
     }
 }
 
@@ -280,12 +310,14 @@ impl Classifier for ScheduledClassifier {
 /// Pops one submission plus up to `max_merge - 1` further *delta*
 /// submissions against the same shard. `Full` work is never merged (it
 /// runs the plain forward path). Returns `None` when the queue is closed
-/// and drained.
-fn next_batch(inner: &Inner) -> Option<Vec<Submission>> {
+/// and drained; the `bool` reports whether the batch held the coalescing
+/// window open (metrics attribution only — never read back).
+fn next_batch(inner: &Inner) -> Option<(Vec<Submission>, bool)> {
     let mut st = inner.lock();
     loop {
         if let Some(first) = st.pending.pop_front() {
             let mut batch = vec![first];
+            let mut coalesce_waited = false;
             if matches!(batch[0].work, Work::Delta { .. }) {
                 let shard = batch[0].shard;
                 merge_pending(&mut st, &mut batch, shard, inner.cfg.max_merge);
@@ -304,6 +336,7 @@ fn next_batch(inner: &Inner) -> Option<Vec<Submission>> {
                         if now >= deadline {
                             break;
                         }
+                        coalesce_waited = true;
                         let (st2, _timeout) = inner
                             .cv
                             .wait_timeout(st, deadline - now)
@@ -313,7 +346,7 @@ fn next_batch(inner: &Inner) -> Option<Vec<Submission>> {
                     }
                 }
             }
-            return Some(batch);
+            return Some((batch, coalesce_waited));
         }
         if !st.open {
             return None;
@@ -348,18 +381,37 @@ fn merge_pending(
 fn worker_loop(inner: &Inner) {
     // One owned session per shard this worker has served. The LRU is
     // sized to the merge width so one grouped call can never need more
-    // resident bases than the cache holds.
+    // resident bases than the cache holds. Beside each session: its
+    // metric handles and the last cache-stat reading (handles cached so
+    // the registry lock is paid once per shard, stats diffed so the
+    // shared counters see only this batch's activity).
     let mut sessions: HashMap<ShardKey, OwnedZooSession> = HashMap::new();
+    let mut shard_metrics: HashMap<ShardKey, (Arc<ShardMetrics>, SessionCacheStats)> =
+        HashMap::new();
     let mut out: Vec<f32> = Vec::new();
-    while let Some(batch) = next_batch(inner) {
+    while let Some((batch, coalesce_waited)) = next_batch(inner) {
         let shard = batch[0].shard;
         let session = sessions.entry(shard).or_insert_with(|| {
             let model = inner.zoo.shard(shard.0, shard.1);
             model.classifier.owned_session(inner.cfg.max_merge)
         });
+        let sm = inner.metrics.as_ref().map(|m| {
+            &mut *shard_metrics
+                .entry(shard)
+                .or_insert_with(|| (m.shard(shard), SessionCacheStats::default()))
+        });
+        if let Some((sm, _)) = &sm {
+            sm.queue_depth.add(-(batch.len() as i64));
+            if coalesce_waited {
+                sm.coalesce_waits.inc();
+            }
+        }
         match &batch[0].work {
             Work::Full(image) => {
                 debug_assert_eq!(batch.len(), 1, "full forwards are never merged");
+                if let Some((sm, _)) = &sm {
+                    sm.full_calls.inc();
+                }
                 session.scores_into(image, &mut out);
                 // A dead reply just means the tenant hung up mid-job.
                 let _ = batch[0].reply.send(out.clone());
@@ -370,6 +422,15 @@ fn worker_loop(inner: &Inner) {
                     telemetry::Counter::SchedGroupedSubmissions,
                     batch.len() as u64,
                 );
+                if let Some((sm, _)) = &sm {
+                    if batch.len() > 1 {
+                        sm.grouped_calls.inc();
+                    } else {
+                        sm.solo_calls.inc();
+                    }
+                    sm.merged_submissions.add(batch.len() as u64);
+                    sm.batch_size.observe(batch.len() as u64);
+                }
                 let groups: Vec<DeltaGroup<'_>> = batch
                     .iter()
                     .map(|s| match &s.work {
@@ -389,6 +450,13 @@ fn worker_loop(inner: &Inner) {
                     offset += n;
                 }
             }
+        }
+        if let Some((sm, prev)) = sm {
+            let now = session.cache_stats();
+            sm.lru_hits.add(now.hits - prev.hits);
+            sm.lru_rebases.add(now.rebases - prev.rebases);
+            sm.lru_colds.add(now.colds - prev.colds);
+            *prev = now;
         }
     }
 }
@@ -493,5 +561,63 @@ mod tests {
             assert_eq!(got, want, "tenant {t} got someone else's scores");
         }
         scheduler.shutdown();
+    }
+
+    #[test]
+    fn queue_depth_gauge_drains_to_zero_and_dispatches_balance() {
+        let zoo = fast_zoo();
+        let shard_key = (Arch::Mlp, Scale::Cifar);
+        let shard = zoo.shard(shard_key.0, shard_key.1);
+        let metrics = Arc::new(crate::metrics::ServerMetrics::new());
+        let scheduler = Scheduler::start_with_metrics(
+            Arc::clone(&zoo),
+            SchedulerConfig {
+                workers: 2,
+                max_merge: 4,
+                ..SchedulerConfig::default()
+            },
+            Some(Arc::clone(&metrics)),
+        );
+        let handle = scheduler.handle();
+        const TENANTS: usize = 4;
+        const CALLS: usize = 5;
+        let threads: Vec<_> = (0..TENANTS)
+            .map(|t| {
+                let handle = handle.clone();
+                let shard = Arc::clone(&shard);
+                std::thread::spawn(move || {
+                    let clf = handle.classifier((Arch::Mlp, Scale::Cifar));
+                    let (image, _) = &shard.test_set[t % shard.test_set.len()];
+                    let candidates = vec![(Location::new(1, 2), Pixel([0.3, 0.6, 0.9])); 3];
+                    let mut got = Vec::new();
+                    clf.scores_into(image, &mut got);
+                    for _ in 0..CALLS {
+                        clf.scores_pixel_delta_batch_into(image, &candidates, &mut got);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        scheduler.shutdown();
+        let sm = metrics.shard(shard_key);
+        assert_eq!(
+            sm.queue_depth.get(),
+            0,
+            "every enqueued submission was dispatched"
+        );
+        assert_eq!(
+            sm.merged_submissions.get(),
+            (TENANTS * CALLS) as u64,
+            "every delta submission is accounted in exactly one dispatch"
+        );
+        assert_eq!(sm.full_calls.get(), TENANTS as u64);
+        assert_eq!(
+            sm.batch_size.count(),
+            sm.grouped_calls.get() + sm.solo_calls.get(),
+            "each delta dispatch observes its size once"
+        );
+        assert_eq!(sm.batch_size.sum(), sm.merged_submissions.get());
     }
 }

@@ -200,6 +200,19 @@ fn resolve(zoo: &ShardedZoo, req: &JobRequest) -> Result<ResolvedJob, String> {
     })
 }
 
+/// A finished job: the wire-visible outcome plus route attribution the
+/// observability plane uses (the outcome deliberately stays exactly the
+/// client-facing report — the split lives beside it, not inside it).
+#[derive(Debug, Clone)]
+pub struct CompletedJob {
+    /// The client-facing outcome, exactly as serialized on the wire.
+    pub outcome: JobOutcome,
+    /// Counted queries that took the full-image scoring route.
+    pub full_queries: u64,
+    /// Counted queries that took the sparse one-pixel delta route.
+    pub delta_queries: u64,
+}
+
 /// Runs one attack job through the scheduler. When `memos` is set, the
 /// job shares its shard's cross-tenant [`QueryMemo`] — candidates some
 /// earlier job already paid for are served from the cache without
@@ -216,7 +229,7 @@ pub fn run_job(
     zoo: &ShardedZoo,
     req: &JobRequest,
     memos: Option<&ShardMemos>,
-) -> Result<JobOutcome, String> {
+) -> Result<CompletedJob, String> {
     let job = resolve(zoo, req)?;
     let arch = crate::protocol::parse_arch(&req.arch).expect("validated");
     let scale = crate::protocol::parse_scale(&req.scale).expect("validated");
@@ -233,6 +246,8 @@ pub fn run_job(
     let memo_hits = oracle.memo_hits();
     let log = oracle.take_query_log();
     let digest = digest_query_log(&log);
+    let full_queries = log.iter().filter(|e| e.pixel.is_none()).count() as u64;
+    let delta_queries = log.len() as u64 - full_queries;
     let (status, location, pixel) = match &outcome {
         AttackOutcome::Success {
             location, pixel, ..
@@ -244,14 +259,18 @@ pub fn run_job(
         AttackOutcome::Failure { .. } => ("failure", None, None),
         AttackOutcome::AlreadyMisclassified { .. } => ("already_misclassified", None, None),
     };
-    Ok(JobOutcome {
-        status: status.into(),
-        queries: outcome.queries(),
-        location,
-        pixel,
-        log_len: log.len() as u64,
-        memo_hits,
-        log_fnv: format!("{digest:016x}"),
+    Ok(CompletedJob {
+        outcome: JobOutcome {
+            status: status.into(),
+            queries: outcome.queries(),
+            location,
+            pixel,
+            log_len: log.len() as u64,
+            memo_hits,
+            log_fnv: format!("{digest:016x}"),
+        },
+        full_queries,
+        delta_queries,
     })
 }
 
@@ -297,10 +316,22 @@ mod tests {
         let handle = scheduler.handle();
         let a = run_job(&handle, &zoo, &mlp_request(), None).unwrap();
         let b = run_job(&handle, &zoo, &mlp_request(), None).unwrap();
-        assert_eq!(a, b, "same request, same scheduler => same outcome");
-        assert!(a.queries <= 300);
-        assert_eq!(a.log_len, a.queries, "every counted query is logged");
-        assert_eq!(a.memo_hits, 0, "no memo registry, no hits");
+        assert_eq!(
+            a.outcome, b.outcome,
+            "same request, same scheduler => same outcome"
+        );
+        assert!(a.outcome.queries <= 300);
+        assert_eq!(
+            a.outcome.log_len, a.outcome.queries,
+            "every counted query is logged"
+        );
+        assert_eq!(a.outcome.memo_hits, 0, "no memo registry, no hits");
+        assert_eq!(
+            a.full_queries + a.delta_queries,
+            a.outcome.queries,
+            "route attribution partitions the counted queries"
+        );
+        assert!(a.full_queries >= 1, "the baseline forward is a full query");
         scheduler.shutdown();
     }
 
@@ -309,16 +340,22 @@ mod tests {
         let zoo = fast_zoo();
         let scheduler = Scheduler::start(Arc::clone(&zoo), SchedulerConfig::default());
         let handle = scheduler.handle();
-        let plain = run_job(&handle, &zoo, &mlp_request(), None).unwrap();
+        let plain = run_job(&handle, &zoo, &mlp_request(), None)
+            .unwrap()
+            .outcome;
         let memos = ShardMemos::default();
-        let cold = run_job(&handle, &zoo, &mlp_request(), Some(&memos)).unwrap();
+        let cold = run_job(&handle, &zoo, &mlp_request(), Some(&memos))
+            .unwrap()
+            .outcome;
         // A cold memo changes nothing: every candidate is new, so the
         // job pays (and logs) exactly what an unmemoized job pays.
         assert_eq!(cold.status, plain.status);
         assert_eq!(cold.queries, plain.queries);
         assert_eq!(cold.log_fnv, plain.log_fnv);
         assert_eq!(cold.memo_hits, 0);
-        let warm = run_job(&handle, &zoo, &mlp_request(), Some(&memos)).unwrap();
+        let warm = run_job(&handle, &zoo, &mlp_request(), Some(&memos))
+            .unwrap()
+            .outcome;
         assert_eq!(warm.status, plain.status, "memo must not change outcomes");
         assert_eq!(warm.location, plain.location);
         assert_eq!(warm.pixel, plain.pixel);

@@ -15,6 +15,7 @@
 use oppsla_core::image::Image;
 use oppsla_eval::zoo::{attack_test_set, train_or_load, Scale, ZooClassifier, ZooConfig};
 use oppsla_nn::models::Arch;
+use oppsla_obs::metrics::Counter;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -37,6 +38,10 @@ pub struct ShardedZoo {
     test_per_class: usize,
     test_seed: u64,
     shards: Mutex<HashMap<ShardKey, Arc<OnceLock<Arc<ModelShard>>>>>,
+    /// Bumped each time a train-once latch fires (a cold shard is
+    /// trained or loaded). Write-only observability; `None` when the
+    /// deployment runs without metrics.
+    train_counter: Mutex<Option<Arc<Counter>>>,
 }
 
 impl ShardedZoo {
@@ -48,7 +53,16 @@ impl ShardedZoo {
             test_per_class,
             test_seed,
             shards: Mutex::new(HashMap::new()),
+            train_counter: Mutex::new(None),
         }
+    }
+
+    /// Publishes train-once latch firings to `counter` from now on.
+    pub fn set_train_counter(&self, counter: Arc<Counter>) {
+        *self
+            .train_counter
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(counter);
     }
 
     /// The shard for `(arch, scale)`, training it on first use. Blocks
@@ -63,6 +77,13 @@ impl ShardedZoo {
             Arc::clone(map.entry((arch, scale)).or_default())
         };
         Arc::clone(cell.get_or_init(|| {
+            if let Some(counter) = &*self
+                .train_counter
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+            {
+                counter.inc();
+            }
             let model = train_or_load(arch, scale, &self.config);
             let test_set = attack_test_set(scale, self.test_per_class, self.test_seed);
             Arc::new(ModelShard {

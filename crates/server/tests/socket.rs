@@ -88,6 +88,78 @@ fn attack_job_end_to_end_and_deterministic() {
 }
 
 #[test]
+fn stats_frame_reflects_served_jobs_and_metrics_scrape_agrees() {
+    // A dedicated server so counters aren't shared with other tests.
+    let cfg = ServerConfig {
+        zoo: oppsla_eval::zoo::ZooConfig {
+            train_per_class: 8,
+            epochs: Some(2),
+            learning_rate: 2e-3,
+            seed: 1,
+            cache_dir: None,
+        },
+        test_per_class: 3,
+        metrics_addr: Some("127.0.0.1:0".into()),
+        ..Default::default()
+    };
+    let server = Server::start(cfg).expect("bind");
+    let addr = server.local_addr();
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let req = attack_request(150, 11);
+    let served = match roundtrip(&mut s, &req) {
+        Response::Done(out) => out,
+        other => panic!("expected Done, got {other:?}"),
+    };
+    let report = match roundtrip(&mut s, &Request::Stats) {
+        Response::Stats(r) => r,
+        other => panic!("expected Stats, got {other:?}"),
+    };
+    let value = |key: &str| {
+        report
+            .metrics
+            .iter()
+            .find(|m| m.key == key)
+            .unwrap_or_else(|| panic!("missing {key} in {:?}", report.metrics))
+            .value
+    };
+    assert_eq!(value("jobs_done") as u64, 1);
+    assert_eq!(value("queries_total") as u64, served.queries);
+    assert_eq!(value("zoo_shard_trains") as u64, 1, "one cold shard");
+    assert_eq!(
+        value("tenant_jobs_done{tenant=\"t0\"}") as u64,
+        1,
+        "first attacking connection is tenant t0"
+    );
+    assert_eq!(report.slow_jobs.len(), 1, "the only job is the slowest");
+    assert_eq!(report.slow_jobs[0].queries, served.queries);
+    assert_eq!(
+        report.slow_jobs[0].full_queries + report.slow_jobs[0].delta_queries,
+        served.queries,
+        "route attribution partitions the counted queries"
+    );
+    // The HTTP exposition must agree with the Stats frame exactly.
+    let http_addr = server.metrics_addr().expect("metrics listener");
+    let mut scrape = TcpStream::connect(http_addr).expect("connect /metrics");
+    {
+        use std::io::Write as _;
+        write!(scrape, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+    }
+    let mut page = String::new();
+    {
+        use std::io::Read as _;
+        scrape.read_to_string(&mut page).expect("read scrape");
+    }
+    assert!(
+        page.contains(&format!("queries_total {}", served.queries)),
+        "{page}"
+    );
+    assert!(page.contains("jobs_done 1"), "{page}");
+    drop(s);
+    server.request_shutdown();
+    server.wait();
+}
+
+#[test]
 fn invalid_jobs_get_errors_and_the_daemon_stays_up() {
     let mut s = connect();
     let cases: Vec<(Request, &str)> = vec![

@@ -3,9 +3,12 @@
 
 Speaks the length-prefixed JSON frame protocol from a non-Rust client:
 Ping, one valid attack job (budget accounting asserted), a determinism
-re-check, an over-budget rejection, then the Shutdown handshake.
+re-check, an over-budget rejection, a Stats snapshot cross-checked
+against the probe's own ground-truth counts, then the Shutdown
+handshake. When a metrics port is given, the plaintext /metrics page is
+scraped over HTTP and must agree with the Stats frame exactly.
 
-Usage: server_probe.py [port]
+Usage: server_probe.py [port] [metrics_port]
 """
 
 import json
@@ -31,12 +34,49 @@ def call(sock, obj):
     return json.loads(recv_exact(sock, n).decode())
 
 
+def stat(report, key):
+    for sample in report["metrics"]:
+        if sample["key"] == key:
+            return sample["value"]
+    raise AssertionError(f"{key} missing from Stats report")
+
+
+def scrape_metrics(port):
+    """One HTTP GET against the /metrics listener; returns {name: value}
+    for every unlabelled sample line."""
+    s = socket.create_connection(("127.0.0.1", port))
+    s.sendall(b"GET /metrics HTTP/1.1\r\nHost: probe\r\n\r\n")
+    page = b""
+    while True:
+        chunk = s.recv(65536)
+        if not chunk:
+            break
+        page += chunk
+    s.close()
+    head, _, body = page.decode().partition("\r\n\r\n")
+    assert head.startswith("HTTP/1.1 200"), head
+    values = {}
+    for line in body.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, _, value = line.rpartition(" ")
+        if "{" not in name and name:
+            values[name] = float(value)
+    return values
+
+
 def main():
     port = int(sys.argv[1]) if len(sys.argv) > 1 else 7431
+    metrics_port = int(sys.argv[2]) if len(sys.argv) > 2 else None
     s = socket.create_connection(("127.0.0.1", port))
     s.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
     assert call(s, "Ping") == "Pong"
+
+    # Ground truth this probe accumulates job by job; the Stats frame and
+    # the /metrics page must agree with it to the last query.
+    jobs_done = 0
+    queries_total = 0
 
     # Scan a few test images so at least one job runs the sketch loop for
     # real (a weakly trained model misclassifies some images outright,
@@ -56,6 +96,8 @@ def main():
         assert outcome["queries"] <= 300, outcome
         assert outcome["log_len"] == outcome["queries"], outcome
         assert len(outcome["log_fnv"]) == 16, outcome
+        jobs_done += 1
+        queries_total += outcome["queries"]
         job, done = candidate, outcome
         if outcome["queries"] > 1:
             break
@@ -63,9 +105,30 @@ def main():
 
     again = call(s, {"Attack": job})["Done"]
     assert again == done, (again, done)
+    jobs_done += 1
+    queries_total += again["queries"]
 
     err = call(s, {"Attack": {**job, "budget": 10**9}})["Error"]
     assert "per-job limit" in err, err
+
+    # Stats frame: machine-readable snapshot, cross-checked against the
+    # counts above. A rejected job must not count as done.
+    report = call(s, "Stats")["Stats"]
+    assert report["uptime_ms"] > 0, report
+    assert stat(report, "jobs_done") == jobs_done, report["metrics"]
+    assert stat(report, "queries_total") == queries_total, report["metrics"]
+    assert stat(report, "jobs_errored") >= 1, "the over-budget job was counted as errored"
+    assert stat(report, "zoo_shard_trains") >= 1, "the mlp shard latch fired"
+    assert report["slow_jobs"], "completed jobs populate the slow log"
+    worst = report["slow_jobs"][0]
+    assert worst["full_queries"] + worst["delta_queries"] == worst["queries"], worst
+
+    if metrics_port is not None:
+        scraped = scrape_metrics(metrics_port)
+        assert scraped["jobs_done"] == jobs_done, scraped
+        assert scraped["queries_total"] == queries_total, scraped
+        print(f"probe: /metrics scrape agrees (jobs_done={jobs_done}, "
+              f"queries_total={queries_total})")
 
     assert call(s, "Shutdown") == "ShuttingDown"
     print("probe ok:", done)

@@ -81,6 +81,17 @@ expect "baseline row missing from new report fails" 1 \
 row 2.0 ', "future_field": 7' > "$tmp/extra.json"
 expect "unknown extra field is ignored" 0 "$tmp/extra.json" "$tmp/base.json"
 
+# Server loadtest rows carry per-tenant latency percentiles: a nested
+# array of objects plus a worst_tenant_p99_ms scalar, neither of which
+# is a *_speedup key. The gate must neither choke on the nesting nor
+# mistake the latency numbers for comparable metrics.
+row 2.0 ', "worst_tenant_p99_ms": 41.5, "tenant_latency": [{"tenant": 0, "p50_ms": 3.2, "p99_ms": 41.5}, {"tenant": 1, "p50_ms": 2.9, "p99_ms": 17.0}]' \
+    > "$tmp/tenantlat.json"
+expect "server per-tenant latency fields are ignored" 0 \
+    "$tmp/tenantlat.json" "$tmp/base.json"
+expect_grep "latency fields never become compared metrics" \
+    "geometric mean of 1 speedup" "$tmp/tenantlat.json" "$tmp/base.json"
+
 row 2.0 ', "trace_enabled": false' > "$tmp/nohook.json"
 expect "trace_enabled false without hook field passes" 0 \
     "$tmp/nohook.json" "$tmp/base.json"
